@@ -1,0 +1,20 @@
+//! # harmony-baseline
+//!
+//! The comparison systems of the Harmony evaluation (§6.1, §6.5.4):
+//!
+//! * [`FaissLikeEngine`] — a single-node IVF-Flat engine standing in for
+//!   Faiss, the paper's primary baseline. It shares the *exact same*
+//!   clustering algorithm, seed and kernels as the distributed engines
+//!   (§6.1 requires this), with intra-node thread parallelism standing in
+//!   for OpenMP.
+//! * [`AuncelEngine`] — a stand-in for Auncel (NSDI'23): a distributed
+//!   engine with Auncel's two signature traits — fixed vector-based
+//!   partitioning ("similar to Harmony-vector", §6.5.4) and per-query
+//!   *error-bounded early termination*, implemented here as wave-based
+//!   probing with a triangle-inequality stopping rule over cluster radii.
+
+pub mod auncel;
+pub mod faiss_like;
+
+pub use auncel::{AuncelConfig, AuncelEngine, AuncelResult};
+pub use faiss_like::{FaissBuildStats, FaissLikeEngine};

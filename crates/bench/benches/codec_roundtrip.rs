@@ -1,0 +1,64 @@
+//! Criterion: wire codec — the serialization cost on every message of the
+//! simulated cluster (part of the paper's "other overhead").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_cluster::Wire;
+use harmony_core::messages::{Carry, QueryChunk, ToWorker};
+
+fn chunk(dims: usize) -> QueryChunk {
+    QueryChunk {
+        query_id: 42,
+        shard: 1,
+        k: 10,
+        threshold: 3.25,
+        clusters: (0..16).collect(),
+        dims: (0..dims).map(|i| i as f32 * 0.01).collect(),
+        q_total_norm_sq: 1.0,
+        order: vec![0, 1, 2, 3],
+        position: 0,
+    }
+}
+
+fn carry(survivors: usize) -> Carry {
+    Carry {
+        query_id: 42,
+        shard: 1,
+        threshold: 3.25,
+        next_position: 1,
+        indices: (0..survivors as u32).collect(),
+        partials: (0..survivors).map(|i| i as f32).collect(),
+        visited_norms_sq: vec![],
+        q_visited_norm_sq: 0.0,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for dims in [32usize, 128] {
+        let msg = ToWorker::Chunk(chunk(dims));
+        group.bench_with_input(BenchmarkId::new("chunk_encode", dims), &dims, |b, _| {
+            b.iter(|| black_box(msg.to_bytes().len()))
+        });
+        let bytes = msg.to_bytes();
+        group.bench_with_input(BenchmarkId::new("chunk_decode", dims), &dims, |b, _| {
+            b.iter(|| black_box(ToWorker::from_bytes(bytes.clone()).unwrap()))
+        });
+    }
+    for survivors in [100usize, 2_000] {
+        let msg = ToWorker::Carry(carry(survivors));
+        group.bench_with_input(
+            BenchmarkId::new("carry_roundtrip", survivors),
+            &survivors,
+            |b, _| {
+                b.iter(|| {
+                    let bytes = msg.to_bytes();
+                    black_box(ToWorker::from_bytes(bytes).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

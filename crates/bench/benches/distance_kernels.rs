@@ -1,0 +1,46 @@
+//! Criterion: distance kernels — scalar vs dispatched (AVX2 when present),
+//! full-width vs dimension-block partials.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_index::distance::{ip, ip_scalar, l2_sq, l2_sq_scalar, DimRange};
+
+fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    for dim in [32usize, 128, 512] {
+        let (a, b) = vectors(dim);
+        group.bench_with_input(BenchmarkId::new("l2_dispatch", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_scalar", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq_scalar(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ip_dispatch", dim), &dim, |bench, _| {
+            bench.iter(|| ip(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ip_scalar", dim), &dim, |bench, _| {
+            bench.iter(|| ip_scalar(black_box(&a), black_box(&b)))
+        });
+    }
+    // Partial over a quarter block vs full width: the per-call overhead
+    // visible at thin blocks motivates Harmony's per-worker batching.
+    let (a, b) = vectors(128);
+    let quarter = DimRange::new(0, 32);
+    group.bench_function("l2_quarter_block", |bench| {
+        bench.iter(|| {
+            l2_sq(
+                black_box(&a[quarter.start..quarter.end]),
+                black_box(&b[quarter.start..quarter.end]),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

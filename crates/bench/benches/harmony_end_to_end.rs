@@ -1,0 +1,44 @@
+//! Criterion: end-to-end Harmony batch search on a small deployment — the
+//! full client → workers → pipeline → merge path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_core::{EngineMode, HarmonyConfig, HarmonyEngine, SearchOptions};
+use harmony_data::SyntheticSpec;
+
+fn bench_engine(c: &mut Criterion) {
+    let dataset = SyntheticSpec::clustered(8_000, 64, 32).with_seed(1).generate();
+    let queries = dataset.queries.gather(&(0..16).collect::<Vec<_>>());
+    let mut group = c.benchmark_group("harmony_end_to_end");
+    group.sample_size(10);
+
+    for mode in [
+        EngineMode::Harmony,
+        EngineMode::HarmonyVector,
+        EngineMode::HarmonyDimension,
+    ] {
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(64)
+            .mode(mode)
+            .seed(7)
+            .build()
+            .unwrap();
+        let engine = HarmonyEngine::build(config, &dataset.base).unwrap();
+        let opts = SearchOptions::new(10).with_nprobe(8);
+        group.bench_with_input(
+            BenchmarkId::new("batch16_8kx64", mode.name()),
+            &mode,
+            |bench, _| {
+                bench.iter(|| {
+                    let batch = engine.search_batch(&queries, &opts).unwrap();
+                    black_box(batch.results.len())
+                })
+            },
+        );
+        engine.shutdown().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

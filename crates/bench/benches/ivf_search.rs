@@ -1,0 +1,27 @@
+//! Criterion: single-node IVF-Flat search — the Faiss-baseline hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_data::SyntheticSpec;
+use harmony_index::{IvfIndex, IvfParams};
+
+fn bench_ivf(c: &mut Criterion) {
+    let dataset = SyntheticSpec::clustered(20_000, 64, 32).with_seed(5).generate();
+    let mut ivf = IvfIndex::train(&dataset.base, &IvfParams::new(64).with_seed(9)).unwrap();
+    ivf.add(&dataset.base).unwrap();
+    let query = dataset.queries.row(0).to_vec();
+
+    let mut group = c.benchmark_group("ivf_search");
+    for nprobe in [1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("k10_20kx64", nprobe),
+            &nprobe,
+            |bench, &nprobe| {
+                bench.iter(|| black_box(ivf.search(&query, 10, nprobe).unwrap().len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ivf);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: k-means training and assignment — the shared "Train"/"Add"
+//! stages of every engine's build (Fig. 10).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_data::SyntheticSpec;
+use harmony_index::{KMeans, KMeansConfig};
+
+fn bench_kmeans(c: &mut Criterion) {
+    let dataset = SyntheticSpec::clustered(5_000, 32, 16).with_seed(3).generate();
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+
+    group.bench_function("train_5k_x32_k16", |bench| {
+        bench.iter(|| {
+            let km = KMeans::train(&dataset.base, &KMeansConfig::new(16, 7)).unwrap();
+            black_box(km.inertia)
+        })
+    });
+
+    let km = KMeans::train(&dataset.base, &KMeansConfig::new(16, 7)).unwrap();
+    group.bench_function("assign_5k_x32_k16", |bench| {
+        bench.iter(|| black_box(km.assign(&dataset.base).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: top-k heap maintenance — the per-candidate cost on every
+//! scan path, and the threshold read used by pruning checks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_index::TopK;
+use rand::prelude::*;
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let mut rng = StdRng::seed_from_u64(7);
+    let scores: Vec<f32> = (0..10_000).map(|_| rng.random_range(0.0..100.0)).collect();
+
+    for k in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("push_10k_candidates", k), &k, |bench, &k| {
+            bench.iter(|| {
+                let mut topk = TopK::new(k);
+                for (i, &s) in scores.iter().enumerate() {
+                    topk.push(i as u64, s);
+                }
+                black_box(topk.threshold())
+            })
+        });
+    }
+    group.bench_function("threshold_read", |bench| {
+        let mut topk = TopK::new(10);
+        for (i, &s) in scores.iter().take(100).enumerate() {
+            topk.push(i as u64, s);
+        }
+        bench.iter(|| black_box(topk.threshold()))
+    });
+    group.bench_function("merge_two_full_heaps", |bench| {
+        let mut a = TopK::new(100);
+        let mut b = TopK::new(100);
+        for (i, &s) in scores.iter().take(1000).enumerate() {
+            a.push(i as u64, s);
+            b.push((i + 1000) as u64, s * 0.9);
+        }
+        bench.iter(|| {
+            let mut merged = a.clone();
+            merged.merge(&b);
+            black_box(merged.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! §6.5.4 — Harmony vs Auncel under skewed workloads.
+//!
+//! Paper claim: Auncel behaves like Harmony-vector under skew (fixed vector
+//! partitioning), so its throughput degrades as load concentrates, while
+//! Harmony's pruning + fine-grained balancing keep it stable and ahead.
+
+use harmony_bench::runner::{
+    build_harmony, measure_harmony, nlist_for_clamped, BENCH_SEED,
+};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_baseline::{AuncelConfig, AuncelEngine};
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::{DatasetAnalog, Workload, WorkloadSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let k = 10;
+    let analog = DatasetAnalog::Sift1M;
+    let spec = analog.spec(args.scale);
+    let dataset = spec.generate();
+    let nlist = nlist_for_clamped(dataset.len());
+    eprintln!(
+        "[auncel] {analog}: {} x {}d, nlist {nlist}",
+        dataset.len(),
+        dataset.dim()
+    );
+
+    let harmony = build_harmony(&dataset, EngineMode::Harmony, args.workers, nlist);
+    let auncel = AuncelEngine::build(
+        AuncelConfig {
+            n_machines: args.workers,
+            nlist,
+            seed: BENCH_SEED,
+            ..AuncelConfig::default()
+        },
+        &dataset.base,
+    )
+    .expect("auncel");
+
+    let mut table = Table::new(
+        "§6.5.4 — Harmony vs Auncel under skew (paper: Auncel tracks Harmony-vector and degrades; Harmony stays stable)",
+        &[
+            "skew", "harmony QPS", "auncel QPS", "harmony/auncel", "auncel probes/query",
+        ],
+    );
+
+    let levels: &[f64] = if args.quick { &[0.0, 1.0] } else { &[0.0, 0.25, 0.5, 0.75, 1.0] };
+    for &level in levels {
+        let workload = Workload::generate(
+            &spec,
+            &WorkloadSpec::skew_level(level),
+            args.effective_queries(),
+            BENCH_SEED ^ level.to_bits(),
+        );
+        let opts = SearchOptions::new(k).with_nprobe((nlist / 8).max(4));
+        let h = measure_harmony(&harmony, &workload.queries, &opts, None);
+
+        let (results, _, snapshot) = auncel.search_batch(&workload.queries, k).expect("auncel");
+        let probes: usize = results.iter().map(|r| r.probes_used).sum();
+        let makespan_ns = snapshot.makespan_ns(harmony_cluster::CommMode::NonBlocking);
+        let a_qps = if makespan_ns > 0 {
+            workload.len() as f64 / (makespan_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        table.row(vec![
+            report::num(level, 2),
+            report::num(h.qps, 1),
+            report::num(a_qps, 1),
+            format!("{:.2}x", if a_qps > 0.0 { h.qps / a_qps } else { 0.0 }),
+            report::num(probes as f64 / workload.len().max(1) as f64, 1),
+        ]);
+    }
+    table.emit(&args.out_dir, "auncel_comparison");
+    harmony.shutdown().expect("shutdown");
+    auncel.shutdown().expect("shutdown");
+}

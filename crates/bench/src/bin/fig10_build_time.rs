@@ -1,0 +1,70 @@
+//! Figure 10 — index build time breakdown: Train / Add / Pre-assign.
+//!
+//! Paper shape: Train and Add are nearly identical across methods (the
+//! clustering is shared); Pre-assign exists only for the distributed
+//! engines and is larger for dimension-including plans, scaling with data
+//! size.
+
+use harmony_bench::runner::{build_harmony, nlist_for_clamped, BENCH_SEED};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_baseline::FaissLikeEngine;
+use harmony_core::EngineMode;
+use harmony_data::DatasetAnalog;
+use harmony_index::Metric;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets: &[DatasetAnalog] = if args.quick {
+        &[DatasetAnalog::Sift1M, DatasetAnalog::Msong]
+    } else {
+        &DatasetAnalog::SMALL
+    };
+
+    let mut table = Table::new(
+        "Fig. 10 — index build time breakdown (ms)",
+        &["dataset", "method", "train", "add", "pre-assign", "total"],
+    );
+
+    for &analog in datasets {
+        let dataset = analog.generate(args.scale);
+        let nlist = nlist_for_clamped(dataset.len());
+        eprintln!(
+            "[fig10] {analog}: {} x {}d, nlist {nlist}",
+            dataset.len(),
+            dataset.dim()
+        );
+
+        for (mode, label) in [
+            (Some(EngineMode::HarmonyVector), "Vector"),
+            (Some(EngineMode::Harmony), "Harmony"),
+            (Some(EngineMode::HarmonyDimension), "Dimension"),
+            (None, "Faiss"),
+        ] {
+            let (train, add, preassign) = match mode {
+                Some(mode) => {
+                    let engine = build_harmony(&dataset, mode, args.workers, nlist);
+                    let s = engine.build_stats().clone();
+                    engine.shutdown().expect("shutdown");
+                    (s.train, s.add, s.preassign)
+                }
+                None => {
+                    let engine =
+                        FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base)
+                            .expect("faiss");
+                    let s = engine.build_stats().clone();
+                    (s.train, s.add, std::time::Duration::ZERO)
+                }
+            };
+            let ms = |d: std::time::Duration| report::num(d.as_secs_f64() * 1e3, 1);
+            table.row(vec![
+                analog.name().to_string(),
+                label.to_string(),
+                ms(train),
+                ms(add),
+                ms(preassign),
+                ms(train + add + preassign),
+            ]);
+        }
+    }
+    table.emit(&args.out_dir, "fig10_build_time");
+}

@@ -1,0 +1,63 @@
+//! Figure 11a — Harmony speedup over single-node Faiss as a function of
+//! dimensionality (64–512) and dataset size (250K–1M Gaussian vectors).
+//!
+//! Paper shape: speedup grows monotonically along both axes (≈ +26.8 % per
+//! dimension doubling, ≈ +25.9 % per size doubling), exceeding the machine
+//! count (400 %) in the top-right corner thanks to pruning. Sizes are
+//! scaled by `--scale` like every other experiment.
+
+use harmony_bench::runner::{
+    build_harmony, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, BENCH_SEED,
+};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_baseline::FaissLikeEngine;
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::SyntheticSpec;
+use harmony_index::Metric;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let dims: &[usize] = if args.quick { &[64, 256] } else { &[64, 128, 256, 512] };
+    let sizes: &[usize] = if args.quick {
+        &[250_000, 1_000_000]
+    } else {
+        &[250_000, 500_000, 750_000, 1_000_000]
+    };
+    let k = 10;
+
+    let mut table = Table::new(
+        "Fig. 11a — Harmony speedup over Faiss (%, paper: 79.7 % at 250Kx64 rising to 413.3 % at 1Mx512)",
+        &["vectors (paper-scale)", "dim", "actual n", "faiss QPS", "harmony QPS", "speedup %"],
+    );
+
+    for &dim in dims {
+        for &size in sizes {
+            let n = ((size as f64 * args.scale) as usize).max(2_000);
+            let dataset = SyntheticSpec::gaussian(n, dim)
+                .with_seed(BENCH_SEED)
+                .generate();
+            let nlist = nlist_for_clamped(n);
+            let queries = take_queries(&dataset.queries, args.effective_queries().min(100));
+            eprintln!("[fig11a] {n} x {dim}d (paper-scale {size})");
+
+            let faiss = FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base)
+                .expect("faiss");
+            let harmony = build_harmony(&dataset, EngineMode::Harmony, args.workers, nlist);
+            let nprobe = (nlist / 8).max(4);
+            let opts = SearchOptions::new(k).with_nprobe(nprobe);
+            let (f_qps, _, _) = measure_faiss(&faiss, &queries, k, nprobe, None);
+            let h = measure_harmony(&harmony, &queries, &opts, None);
+            let speedup = if f_qps > 0.0 { h.qps / f_qps * 100.0 } else { 0.0 };
+            table.row(vec![
+                size.to_string(),
+                dim.to_string(),
+                n.to_string(),
+                report::num(f_qps, 1),
+                report::num(h.qps, 1),
+                report::num(speedup, 1),
+            ]);
+            harmony.shutdown().expect("shutdown");
+        }
+    }
+    table.emit(&args.out_dir, "fig11a_dim_size_sweep");
+}

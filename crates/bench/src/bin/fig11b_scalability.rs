@@ -1,0 +1,57 @@
+//! Figure 11b — scalability: speedup over single-node Faiss at 4 / 8 / 16 /
+//! 20 workers for the three distribution strategies.
+//!
+//! Paper shape: Harmony scales super-linearly (pruning), Harmony-vector
+//! tracks the worker count linearly, Harmony-dimension rises then flattens
+//! or declines as per-message latency eats the thinner dimension blocks.
+
+use harmony_bench::runner::{
+    build_harmony, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, BENCH_SEED,
+};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_baseline::FaissLikeEngine;
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::DatasetAnalog;
+use harmony_index::Metric;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let worker_counts: &[usize] = if args.quick { &[4, 8] } else { &[4, 8, 16, 20] };
+    let k = 10;
+
+    let dataset = DatasetAnalog::Sift1M.generate(args.scale);
+    let nlist = nlist_for_clamped(dataset.len());
+    let queries = take_queries(&dataset.queries, args.effective_queries());
+    eprintln!(
+        "[fig11b] Sift1M analog: {} x {}d, nlist {nlist}",
+        dataset.len(),
+        dataset.dim()
+    );
+
+    let faiss =
+        FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base).expect("faiss");
+    let nprobe = (nlist / 8).max(4);
+    let (f_qps, _, _) = measure_faiss(&faiss, &queries, k, nprobe, None);
+
+    let mut table = Table::new(
+        "Fig. 11b — speedup over 1-node Faiss vs worker count (paper: Harmony super-linear, vector ~linear, dimension peaks then declines)",
+        &["workers", "harmony x", "vector x", "dimension x"],
+    );
+
+    for &workers in worker_counts {
+        let opts = SearchOptions::new(k).with_nprobe(nprobe);
+        let mut cells = vec![workers.to_string()];
+        for mode in [
+            EngineMode::Harmony,
+            EngineMode::HarmonyVector,
+            EngineMode::HarmonyDimension,
+        ] {
+            let engine = build_harmony(&dataset, mode, workers, nlist);
+            let m = measure_harmony(&engine, &queries, &opts, None);
+            cells.push(report::num(if f_qps > 0.0 { m.qps / f_qps } else { 0.0 }, 2));
+            engine.shutdown().expect("shutdown");
+        }
+        table.row(cells);
+    }
+    table.emit(&args.out_dir, "fig11b_scalability");
+}

@@ -1,0 +1,59 @@
+//! Figure 2b — time-overhead breakdown of dimension- (D) vs vector-based
+//! (V) partitioning under blocking (B) and non-blocking (NB) communication.
+//!
+//! Paper observation: V's communication share is far below D's (V ≈ 2 %,
+//! D up to 52 % blocked / 21 % non-blocked), and non-blocking delivery
+//! shrinks the communication share for both.
+
+use harmony_bench::runner::{
+    build_harmony_with, measure_harmony, nlist_for_clamped, take_queries, BENCH_SEED,
+};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{EngineMode, HarmonyConfig, SearchOptions};
+use harmony_data::DatasetAnalog;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let dataset = DatasetAnalog::Sift1M.generate(args.scale);
+    let queries = take_queries(&dataset.queries, args.effective_queries());
+    let nlist = nlist_for_clamped(dataset.len());
+    eprintln!(
+        "[fig2b] {} vectors, {} queries, nlist {nlist}, {} workers",
+        dataset.len(),
+        queries.len(),
+        args.workers
+    );
+
+    let mut table = Table::new(
+        "Fig. 2b — time overhead breakdown (computation / communication / other %, paper: D_B 52.2/47.6, D_NB 21+, V_B 98.0/2.0, V_NB 98.3/1.7)",
+        &["config", "compute %", "comm %", "other %"],
+    );
+
+    let opts = SearchOptions::new(10).with_nprobe((nlist / 8).max(4));
+    for (mode, tag) in [
+        (EngineMode::HarmonyDimension, "D"),
+        (EngineMode::HarmonyVector, "V"),
+    ] {
+        for (pipeline, comm_tag) in [(false, "B"), (true, "NB")] {
+            let config = HarmonyConfig::builder()
+                .n_machines(args.workers)
+                .nlist(nlist)
+                .mode(mode)
+                .pipeline(pipeline)
+                .seed(BENCH_SEED)
+                .build()
+                .expect("config");
+            let engine = build_harmony_with(&dataset, config);
+            let m = measure_harmony(&engine, &queries, &opts, None);
+            let (c, comm, other) = m.breakdown;
+            table.row(vec![
+                format!("{tag}_{comm_tag}"),
+                report::num(c, 2),
+                report::num(comm, 2),
+                report::num(other, 2),
+            ]);
+            engine.shutdown().expect("shutdown");
+        }
+    }
+    table.emit(&args.out_dir, "fig2b_cost_breakdown");
+}

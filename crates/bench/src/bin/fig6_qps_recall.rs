@@ -1,0 +1,93 @@
+//! Figure 6 — QPS-recall trade-off: Faiss vs Harmony / Harmony-vector /
+//! Harmony-dimension.
+//!
+//! Paper shape on four workers: all distributed modes beat single-node
+//! Faiss (3.75× average); at high recall Harmony exceeds the node count
+//! (4.63× average) thanks to pruning; below recall ≈ 0.99 Harmony-vector
+//! is the fastest distributed mode. Recall is swept via `nprobe`.
+
+use harmony_bench::runner::{
+    build_harmony, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, truth_for,
+    BENCH_SEED,
+};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_baseline::FaissLikeEngine;
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::DatasetAnalog;
+use harmony_index::Metric;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets: &[DatasetAnalog] = if args.quick {
+        &[DatasetAnalog::Sift1M]
+    } else {
+        &[
+            DatasetAnalog::StarLightCurves,
+            DatasetAnalog::Msong,
+            DatasetAnalog::Sift1M,
+            DatasetAnalog::Deep1M,
+            DatasetAnalog::Word2vec,
+            DatasetAnalog::Glove1_2M,
+        ]
+    };
+    let k = 10;
+
+    let mut table = Table::new(
+        "Fig. 6 — QPS vs recall (4 workers vs 1-node Faiss; billion-scale analogs run separately via --workers 16)",
+        &[
+            "dataset", "nprobe", "recall", "faiss QPS", "harmony QPS", "vector QPS",
+            "dimension QPS", "harmony speedup",
+        ],
+    );
+
+    for &analog in datasets {
+        let dataset = analog.generate(args.scale);
+        let queries = take_queries(&dataset.queries, args.effective_queries());
+        let nlist = nlist_for_clamped(dataset.len());
+        eprintln!(
+            "[fig6] {analog}: {} x {}d, nlist {nlist}, {} queries",
+            dataset.len(),
+            dataset.dim(),
+            queries.len()
+        );
+        let truth = truth_for(&dataset, &queries, k);
+
+        let faiss =
+            FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base).expect("faiss");
+        let harmony = build_harmony(&dataset, EngineMode::Harmony, args.workers, nlist);
+        let vector = build_harmony(&dataset, EngineMode::HarmonyVector, args.workers, nlist);
+        let dimension =
+            build_harmony(&dataset, EngineMode::HarmonyDimension, args.workers, nlist);
+
+        let sweep: Vec<usize> = if args.quick {
+            vec![2, 8, nlist / 2]
+        } else {
+            vec![1, 2, 4, 8, 16, nlist / 4, nlist / 2, nlist]
+        };
+        let mut sweep: Vec<usize> = sweep.into_iter().filter(|&p| p >= 1).collect();
+        sweep.dedup();
+
+        for nprobe in sweep {
+            let opts = SearchOptions::new(k).with_nprobe(nprobe);
+            let (f_qps, f_recall, _) = measure_faiss(&faiss, &queries, k, nprobe, Some(&truth));
+            let h = measure_harmony(&harmony, &queries, &opts, Some(&truth));
+            let v = measure_harmony(&vector, &queries, &opts, Some(&truth));
+            let d = measure_harmony(&dimension, &queries, &opts, Some(&truth));
+            let recall = f_recall.unwrap_or(0.0);
+            table.row(vec![
+                analog.name().to_string(),
+                nprobe.to_string(),
+                report::num(recall, 4),
+                report::num(f_qps, 1),
+                report::num(h.qps, 1),
+                report::num(v.qps, 1),
+                report::num(d.qps, 1),
+                format!("{:.2}x", if f_qps > 0.0 { h.qps / f_qps } else { 0.0 }),
+            ]);
+        }
+        harmony.shutdown().expect("shutdown");
+        vector.shutdown().expect("shutdown");
+        dimension.shutdown().expect("shutdown");
+    }
+    table.emit(&args.out_dir, "fig6_qps_recall");
+}

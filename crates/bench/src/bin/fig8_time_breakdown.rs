@@ -1,0 +1,69 @@
+//! Figure 8 — normalized query time per distribution strategy with its
+//! communication / computation / other split.
+//!
+//! Paper shape (Msong, Sift1M): Harmony-dimension = 100 % (slowest);
+//! Harmony-vector ≈ 68.1 / 46.8 %; Harmony ≈ 54.6 / 45.1 % — i.e. Harmony
+//! matches or beats vector despite paying some communication, because
+//! pruning cuts its computation.
+
+use harmony_bench::runner::{
+    build_harmony, measure_harmony, nlist_for_clamped, take_queries,
+};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::DatasetAnalog;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets = [DatasetAnalog::Msong, DatasetAnalog::Sift1M];
+    let k = 10;
+
+    let mut table = Table::new(
+        "Fig. 8 — normalized time and breakdown (paper: dimension 100 %, vector 68.1/46.8 %, Harmony 54.6/45.1 %)",
+        &[
+            "dataset", "strategy", "normalized time %", "compute %", "comm %", "other %",
+        ],
+    );
+
+    for analog in datasets {
+        let dataset = analog.generate(args.scale);
+        let queries = take_queries(&dataset.queries, args.effective_queries());
+        let nlist = nlist_for_clamped(dataset.len());
+        eprintln!("[fig8] {analog}: {} x {}d", dataset.len(), dataset.dim());
+        let opts = SearchOptions::new(k).with_nprobe((nlist / 8).max(4));
+
+        // Measure all three; normalize to the slowest (dimension, per paper).
+        let mut rows = Vec::new();
+        let mut dim_time = 0.0f64;
+        for mode in [
+            EngineMode::HarmonyDimension,
+            EngineMode::HarmonyVector,
+            EngineMode::Harmony,
+        ] {
+            let engine = build_harmony(&dataset, mode, args.workers, nlist);
+            let m = measure_harmony(&engine, &queries, &opts, None);
+            let time = if m.qps > 0.0 { 1.0 / m.qps } else { 0.0 };
+            if mode == EngineMode::HarmonyDimension {
+                dim_time = time;
+            }
+            rows.push((mode, time, m.breakdown));
+            engine.shutdown().expect("shutdown");
+        }
+        for (mode, time, (c, comm, other)) in rows {
+            let normalized = if dim_time > 0.0 {
+                time / dim_time * 100.0
+            } else {
+                0.0
+            };
+            table.row(vec![
+                analog.name().to_string(),
+                mode.name().to_string(),
+                report::num(normalized, 1),
+                report::num(c, 1),
+                report::num(comm, 1),
+                report::num(other, 1),
+            ]);
+        }
+    }
+    table.emit(&args.out_dir, "fig8_time_breakdown");
+}

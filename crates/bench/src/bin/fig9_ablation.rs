@@ -1,0 +1,79 @@
+//! Figure 9 — contribution of the three optimization techniques.
+//!
+//! Paper shape (4 nodes): starting from a non-optimized hybrid deployment,
+//! +Balanced load → 1.88 / 1.63×, +Pipeline & asynchronous execution →
+//! 2.62 / 1.81×, +Pruning → 3.27 / 3.21× (Msong / Sift1M). The partition
+//! grid is pinned to the same hybrid plan for all four variants so the
+//! switches — not the plan — explain the deltas. A skewed workload is used,
+//! as load balancing only matters when the load can be unbalanced (the
+//! paper notes Sift1M's uniform distribution mutes the first two bars).
+
+use harmony_bench::runner::{
+    build_harmony_with, measure_harmony, nlist_for_clamped, BENCH_SEED,
+};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{HarmonyConfig, PartitionPlan, SearchOptions};
+use harmony_data::{DatasetAnalog, Workload, WorkloadSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets = [DatasetAnalog::Msong, DatasetAnalog::Sift1M];
+    let k = 10;
+
+    let mut table = Table::new(
+        "Fig. 9 — normalized throughput by cumulative optimization (paper Msong: 1.00 / 1.88 / 2.62 / 3.27; Sift1M: 1.00 / 1.63 / 1.81 / 3.21)",
+        &["dataset", "variant", "QPS", "normalized"],
+    );
+
+    // (label, balanced_load, pipeline, pruning) — cumulative switches.
+    let variants = [
+        ("Non-optimize", false, false, false),
+        ("+Balanced load", true, false, false),
+        ("+Pipeline and async execution", true, true, false),
+        ("+Pruning", true, true, true),
+    ];
+
+    for analog in datasets {
+        let spec = analog.spec(args.scale);
+        let dataset = spec.generate();
+        let nlist = nlist_for_clamped(dataset.len());
+        // Moderate skew: balanced-load effects need an imbalanced workload.
+        let workload = Workload::generate(
+            &spec,
+            &WorkloadSpec::skew_level(0.6),
+            args.effective_queries(),
+            BENCH_SEED,
+        );
+        eprintln!("[fig9] {analog}: {} x {}d", dataset.len(), dataset.dim());
+        let opts = SearchOptions::new(k).with_nprobe((nlist / 8).max(4));
+        // Fixed hybrid grid: 2 shards x 2 dim blocks on 4 workers.
+        let plan = PartitionPlan::new(2, 2).expect("plan");
+
+        let mut baseline_qps = 0.0f64;
+        for (label, balanced, pipeline, pruning) in variants {
+            let config = HarmonyConfig::builder()
+                .n_machines(4)
+                .nlist(nlist)
+                .plan(plan)
+                .balanced_load(balanced)
+                .pipeline(pipeline)
+                .pruning(pruning)
+                .seed(BENCH_SEED)
+                .build()
+                .expect("config");
+            let engine = build_harmony_with(&dataset, config);
+            let m = measure_harmony(&engine, &workload.queries, &opts, None);
+            if baseline_qps == 0.0 {
+                baseline_qps = m.qps.max(1e-9);
+            }
+            table.row(vec![
+                analog.name().to_string(),
+                label.to_string(),
+                report::num(m.qps, 1),
+                format!("{:.2}x", m.qps / baseline_qps),
+            ]);
+            engine.shutdown().expect("shutdown");
+        }
+    }
+    table.emit(&args.out_dir, "fig9_ablation");
+}

@@ -1,0 +1,61 @@
+//! Table 3 — average pruning ratio per dimension slice across the eight
+//! 4-node datasets.
+//!
+//! Paper shape: slice 1 is always 0 %; slice 2 averages 33.6 %; slice 3
+//! 66.2 %; slice 4 exceeds 80 % on every dataset; absolute values vary
+//! strongly with the data distribution (Glove prunes worst, time series
+//! best).
+
+use harmony_bench::runner::{build_harmony, nlist_for_clamped, take_queries};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::DatasetAnalog;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut table = Table::new(
+        "Table 3 — cumulative pruning ratio per slice (4 dimension slices)",
+        &[
+            "dataset",
+            "slice1 %",
+            "slice2 %",
+            "slice3 %",
+            "slice4 %",
+            "average %",
+        ],
+    );
+
+    let datasets: &[DatasetAnalog] = if args.quick {
+        &[DatasetAnalog::Sift1M, DatasetAnalog::Msong]
+    } else {
+        &DatasetAnalog::SMALL
+    };
+
+    for &analog in datasets {
+        let dataset = analog.generate(args.scale);
+        let queries = take_queries(&dataset.queries, args.effective_queries());
+        let nlist = nlist_for_clamped(dataset.len());
+        eprintln!(
+            "[table3] {analog}: {} x {}d, nlist {nlist}",
+            dataset.len(),
+            dataset.dim()
+        );
+        let engine = build_harmony(&dataset, EngineMode::HarmonyDimension, 4, nlist);
+        let opts = SearchOptions::new(10).with_nprobe((nlist / 8).max(4));
+        let _ = engine.search_batch(&queries, &opts).expect("search");
+        let stats = engine.collect_stats().expect("stats");
+        let ratios = stats.slices.cumulative_ratios();
+        let avg = stats.slices.average_ratio();
+        let cell = |i: usize| report::num(ratios.get(i).copied().unwrap_or(0.0), 2);
+        table.row(vec![
+            analog.name().to_string(),
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3),
+            report::num(avg, 2),
+        ]);
+        engine.shutdown().expect("shutdown");
+    }
+    table.emit(&args.out_dir, "table3_pruning_slices");
+}

@@ -1,0 +1,66 @@
+//! Table 4 — index memory comparison.
+//!
+//! Paper shape: each distributed node holds ≈ ¼ of the single-node Faiss
+//! index (4 workers, no replication); dimension-including plans add ≈ 2 %
+//! bookkeeping overhead.
+
+use harmony_bench::runner::{build_harmony, nlist_for_clamped, take_queries, BENCH_SEED};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_baseline::FaissLikeEngine;
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::DatasetAnalog;
+use harmony_index::Metric;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets: &[DatasetAnalog] = if args.quick {
+        &[DatasetAnalog::Sift1M]
+    } else {
+        &DatasetAnalog::SMALL
+    };
+
+    let mut table = Table::new(
+        "Table 4 — index memory (per-node max for distributed; paper: each node ≈ 1/4 of Faiss, dim overhead ≈ +2 %)",
+        &[
+            "dataset", "faiss", "vector/node", "harmony/node", "dimension/node",
+            "node/faiss ratio",
+        ],
+    );
+
+    for &analog in datasets {
+        let dataset = analog.generate(args.scale);
+        let nlist = nlist_for_clamped(dataset.len());
+        eprintln!("[table4] {analog}: {} x {}d", dataset.len(), dataset.dim());
+
+        let faiss = FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base)
+            .expect("faiss");
+        let faiss_bytes = faiss.memory_bytes() as u64;
+
+        let mut per_node = Vec::new();
+        for mode in [
+            EngineMode::HarmonyVector,
+            EngineMode::Harmony,
+            EngineMode::HarmonyDimension,
+        ] {
+            let engine = build_harmony(&dataset, mode, args.workers, nlist);
+            // One tiny batch so every worker has loaded and can report.
+            let queries = take_queries(&dataset.queries, 4);
+            let _ = engine
+                .search_batch(&queries, &SearchOptions::new(1).with_nprobe(1))
+                .expect("warmup");
+            let stats = engine.collect_stats().expect("stats");
+            per_node.push(stats.max_worker_memory_bytes());
+            engine.shutdown().expect("shutdown");
+        }
+        let ratio = per_node[1] as f64 / faiss_bytes.max(1) as f64;
+        table.row(vec![
+            analog.name().to_string(),
+            report::mib(faiss_bytes),
+            report::mib(per_node[0]),
+            report::mib(per_node[1]),
+            report::mib(per_node[2]),
+            report::num(ratio, 3),
+        ]);
+    }
+    table.emit(&args.out_dir, "table4_index_memory");
+}

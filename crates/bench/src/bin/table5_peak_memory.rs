@@ -1,0 +1,62 @@
+//! Table 5 — peak memory during query execution.
+//!
+//! Paper shape: vector < Harmony < dimension; the dimension-partitioning
+//! overhead comes from intermediate (carry) state and *shrinks relatively*
+//! as dimensionality grows. Measured with the byte-tracking global
+//! allocator from `harmony-cluster`, process-wide (client + workers),
+//! windowed per engine run.
+
+use harmony_bench::runner::{build_harmony, nlist_for_clamped, take_queries};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_cluster::mem;
+use harmony_core::{EngineMode, SearchOptions};
+use harmony_data::DatasetAnalog;
+
+#[global_allocator]
+static ALLOC: mem::TrackingAllocator = mem::TrackingAllocator;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets: &[DatasetAnalog] = if args.quick {
+        &[DatasetAnalog::Sift1M]
+    } else {
+        &DatasetAnalog::SMALL
+    };
+    let k = 10;
+
+    let mut table = Table::new(
+        "Table 5 — peak query-time memory (process-wide; paper: vector < Harmony < dimension, gap shrinks with dims)",
+        &["dataset", "vector peak", "harmony peak", "dimension peak"],
+    );
+
+    for &analog in datasets {
+        let dataset = analog.generate(args.scale);
+        let nlist = nlist_for_clamped(dataset.len());
+        let queries = take_queries(&dataset.queries, args.effective_queries());
+        eprintln!("[table5] {analog}: {} x {}d", dataset.len(), dataset.dim());
+        let opts = SearchOptions::new(k).with_nprobe((nlist / 8).max(4));
+
+        let mut peaks = Vec::new();
+        for mode in [
+            EngineMode::HarmonyVector,
+            EngineMode::Harmony,
+            EngineMode::HarmonyDimension,
+        ] {
+            let engine = build_harmony(&dataset, mode, args.workers, nlist);
+            mem::reset_peak();
+            let base = mem::current_bytes();
+            let _ = engine.search_batch(&queries, &opts).expect("search");
+            let peak = mem::peak_bytes().saturating_sub(base);
+            peaks.push(peak as u64);
+            engine.shutdown().expect("shutdown");
+        }
+        table.row(vec![
+            analog.name().to_string(),
+            report::mib(peaks[0]),
+            report::mib(peaks[1]),
+            report::mib(peaks[2]),
+        ]);
+    }
+    table.emit(&args.out_dir, "table5_peak_memory");
+    assert!(mem::is_active(), "tracking allocator must be installed");
+}

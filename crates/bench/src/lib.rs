@@ -1,0 +1,34 @@
+//! # harmony-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! Harmony paper's evaluation (§6). One binary per experiment lives in
+//! `src/bin/`; each prints a markdown table mirroring the paper's
+//! rows/series and writes a CSV copy under `bench_results/`.
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig2a_pruning_ratio` | Fig. 2a — pruning ratio by dimension slice |
+//! | `fig2b_cost_breakdown` | Fig. 2b — D/V × blocking/non-blocking breakdown |
+//! | `fig6_qps_recall` | Fig. 6 — QPS-recall trade-off per dataset |
+//! | `fig7_skewed_load` | Fig. 7 — QPS vs load variance |
+//! | `fig8_time_breakdown` | Fig. 8 — normalized time per strategy |
+//! | `fig9_ablation` | Fig. 9 — optimization contributions |
+//! | `table3_pruning_slices` | Table 3 — per-slice pruning ratios |
+//! | `fig10_build_time` | Fig. 10 — Train/Add/Pre-assign build time |
+//! | `table4_index_memory` | Table 4 — index memory |
+//! | `fig11a_dim_size_sweep` | Fig. 11a — speedup vs dims × size |
+//! | `fig11b_scalability` | Fig. 11b — speedup vs worker count |
+//! | `table5_peak_memory` | Table 5 — peak query memory |
+//! | `auncel_comparison` | §6.5.4 — Harmony vs Auncel under skew |
+//!
+//! Every binary accepts `--scale <f>` (dataset cardinality multiplier vs
+//! the paper's Table 2, default 0.02), `--queries <n>`, `--workers <n>`,
+//! and `--quick` (coarser sweeps). `HARMONY_BENCH_SCALE` overrides the
+//! default scale globally.
+
+pub mod cli;
+pub mod report;
+pub mod runner;
+
+pub use cli::BenchArgs;
+pub use report::Table;

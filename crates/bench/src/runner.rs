@@ -1,0 +1,179 @@
+//! Shared experiment runners: engine construction, QPS/recall measurement.
+//!
+//! Conventions used across every figure/table binary:
+//!
+//! * **Node ≙ thread.** The Faiss baseline runs single-threaded
+//!   ([`harmony_baseline::FaissLikeEngine::search_batch_sequential`]) and
+//!   each simulated Harmony worker is one thread, so "4 workers vs 1 node"
+//!   compares 4 threads against 1 thread — the paper's node-count ratio.
+//! * **Modeled QPS.** Throughput is reported from the modeled cluster
+//!   makespan (compute busy time + modeled network time, gated by the
+//!   slowest node), which is what the paper's 100 Gb/s testbed would
+//!   observe. Wall QPS is also recorded.
+//! * **Shared clustering.** All engines of one experiment share `nlist` and
+//!   the training seed (§6.1's fairness requirement).
+
+use std::time::Duration;
+
+use harmony_core::{
+    BatchResult, EngineMode, HarmonyConfig, HarmonyEngine, SearchOptions,
+};
+use harmony_data::{ground_truth, recall_at_k, Dataset};
+use harmony_index::{Metric, Neighbor, VectorStore};
+
+/// Training seed shared by every engine in the harness.
+pub const BENCH_SEED: u64 = 0xBE7C_11ED;
+
+/// `nlist` heuristic: ~√n (Faiss guidance), keeping inverted lists large
+/// enough that per-probe computation dominates per-message cost, as in the
+/// paper's 1M-vector setups.
+pub fn nlist_for(n: usize) -> usize {
+    ((n as f64).sqrt() as usize) & !1usize | 2
+}
+
+/// Clamps `nlist` to the paper-typical band.
+pub fn nlist_for_clamped(n: usize) -> usize {
+    nlist_for(n).clamp(16, 512)
+}
+
+/// Builds a Harmony engine in `mode` with harness defaults.
+///
+/// # Panics
+/// Panics on build failure — benchmark binaries fail loudly.
+pub fn build_harmony(
+    dataset: &Dataset,
+    mode: EngineMode,
+    workers: usize,
+    nlist: usize,
+) -> HarmonyEngine {
+    let config = HarmonyConfig::builder()
+        .n_machines(workers)
+        .nlist(nlist)
+        .metric(Metric::L2)
+        .mode(mode)
+        .seed(BENCH_SEED)
+        .build()
+        .expect("valid config");
+    HarmonyEngine::build(config, &dataset.base).expect("engine build")
+}
+
+/// Builds a Harmony engine from an explicit config over the dataset.
+///
+/// # Panics
+/// Panics on build failure.
+pub fn build_harmony_with(dataset: &Dataset, config: HarmonyConfig) -> HarmonyEngine {
+    HarmonyEngine::build(config, &dataset.base).expect("engine build")
+}
+
+/// One throughput measurement.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Modeled queries/second (primary metric — see module docs).
+    pub qps: f64,
+    /// Wall-clock queries/second at the client.
+    pub qps_wall: f64,
+    /// Recall@k against exact ground truth (when requested).
+    pub recall: Option<f64>,
+    /// Three-way time percentages (compute, comm, other).
+    pub breakdown: (f64, f64, f64),
+    /// Std-dev of per-worker compute load, ns.
+    pub imbalance: f64,
+    /// The raw batch result.
+    pub batch: BatchResult,
+}
+
+/// Runs `queries` through a Harmony engine and measures QPS (+ recall
+/// against `truth` when provided).
+///
+/// # Panics
+/// Panics on search failure.
+pub fn measure_harmony(
+    engine: &HarmonyEngine,
+    queries: &VectorStore,
+    opts: &SearchOptions,
+    truth: Option<&[Vec<Neighbor>]>,
+) -> Measured {
+    let batch = engine.search_batch(queries, opts).expect("search batch");
+    let recall = truth.map(|t| recall_at_k(t, &batch.results, opts.k));
+    Measured {
+        qps: batch.qps_modeled(),
+        qps_wall: batch.qps_wall(),
+        recall,
+        breakdown: batch.breakdown().percentages(),
+        imbalance: batch.load_imbalance(),
+        batch,
+    }
+}
+
+/// Measures the sequential Faiss baseline: QPS from single-thread wall time.
+///
+/// # Panics
+/// Panics on search failure.
+pub fn measure_faiss(
+    engine: &harmony_baseline::FaissLikeEngine,
+    queries: &VectorStore,
+    k: usize,
+    nprobe: usize,
+    truth: Option<&[Vec<Neighbor>]>,
+) -> (f64, Option<f64>, Duration) {
+    let (results, wall) = engine
+        .search_batch_sequential(queries, k, nprobe)
+        .expect("faiss batch");
+    let qps = if wall.as_secs_f64() > 0.0 {
+        queries.len() as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    let recall = truth.map(|t| recall_at_k(t, &results, k));
+    (qps, recall, wall)
+}
+
+/// Exact ground truth for recall scoring (truncates to at most
+/// `max_queries` to bound brute-force time).
+pub fn truth_for(dataset: &Dataset, queries: &VectorStore, k: usize) -> Vec<Vec<Neighbor>> {
+    ground_truth(&dataset.base, queries, k, Metric::L2)
+}
+
+/// First `n` queries of a store (or all of them).
+pub fn take_queries(store: &VectorStore, n: usize) -> VectorStore {
+    let take = n.min(store.len());
+    store.gather(&(0..take).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_data::SyntheticSpec;
+
+    #[test]
+    fn nlist_heuristic_is_reasonable() {
+        assert!(nlist_for_clamped(1_000) >= 16);
+        assert!(nlist_for_clamped(1_000_000) <= 512);
+        assert!(nlist_for_clamped(10_000) >= 64);
+    }
+
+    #[test]
+    fn end_to_end_measurement_smoke() {
+        let d = SyntheticSpec::clustered(1_000, 8, 8).with_seed(1).generate();
+        let queries = take_queries(&d.queries, 8);
+        let nlist = 16;
+        let engine = build_harmony(&d, EngineMode::Harmony, 2, nlist);
+        let truth = truth_for(&d, &queries, 5);
+        let opts = SearchOptions::new(5).with_nprobe(4);
+        let m = measure_harmony(&engine, &queries, &opts, Some(&truth));
+        assert!(m.qps > 0.0);
+        assert!(m.recall.unwrap() > 0.3);
+        engine.shutdown().unwrap();
+
+        let faiss = harmony_baseline::FaissLikeEngine::build(
+            nlist,
+            Metric::L2,
+            BENCH_SEED,
+            &d.base,
+        )
+        .unwrap();
+        let (qps, recall, _) = measure_faiss(&faiss, &queries, 5, 4, Some(&truth));
+        assert!(qps > 0.0);
+        assert!(recall.unwrap() > 0.3);
+    }
+}

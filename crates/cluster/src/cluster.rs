@@ -1,0 +1,542 @@
+//! Cluster orchestration: spawning workers, client messaging, barriers,
+//! metrics collection, shutdown.
+//!
+//! [`Cluster::spawn`] starts one OS thread per worker node; each thread runs
+//! an event loop that feeds messages to the node's [`NodeHandler`]. The
+//! calling thread plays the paper's *client node*: it submits queries with
+//! [`Cluster::send`] / [`Cluster::broadcast`] and harvests results with
+//! [`Cluster::recv_timeout`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::ClusterError;
+use crate::metrics::{ClusterSnapshot, NodeMetrics};
+use crate::net::{CommMode, ComputeRates, DelayMode, NetworkModel};
+use crate::node::{send_impl, spin_sleep, Envelope, NodeCtx, NodeHandler, NodeId, Shared, CLIENT};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (the paper uses 4–20).
+    pub workers: usize,
+    /// Interconnect cost model.
+    pub net: NetworkModel,
+    /// Blocking vs non-blocking delivery (Fig. 2b's B / NB).
+    pub comm_mode: CommMode,
+    /// Whether modeled cost is injected as real delay.
+    pub delay: DelayMode,
+    /// Modeled per-node computation rates (see [`ComputeRates`]).
+    pub rates: ComputeRates,
+    /// Drop every n-th message (0 = never); deterministic failure injection.
+    pub drop_every_nth: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            net: NetworkModel::default(),
+            comm_mode: CommMode::NonBlocking,
+            delay: DelayMode::Account,
+            rates: ComputeRates::default(),
+            drop_every_nth: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Config with `workers` nodes and defaults elsewhere.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// A running simulated cluster.
+///
+/// Dropping the cluster shuts it down; call [`Cluster::shutdown`] for an
+/// orderly join with error reporting.
+pub struct Cluster {
+    config: ClusterConfig,
+    shared: Arc<Shared>,
+    worker_senders: Vec<Sender<Envelope>>,
+    client_sender: Sender<Envelope>,
+    client_rx: Receiver<Envelope>,
+    /// User messages buffered while waiting for barrier pongs.
+    pending: VecDeque<(NodeId, Bytes)>,
+    handles: Vec<JoinHandle<()>>,
+    next_ping_token: u64,
+    down: bool,
+}
+
+impl Cluster {
+    /// Spawns `config.workers` worker threads, building each node's handler
+    /// with `factory(node_id)`.
+    ///
+    /// # Panics
+    /// Panics if `config.workers == 0`.
+    pub fn spawn<H, F>(config: ClusterConfig, mut factory: F) -> Self
+    where
+        H: NodeHandler,
+        F: FnMut(NodeId) -> H,
+    {
+        assert!(config.workers > 0, "cluster needs at least one worker");
+
+        let shared = Arc::new(Shared {
+            net: config.net,
+            rates: config.rates,
+            comm_mode: config.comm_mode,
+            delay: config.delay,
+            worker_metrics: (0..config.workers).map(|_| NodeMetrics::default()).collect(),
+            client_metrics: NodeMetrics::default(),
+            drop_counter: AtomicU64::new(0),
+            drop_every_nth: config.drop_every_nth,
+        });
+
+        let mut worker_senders = Vec::with_capacity(config.workers);
+        let mut worker_receivers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = unbounded();
+            worker_senders.push(tx);
+            worker_receivers.push(rx);
+        }
+        let (client_sender, client_rx) = unbounded();
+
+        let mut handles = Vec::with_capacity(config.workers);
+        for (node_id, rx) in worker_receivers.into_iter().enumerate() {
+            let ctx = NodeCtx {
+                node_id,
+                worker_senders: worker_senders.clone(),
+                client_sender: client_sender.clone(),
+                shared: Arc::clone(&shared),
+            };
+            let handler = factory(node_id);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("harmony-worker-{node_id}"))
+                    .spawn(move || worker_main(handler, rx, ctx))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        Self {
+            config,
+            shared,
+            worker_senders,
+            client_sender,
+            client_rx,
+            pending: VecDeque::new(),
+            handles,
+            next_ping_token: 1,
+            down: false,
+        }
+    }
+
+    /// Number of worker nodes.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// The configuration the cluster was spawned with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Sends `payload` from the client to worker `to`.
+    ///
+    /// # Errors
+    /// [`ClusterError::UnknownNode`] / [`ClusterError::NodeDown`] /
+    /// [`ClusterError::ShutDown`].
+    pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), ClusterError> {
+        if self.down {
+            return Err(ClusterError::ShutDown);
+        }
+        send_impl(
+            &self.shared,
+            &self.worker_senders,
+            &self.client_sender,
+            CLIENT,
+            to,
+            payload,
+        )
+    }
+
+    /// Sends a copy of `payload` to every worker.
+    ///
+    /// # Errors
+    /// Fails on the first undeliverable worker.
+    pub fn broadcast(&self, payload: &Bytes) -> Result<(), ClusterError> {
+        for w in 0..self.config.workers {
+            self.send(w, payload.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Receives the next message addressed to the client.
+    ///
+    /// # Errors
+    /// [`ClusterError::Timeout`] when nothing arrives in time.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(NodeId, Bytes), ClusterError> {
+        if let Some(msg) = self.pending.pop_front() {
+            return Ok(msg);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.client_rx.recv_timeout(remaining) {
+                Ok(Envelope::User {
+                    from,
+                    payload,
+                    injected_delay_ns,
+                }) => {
+                    spin_sleep(injected_delay_ns);
+                    return Ok((from, payload));
+                }
+                // Stray pong from an abandoned barrier: skip.
+                Ok(Envelope::Pong { .. }) => continue,
+                Ok(_) => continue,
+                Err(_) => return Err(ClusterError::Timeout),
+            }
+        }
+    }
+
+    /// Barrier: waits until every worker has drained its mailbox `rounds`
+    /// times. One round is sufficient for client→worker→client round trips;
+    /// pipelines that hop across `h` workers need `rounds >= h`.
+    ///
+    /// User messages arriving during the barrier are buffered and later
+    /// returned by [`Cluster::recv_timeout`] in order.
+    ///
+    /// # Errors
+    /// [`ClusterError::Timeout`] when a worker fails to answer in time.
+    pub fn quiesce(&mut self, rounds: usize, timeout: Duration) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + timeout;
+        for _ in 0..rounds {
+            let token = self.next_ping_token;
+            self.next_ping_token += 1;
+            for sender in &self.worker_senders {
+                sender
+                    .send(Envelope::Ping { token })
+                    .map_err(|_| ClusterError::ShutDown)?;
+            }
+            let mut acked = vec![false; self.config.workers];
+            let mut acks = 0;
+            while acks < self.config.workers {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match self.client_rx.recv_timeout(remaining) {
+                    Ok(Envelope::Pong { token: t, from }) if t == token => {
+                        if let Some(slot) = acked.get_mut(from) {
+                            if !*slot {
+                                *slot = true;
+                                acks += 1;
+                            }
+                        }
+                    }
+                    Ok(Envelope::Pong { .. }) => {}
+                    Ok(Envelope::User {
+                        from,
+                        payload,
+                        injected_delay_ns,
+                    }) => {
+                        spin_sleep(injected_delay_ns);
+                        self.pending.push_back((from, payload));
+                    }
+                    Ok(_) => {}
+                    Err(_) => return Err(ClusterError::Timeout),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Point-in-time metrics for every node and the client.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            workers: self
+                .shared
+                .worker_metrics
+                .iter()
+                .map(NodeMetrics::snapshot)
+                .collect(),
+            client: self.shared.client_metrics.snapshot(),
+        }
+    }
+
+    /// Attributes `ns` nanoseconds of computation to the client node
+    /// (centroid assignment, prewarming, result merging).
+    pub fn record_client_compute(&self, ns: u64) {
+        self.shared.client_metrics.add_compute(ns);
+        self.shared.client_metrics.add_busy(ns);
+    }
+
+    /// Charges *modeled* client computation from work counters (see
+    /// [`crate::node::NodeCtx::charge_compute`]).
+    pub fn charge_client_compute(&self, point_dims: u64, candidates: u64) {
+        let ns = self.shared.rates.compute_ns(point_dims, candidates);
+        self.record_client_compute(ns);
+    }
+
+    /// Zeroes all metrics (between experiment phases).
+    pub fn reset_metrics(&self) {
+        for m in &self.shared.worker_metrics {
+            m.reset();
+        }
+        self.shared.client_metrics.reset();
+    }
+
+    /// Orderly shutdown: signals every worker and joins its thread.
+    ///
+    /// # Errors
+    /// [`ClusterError::NodeDown`] if a worker thread panicked.
+    pub fn shutdown(&mut self) -> Result<(), ClusterError> {
+        if self.down {
+            return Ok(());
+        }
+        self.down = true;
+        for sender in &self.worker_senders {
+            // A worker that already died is reported by join below.
+            let _ = sender.send(Envelope::Shutdown);
+        }
+        let mut first_panic = None;
+        for (node_id, handle) in self.handles.drain(..).enumerate() {
+            if handle.join().is_err() && first_panic.is_none() {
+                first_panic = Some(node_id);
+            }
+        }
+        match first_panic {
+            Some(node) => Err(ClusterError::NodeDown(node)),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// Worker event loop.
+fn worker_main<H: NodeHandler>(mut handler: H, rx: Receiver<Envelope>, ctx: NodeCtx) {
+    while let Ok(envelope) = rx.recv() {
+        match envelope {
+            Envelope::User {
+                from,
+                payload,
+                injected_delay_ns,
+            } => {
+                // Receiver-side injected network delay (non-blocking+sleep
+                // mode): the NIC drains the transfer before the handler runs.
+                spin_sleep(injected_delay_ns);
+                // Deserialization CPU: modeled, busy-not-compute ("other").
+                ctx.metrics()
+                    .add_busy(ctx.rates().overhead_ns(payload.len()));
+                handler.handle(&ctx, from, payload);
+            }
+            Envelope::Ping { token } => {
+                // Barrier probe: answer out-of-band (not cost-modeled).
+                let _ = ctx.client_sender.send(Envelope::Pong {
+                    from: ctx.node_id,
+                    token,
+                });
+            }
+            Envelope::Pong { .. } => {}
+            Envelope::Shutdown => break,
+        }
+    }
+    handler.on_shutdown(&ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every payload back to the client, uppercased.
+    struct Echo;
+    impl NodeHandler for Echo {
+        fn handle(&mut self, ctx: &NodeCtx, _from: NodeId, payload: Bytes) {
+            let up: Vec<u8> = payload.iter().map(|b| b.to_ascii_uppercase()).collect();
+            ctx.send(CLIENT, Bytes::from(up)).unwrap();
+        }
+    }
+
+    /// Forwards the payload to the next worker; the last returns to client.
+    struct Ring;
+    impl NodeHandler for Ring {
+        fn handle(&mut self, ctx: &NodeCtx, _from: NodeId, payload: Bytes) {
+            let mut v = payload.to_vec();
+            v.push(ctx.id() as u8);
+            let next = ctx.id() + 1;
+            if next < ctx.workers() {
+                ctx.send(next, Bytes::from(v)).unwrap();
+            } else {
+                ctx.send(CLIENT, Bytes::from(v)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| Echo);
+        cluster.send(0, Bytes::from_static(b"ping")).unwrap();
+        let (from, reply) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(&reply[..], b"PING");
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn multi_hop_pipeline_crosses_all_workers() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(4), |_| Ring);
+        cluster.send(0, Bytes::new()).unwrap();
+        let (_, reply) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&reply[..], &[0, 1, 2, 3]);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn metrics_account_messages_and_bytes() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| Echo);
+        cluster.send(1, Bytes::from_static(b"abc")).unwrap();
+        let _ = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        let snap = cluster.snapshot();
+        assert_eq!(snap.client.bytes_tx, 3);
+        assert_eq!(snap.workers[1].bytes_rx, 3);
+        assert_eq!(snap.workers[1].bytes_tx, 3); // echo reply
+        assert_eq!(snap.client.bytes_rx, 3);
+        assert_eq!(snap.workers[0].msgs_rx, 0);
+        assert!(snap.workers[1].busy_ns > 0);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reset_metrics_clears_counters() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| Echo);
+        cluster.send(0, Bytes::from_static(b"x")).unwrap();
+        let _ = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        cluster.reset_metrics();
+        let snap = cluster.snapshot();
+        assert_eq!(snap.total().bytes_tx, 0);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn quiesce_buffers_user_messages() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| Echo);
+        cluster.send(0, Bytes::from_static(b"a")).unwrap();
+        cluster.send(1, Bytes::from_static(b"b")).unwrap();
+        cluster.quiesce(1, Duration::from_secs(5)).unwrap();
+        // Both replies must still be retrievable after the barrier.
+        let mut got = vec![
+            cluster.recv_timeout(Duration::from_secs(1)).unwrap().1,
+            cluster.recv_timeout(Duration::from_secs(1)).unwrap().1,
+        ];
+        got.sort();
+        assert_eq!(got, vec![Bytes::from_static(b"A"), Bytes::from_static(b"B")]);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dropped_messages_cause_timeout() {
+        let cfg = ClusterConfig {
+            workers: 1,
+            drop_every_nth: 1, // drop everything
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::spawn(cfg, |_| Echo);
+        cluster.send(0, Bytes::from_static(b"lost")).unwrap();
+        assert_eq!(
+            cluster.recv_timeout(Duration::from_millis(50)),
+            Err(ClusterError::Timeout)
+        );
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| Echo);
+        cluster.shutdown().unwrap();
+        cluster.shutdown().unwrap();
+        assert_eq!(
+            cluster.send(0, Bytes::new()),
+            Err(ClusterError::ShutDown)
+        );
+        // Drop after shutdown must not panic.
+        drop(cluster);
+    }
+
+    #[test]
+    fn worker_panic_reported_at_shutdown() {
+        struct Panics;
+        impl NodeHandler for Panics {
+            fn handle(&mut self, _ctx: &NodeCtx, _from: NodeId, _p: Bytes) {
+                panic!("boom");
+            }
+        }
+        let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| Panics);
+        cluster.send(0, Bytes::from_static(b"die")).unwrap();
+        // Give the worker time to crash.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(cluster.shutdown(), Err(ClusterError::NodeDown(0)));
+    }
+
+    #[test]
+    fn blocking_sleep_mode_stalls_sender() {
+        // 1 ms latency per message, injected for real.
+        let cfg = ClusterConfig {
+            workers: 1,
+            net: NetworkModel {
+                bandwidth_gbps: f64::INFINITY,
+                latency_ns: 1_000_000,
+                per_message_overhead_bytes: 0,
+            },
+            comm_mode: CommMode::Blocking,
+            delay: DelayMode::Sleep { scale: 1.0 },
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::spawn(cfg, |_| Echo);
+        let t0 = Instant::now();
+        cluster.send(0, Bytes::from_static(b"x")).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(1),
+            "blocking send returned early"
+        );
+        drop(cluster);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_worker() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(3), |_| Echo);
+        cluster.broadcast(&Bytes::from_static(b"hi")).unwrap();
+        for _ in 0..3 {
+            let (_, r) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(&r[..], b"HI");
+        }
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn on_shutdown_hook_runs() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static RAN: AtomicBool = AtomicBool::new(false);
+        struct Hooked;
+        impl NodeHandler for Hooked {
+            fn handle(&mut self, _ctx: &NodeCtx, _from: NodeId, _p: Bytes) {}
+            fn on_shutdown(&mut self, _ctx: &NodeCtx) {
+                RAN.store(true, Ordering::SeqCst);
+            }
+        }
+        let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| Hooked);
+        cluster.shutdown().unwrap();
+        assert!(RAN.load(Ordering::SeqCst));
+    }
+}

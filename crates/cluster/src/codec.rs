@@ -1,0 +1,354 @@
+//! Length-prefixed little-endian binary wire codec.
+//!
+//! Harmony's simulated cluster serializes every inter-node message for real,
+//! so the byte counts fed into the network cost model are exact — not
+//! estimates. A hand-rolled codec (rather than a serde backend) keeps the
+//! wire format deterministic, dependency-light, and easy to reason about
+//! when auditing the communication-volume claims of the paper (§4.2.2:
+//! "the total data sent does not change").
+//!
+//! Format rules:
+//! * all integers little-endian; `usize` travels as `u64`;
+//! * collections are a `u64` element count followed by the elements;
+//! * `Option<T>` is a `u8` tag (0/1) optionally followed by `T`;
+//! * no padding, no framing — framing belongs to the transport.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// The bytes were structurally invalid (bad tag, oversized length, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            CodecError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A type that can be encoded to and decoded from the wire format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value, consuming bytes from `buf`.
+    ///
+    /// # Errors
+    /// [`CodecError`] if the buffer is truncated or malformed.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Convenience: decodes from a complete buffer, requiring full
+    /// consumption.
+    ///
+    /// # Errors
+    /// [`CodecError::Invalid`] when trailing bytes remain.
+    fn from_bytes(bytes: Bytes) -> Result<Self, CodecError> {
+        let mut buf = bytes;
+        let v = Self::decode(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes",
+                buf.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! check_len {
+    ($buf:expr, $n:expr) => {
+        if $buf.remaining() < $n {
+            return Err(CodecError::UnexpectedEof);
+        }
+    };
+}
+
+macro_rules! impl_wire_primitive {
+    ($ty:ty, $put:ident, $get:ident, $size:expr) => {
+        impl Wire for $ty {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            #[inline]
+            fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+                check_len!(buf, $size);
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_wire_primitive!(u8, put_u8, get_u8, 1);
+impl_wire_primitive!(u16, put_u16_le, get_u16_le, 2);
+impl_wire_primitive!(u32, put_u32_le, get_u32_le, 4);
+impl_wire_primitive!(u64, put_u64_le, get_u64_le, 8);
+impl_wire_primitive!(i64, put_i64_le, get_i64_le, 8);
+impl_wire_primitive!(f32, put_f32_le, get_f32_le, 4);
+impl_wire_primitive!(f64, put_f64_le, get_f64_le, 8);
+
+impl Wire for usize {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    #[inline]
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        check_len!(buf, 8);
+        let v = buf.get_u64_le();
+        usize::try_from(v).map_err(|_| CodecError::Invalid(format!("usize overflow: {v}")))
+    }
+}
+
+impl Wire for bool {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    #[inline]
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        check_len!(buf, 1);
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::Invalid(format!("bad bool tag {t}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let len = usize::decode(buf)?;
+        check_len!(buf, len);
+        let bytes = buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::Invalid(format!("invalid utf8: {e}")))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        let len = usize::decode(buf)?;
+        // Guard against hostile / corrupt lengths: each element needs at
+        // least one byte on the wire.
+        if len > buf.remaining() {
+            return Err(CodecError::Invalid(format!(
+                "declared {len} elements but only {} bytes remain",
+                buf.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        check_len!(buf, 1);
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(CodecError::Invalid(format!("bad option tag {t}"))),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+/// Bulk-encodes an `f32` slice (length prefix + raw LE floats).
+///
+/// Equivalent to `Vec::<f32>::encode` but callable on borrowed slices,
+/// avoiding a copy on the hot send path.
+pub fn encode_f32_slice(slice: &[f32], buf: &mut BytesMut) {
+    buf.reserve(8 + slice.len() * 4);
+    buf.put_u64_le(slice.len() as u64);
+    for &x in slice {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Bulk-encodes a `u64` slice (length prefix + raw LE integers).
+pub fn encode_u64_slice(slice: &[u64], buf: &mut BytesMut) {
+    buf.reserve(8 + slice.len() * 8);
+    buf.put_u64_le(slice.len() as u64);
+    for &x in slice {
+        buf.put_u64_le(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(bytes).expect("decode");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(1234u16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(3.5f32);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(usize::MAX / 2);
+    }
+
+    #[test]
+    fn strings_and_collections_roundtrip() {
+        roundtrip(String::from("harmony"));
+        roundtrip(String::new());
+        roundtrip(String::from("ünïcødé ⚡"));
+        roundtrip(vec![1.0f32, -2.5, 3.75]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![vec![1u32, 2], vec![], vec![3]]);
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u32, 2.0f32));
+        roundtrip((1u8, String::from("x"), vec![9u64]));
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let bytes = 0xAABBCCDDu32.to_bytes();
+        let mut short = bytes.slice(0..2);
+        assert_eq!(u32::decode(&mut short), Err(CodecError::UnexpectedEof));
+
+        let v = vec![1u64, 2, 3].to_bytes();
+        let mut short = v.slice(0..12);
+        assert!(Vec::<u64>::decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut buf = BytesMut::new();
+        1u32.encode(&mut buf);
+        buf.put_u8(0xFF);
+        assert!(matches!(
+            u32::from_bytes(buf.freeze()),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let raw = Bytes::from_static(&[7]);
+        assert!(matches!(
+            bool::from_bytes(raw.clone()),
+            Err(CodecError::Invalid(_))
+        ));
+        assert!(matches!(
+            Option::<u8>::from_bytes(raw),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Claims u64::MAX elements with an empty body.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        assert!(matches!(
+            Vec::<u8>::from_bytes(buf.freeze()),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn slice_helpers_match_vec_encoding() {
+        let v = vec![1.5f32, -2.0, 0.0];
+        let mut a = BytesMut::new();
+        v.encode(&mut a);
+        let mut b = BytesMut::new();
+        encode_f32_slice(&v, &mut b);
+        assert_eq!(a, b);
+
+        let ids = vec![10u64, 20, 30];
+        let mut a = BytesMut::new();
+        ids.encode(&mut a);
+        let mut b = BytesMut::new();
+        encode_u64_slice(&ids, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            String::from_bytes(buf.freeze()),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn nested_option_tuple_roundtrip() {
+        roundtrip(Some((vec![1u32, 2], Some(3.0f64))));
+    }
+}

@@ -1,0 +1,40 @@
+//! # harmony-cluster
+//!
+//! Simulated multi-node cluster substrate for the Harmony distributed vector
+//! database.
+//!
+//! The paper evaluates Harmony on a 20-node Xeon cluster connected by
+//! 100 Gb/s links and driven over OpenMPI. This crate reproduces that
+//! environment in-process (see DESIGN.md §4 *Substitutions*):
+//!
+//! * each worker node is an OS thread with a crossbeam-channel mailbox
+//!   ([`node`], [`cluster`]),
+//! * messages are *really serialized* through a length-prefixed binary wire
+//!   codec ([`codec`]) so byte counts are exact,
+//! * every message is charged against a configurable network cost model
+//!   ([`net`]) — `latency + bytes / bandwidth` — in both blocking and
+//!   non-blocking (overlapped) delivery modes, mirroring the paper's
+//!   `MPI_Send` vs `MPI_Isend` comparison (Fig. 2b),
+//! * per-node metrics ([`metrics`]) break busy time into computation,
+//!   communication and other overhead — the three-way breakdown of
+//!   Figs. 2b & 8,
+//! * an optional byte-tracking global allocator ([`mem`]) measures the peak
+//!   memory numbers of Tables 4 & 5.
+//!
+//! The substrate is payload-agnostic: `harmony-core` layers its typed RPC on
+//! top of [`bytes::Bytes`] payloads.
+
+pub mod cluster;
+pub mod codec;
+pub mod error;
+pub mod mem;
+pub mod metrics;
+pub mod net;
+pub mod node;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use codec::{CodecError, Wire};
+pub use error::ClusterError;
+pub use metrics::{ClusterSnapshot, NodeMetrics, NodeSnapshot, TimeBreakdown};
+pub use net::{CommMode, ComputeRates, DelayMode, NetworkModel};
+pub use node::{NodeCtx, NodeHandler, NodeId, CLIENT};

@@ -1,0 +1,358 @@
+//! Engine configuration — the paper's CLI surface (§5 *Parameters*).
+//!
+//! | Paper flag | Field |
+//! |------------|-------|
+//! | `--NMachine` | [`HarmonyConfig::n_machines`] |
+//! | `--Pruning_Configuration` | [`HarmonyConfig::pruning`] |
+//! | `--Indexing_Parameters` (`nlist`, `nprobe`, `dim`) | [`HarmonyConfig::nlist`], [`SearchOptions::nprobe`] |
+//! | `--α` | [`HarmonyConfig::alpha`] |
+//! | `--Mode` | [`HarmonyConfig::mode`] |
+//!
+//! Two additional switches, [`HarmonyConfig::pipeline`] and
+//! [`HarmonyConfig::balanced_load`], expose the optimizations the paper
+//! ablates in Fig. 9 ("+Balanced load", "+Pipeline and asynchronous
+//! execution", "+Pruning").
+
+use harmony_cluster::{DelayMode, NetworkModel};
+use harmony_index::Metric;
+
+use crate::error::CoreError;
+use crate::partition::PartitionPlan;
+
+/// Which distribution strategy the engine runs (`--Mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Hybrid multi-granularity partitioning chosen by the cost model.
+    #[default]
+    Harmony,
+    /// Pure vector-based partitioning (`B_vec = N, B_dim = 1`).
+    HarmonyVector,
+    /// Pure dimension-based partitioning (`B_vec = 1, B_dim = N`).
+    HarmonyDimension,
+}
+
+impl EngineMode {
+    /// Name used in reports, matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineMode::Harmony => "Harmony",
+            EngineMode::HarmonyVector => "Harmony-vector",
+            EngineMode::HarmonyDimension => "Harmony-dimension",
+        }
+    }
+
+    /// The three modes compared throughout §6.
+    pub const ALL: [EngineMode; 3] = [
+        EngineMode::Harmony,
+        EngineMode::HarmonyVector,
+        EngineMode::HarmonyDimension,
+    ];
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full engine configuration. Build with [`HarmonyConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct HarmonyConfig {
+    /// Number of worker machines (`--NMachine`).
+    pub n_machines: usize,
+    /// Number of IVF lists (clusters).
+    pub nlist: usize,
+    /// Similarity metric.
+    pub metric: Metric,
+    /// Distribution strategy (`--Mode`).
+    pub mode: EngineMode,
+    /// Dimension-level early-stop pruning (`--Pruning_Configuration`).
+    pub pruning: bool,
+    /// Pipelined staging + asynchronous (non-blocking) communication.
+    /// Off = all shard visits dispatched at once over blocking transport.
+    pub pipeline: bool,
+    /// Load-aware shard packing and adaptive dimension-order scheduling.
+    /// Off = round-robin packing, fixed dimension order.
+    pub balanced_load: bool,
+    /// Imbalance weight `α` in the cost model (`--α`).
+    pub alpha: f64,
+    /// Per-query prewarm samples used to seed the pruning threshold
+    /// (Algorithm 1, lines 1-5). Zero disables prewarming.
+    pub prewarm: usize,
+    /// Training/packing RNG seed.
+    pub seed: u64,
+    /// Interconnect model for the simulated cluster.
+    pub net: NetworkModel,
+    /// Whether modeled network cost is injected as real delay.
+    pub delay: DelayMode,
+    /// Fixed partition plan, bypassing the cost model (diagnostics).
+    pub plan_override: Option<PartitionPlan>,
+    /// Maximum queries in flight during batch search.
+    pub max_inflight: usize,
+}
+
+impl HarmonyConfig {
+    /// Starts a builder with the paper's defaults (4 machines, `nlist` 64).
+    pub fn builder() -> HarmonyConfigBuilder {
+        HarmonyConfigBuilder::default()
+    }
+
+    /// Validates invariants that do not depend on the dataset.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.n_machines == 0 {
+            return Err(CoreError::Config("n_machines must be > 0".into()));
+        }
+        if self.nlist == 0 {
+            return Err(CoreError::Config("nlist must be > 0".into()));
+        }
+        if self.alpha < 0.0 || !self.alpha.is_finite() {
+            return Err(CoreError::Config(format!(
+                "alpha must be finite and non-negative, got {}",
+                self.alpha
+            )));
+        }
+        if self.max_inflight == 0 {
+            return Err(CoreError::Config("max_inflight must be > 0".into()));
+        }
+        if let Some(plan) = self.plan_override {
+            if plan.machines() != self.n_machines {
+                return Err(CoreError::Config(format!(
+                    "plan override {} needs {} machines but n_machines = {}",
+                    plan.label(),
+                    plan.machines(),
+                    self.n_machines
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for HarmonyConfig {
+    fn default() -> Self {
+        HarmonyConfigBuilder::default()
+            .build()
+            .expect("defaults are valid")
+    }
+}
+
+/// Builder for [`HarmonyConfig`].
+#[derive(Debug, Clone)]
+pub struct HarmonyConfigBuilder {
+    config: HarmonyConfig,
+}
+
+impl Default for HarmonyConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: HarmonyConfig {
+                n_machines: 4,
+                nlist: 64,
+                metric: Metric::L2,
+                mode: EngineMode::Harmony,
+                pruning: true,
+                pipeline: true,
+                balanced_load: true,
+                alpha: 4.0,
+                prewarm: 8,
+                seed: 0x04A1_0D0E_u64 ^ 0x5EED,
+                // Per-query amortized message cost under the paper's
+                // query-block batching (10 queries per wire message).
+                net: NetworkModel::amortized(10),
+                delay: DelayMode::Account,
+                plan_override: None,
+                max_inflight: 64,
+            },
+        }
+    }
+}
+
+macro_rules! builder_setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, $name: $ty) -> Self {
+            self.config.$name = $name;
+            self
+        }
+    };
+}
+
+impl HarmonyConfigBuilder {
+    builder_setter!(
+        /// Number of worker machines.
+        n_machines: usize
+    );
+    builder_setter!(
+        /// Number of IVF lists.
+        nlist: usize
+    );
+    builder_setter!(
+        /// Similarity metric.
+        metric: Metric
+    );
+    builder_setter!(
+        /// Distribution strategy.
+        mode: EngineMode
+    );
+    builder_setter!(
+        /// Dimension-level pruning on/off.
+        pruning: bool
+    );
+    builder_setter!(
+        /// Pipelined staging + async communication on/off.
+        pipeline: bool
+    );
+    builder_setter!(
+        /// Load-aware packing + adaptive dimension order on/off.
+        balanced_load: bool
+    );
+    builder_setter!(
+        /// Cost-model imbalance weight α.
+        alpha: f64
+    );
+    builder_setter!(
+        /// Prewarm samples per query.
+        prewarm: usize
+    );
+    builder_setter!(
+        /// RNG seed.
+        seed: u64
+    );
+    builder_setter!(
+        /// Interconnect model.
+        net: NetworkModel
+    );
+    builder_setter!(
+        /// Real-delay injection mode.
+        delay: DelayMode
+    );
+    builder_setter!(
+        /// Maximum in-flight queries for batch search.
+        max_inflight: usize
+    );
+
+    /// Forces a specific partition plan (diagnostics / ablations).
+    pub fn plan(mut self, plan: PartitionPlan) -> Self {
+        self.config.plan_override = Some(plan);
+        self
+    }
+
+    /// Finalizes and validates the configuration.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when a constraint is violated.
+    pub fn build(self) -> Result<HarmonyConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Per-search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Results to return.
+    pub k: usize,
+    /// IVF lists probed per query (recall knob).
+    pub nprobe: usize,
+    /// Per-query timeout in milliseconds for distributed collection.
+    pub timeout_ms: u64,
+}
+
+impl SearchOptions {
+    /// Top-`k` search with a default `nprobe` of 8.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            nprobe: 8,
+            timeout_ms: 30_000,
+        }
+    }
+
+    /// Sets `nprobe`.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe.max(1);
+        self
+    }
+
+    /// Sets the collection timeout.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = timeout_ms;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_paper_setup() {
+        let c = HarmonyConfig::default();
+        assert_eq!(c.n_machines, 4);
+        assert!(c.pruning && c.pipeline && c.balanced_load);
+        assert_eq!(c.mode, EngineMode::Harmony);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = HarmonyConfig::builder()
+            .n_machines(8)
+            .nlist(128)
+            .mode(EngineMode::HarmonyVector)
+            .pruning(false)
+            .alpha(2.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.n_machines, 8);
+        assert_eq!(c.nlist, 128);
+        assert_eq!(c.mode, EngineMode::HarmonyVector);
+        assert!(!c.pruning);
+        assert_eq!(c.alpha, 2.5);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(HarmonyConfig::builder().n_machines(0).build().is_err());
+        assert!(HarmonyConfig::builder().nlist(0).build().is_err());
+        assert!(HarmonyConfig::builder().alpha(-1.0).build().is_err());
+        assert!(HarmonyConfig::builder().alpha(f64::NAN).build().is_err());
+        assert!(HarmonyConfig::builder().max_inflight(0).build().is_err());
+    }
+
+    #[test]
+    fn plan_override_must_match_machines() {
+        let plan = PartitionPlan::new(2, 2).unwrap();
+        assert!(HarmonyConfig::builder()
+            .n_machines(4)
+            .plan(plan)
+            .build()
+            .is_ok());
+        assert!(HarmonyConfig::builder()
+            .n_machines(5)
+            .plan(plan)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn mode_names_match_paper_legend() {
+        assert_eq!(EngineMode::Harmony.to_string(), "Harmony");
+        assert_eq!(EngineMode::HarmonyVector.to_string(), "Harmony-vector");
+        assert_eq!(
+            EngineMode::HarmonyDimension.to_string(),
+            "Harmony-dimension"
+        );
+    }
+
+    #[test]
+    fn search_options_clamp_degenerate_values() {
+        let o = SearchOptions::new(0);
+        assert_eq!(o.k, 1);
+        let o = o.with_nprobe(0);
+        assert_eq!(o.nprobe, 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! The cost model of §4.2.1 (Table 1).
+//!
+//! For a candidate plan `π = (B_vec, B_dim)` and a workload profile, the
+//! model estimates
+//!
+//! ```text
+//! C(π, Q) = Σ_q  Σ_blocks [c_comp(b, q) + c_comm(b, q)]  +  α · I(π)
+//! ```
+//!
+//! * `c_comp` — expected distance-computation time: probed candidates ×
+//!   block width × a calibrated per-(point·dimension) cost.
+//! * `c_comm` — modeled network time: each visited shard receives the query
+//!   split across its `B_dim` blocks (total bytes unchanged — §4.2.2 — but
+//!   `B_dim×` more messages, each paying latency) plus the returned partial
+//!   results.
+//! * `I(π)` — the standard deviation of per-machine computation load
+//!   (§4.2.1), weighted by the user's `α`.
+//!
+//! The *probe frequencies* in the profile are what make the model adaptive:
+//! under a uniform workload every cluster is probed equally and the
+//! latency-light pure-vector plan wins; under a skewed workload hot clusters
+//! concentrate `Load(n, π)` on few machines, `I(π)` explodes for
+//! vector-heavy plans, and the model shifts toward dimension-heavy hybrids —
+//! exactly the trade-off of Figs. 6 & 7.
+
+use harmony_cluster::NetworkModel;
+
+use crate::partition::{PartitionPlan, ShardAssignment};
+
+/// Expected workload characteristics fed to the planner.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Inverted-list sizes, indexed by cluster.
+    pub list_sizes: Vec<usize>,
+    /// Relative probe frequency per cluster (any non-negative scale).
+    /// `uniform` profiles use all-ones.
+    pub probe_freq: Vec<f64>,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Expected queries per batch.
+    pub queries: usize,
+    /// Probed lists per query.
+    pub nprobe: usize,
+    /// Results per query (controls result-message size).
+    pub k: usize,
+}
+
+impl WorkloadProfile {
+    /// Uniform probe frequencies over the given list sizes.
+    pub fn uniform(list_sizes: Vec<usize>, dim: usize, queries: usize, nprobe: usize) -> Self {
+        let n = list_sizes.len();
+        Self {
+            list_sizes,
+            probe_freq: vec![1.0; n],
+            dim,
+            queries,
+            nprobe,
+            k: 10,
+        }
+    }
+
+    /// Replaces the probe frequencies (e.g. observed from a query log).
+    ///
+    /// # Panics
+    /// Panics when the length differs from the cluster count.
+    pub fn with_probe_freq(mut self, probe_freq: Vec<f64>) -> Self {
+        assert_eq!(probe_freq.len(), self.list_sizes.len());
+        self.probe_freq = probe_freq;
+        self
+    }
+
+    /// Expected number of probes of cluster `c` across the whole batch.
+    fn probes_of(&self, c: usize) -> f64 {
+        let total: f64 = self.probe_freq.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.probe_freq[c] / total * (self.queries * self.nprobe) as f64
+    }
+
+    /// Per-cluster expected work in (point · dimension) units.
+    pub fn cluster_work(&self) -> Vec<f64> {
+        (0..self.list_sizes.len())
+            .map(|c| self.probes_of(c) * self.list_sizes[c] as f64 * self.dim as f64)
+            .collect()
+    }
+}
+
+/// Estimated cost of one plan, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// Total expected computation time across machines.
+    pub comp_ns: f64,
+    /// Total expected communication time across messages.
+    pub comm_ns: f64,
+    /// Imbalance factor `I(π)` (std-dev of per-machine compute ns).
+    pub imbalance_ns: f64,
+    /// `comp + comm + α · imbalance`.
+    pub total_ns: f64,
+}
+
+/// The cost model: calibrated compute rate + the interconnect model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Nanoseconds to process one (point · dimension) in a distance kernel.
+    /// Typical AVX2 hardware lands near 0.1–0.5 ns.
+    pub comp_ns_per_point_dim: f64,
+    /// Fixed nanoseconds of per-candidate scan overhead (result-heap push,
+    /// loop bookkeeping) on top of the kernel itself.
+    pub comp_ns_per_candidate: f64,
+    /// The interconnect.
+    pub net: NetworkModel,
+    /// Imbalance weight `α`.
+    pub alpha: f64,
+    /// Expected per-hop candidate survival rate when dimension-level
+    /// pruning is active (Fig. 2a measures ≈ 0.5 per quarter-slice).
+    /// `1.0` disables the discount (pruning off).
+    pub pruning_survival: f64,
+}
+
+impl CostModel {
+    /// Model with an assumed compute rate (use [`CostModel::calibrate`] for
+    /// a measured one).
+    ///
+    /// A note on `alpha`: because the paper's objective sums *per-query*
+    /// costs (which are invariant to how work is spread over machines) and
+    /// adds `α · I(π)`, the imbalance weight is what prices concentration.
+    /// The makespan of a plan is roughly `mean_load + c·σ` with `c ≈ 3–4`
+    /// for one overloaded machine out of four, so `α ≈ 4` makes the model's
+    /// switch point track real throughput; it is exposed as the paper's
+    /// user-defined `--α`.
+    pub fn new(net: NetworkModel, alpha: f64) -> Self {
+        Self {
+            comp_ns_per_point_dim: 0.25,
+            comp_ns_per_candidate: 12.0,
+            net,
+            alpha,
+            pruning_survival: 1.0,
+        }
+    }
+
+    /// Sets the expected per-hop pruning survival rate (see
+    /// [`CostModel::pruning_survival`]). A pipeline of `B` blocks then does
+    /// only `(1 - s^B) / (B (1 - s))` of the naive work on average — this
+    /// is what lets dimension-heavy plans win once computation dominates
+    /// (the paper's Figs. 6 & 11a regime).
+    pub fn with_pruning_survival(mut self, survival: f64) -> Self {
+        self.pruning_survival = survival.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Average fraction of naive per-block work done across a pipeline of
+    /// `blocks` hops under the survival model.
+    pub fn pruning_discount(&self, blocks: usize) -> f64 {
+        let s = self.pruning_survival;
+        if blocks <= 1 || s >= 1.0 {
+            return 1.0;
+        }
+        let b = blocks as f64;
+        (1.0 - s.powf(b)) / (b * (1.0 - s))
+    }
+
+    /// Measures the compute rates of this host: the kernel rate from a bare
+    /// L2 scan, and the per-candidate overhead from the *difference* between
+    /// an IVF-style scan (kernel + top-k maintenance) and the bare scan.
+    pub fn calibrate(mut self) -> Self {
+        use harmony_index::distance::l2_sq;
+        use harmony_index::TopK;
+        const DIM: usize = 128;
+        const ROWS: usize = 4_000;
+        let a: Vec<f32> = (0..DIM).map(|i| i as f32 * 0.001).collect();
+        let matrix: Vec<f32> = (0..ROWS * DIM).map(|i| (i % 97) as f32 * 0.01).collect();
+
+        // Bare kernel scan.
+        let t0 = std::time::Instant::now();
+        let mut acc = 0.0f32;
+        for row in matrix.chunks_exact(DIM) {
+            acc += l2_sq(&a, row);
+        }
+        let kernel_ns = t0.elapsed().as_nanos() as f64;
+        std::hint::black_box(acc);
+
+        // IVF-style scan: kernel + threshold check + top-k push.
+        let t0 = std::time::Instant::now();
+        let mut topk = TopK::new(10);
+        for (i, row) in matrix.chunks_exact(DIM).enumerate() {
+            let d = l2_sq(&a, row);
+            if d <= topk.threshold() {
+                topk.push(i as u64, d);
+            }
+        }
+        let scan_ns = t0.elapsed().as_nanos() as f64;
+        std::hint::black_box(topk.len());
+
+        let rate = kernel_ns / (ROWS * DIM) as f64;
+        self.comp_ns_per_point_dim = rate.clamp(0.02, 10.0);
+        let per_candidate = (scan_ns - kernel_ns).max(0.0) / ROWS as f64;
+        self.comp_ns_per_candidate = per_candidate.clamp(2.0, 60.0);
+        self
+    }
+
+    /// Scores one plan against a profile.
+    pub fn plan_cost(&self, plan: PartitionPlan, profile: &WorkloadProfile) -> PlanCost {
+        let assignment = ShardAssignment::balanced(
+            &weights_from(profile),
+            plan.vec_shards.min(profile.list_sizes.len().max(1)),
+        );
+        self.plan_cost_with_assignment(plan, profile, &assignment)
+    }
+
+    /// Scores one plan with an explicit cluster→shard assignment.
+    pub fn plan_cost_with_assignment(
+        &self,
+        plan: PartitionPlan,
+        profile: &WorkloadProfile,
+        assignment: &ShardAssignment,
+    ) -> PlanCost {
+        let cluster_work = profile.cluster_work();
+        let block_frac = 1.0 / plan.dim_blocks as f64;
+
+        // --- Computation: work of machine (s, b) = shard work × block width.
+        let mut shard_work = vec![0.0f64; plan.vec_shards];
+        for (c, &w) in cluster_work.iter().enumerate() {
+            let s = assignment.cluster_to_shard.get(c).copied().unwrap_or(0) as usize;
+            shard_work[s.min(plan.vec_shards - 1)] += w;
+        }
+        let discount = self.pruning_discount(plan.dim_blocks);
+        let mut machine_loads = Vec::with_capacity(plan.machines());
+        for &sw in &shard_work {
+            for _ in 0..plan.dim_blocks {
+                machine_loads.push(sw * block_frac * self.comp_ns_per_point_dim * discount);
+            }
+        }
+        let comp_ns: f64 = machine_loads.iter().sum();
+
+        // --- Communication. Per query, per visited shard:
+        //   outbound: the query vector split over B_dim messages
+        //             (D·4 bytes total + per-message latency/overhead),
+        //   pipeline: B_dim - 1 carry hops (ids + partials of survivors),
+        //   inbound:  one result message of ~k (id, score) pairs.
+        let shard_visit_prob = expected_shard_visits(plan, profile, assignment);
+        let visits_per_query: f64 = shard_visit_prob.iter().sum();
+        let query_bytes = profile.dim * 4;
+        let out_per_visit = {
+            let per_block_bytes = query_bytes / plan.dim_blocks.max(1);
+            plan.dim_blocks as f64 * self.net.transfer_ns(per_block_bytes) as f64
+        };
+        // Carry size estimate: survivors shrink along the pipeline; assume
+        // the average candidate set is the mean probed-list population and
+        // halves per hop once pruning engages.
+        let mean_list = mean(&profile.list_sizes);
+        let mut carry_ns = 0.0;
+        let mut carry_candidates = mean_list * profile.nprobe as f64 / visits_per_query.max(1.0);
+        for _ in 1..plan.dim_blocks {
+            let bytes = (carry_candidates * 12.0) as usize; // id(8) + partial(4)
+            carry_ns += self.net.transfer_ns(bytes) as f64;
+            carry_candidates *= 0.5;
+        }
+        let result_bytes = profile.k * 12;
+        let in_per_visit = self.net.transfer_ns(result_bytes) as f64;
+        let comm_ns =
+            profile.queries as f64 * visits_per_query * (out_per_visit + carry_ns + in_per_visit);
+
+        // --- Imbalance I(π): std-dev of machine compute loads.
+        let imbalance_ns = std_dev(&machine_loads);
+
+        PlanCost {
+            comp_ns,
+            comm_ns,
+            imbalance_ns,
+            total_ns: comp_ns + comm_ns + self.alpha * imbalance_ns,
+        }
+    }
+
+    /// Picks the cheapest factorization of `n_machines` for the profile.
+    /// Returns the plan and its cost.
+    pub fn choose_plan(
+        &self,
+        n_machines: usize,
+        profile: &WorkloadProfile,
+    ) -> (PartitionPlan, PlanCost) {
+        PartitionPlan::enumerate(n_machines)
+            .into_iter()
+            .filter(|p| p.dim_blocks <= profile.dim.max(1))
+            .map(|p| (p, self.plan_cost(p, profile)))
+            .min_by(|a, b| a.1.total_ns.total_cmp(&b.1.total_ns))
+            .expect("at least one factorization exists")
+    }
+}
+
+/// Integer weights for LPT packing derived from expected cluster work.
+pub fn weights_from(profile: &WorkloadProfile) -> Vec<u64> {
+    profile
+        .cluster_work()
+        .into_iter()
+        .map(|w| w.round() as u64 + 1)
+        .collect()
+}
+
+/// Probability-weighted expected shard visits per query.
+fn expected_shard_visits(
+    plan: PartitionPlan,
+    profile: &WorkloadProfile,
+    assignment: &ShardAssignment,
+) -> Vec<f64> {
+    let mut shard_probes = vec![0.0f64; plan.vec_shards];
+    let total: f64 = profile.probe_freq.iter().sum();
+    if total <= 0.0 {
+        return shard_probes;
+    }
+    for (c, &f) in profile.probe_freq.iter().enumerate() {
+        let s = assignment.cluster_to_shard.get(c).copied().unwrap_or(0) as usize;
+        shard_probes[s.min(plan.vec_shards - 1)] += f / total * profile.nprobe as f64;
+    }
+    // A shard is visited if at least one of its clusters is probed; cap the
+    // expectation at 1 visit per shard per query.
+    shard_probes.iter().map(|&p| p.min(1.0)).collect()
+}
+
+fn mean(v: &[usize]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64
+}
+
+fn std_dev(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    (v.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_profile(nlist: usize, dim: usize) -> WorkloadProfile {
+        WorkloadProfile::uniform(vec![1000; nlist], dim, 100, 8)
+    }
+
+    /// Probe frequencies concentrated on the first `hot` clusters.
+    fn skewed_profile(nlist: usize, dim: usize, hot: usize) -> WorkloadProfile {
+        let mut freq = vec![0.01; nlist];
+        for f in freq.iter_mut().take(hot) {
+            *f = 100.0;
+        }
+        uniform_profile(nlist, dim).with_probe_freq(freq)
+    }
+
+    #[test]
+    fn uniform_workload_prefers_vector_partitioning() {
+        let model = CostModel::new(NetworkModel::default(), 4.0);
+        let profile = uniform_profile(64, 128);
+        let (plan, _) = model.choose_plan(4, &profile);
+        assert_eq!(
+            plan,
+            PartitionPlan::pure_vector(4),
+            "uniform loads should pick the latency-light pure-vector plan"
+        );
+    }
+
+    #[test]
+    fn skewed_workload_shifts_toward_dimension_blocks() {
+        let model = CostModel::new(NetworkModel::default(), 4.0);
+        // One scorching cluster: any vector sharding leaves 3 machines idle.
+        let profile = skewed_profile(64, 128, 1);
+        let (plan, _) = model.choose_plan(4, &profile);
+        assert!(
+            plan.dim_blocks > 1,
+            "skewed loads should pick dimension blocks, got {}",
+            plan.label()
+        );
+    }
+
+    #[test]
+    fn alpha_controls_the_switch_point() {
+        // One hot cluster: every plan with more than one shard is imbalanced
+        // (four hot clusters would spread evenly over four shards and hide
+        // the effect). With α = 0 imbalance is free, so the comm-light
+        // vector plan wins; with huge α the balanced plan wins.
+        let profile = skewed_profile(64, 128, 1);
+        let free = CostModel::new(NetworkModel::default(), 0.0);
+        let (plan_free, _) = free.choose_plan(4, &profile);
+        assert_eq!(plan_free, PartitionPlan::pure_vector(4));
+
+        let strict = CostModel::new(NetworkModel::default(), 1e6);
+        let (plan_strict, _) = strict.choose_plan(4, &profile);
+        assert!(plan_strict.dim_blocks > 1);
+    }
+
+    #[test]
+    fn imbalance_zero_for_uniform_vector_plan() {
+        let model = CostModel::new(NetworkModel::default(), 1.0);
+        let profile = uniform_profile(64, 128);
+        let cost = model.plan_cost(PartitionPlan::pure_vector(4), &profile);
+        // 64 equal clusters over 4 shards: LPT packs exactly 16 each.
+        assert!(cost.imbalance_ns < 1e-6, "imbalance {}", cost.imbalance_ns);
+    }
+
+    #[test]
+    fn dimension_plan_always_balanced() {
+        let model = CostModel::new(NetworkModel::default(), 1.0);
+        let profile = skewed_profile(64, 128, 1);
+        let cost = model.plan_cost(PartitionPlan::pure_dimension(4), &profile);
+        assert!(cost.imbalance_ns < 1e-6);
+        let vec_cost = model.plan_cost(PartitionPlan::pure_vector(4), &profile);
+        assert!(vec_cost.imbalance_ns > 0.0);
+    }
+
+    #[test]
+    fn more_dim_blocks_cost_more_latency() {
+        let model = CostModel::new(NetworkModel::default(), 0.0);
+        let profile = uniform_profile(64, 128);
+        let v = model.plan_cost(PartitionPlan::pure_vector(4), &profile);
+        let d = model.plan_cost(PartitionPlan::pure_dimension(4), &profile);
+        assert!(
+            d.comm_ns > v.comm_ns,
+            "dimension plan must pay more messages: {} vs {}",
+            d.comm_ns,
+            v.comm_ns
+        );
+    }
+
+    #[test]
+    fn total_includes_alpha_weighted_imbalance() {
+        let profile = skewed_profile(16, 64, 1);
+        let m0 = CostModel::new(NetworkModel::default(), 0.0);
+        let m1 = CostModel::new(NetworkModel::default(), 2.0);
+        let plan = PartitionPlan::pure_vector(4);
+        let c0 = m0.plan_cost(plan, &profile);
+        let c1 = m1.plan_cost(plan, &profile);
+        assert_eq!(c0.comp_ns, c1.comp_ns);
+        assert!((c1.total_ns - (c1.comp_ns + c1.comm_ns + 2.0 * c1.imbalance_ns)).abs() < 1e-6);
+        assert!(c1.total_ns > c0.total_ns);
+    }
+
+    #[test]
+    fn calibrate_lands_in_sane_band() {
+        let model = CostModel::new(NetworkModel::default(), 1.0).calibrate();
+        assert!(model.comp_ns_per_point_dim >= 0.02);
+        assert!(model.comp_ns_per_point_dim <= 10.0);
+    }
+
+    #[test]
+    fn choose_plan_respects_dimensionality_limit() {
+        let model = CostModel::new(NetworkModel::default(), 1.0);
+        // 2-dimensional data cannot be split into 4 dim blocks.
+        let profile = WorkloadProfile::uniform(vec![100; 8], 2, 10, 2);
+        let (plan, _) = model.choose_plan(4, &profile);
+        assert!(plan.dim_blocks <= 2);
+    }
+
+    #[test]
+    fn cluster_work_scales_with_probe_frequency() {
+        let profile = uniform_profile(4, 16).with_probe_freq(vec![3.0, 1.0, 1.0, 1.0]);
+        let work = profile.cluster_work();
+        assert!((work[0] / work[1] - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,942 @@
+//! The Harmony engine: build (Train / Add / Pre-assign) and distributed
+//! search with load-aware routing, prewarmed thresholds, pipelined staging
+//! and dimension-level pruning.
+//!
+//! This is the client-side half of the system (Fig. 3): the *fine-grained
+//! query planner* (§4.2) lives in [`HarmonyEngine::build`]'s plan selection
+//! and in the per-visit dimension-order scheduling; the *flexible pipelined
+//! execution engine* (§4.3) is the dispatch loop of
+//! [`HarmonyEngine::search_batch`] plus the worker-side relay in
+//! [`crate::worker`].
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use harmony_cluster::{
+    Cluster, ClusterConfig, ClusterSnapshot, CommMode, NodeId, Wire,
+};
+use harmony_index::distance::ip;
+use harmony_index::kmeans::nearest_centroids;
+use harmony_index::{DimRange, KMeans, KMeansConfig, Metric, Neighbor, TopK, VectorStore};
+use parking_lot::Mutex;
+use rand_like::SmallRng;
+
+use crate::config::{EngineMode, HarmonyConfig, SearchOptions};
+use crate::cost::{CostModel, WorkloadProfile};
+use crate::error::CoreError;
+use crate::messages::{
+    metric_tag, ClusterBlock, LoadBlock, QueryChunk, ToClient, ToWorker,
+};
+use crate::partition::{PartitionPlan, ShardAssignment};
+use crate::pruning::SliceStats;
+use crate::stats::{BatchResult, BuildStats, EngineStats};
+use crate::worker::HarmonyWorker;
+
+/// Minimal deterministic PRNG (xorshift*) for sampling decisions that must
+/// not pull `rand` into the core crate's public dependency surface.
+mod rand_like {
+    /// xorshift64* generator.
+    pub struct SmallRng(u64);
+
+    impl SmallRng {
+        /// Seeds the generator (0 is remapped).
+        pub fn new(seed: u64) -> Self {
+            Self(seed.max(1))
+        }
+
+        /// Next raw value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                0
+            } else {
+                (self.next_u64() % bound as u64) as usize
+            }
+        }
+    }
+}
+
+/// A built, running Harmony deployment.
+///
+/// The engine owns a simulated cluster of `n_machines` workers; the calling
+/// thread is the paper's client node. All search entry points take `&self`
+/// (an internal mutex serializes batches, mirroring the single client).
+pub struct HarmonyEngine {
+    config: HarmonyConfig,
+    metric: Metric,
+    dim: usize,
+    plan: PartitionPlan,
+    assignment: ShardAssignment,
+    dim_ranges: Vec<DimRange>,
+    centroids: VectorStore,
+    list_sizes: Vec<usize>,
+    /// Clusters owned by each shard.
+    shard_clusters: Vec<Vec<u32>>,
+    /// Full-dimension samples kept client-side for threshold prewarming.
+    prewarm_store: VectorStore,
+    /// Rows of `prewarm_store` per cluster.
+    prewarm_rows: Vec<Vec<usize>>,
+    build_stats: BuildStats,
+    inner: Mutex<EngineInner>,
+}
+
+struct EngineInner {
+    cluster: Cluster,
+    next_query_id: u64,
+    /// Client-side estimate of outstanding work per machine, driving the
+    /// deferred-dimension scheduling of §4.3 "Load Balancing Strategies".
+    outstanding: Vec<f64>,
+}
+
+/// Per-query dispatch state held by the batch loop.
+struct QueryState {
+    topk: TopK,
+    /// Ids already inserted by prewarm (skip on merge to avoid duplicates).
+    prewarm_ids: std::collections::HashSet<u64>,
+    /// Shard visits not yet dispatched: `(shard, probed clusters)`.
+    pending_visits: Vec<(u32, Vec<u32>)>,
+    /// Visits currently in flight.
+    in_flight: usize,
+    /// Work estimates added to `outstanding`, to be subtracted on completion:
+    /// `(machine, amount)` per in-flight visit.
+    charged: Vec<(NodeId, f64)>,
+    /// Row of this query in the input batch.
+    row: usize,
+}
+
+impl HarmonyEngine {
+    /// Builds the distributed index over `base` and starts the workers.
+    ///
+    /// The three timed stages match Fig. 10: **Train** (k-means), **Add**
+    /// (list assignment), **Pre-assign** (shipping grid blocks).
+    ///
+    /// # Errors
+    /// Configuration, clustering, or transport failures.
+    pub fn build(config: HarmonyConfig, base: &VectorStore) -> Result<Self, CoreError> {
+        config.validate()?;
+        if base.is_empty() {
+            return Err(CoreError::Config("base vectors must be non-empty".into()));
+        }
+        let dim = base.dim();
+        let metric = config.metric;
+        let nlist = config.nlist.min(base.len());
+
+        // --- Train ---------------------------------------------------
+        let t0 = Instant::now();
+        let km = KMeans::train(
+            base,
+            &KMeansConfig {
+                k: nlist,
+                seed: config.seed,
+                ..KMeansConfig::default()
+            },
+        )?;
+        let train = t0.elapsed();
+
+        // --- Add -----------------------------------------------------
+        let t0 = Instant::now();
+        let assignments = km.assign(base);
+        let mut list_rows: Vec<Vec<usize>> = vec![Vec::new(); nlist];
+        for (row, &c) in assignments.iter().enumerate() {
+            list_rows[c as usize].push(row);
+        }
+        let list_sizes: Vec<usize> = list_rows.iter().map(Vec::len).collect();
+        let add = t0.elapsed();
+
+        // --- Plan selection -------------------------------------------
+        let profile = WorkloadProfile::uniform(list_sizes.clone(), dim, 1_000, 8);
+        let survival = if config.pruning { 0.55 } else { 1.0 };
+        let model = CostModel::new(config.net, config.alpha)
+            .with_pruning_survival(survival)
+            .calibrate();
+        let (plan, plan_cost) = match (config.plan_override, config.mode) {
+            (Some(plan), _) => (plan, None),
+            (None, EngineMode::HarmonyVector) => {
+                (PartitionPlan::pure_vector(config.n_machines), None)
+            }
+            (None, EngineMode::HarmonyDimension) => {
+                let blocks = config.n_machines.min(dim);
+                (PartitionPlan::pure_dimension(blocks), None)
+            }
+            (None, EngineMode::Harmony) => {
+                let (plan, cost) = model.choose_plan(config.n_machines, &profile);
+                (plan, Some(cost))
+            }
+        };
+        if plan.dim_blocks > dim {
+            return Err(CoreError::Config(format!(
+                "plan {} needs more dimension blocks than dimensions ({dim})",
+                plan.label()
+            )));
+        }
+        let dim_ranges = plan.dim_ranges(dim)?;
+
+        // --- Pre-assign ------------------------------------------------
+        let t0 = Instant::now();
+        let weights: Vec<u64> = list_sizes.iter().map(|&s| s as u64 + 1).collect();
+        let assignment = if config.balanced_load {
+            ShardAssignment::balanced(&weights, plan.vec_shards)
+        } else {
+            ShardAssignment::round_robin(&weights, plan.vec_shards)
+        };
+        let shard_clusters: Vec<Vec<u32>> = (0..plan.vec_shards)
+            .map(|s| assignment.clusters_of(s))
+            .collect();
+
+        let comm_mode = if config.pipeline {
+            CommMode::NonBlocking
+        } else {
+            CommMode::Blocking
+        };
+        let cluster = Cluster::spawn(
+            ClusterConfig {
+                workers: config.n_machines,
+                net: config.net,
+                comm_mode,
+                delay: config.delay,
+                // All nodes charge compute at the measured scan rates.
+                rates: harmony_cluster::ComputeRates::default()
+                    .with_kernel_rate(model.comp_ns_per_point_dim)
+                    .with_candidate_rate(model.comp_ns_per_candidate),
+                drop_every_nth: 0,
+            },
+            |_| HarmonyWorker::new(),
+        );
+
+        let is_ip = !matches!(metric, Metric::L2);
+        let mut expected_acks = 0usize;
+        for (s, clusters) in shard_clusters.iter().enumerate() {
+            for (b, range) in dim_ranges.iter().enumerate() {
+                let machine = plan.machine_of(s, b);
+                let lists: Vec<ClusterBlock> = clusters
+                    .iter()
+                    .map(|&c| {
+                        let rows = &list_rows[c as usize];
+                        let mut flat = Vec::with_capacity(rows.len() * range.len());
+                        let mut ids = Vec::with_capacity(rows.len());
+                        let mut block_norms_sq = Vec::new();
+                        let mut total_norms_sq = Vec::new();
+                        for &row in rows {
+                            ids.push(base.id(row));
+                            let slice = base.row_range(row, *range);
+                            flat.extend_from_slice(slice);
+                            if is_ip {
+                                block_norms_sq.push(ip(slice, slice));
+                                let full = base.row(row);
+                                total_norms_sq.push(ip(full, full));
+                            }
+                        }
+                        ClusterBlock {
+                            cluster: c,
+                            ids,
+                            flat,
+                            block_norms_sq,
+                            total_norms_sq,
+                        }
+                    })
+                    .collect();
+                let load = LoadBlock {
+                    shard: s as u32,
+                    dim_block: b as u32,
+                    dim_start: range.start as u64,
+                    dim_end: range.end as u64,
+                    total_dim_blocks: plan.dim_blocks as u32,
+                    metric: metric_tag::encode(metric),
+                    pruning: config.pruning,
+                    lists,
+                };
+                cluster.send(machine, ToWorker::Load(load).to_bytes())?;
+                expected_acks += 1;
+            }
+        }
+
+        // Collect acknowledgments.
+        let mut inner = EngineInner {
+            cluster,
+            next_query_id: 0,
+            outstanding: vec![0.0; config.n_machines],
+        };
+        let deadline = Duration::from_secs(120);
+        for _ in 0..expected_acks {
+            let (_, payload) = inner.cluster.recv_timeout(deadline)?;
+            match ToClient::from_bytes(payload)? {
+                ToClient::LoadAck { .. } => {}
+                other => {
+                    return Err(CoreError::Protocol(format!(
+                        "expected LoadAck during pre-assign, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let bytes_shipped = inner.cluster.snapshot().client.bytes_tx;
+        let preassign = t0.elapsed();
+
+        // --- Prewarm samples -------------------------------------------
+        let mut rng = SmallRng::new(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut prewarm_store = VectorStore::new(dim);
+        let mut prewarm_rows: Vec<Vec<usize>> = vec![Vec::new(); nlist];
+        if config.prewarm > 0 {
+            for (c, rows) in list_rows.iter().enumerate() {
+                let take = config.prewarm.min(rows.len());
+                for i in 0..take {
+                    // Deterministic stratified pick.
+                    let pick = rows[(rng.below(rows.len().max(1)) + i) % rows.len()];
+                    prewarm_rows[c].push(prewarm_store.len());
+                    prewarm_store
+                        .push(base.id(pick), base.row(pick))
+                        .expect("dims match");
+                }
+            }
+        }
+
+        // Search metrics must not include the build traffic.
+        inner.cluster.reset_metrics();
+
+        Ok(Self {
+            config,
+            metric,
+            dim,
+            plan,
+            assignment,
+            dim_ranges,
+            centroids: km.centroids,
+            list_sizes,
+            shard_clusters,
+            prewarm_store,
+            prewarm_rows,
+            build_stats: BuildStats {
+                train,
+                add,
+                preassign,
+                plan,
+                plan_cost,
+                bytes_shipped,
+            },
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &HarmonyConfig {
+        &self.config
+    }
+
+    /// The partition plan in force.
+    pub fn plan(&self) -> PartitionPlan {
+        self.plan
+    }
+
+    /// Build-stage timings (Fig. 10).
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// Inverted-list sizes (cluster load profile).
+    pub fn list_sizes(&self) -> &[usize] {
+        &self.list_sizes
+    }
+
+    /// Trained centroids (client-side copy).
+    pub fn centroids(&self) -> &VectorStore {
+        &self.centroids
+    }
+
+    /// Clusters owned by each vector shard.
+    pub fn shard_clusters(&self) -> &[Vec<u32>] {
+        &self.shard_clusters
+    }
+
+    /// Top-`k` search for one query.
+    ///
+    /// # Errors
+    /// Dimension mismatches or distributed-collection failures.
+    pub fn search(
+        &self,
+        query: &[f32],
+        opts: &SearchOptions,
+    ) -> Result<SingleResult, CoreError> {
+        let mut store = VectorStore::new(self.dim);
+        store
+            .push(0, query)
+            .map_err(CoreError::Index)?;
+        let batch = self.search_batch(&store, opts)?;
+        Ok(SingleResult {
+            neighbors: batch.results.into_iter().next().unwrap_or_default(),
+        })
+    }
+
+    /// Top-`k` search for a batch of queries with pipelined dispatch.
+    ///
+    /// # Errors
+    /// Dimension mismatches or distributed-collection failures.
+    pub fn search_batch(
+        &self,
+        queries: &VectorStore,
+        opts: &SearchOptions,
+    ) -> Result<BatchResult, CoreError> {
+        if queries.dim() != self.dim {
+            return Err(CoreError::Index(
+                harmony_index::IndexError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: queries.dim(),
+                },
+            ));
+        }
+        let mut inner = self.inner.lock();
+        let comm_mode = inner.cluster.config().comm_mode;
+        inner.cluster.reset_metrics();
+        let t0 = Instant::now();
+
+        let n = queries.len();
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        if n == 0 {
+            return Ok(BatchResult {
+                results,
+                wall: t0.elapsed(),
+                snapshot: inner.cluster.snapshot(),
+                comm_mode,
+            });
+        }
+
+        let timeout = Duration::from_millis(opts.timeout_ms.max(1));
+        let mut active: HashMap<u64, QueryState> = HashMap::new();
+        let mut next_row = 0usize;
+        let mut completed = 0usize;
+
+        while completed < n {
+            // Admit new queries up to the in-flight window.
+            while next_row < n && active.len() < self.config.max_inflight {
+                let row = next_row;
+                next_row += 1;
+                let qid = inner.next_query_id;
+                inner.next_query_id += 1;
+                let state = self.admit_query(&mut inner, qid, queries.row(row), row, opts)?;
+                match state {
+                    Some(state) => {
+                        active.insert(qid, state);
+                    }
+                    None => {
+                        // Query resolved entirely from prewarm (no probes hit
+                        // populated shards) — rare but possible.
+                        completed += 1;
+                    }
+                }
+            }
+            if completed >= n {
+                break;
+            }
+
+            // Collect one message.
+            let (_, payload) = inner.cluster.recv_timeout(timeout)?;
+            let msg = ToClient::from_bytes(payload)?;
+            let result = match msg {
+                ToClient::Result(r) => r,
+                other => {
+                    return Err(CoreError::Protocol(format!(
+                        "unexpected message during search: {other:?}"
+                    )))
+                }
+            };
+            let Some(state) = active.get_mut(&result.query_id) else {
+                continue; // stale result from a timed-out query
+            };
+
+            // Merge candidates (skipping prewarm duplicates).
+            for (&id, &score) in result.ids.iter().zip(&result.scores) {
+                if !state.prewarm_ids.contains(&id) {
+                    state.topk.push(id, score);
+                }
+            }
+            state.in_flight -= 1;
+
+            // Discharge the load estimate of this visit.
+            if let Some((machine, amount)) = state.charged.pop() {
+                inner.outstanding[machine] =
+                    (inner.outstanding[machine] - amount).max(0.0);
+            }
+
+            // Stage the next visit (pipeline mode) or finish.
+            if state.in_flight == 0 && !state.pending_visits.is_empty() {
+                let qid = result.query_id;
+                let mut state = active.remove(&qid).expect("state exists");
+                self.dispatch_next(&mut inner, qid, queries.row(state.row), opts, &mut state)?;
+                active.insert(qid, state);
+            } else if state.in_flight == 0 {
+                let state = active.remove(&result.query_id).expect("state exists");
+                results[state.row] = state.topk.into_sorted();
+                completed += 1;
+            }
+        }
+
+        let wall = t0.elapsed();
+        let snapshot = inner.cluster.snapshot();
+        Ok(BatchResult {
+            results,
+            wall,
+            snapshot,
+            comm_mode,
+        })
+    }
+
+    /// Sets up a query: probes, prewarm, visit list; dispatches its first
+    /// stage(s). Returns `None` when the query has nothing to visit.
+    fn admit_query(
+        &self,
+        inner: &mut EngineInner,
+        qid: u64,
+        query: &[f32],
+        row: usize,
+        opts: &SearchOptions,
+    ) -> Result<Option<QueryState>, CoreError> {
+        let probes = nearest_centroids(query, &self.centroids, opts.nprobe);
+
+        // Prewarm (Algorithm 1 lines 1-5): seed the heap from client-side
+        // samples of the probed lists. The budget is capped so prewarming
+        // stays a cheap threshold seed — nearest probes sampled first.
+        let mut topk = TopK::new(opts.k);
+        let mut prewarm_ids = std::collections::HashSet::new();
+        let budget = (4 * opts.k).max(16);
+        'prewarm: for &c in &probes {
+            for &sample_row in &self.prewarm_rows[c as usize] {
+                if prewarm_ids.len() >= budget {
+                    break 'prewarm;
+                }
+                let id = self.prewarm_store.id(sample_row);
+                let score = self.metric.score(query, self.prewarm_store.row(sample_row));
+                if prewarm_ids.insert(id) {
+                    topk.push(id, score);
+                }
+            }
+        }
+        // Client-side computation (centroid scan + prewarm) is charged with
+        // the same modeled rates as any node: the client is a real machine.
+        let centroid_pd = (self.centroids.len() * self.dim) as u64;
+        let prewarm_pd = (prewarm_ids.len() * self.dim) as u64;
+        inner.cluster.charge_client_compute(
+            centroid_pd + prewarm_pd,
+            (self.centroids.len() + prewarm_ids.len()) as u64,
+        );
+
+        // Group probes by shard, preserving probe (= proximity) order.
+        let mut visit_order: Vec<u32> = Vec::new();
+        let mut by_shard: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &c in &probes {
+            let s = self.assignment.cluster_to_shard[c as usize];
+            by_shard.entry(s).or_insert_with(|| {
+                visit_order.push(s);
+                Vec::new()
+            });
+            by_shard.get_mut(&s).expect("just inserted").push(c);
+        }
+        let mut pending_visits: Vec<(u32, Vec<u32>)> = visit_order
+            .into_iter()
+            .map(|s| (s, by_shard.remove(&s).expect("grouped")))
+            .collect();
+        // Dispatch order: nearest shard first; reverse so pop() yields it.
+        pending_visits.reverse();
+
+        if pending_visits.is_empty() {
+            return Ok(None);
+        }
+
+        let mut state = QueryState {
+            topk,
+            prewarm_ids,
+            pending_visits,
+            in_flight: 0,
+            charged: Vec::new(),
+            row,
+        };
+        self.dispatch_next(inner, qid, query, opts, &mut state)?;
+        Ok(Some(state))
+    }
+
+    /// Dispatches the next shard visit (pipeline mode) or every remaining
+    /// visit at once (non-pipelined mode).
+    fn dispatch_next(
+        &self,
+        inner: &mut EngineInner,
+        qid: u64,
+        query: &[f32],
+        opts: &SearchOptions,
+        state: &mut QueryState,
+    ) -> Result<(), CoreError> {
+        let rounds = if self.config.pipeline {
+            1
+        } else {
+            state.pending_visits.len()
+        };
+        for _ in 0..rounds {
+            let Some((shard, clusters)) = state.pending_visits.pop() else {
+                break;
+            };
+            self.dispatch_visit(inner, qid, query, opts, state, shard, clusters)?;
+        }
+        Ok(())
+    }
+
+    /// Sends the dimension-sliced chunks of one `(query, shard)` pipeline.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_visit(
+        &self,
+        inner: &mut EngineInner,
+        qid: u64,
+        query: &[f32],
+        opts: &SearchOptions,
+        state: &mut QueryState,
+        shard: u32,
+        clusters: Vec<u32>,
+    ) -> Result<(), CoreError> {
+        let threshold = state.topk.threshold();
+        let is_ip = !matches!(self.metric, Metric::L2);
+        let q_total_norm_sq = if is_ip { ip(query, query) } else { 0.0 };
+
+        // Estimate the candidate volume of this visit for load accounting.
+        let candidates: usize = clusters
+            .iter()
+            .map(|&c| self.list_sizes[c as usize])
+            .sum();
+
+        // Pipeline order over dimension blocks (§4.3 Load Balancing):
+        // balanced mode sends the most-loaded machine's block last, where
+        // pruning has already thinned the candidates; otherwise natural
+        // order with a deterministic rotation to spread stage collisions.
+        let blocks: Vec<usize> = {
+            let mut blocks: Vec<usize> = (0..self.plan.dim_blocks).collect();
+            if self.config.balanced_load {
+                blocks.sort_by(|&a, &b| {
+                    let la = inner.outstanding[self.plan.machine_of(shard as usize, a)];
+                    let lb = inner.outstanding[self.plan.machine_of(shard as usize, b)];
+                    la.total_cmp(&lb).then(a.cmp(&b))
+                });
+            } else {
+                blocks.rotate_left(qid as usize % self.plan.dim_blocks.max(1));
+            }
+            blocks
+        };
+        let order: Vec<u64> = blocks
+            .iter()
+            .map(|&b| self.plan.machine_of(shard as usize, b) as u64)
+            .collect();
+
+        // Charge the estimated work: later positions are discounted by the
+        // expected pruning survival rate.
+        let mut charge_total = 0.0;
+        for (pos, &b) in blocks.iter().enumerate() {
+            let machine = self.plan.machine_of(shard as usize, b);
+            let width = self.dim_ranges[b].len() as f64;
+            let survival = if self.config.pruning {
+                0.55f64.powi(pos as i32)
+            } else {
+                1.0
+            };
+            let amount = candidates as f64 * width * survival;
+            inner.outstanding[machine] += amount;
+            charge_total += amount;
+        }
+        // One aggregate charge entry per visit (discharged on completion):
+        // attribute it to the first machine for bookkeeping simplicity.
+        state
+            .charged
+            .push((order[0] as NodeId, charge_total / order.len().max(1) as f64));
+
+        for (pos, &b) in blocks.iter().enumerate() {
+            let machine = self.plan.machine_of(shard as usize, b);
+            let range = self.dim_ranges[b];
+            let chunk = QueryChunk {
+                query_id: qid,
+                shard,
+                k: opts.k as u32,
+                threshold,
+                clusters: clusters.clone(),
+                dims: query[range.start..range.end].to_vec(),
+                q_total_norm_sq,
+                order: order.clone(),
+                position: pos as u32,
+            };
+            inner
+                .cluster
+                .send(machine, ToWorker::Chunk(chunk).to_bytes())?;
+        }
+        state.in_flight += 1;
+        Ok(())
+    }
+
+    /// Gathers per-worker pruning/memory statistics.
+    ///
+    /// # Errors
+    /// Transport failures or protocol violations.
+    pub fn collect_stats(&self) -> Result<EngineStats, CoreError> {
+        let mut inner = self.inner.lock();
+        let workers = inner.cluster.workers();
+        for w in 0..workers {
+            inner.cluster.send(w, ToWorker::GetStats.to_bytes())?;
+        }
+        let mut stats = EngineStats {
+            slices: SliceStats::new(self.plan.dim_blocks),
+            worker_memory_bytes: vec![0; workers],
+            scanned_point_dims: 0,
+        };
+        let mut received = 0;
+        while received < workers {
+            let (from, payload) = inner
+                .cluster
+                .recv_timeout(Duration::from_secs(30))?;
+            match ToClient::from_bytes(payload)? {
+                ToClient::Stats(r) => {
+                    stats.slices.merge_report(&r.slice_in, &r.slice_pruned);
+                    if from < workers {
+                        stats.worker_memory_bytes[from] = r.memory_bytes;
+                    }
+                    stats.scanned_point_dims += r.scanned_point_dims;
+                    received += 1;
+                }
+                // Late results from a previous timed-out batch: drop.
+                ToClient::Result(_) => continue,
+                other => {
+                    return Err(CoreError::Protocol(format!(
+                        "unexpected message during stats collection: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Zeroes worker statistics counters.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn reset_stats(&self) -> Result<(), CoreError> {
+        let inner = self.inner.lock();
+        for w in 0..inner.cluster.workers() {
+            inner.cluster.send(w, ToWorker::ResetStats.to_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time cluster metrics.
+    pub fn cluster_snapshot(&self) -> ClusterSnapshot {
+        self.inner.lock().cluster.snapshot()
+    }
+
+    /// Stops all workers and releases the cluster.
+    ///
+    /// # Errors
+    /// Reports the first worker that panicked, if any.
+    pub fn shutdown(self) -> Result<(), CoreError> {
+        self.inner.into_inner().cluster.shutdown()?;
+        Ok(())
+    }
+}
+
+/// Result of a single-query search.
+#[derive(Debug, Clone)]
+pub struct SingleResult {
+    /// Best-first neighbor list.
+    pub neighbors: Vec<Neighbor>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_data::SyntheticSpec;
+    use harmony_index::{FlatIndex, IvfIndex, IvfParams};
+
+    fn dataset(n: usize, dim: usize) -> harmony_data::Dataset {
+        SyntheticSpec::clustered(n, dim, 8).with_seed(42).generate()
+    }
+
+    fn engine_with(mode: EngineMode, base: &VectorStore) -> HarmonyEngine {
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(16)
+            .mode(mode)
+            .seed(7)
+            .build()
+            .unwrap();
+        HarmonyEngine::build(config, base).unwrap()
+    }
+
+    /// Reference: single-node IVF with the same clustering seed.
+    fn reference_ivf(base: &VectorStore) -> IvfIndex {
+        let mut ivf = IvfIndex::train(base, &IvfParams::new(16).with_seed(7)).unwrap();
+        ivf.add(base).unwrap();
+        ivf
+    }
+
+    fn ids(neighbors: &[Neighbor]) -> Vec<u64> {
+        neighbors.iter().map(|n| n.id).collect()
+    }
+
+    /// Compares two result lists tolerating float-reassociation tie swaps.
+    fn assert_equivalent(a: &[Neighbor], b: &[Neighbor]) {
+        assert_eq!(a.len(), b.len(), "result lengths differ");
+        for (x, y) in a.iter().zip(b) {
+            if x.id != y.id {
+                // Accept only when scores agree to float tolerance (tie swap).
+                assert!(
+                    (x.score - y.score).abs() <= 1e-3 * x.score.abs().max(1.0),
+                    "ids differ with distinct scores: {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_modes_match_single_node_ivf() {
+        let d = dataset(2_000, 24);
+        let reference = reference_ivf(&d.base);
+        let opts = SearchOptions::new(10).with_nprobe(4);
+        for mode in EngineMode::ALL {
+            let engine = engine_with(mode, &d.base);
+            for qi in 0..10 {
+                let q = d.queries.row(qi);
+                let got = engine.search(q, &opts).unwrap();
+                let want = reference.search(q, 10, 4).unwrap();
+                assert_equivalent(&got.neighbors, &want);
+            }
+            engine.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_results() {
+        let d = dataset(2_000, 24);
+        let opts = SearchOptions::new(10).with_nprobe(4);
+        let base_cfg = |pruning| {
+            HarmonyConfig::builder()
+                .n_machines(4)
+                .nlist(16)
+                .seed(7)
+                .pruning(pruning)
+                .build()
+                .unwrap()
+        };
+        let with = HarmonyEngine::build(base_cfg(true), &d.base).unwrap();
+        let without = HarmonyEngine::build(base_cfg(false), &d.base).unwrap();
+        for qi in 0..10 {
+            let q = d.queries.row(qi);
+            let a = with.search(q, &opts).unwrap();
+            let b = without.search(q, &opts).unwrap();
+            assert_equivalent(&a.neighbors, &b.neighbors);
+        }
+        with.shutdown().unwrap();
+        without.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let d = dataset(1_500, 16);
+        let engine = engine_with(EngineMode::Harmony, &d.base);
+        let opts = SearchOptions::new(5).with_nprobe(4);
+        let queries = d.base.gather(&[3, 500, 999]);
+        let batch = engine.search_batch(&queries, &opts).unwrap();
+        for (qi, res) in batch.results.iter().enumerate() {
+            let single = engine.search(queries.row(qi), &opts).unwrap();
+            assert_equivalent(res, &single.neighbors);
+        }
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn self_queries_find_themselves() {
+        let d = dataset(1_000, 16);
+        let engine = engine_with(EngineMode::Harmony, &d.base);
+        let opts = SearchOptions::new(1).with_nprobe(2);
+        for row in [0usize, 100, 500] {
+            let res = engine.search(d.base.row(row), &opts).unwrap();
+            assert_eq!(res.neighbors[0].id, row as u64, "row {row}");
+            assert!(res.neighbors[0].score < 1e-6);
+        }
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn full_probe_reaches_perfect_recall() {
+        let d = dataset(800, 12);
+        let engine = engine_with(EngineMode::Harmony, &d.base);
+        let flat = FlatIndex::from_store(d.base.clone(), Metric::L2);
+        let opts = SearchOptions::new(10).with_nprobe(16);
+        for qi in 0..5 {
+            let q = d.queries.row(qi);
+            let got = ids(&engine.search(q, &opts).unwrap().neighbors);
+            let want = ids(&flat.search(q, 10).unwrap());
+            assert_eq!(got, want, "query {qi}");
+        }
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn build_stats_populated() {
+        let d = dataset(600, 16);
+        let engine = engine_with(EngineMode::Harmony, &d.base);
+        let stats = engine.build_stats();
+        assert!(stats.bytes_shipped > (600 * 16 * 4) as u64 / 2);
+        assert_eq!(stats.plan.machines(), 4);
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_show_pruning_on_later_slices() {
+        let d = dataset(2_000, 32);
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(16)
+            .mode(EngineMode::HarmonyDimension)
+            .seed(7)
+            .build()
+            .unwrap();
+        let engine = HarmonyEngine::build(config, &d.base).unwrap();
+        let opts = SearchOptions::new(10).with_nprobe(4);
+        let _ = engine.search_batch(&d.queries, &opts).unwrap();
+        let stats = engine.collect_stats().unwrap();
+        let ratios = stats.slices.cumulative_ratios();
+        assert_eq!(ratios[0], 0.0);
+        assert!(
+            ratios.last().copied().unwrap_or(0.0) > 10.0,
+            "later slices should show pruning, got {ratios:?}"
+        );
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn wrong_dim_query_rejected() {
+        let d = dataset(500, 16);
+        let engine = engine_with(EngineMode::Harmony, &d.base);
+        assert!(matches!(
+            engine.search(&[0.0; 8], &SearchOptions::new(3)),
+            Err(CoreError::Index(_))
+        ));
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn empty_base_rejected() {
+        let config = HarmonyConfig::builder().build().unwrap();
+        assert!(matches!(
+            HarmonyEngine::build(config, &VectorStore::new(8)),
+            Err(CoreError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn modes_choose_expected_plans() {
+        let d = dataset(800, 16);
+        let v = engine_with(EngineMode::HarmonyVector, &d.base);
+        assert_eq!(v.plan(), PartitionPlan::pure_vector(4));
+        v.shutdown().unwrap();
+        let dm = engine_with(EngineMode::HarmonyDimension, &d.base);
+        assert_eq!(dm.plan(), PartitionPlan::pure_dimension(4));
+        dm.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the Harmony engine.
+
+use std::fmt;
+
+use harmony_cluster::{ClusterError, CodecError};
+use harmony_index::IndexError;
+
+/// Errors produced by engine construction and search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Invalid configuration.
+    Config(String),
+    /// An indexing substrate error.
+    Index(IndexError),
+    /// A cluster transport error.
+    Cluster(ClusterError),
+    /// A wire codec error.
+    Codec(CodecError),
+    /// A worker replied with something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+            CoreError::Index(e) => write!(f, "index error: {e}"),
+            CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Index(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IndexError> for CoreError {
+    fn from(e: IndexError) -> Self {
+        CoreError::Index(e)
+    }
+}
+
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let e: CoreError = IndexError::NotTrained.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("not trained"));
+        let e: CoreError = ClusterError::Timeout.into();
+        assert!(matches!(e, CoreError::Cluster(_)));
+        let e: CoreError = CodecError::UnexpectedEof.into();
+        assert!(matches!(e, CoreError::Codec(_)));
+    }
+
+    #[test]
+    fn config_and_protocol_messages_verbatim() {
+        assert!(CoreError::Config("bad nlist".into())
+            .to_string()
+            .contains("bad nlist"));
+        assert!(CoreError::Protocol("unexpected ack".into())
+            .to_string()
+            .contains("unexpected ack"));
+    }
+}

@@ -1,0 +1,520 @@
+//! Typed wire protocol between the client and Harmony workers.
+//!
+//! Every message is serialized through `harmony-cluster`'s binary codec, so
+//! the byte counts the network model charges match what a real deployment
+//! would put on the wire:
+//!
+//! * **Build phase** — [`LoadBlock`] ships one grid block `V_s D_b` (the
+//!   paper's *Pre-assign* stage, Fig. 10) and is acknowledged by
+//!   [`ToClient::LoadAck`].
+//! * **Query phase** — the client splits each query across the dimension
+//!   blocks of every visited shard as [`QueryChunk`]s (Fig. 4b); workers
+//!   stream surviving candidates down the pipeline as [`Carry`]s (Fig. 5b)
+//!   and the final hop reports a [`QueryResult`].
+//! * **Diagnostics** — [`ToWorker::GetStats`] / [`ToClient::Stats`] collect
+//!   the per-slice pruning counters behind Fig. 2a and Table 3.
+
+use bytes::{Bytes, BytesMut};
+use harmony_cluster::{CodecError, Wire};
+
+/// One inverted list restricted to one dimension block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterBlock {
+    /// IVF list (cluster) id.
+    pub cluster: u32,
+    /// Member vector ids.
+    pub ids: Vec<u64>,
+    /// Row-major member vectors, `block_dims` wide.
+    pub flat: Vec<f32>,
+    /// Per-member squared norm of *this* block's coordinates (inner-product
+    /// pruning only; empty under L2).
+    pub block_norms_sq: Vec<f32>,
+    /// Per-member squared norm of the *full* vector (inner-product pruning
+    /// only; empty under L2).
+    pub total_norms_sq: Vec<f32>,
+}
+
+impl Wire for ClusterBlock {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cluster.encode(buf);
+        self.ids.encode(buf);
+        self.flat.encode(buf);
+        self.block_norms_sq.encode(buf);
+        self.total_norms_sq.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            cluster: u32::decode(buf)?,
+            ids: Vec::decode(buf)?,
+            flat: Vec::decode(buf)?,
+            block_norms_sq: Vec::decode(buf)?,
+            total_norms_sq: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// Build-phase shipment of one grid block to its machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadBlock {
+    /// Vector shard index `s` of the block.
+    pub shard: u32,
+    /// Dimension block index `b`.
+    pub dim_block: u32,
+    /// Dimension range `[start, end)` this block covers.
+    pub dim_start: u64,
+    /// End of the dimension range.
+    pub dim_end: u64,
+    /// Total number of dimension blocks in the plan (pipeline length).
+    pub total_dim_blocks: u32,
+    /// Metric tag (0 = L2, 1 = IP, 2 = cosine).
+    pub metric: u8,
+    /// Whether early-stop pruning is enabled on this deployment.
+    pub pruning: bool,
+    /// The inverted lists assigned to this block.
+    pub lists: Vec<ClusterBlock>,
+}
+
+impl Wire for LoadBlock {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.shard.encode(buf);
+        self.dim_block.encode(buf);
+        self.dim_start.encode(buf);
+        self.dim_end.encode(buf);
+        self.total_dim_blocks.encode(buf);
+        self.metric.encode(buf);
+        self.pruning.encode(buf);
+        self.lists.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            shard: u32::decode(buf)?,
+            dim_block: u32::decode(buf)?,
+            dim_start: u64::decode(buf)?,
+            dim_end: u64::decode(buf)?,
+            total_dim_blocks: u32::decode(buf)?,
+            metric: u8::decode(buf)?,
+            pruning: bool::decode(buf)?,
+            lists: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// The dimension slice of one query routed to one machine (Fig. 4b's
+/// `Q_i D_j`), plus the pipeline itinerary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryChunk {
+    /// Query identifier, unique within a batch.
+    pub query_id: u64,
+    /// Visited vector shard.
+    pub shard: u32,
+    /// Results wanted (`k`).
+    pub k: u32,
+    /// Current pruning threshold `τ` for this query (`+∞` encoded as such).
+    pub threshold: f32,
+    /// Clusters of this shard the query probes.
+    pub clusters: Vec<u32>,
+    /// The query's coordinates for *this machine's* dimension block.
+    pub dims: Vec<f32>,
+    /// Squared norm of the query's *remaining* full vector (inner-product
+    /// pruning; 0 under L2).
+    pub q_total_norm_sq: f32,
+    /// Machines of this shard's pipeline, in execution order.
+    pub order: Vec<u64>,
+    /// This machine's position in `order`.
+    pub position: u32,
+}
+
+impl Wire for QueryChunk {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.query_id.encode(buf);
+        self.shard.encode(buf);
+        self.k.encode(buf);
+        self.threshold.encode(buf);
+        self.clusters.encode(buf);
+        self.dims.encode(buf);
+        self.q_total_norm_sq.encode(buf);
+        self.order.encode(buf);
+        self.position.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            query_id: u64::decode(buf)?,
+            shard: u32::decode(buf)?,
+            k: u32::decode(buf)?,
+            threshold: f32::decode(buf)?,
+            clusters: Vec::decode(buf)?,
+            dims: Vec::decode(buf)?,
+            q_total_norm_sq: f32::decode(buf)?,
+            order: Vec::decode(buf)?,
+            position: u32::decode(buf)?,
+        })
+    }
+}
+
+/// Pipeline hop: surviving candidates and their accumulated partials
+/// (Fig. 5b's "Compute & send" → "Receive & check").
+///
+/// Candidates are addressed *positionally*: every machine of a shard row
+/// stores the same lists in the same order, so the canonical enumeration
+/// (probed clusters in chunk order, members in list order) is identical on
+/// every hop. Carrying sorted enumeration indices instead of vector ids
+/// turns each downstream hop into a sequential merge-scan — no per-candidate
+/// hash lookups — and halves the carry width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Carry {
+    /// Query this carry belongs to.
+    pub query_id: u64,
+    /// Shard whose pipeline this is.
+    pub shard: u32,
+    /// Tightest threshold known to the sender.
+    pub threshold: f32,
+    /// Position the *receiver* occupies in the pipeline order.
+    pub next_position: u32,
+    /// Surviving candidate positions in the canonical enumeration,
+    /// strictly ascending.
+    pub indices: Vec<u32>,
+    /// Accumulated partial scores, parallel to `indices`.
+    pub partials: Vec<f32>,
+    /// Accumulated per-candidate visited-block squared norms (inner-product
+    /// pruning; empty under L2).
+    pub visited_norms_sq: Vec<f32>,
+    /// Accumulated visited squared norm of the query (inner-product; 0
+    /// under L2).
+    pub q_visited_norm_sq: f32,
+}
+
+impl Wire for Carry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.query_id.encode(buf);
+        self.shard.encode(buf);
+        self.threshold.encode(buf);
+        self.next_position.encode(buf);
+        self.indices.encode(buf);
+        self.partials.encode(buf);
+        self.visited_norms_sq.encode(buf);
+        self.q_visited_norm_sq.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            query_id: u64::decode(buf)?,
+            shard: u32::decode(buf)?,
+            threshold: f32::decode(buf)?,
+            next_position: u32::decode(buf)?,
+            indices: Vec::decode(buf)?,
+            partials: Vec::decode(buf)?,
+            visited_norms_sq: Vec::decode(buf)?,
+            q_visited_norm_sq: f32::decode(buf)?,
+        })
+    }
+}
+
+/// Final hop of a shard pipeline: the shard's top candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Query this result answers.
+    pub query_id: u64,
+    /// Shard that produced it.
+    pub shard: u32,
+    /// Candidate ids (at most `k`).
+    pub ids: Vec<u64>,
+    /// Full scores, parallel to `ids`.
+    pub scores: Vec<f32>,
+    /// Candidates this shard's pipeline enumerated (diagnostics).
+    pub candidates_seen: u64,
+}
+
+impl Wire for QueryResult {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.query_id.encode(buf);
+        self.shard.encode(buf);
+        self.ids.encode(buf);
+        self.scores.encode(buf);
+        self.candidates_seen.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            query_id: u64::decode(buf)?,
+            shard: u32::decode(buf)?,
+            ids: Vec::decode(buf)?,
+            scores: Vec::decode(buf)?,
+            candidates_seen: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Per-worker pruning and load counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    /// Candidates entering the pipeline at each position this worker served.
+    pub slice_in: Vec<u64>,
+    /// Candidates pruned at each position.
+    pub slice_pruned: Vec<u64>,
+    /// Total candidate-dimension products scanned.
+    pub scanned_point_dims: u64,
+    /// Heap bytes used by this worker's block storage.
+    pub memory_bytes: u64,
+}
+
+impl Wire for StatsReport {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.slice_in.encode(buf);
+        self.slice_pruned.encode(buf);
+        self.scanned_point_dims.encode(buf);
+        self.memory_bytes.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            slice_in: Vec::decode(buf)?,
+            slice_pruned: Vec::decode(buf)?,
+            scanned_point_dims: u64::decode(buf)?,
+            memory_bytes: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Client → worker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWorker {
+    /// Ship a grid block (build phase).
+    Load(LoadBlock),
+    /// Route a query slice (query phase).
+    Chunk(QueryChunk),
+    /// Pipeline hop from a peer worker.
+    Carry(Carry),
+    /// Request a [`StatsReport`].
+    GetStats,
+    /// Zero the statistics counters.
+    ResetStats,
+}
+
+impl Wire for ToWorker {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ToWorker::Load(m) => {
+                0u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::Chunk(m) => {
+                1u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::Carry(m) => {
+                2u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::GetStats => 3u8.encode(buf),
+            ToWorker::ResetStats => 4u8.encode(buf),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(ToWorker::Load(LoadBlock::decode(buf)?)),
+            1 => Ok(ToWorker::Chunk(QueryChunk::decode(buf)?)),
+            2 => Ok(ToWorker::Carry(Carry::decode(buf)?)),
+            3 => Ok(ToWorker::GetStats),
+            4 => Ok(ToWorker::ResetStats),
+            t => Err(CodecError::Invalid(format!("bad ToWorker tag {t}"))),
+        }
+    }
+}
+
+/// Worker → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToClient {
+    /// Acknowledges a [`LoadBlock`].
+    LoadAck {
+        /// Shard of the acknowledged block.
+        shard: u32,
+        /// Dimension block of the acknowledged block.
+        dim_block: u32,
+    },
+    /// A shard pipeline finished for one query.
+    Result(QueryResult),
+    /// Statistics reply.
+    Stats(StatsReport),
+}
+
+impl Wire for ToClient {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ToClient::LoadAck { shard, dim_block } => {
+                0u8.encode(buf);
+                shard.encode(buf);
+                dim_block.encode(buf);
+            }
+            ToClient::Result(m) => {
+                1u8.encode(buf);
+                m.encode(buf);
+            }
+            ToClient::Stats(m) => {
+                2u8.encode(buf);
+                m.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(ToClient::LoadAck {
+                shard: u32::decode(buf)?,
+                dim_block: u32::decode(buf)?,
+            }),
+            1 => Ok(ToClient::Result(QueryResult::decode(buf)?)),
+            2 => Ok(ToClient::Stats(StatsReport::decode(buf)?)),
+            t => Err(CodecError::Invalid(format!("bad ToClient tag {t}"))),
+        }
+    }
+}
+
+/// Metric tags shared by [`LoadBlock::metric`].
+pub mod metric_tag {
+    use harmony_index::Metric;
+
+    /// Encodes a metric as its wire tag.
+    pub fn encode(metric: Metric) -> u8 {
+        match metric {
+            Metric::L2 => 0,
+            Metric::InnerProduct => 1,
+            Metric::Cosine => 2,
+        }
+    }
+
+    /// Decodes a wire tag back to a metric.
+    ///
+    /// # Errors
+    /// [`harmony_cluster::CodecError::Invalid`] for unknown tags.
+    pub fn decode(tag: u8) -> Result<Metric, harmony_cluster::CodecError> {
+        match tag {
+            0 => Ok(Metric::L2),
+            1 => Ok(Metric::InnerProduct),
+            2 => Ok(Metric::Cosine),
+            t => Err(harmony_cluster::CodecError::Invalid(format!(
+                "bad metric tag {t}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(bytes).unwrap(), v);
+    }
+
+    fn sample_chunk() -> QueryChunk {
+        QueryChunk {
+            query_id: 42,
+            shard: 1,
+            k: 10,
+            threshold: 3.25,
+            clusters: vec![0, 5, 9],
+            dims: vec![0.5, -1.0, 2.0],
+            q_total_norm_sq: 5.25,
+            order: vec![3, 4, 5],
+            position: 1,
+        }
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(ClusterBlock {
+            cluster: 7,
+            ids: vec![1, 2, 3],
+            flat: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            block_norms_sq: vec![1.0, 2.0, 3.0],
+            total_norms_sq: vec![4.0, 5.0, 6.0],
+        });
+        roundtrip(LoadBlock {
+            shard: 1,
+            dim_block: 2,
+            dim_start: 32,
+            dim_end: 64,
+            total_dim_blocks: 4,
+            metric: 0,
+            pruning: true,
+            lists: vec![],
+        });
+        roundtrip(sample_chunk());
+        roundtrip(Carry {
+            query_id: 42,
+            shard: 1,
+            threshold: 1.5,
+            next_position: 2,
+            indices: vec![10, 20],
+            partials: vec![0.25, 0.75],
+            visited_norms_sq: vec![],
+            q_visited_norm_sq: 0.0,
+        });
+        roundtrip(QueryResult {
+            query_id: 42,
+            shard: 1,
+            ids: vec![5],
+            scores: vec![0.125],
+            candidates_seen: 100,
+        });
+        roundtrip(StatsReport {
+            slice_in: vec![100, 60, 20],
+            slice_pruned: vec![0, 40, 15],
+            scanned_point_dims: 123_456,
+            memory_bytes: 1 << 20,
+        });
+    }
+
+    #[test]
+    fn enum_wrappers_roundtrip() {
+        roundtrip(ToWorker::Chunk(sample_chunk()));
+        roundtrip(ToWorker::GetStats);
+        roundtrip(ToWorker::ResetStats);
+        roundtrip(ToClient::LoadAck {
+            shard: 3,
+            dim_block: 1,
+        });
+        roundtrip(ToClient::Stats(StatsReport::default()));
+    }
+
+    #[test]
+    fn infinity_threshold_survives_the_wire() {
+        let mut c = sample_chunk();
+        c.threshold = f32::INFINITY;
+        let back = QueryChunk::from_bytes(c.to_bytes()).unwrap();
+        assert!(back.threshold.is_infinite());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let raw = Bytes::from_static(&[9]);
+        assert!(ToWorker::from_bytes(raw.clone()).is_err());
+        assert!(ToClient::from_bytes(raw).is_err());
+    }
+
+    #[test]
+    fn metric_tags_roundtrip() {
+        use harmony_index::Metric;
+        for m in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            assert_eq!(metric_tag::decode(metric_tag::encode(m)).unwrap(), m);
+        }
+        assert!(metric_tag::decode(9).is_err());
+    }
+
+    #[test]
+    fn chunk_wire_size_tracks_dims() {
+        // The query payload per block must shrink as 1/B_dim: the chunk
+        // overhead is fixed, the dims dominate at realistic widths.
+        let mut small = sample_chunk();
+        small.dims = vec![0.0; 32];
+        let mut large = sample_chunk();
+        large.dims = vec![0.0; 128];
+        let delta = large.to_bytes().len() - small.to_bytes().len();
+        assert_eq!(delta, 96 * 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! Multi-granularity partition plans and shard packing.
+//!
+//! A [`PartitionPlan`] is the pair `(B_vec, B_dim)` of §4.2: the dataset is
+//! cut into `B_vec` vector shards (whole IVF lists) × `B_dim` dimension
+//! blocks (contiguous dimension ranges), and each of the `B_vec · B_dim`
+//! grid blocks `V_i D_j` lives on one machine (Fig. 4a). Pure vector-based
+//! partitioning is the degenerate plan `(N, 1)`; pure dimension-based
+//! partitioning is `(1, N)`.
+//!
+//! [`ShardAssignment`] maps every IVF list to its shard. Harmony's
+//! *balanced* packing is weighted LPT (longest-processing-time-first) over
+//! `list_size × probe_frequency`, the standard 4/3-approximation for
+//! makespan; the *naive* packing used as the ablation baseline assigns lists
+//! round-robin, oblivious to size.
+
+use harmony_cluster::NodeId;
+use harmony_index::DimRange;
+
+use crate::error::CoreError;
+
+/// A multi-granularity partition plan `π = (B_vec, B_dim)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionPlan {
+    /// Number of vector-based shards `|B_vec(π)|`.
+    pub vec_shards: usize,
+    /// Number of dimension-based blocks `|B_dim(π)|`.
+    pub dim_blocks: usize,
+}
+
+impl PartitionPlan {
+    /// Creates a plan; both factors must be positive.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when a factor is zero.
+    pub fn new(vec_shards: usize, dim_blocks: usize) -> Result<Self, CoreError> {
+        if vec_shards == 0 || dim_blocks == 0 {
+            return Err(CoreError::Config(format!(
+                "partition factors must be positive, got {vec_shards}x{dim_blocks}"
+            )));
+        }
+        Ok(Self {
+            vec_shards,
+            dim_blocks,
+        })
+    }
+
+    /// Pure vector-based partitioning over `n` machines (Harmony-vector).
+    pub fn pure_vector(n: usize) -> Self {
+        Self {
+            vec_shards: n.max(1),
+            dim_blocks: 1,
+        }
+    }
+
+    /// Pure dimension-based partitioning over `n` machines
+    /// (Harmony-dimension).
+    pub fn pure_dimension(n: usize) -> Self {
+        Self {
+            vec_shards: 1,
+            dim_blocks: n.max(1),
+        }
+    }
+
+    /// Machines the plan occupies (`B_vec × B_dim`).
+    pub fn machines(&self) -> usize {
+        self.vec_shards * self.dim_blocks
+    }
+
+    /// All factorizations `a × b = n` as candidate plans, vector-heavy
+    /// first. The planner scores each with the cost model.
+    pub fn enumerate(n_machines: usize) -> Vec<PartitionPlan> {
+        let mut plans = Vec::new();
+        for a in (1..=n_machines).rev() {
+            if n_machines % a == 0 {
+                plans.push(PartitionPlan {
+                    vec_shards: a,
+                    dim_blocks: n_machines / a,
+                });
+            }
+        }
+        plans
+    }
+
+    /// The machine hosting grid block `(shard, dim_block)`.
+    ///
+    /// Machines are laid out row-major: shard `s` occupies the contiguous
+    /// range `[s·B_dim, (s+1)·B_dim)`, so one shard's dimension pipeline
+    /// never leaves its row (Fig. 4a's M1..M6 layout).
+    ///
+    /// # Panics
+    /// Panics when the coordinates exceed the plan.
+    #[inline]
+    pub fn machine_of(&self, shard: usize, dim_block: usize) -> NodeId {
+        assert!(shard < self.vec_shards && dim_block < self.dim_blocks);
+        shard * self.dim_blocks + dim_block
+    }
+
+    /// Inverse of [`PartitionPlan::machine_of`].
+    ///
+    /// # Panics
+    /// Panics when `machine` exceeds the plan.
+    #[inline]
+    pub fn block_of(&self, machine: NodeId) -> (usize, usize) {
+        assert!(machine < self.machines());
+        (machine / self.dim_blocks, machine % self.dim_blocks)
+    }
+
+    /// The dimension ranges of the plan's blocks for vectors of width `dim`.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when there are more blocks than dimensions.
+    pub fn dim_ranges(&self, dim: usize) -> Result<Vec<DimRange>, CoreError> {
+        if self.dim_blocks > dim {
+            return Err(CoreError::Config(format!(
+                "cannot split {dim} dimensions into {} blocks",
+                self.dim_blocks
+            )));
+        }
+        Ok(DimRange::split(dim, self.dim_blocks))
+    }
+
+    /// Short label used in reports, e.g. `"2v x 2d"`.
+    pub fn label(&self) -> String {
+        format!("{}v x {}d", self.vec_shards, self.dim_blocks)
+    }
+}
+
+/// Assignment of IVF lists (clusters) to vector shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// `cluster_to_shard[c]` = shard owning cluster `c`.
+    pub cluster_to_shard: Vec<u32>,
+    /// Total weight packed into each shard.
+    pub shard_weights: Vec<u64>,
+}
+
+impl ShardAssignment {
+    /// Balanced packing: weighted LPT. `weights[c]` is the expected work of
+    /// cluster `c` (list size × probe frequency). Heaviest cluster first,
+    /// always into the lightest shard.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn balanced(weights: &[u64], shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_unstable_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+        let mut cluster_to_shard = vec![0u32; weights.len()];
+        let mut shard_weights = vec![0u64; shards];
+        for c in order {
+            // Lightest shard, ties to the lowest index for determinism.
+            let s = (0..shards)
+                .min_by_key(|&s| (shard_weights[s], s))
+                .expect("shards > 0");
+            cluster_to_shard[c] = s as u32;
+            shard_weights[s] += weights[c];
+        }
+        Self {
+            cluster_to_shard,
+            shard_weights,
+        }
+    }
+
+    /// Naive packing: cluster `c` → shard `c % shards`, ignoring sizes.
+    /// The ablation baseline for Fig. 9's "+Balanced load".
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn round_robin(weights: &[u64], shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut cluster_to_shard = vec![0u32; weights.len()];
+        let mut shard_weights = vec![0u64; shards];
+        for (c, &w) in weights.iter().enumerate() {
+            let s = c % shards;
+            cluster_to_shard[c] = s as u32;
+            shard_weights[s] += w;
+        }
+        Self {
+            cluster_to_shard,
+            shard_weights,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_weights.len()
+    }
+
+    /// Clusters owned by shard `s`, ascending.
+    pub fn clusters_of(&self, s: usize) -> Vec<u32> {
+        self.cluster_to_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, &shard)| shard as usize == s)
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+
+    /// Ratio of heaviest to lightest shard weight (1.0 = perfectly even).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let max = self.shard_weights.iter().copied().max().unwrap_or(0);
+        let min = self.shard_weights.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_covers_all_factorizations() {
+        let plans = PartitionPlan::enumerate(12);
+        let expected: Vec<(usize, usize)> =
+            vec![(12, 1), (6, 2), (4, 3), (3, 4), (2, 6), (1, 12)];
+        let got: Vec<(usize, usize)> = plans
+            .iter()
+            .map(|p| (p.vec_shards, p.dim_blocks))
+            .collect();
+        assert_eq!(got, expected);
+        for p in &plans {
+            assert_eq!(p.machines(), 12);
+        }
+    }
+
+    #[test]
+    fn prime_machine_counts_have_two_plans() {
+        let plans = PartitionPlan::enumerate(7);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0], PartitionPlan::pure_vector(7));
+        assert_eq!(plans[1], PartitionPlan::pure_dimension(7));
+    }
+
+    #[test]
+    fn machine_grid_roundtrips() {
+        let plan = PartitionPlan::new(3, 4).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..3 {
+            for b in 0..4 {
+                let m = plan.machine_of(s, b);
+                assert!(m < plan.machines());
+                assert!(seen.insert(m), "machine {m} double-assigned");
+                assert_eq!(plan.block_of(m), (s, b));
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn shard_rows_are_contiguous() {
+        let plan = PartitionPlan::new(2, 3).unwrap();
+        assert_eq!(plan.machine_of(0, 0), 0);
+        assert_eq!(plan.machine_of(0, 2), 2);
+        assert_eq!(plan.machine_of(1, 0), 3);
+        assert_eq!(plan.machine_of(1, 2), 5);
+    }
+
+    #[test]
+    fn dim_ranges_cover_dimensionality() {
+        let plan = PartitionPlan::new(2, 3).unwrap();
+        let ranges = plan.dim_ranges(10).unwrap();
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges.iter().map(DimRange::len).sum::<usize>(), 10);
+        assert!(plan.dim_ranges(2).is_err());
+    }
+
+    #[test]
+    fn zero_factors_rejected() {
+        assert!(PartitionPlan::new(0, 4).is_err());
+        assert!(PartitionPlan::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn balanced_packing_beats_round_robin_on_skewed_lists() {
+        // Pathological: sizes 100, 1, 1, 1, 100, 1, 1, 1 — round-robin on 2
+        // shards puts both giants on shard 0.
+        let weights = vec![100, 1, 1, 1, 100, 1, 1, 1];
+        let rr = ShardAssignment::round_robin(&weights, 2);
+        let lpt = ShardAssignment::balanced(&weights, 2);
+        assert!(lpt.imbalance_ratio() < rr.imbalance_ratio());
+        assert!(lpt.imbalance_ratio() < 1.1, "{:?}", lpt.shard_weights);
+        // Both cover every cluster exactly once.
+        for a in [&rr, &lpt] {
+            assert_eq!(a.cluster_to_shard.len(), 8);
+            let total: u64 = a.shard_weights.iter().sum();
+            assert_eq!(total, 206);
+        }
+    }
+
+    #[test]
+    fn clusters_of_partitions_the_clusters() {
+        let weights = vec![5, 3, 8, 1, 9, 2];
+        let a = ShardAssignment::balanced(&weights, 3);
+        let mut all: Vec<u32> = (0..3).flat_map(|s| a.clusters_of(s)).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn balanced_packing_is_deterministic() {
+        let weights = vec![7, 7, 7, 7, 7];
+        let a = ShardAssignment::balanced(&weights, 2);
+        let b = ShardAssignment::balanced(&weights, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn imbalance_ratio_handles_empty_shards() {
+        let a = ShardAssignment::balanced(&[10], 2);
+        assert!(a.imbalance_ratio().is_infinite());
+        let b = ShardAssignment::balanced(&[], 2);
+        assert_eq!(b.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn labels_read_naturally() {
+        assert_eq!(PartitionPlan::new(2, 3).unwrap().label(), "2v x 3d");
+    }
+}

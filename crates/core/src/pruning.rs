@@ -1,0 +1,252 @@
+//! Dimension-level early-stop pruning (§3.1 "Motivation 1", §4.3).
+//!
+//! Under squared L2, the partial sums accumulated along the dimension
+//! pipeline are non-decreasing, so a candidate whose running sum exceeds the
+//! current top-k threshold `τ²` can never re-enter the top-k: pruning is
+//! *exact*. Under inner-product metrics the partial terms may be negative;
+//! the paper sidesteps this by assuming pre-normalization. We implement the
+//! general admissible bound instead: by Cauchy–Schwarz the best possible
+//! completion of a partial dot product is `‖q_rest‖·‖p_rest‖`, so with
+//! lower-is-better scores (negated dot products)
+//!
+//! ```text
+//! final_score ≥ partial_score − √(q_rest² · p_rest²)
+//! ```
+//!
+//! and a candidate is pruned when even that optimistic bound exceeds `τ`.
+//! The residual norms come from per-block norm tables shipped at build time
+//! (`ClusterBlock::{block,total}_norms_sq`).
+
+use harmony_index::Metric;
+
+/// Decides whether candidates can be discarded given partial information.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneRule {
+    metric: Metric,
+    enabled: bool,
+}
+
+impl PruneRule {
+    /// A rule for `metric`; `enabled = false` never prunes (the ablation
+    /// baseline of Fig. 9).
+    pub fn new(metric: Metric, enabled: bool) -> Self {
+        Self { metric, enabled }
+    }
+
+    /// The metric this rule serves.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// `true` when pruning is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Should a candidate be pruned?
+    ///
+    /// * `partial` — accumulated lower-is-better partial score,
+    /// * `threshold` — current `τ` (the k-th best full score),
+    /// * `q_rest_sq` / `p_rest_sq` — squared norms of the *unvisited*
+    ///   coordinates of query and candidate (ignored under L2).
+    #[inline]
+    pub fn should_prune(
+        &self,
+        partial: f32,
+        threshold: f32,
+        q_rest_sq: f32,
+        p_rest_sq: f32,
+    ) -> bool {
+        if !self.enabled || threshold == f32::INFINITY {
+            return false;
+        }
+        match self.metric {
+            // L2 partials only grow: the current sum is already a valid
+            // lower bound on the final score.
+            Metric::L2 => partial > threshold,
+            // Optimistic completion via Cauchy–Schwarz.
+            Metric::InnerProduct | Metric::Cosine => {
+                let best_remaining = (q_rest_sq.max(0.0) * p_rest_sq.max(0.0)).sqrt();
+                partial - best_remaining > threshold
+            }
+        }
+    }
+}
+
+/// Client-side accumulator of per-slice pruning ratios (Fig. 2a, Table 3).
+///
+/// `record(position, seen, pruned)` is fed from worker stats; ratios are
+/// *cumulative*: `ratio(i)` = the fraction of slice-0 candidates already
+/// gone when slice `i` runs, matching the paper's presentation where the
+/// first slice is always 0 %.
+#[derive(Debug, Clone, Default)]
+pub struct SliceStats {
+    /// Candidates entering each pipeline position.
+    pub seen: Vec<u64>,
+    /// Candidates pruned at each pipeline position.
+    pub pruned: Vec<u64>,
+}
+
+impl SliceStats {
+    /// Creates stats for a pipeline of `positions` slices.
+    pub fn new(positions: usize) -> Self {
+        Self {
+            seen: vec![0; positions],
+            pruned: vec![0; positions],
+        }
+    }
+
+    /// Accumulates one worker's report.
+    pub fn merge_report(&mut self, slice_in: &[u64], slice_pruned: &[u64]) {
+        let len = self.seen.len().max(slice_in.len()).max(slice_pruned.len());
+        self.seen.resize(len, 0);
+        self.pruned.resize(len, 0);
+        for (i, &v) in slice_in.iter().enumerate() {
+            self.seen[i] += v;
+        }
+        for (i, &v) in slice_pruned.iter().enumerate() {
+            self.pruned[i] += v;
+        }
+    }
+
+    /// Cumulative pruning ratio per slice, in percent. Slice 0 is 0 % by
+    /// construction.
+    pub fn cumulative_ratios(&self) -> Vec<f64> {
+        let total = self.seen.first().copied().unwrap_or(0);
+        if total == 0 {
+            return vec![0.0; self.seen.len()];
+        }
+        self.seen
+            .iter()
+            .map(|&reached| (1.0 - reached as f64 / total as f64) * 100.0)
+            .collect()
+    }
+
+    /// Average of the per-slice cumulative ratios (the paper's "Average
+    /// Pruning Ratio" column in Table 3).
+    pub fn average_ratio(&self) -> f64 {
+        let ratios = self.cumulative_ratios();
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+
+    /// Fraction of point-dimension work skipped overall: pruned candidates
+    /// skip all their remaining slices.
+    pub fn work_saved_percent(&self) -> f64 {
+        let slices = self.seen.len();
+        if slices == 0 || self.seen[0] == 0 {
+            return 0.0;
+        }
+        let full_work = (self.seen[0] * slices as u64) as f64;
+        let done_work: f64 = self.seen.iter().map(|&s| s as f64).sum();
+        (1.0 - done_work / full_work) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_prunes_on_partial_exceeding_threshold() {
+        let rule = PruneRule::new(Metric::L2, true);
+        assert!(rule.should_prune(5.0, 4.0, 0.0, 0.0));
+        assert!(!rule.should_prune(3.0, 4.0, 0.0, 0.0));
+        // Equal is not strictly greater: keep (could still tie into top-k).
+        assert!(!rule.should_prune(4.0, 4.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn disabled_rule_never_prunes() {
+        let rule = PruneRule::new(Metric::L2, false);
+        assert!(!rule.should_prune(1e9, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn infinite_threshold_never_prunes() {
+        let rule = PruneRule::new(Metric::L2, true);
+        assert!(!rule.should_prune(1e9, f32::INFINITY, 0.0, 0.0));
+    }
+
+    #[test]
+    fn ip_uses_cauchy_schwarz_bound() {
+        let rule = PruneRule::new(Metric::InnerProduct, true);
+        // partial = -2 (i.e. dot product 2 so far); remaining best is
+        // sqrt(1*4) = 2, so the final score can reach -4.
+        assert!(!rule.should_prune(-2.0, -3.5, 1.0, 4.0));
+        // With tiny residuals the bound collapses to the partial itself.
+        assert!(rule.should_prune(-2.0, -3.5, 0.01, 0.01));
+    }
+
+    #[test]
+    fn ip_bound_is_admissible() {
+        // Construct explicit vectors and verify the bound never prunes the
+        // true best completion.
+        let q = [1.0f32, 0.0, 2.0, -1.0];
+        let p = [0.5f32, 1.0, -0.5, 2.0];
+        let split = 2;
+        let partial: f32 = -(q[..split]
+            .iter()
+            .zip(&p[..split])
+            .map(|(a, b)| a * b)
+            .sum::<f32>());
+        let full: f32 = -(q.iter().zip(&p).map(|(a, b)| a * b).sum::<f32>());
+        let q_rest_sq: f32 = q[split..].iter().map(|x| x * x).sum();
+        let p_rest_sq: f32 = p[split..].iter().map(|x| x * x).sum();
+        let bound = partial - (q_rest_sq * p_rest_sq).sqrt();
+        assert!(
+            bound <= full + 1e-6,
+            "bound {bound} must lower-bound the final score {full}"
+        );
+        // Therefore pruning with threshold >= full never fires.
+        let rule = PruneRule::new(Metric::InnerProduct, true);
+        assert!(!rule.should_prune(partial, full, q_rest_sq, p_rest_sq));
+    }
+
+    #[test]
+    fn slice_stats_cumulative_ratios_match_paper_shape() {
+        let mut s = SliceStats::new(4);
+        // 1000 candidates enter slice 0; 505 survive to slice 1; etc. —
+        // mirroring Fig. 2a's 0 / 49.5 / 82.3 / 97.4 %.
+        s.merge_report(&[1000, 505, 177, 26], &[495, 328, 151, 20]);
+        let ratios = s.cumulative_ratios();
+        assert_eq!(ratios[0], 0.0);
+        assert!((ratios[1] - 49.5).abs() < 0.01);
+        assert!((ratios[2] - 82.3).abs() < 0.01);
+        assert!((ratios[3] - 97.4).abs() < 0.01);
+        assert!(s.average_ratio() > 50.0);
+    }
+
+    #[test]
+    fn slice_stats_merge_accumulates() {
+        let mut s = SliceStats::new(2);
+        s.merge_report(&[10, 5], &[5, 2]);
+        s.merge_report(&[10, 5], &[5, 2]);
+        assert_eq!(s.seen, vec![20, 10]);
+        assert_eq!(s.pruned, vec![10, 4]);
+    }
+
+    #[test]
+    fn work_saved_reflects_skipped_slices() {
+        let mut s = SliceStats::new(4);
+        // No pruning: everyone visits all 4 slices → 0 % saved.
+        s.merge_report(&[100, 100, 100, 100], &[0, 0, 0, 0]);
+        assert_eq!(s.work_saved_percent(), 0.0);
+
+        let mut s = SliceStats::new(4);
+        // Everything pruned after slice 0 → 75 % of work skipped.
+        s.merge_report(&[100, 0, 0, 0], &[100, 0, 0, 0]);
+        assert!((s.work_saved_percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_quiet() {
+        let s = SliceStats::new(0);
+        assert_eq!(s.average_ratio(), 0.0);
+        assert_eq!(s.work_saved_percent(), 0.0);
+        let s = SliceStats::new(3);
+        assert_eq!(s.cumulative_ratios(), vec![0.0, 0.0, 0.0]);
+    }
+}

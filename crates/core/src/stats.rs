@@ -1,0 +1,162 @@
+//! Engine-level statistics: build timing, pruning breakdowns, QPS.
+
+use std::time::Duration;
+
+use harmony_cluster::{ClusterSnapshot, CommMode, TimeBreakdown};
+
+use crate::cost::PlanCost;
+use crate::partition::PartitionPlan;
+use crate::pruning::SliceStats;
+
+/// Timing of the three index-construction stages (Fig. 10).
+#[derive(Debug, Clone)]
+pub struct BuildStats {
+    /// k-means training time ("Train").
+    pub train: Duration,
+    /// Vector-to-list assignment time ("Add").
+    pub add: Duration,
+    /// Distribution of grid blocks to machines ("Pre-assign").
+    pub preassign: Duration,
+    /// The plan the engine ended up with.
+    pub plan: PartitionPlan,
+    /// Cost-model estimate of the chosen plan (None for forced plans).
+    pub plan_cost: Option<PlanCost>,
+    /// Bytes shipped to workers during pre-assign.
+    pub bytes_shipped: u64,
+}
+
+impl BuildStats {
+    /// Total build time.
+    pub fn total(&self) -> Duration {
+        self.train + self.add + self.preassign
+    }
+}
+
+/// Aggregated per-worker statistics after a batch.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Per-slice pruning counters aggregated over workers.
+    pub slices: SliceStats,
+    /// Per-worker block-storage bytes.
+    pub worker_memory_bytes: Vec<u64>,
+    /// Total point-dimension products scanned across workers.
+    pub scanned_point_dims: u64,
+}
+
+impl EngineStats {
+    /// Total index bytes across workers.
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.worker_memory_bytes.iter().sum()
+    }
+
+    /// Largest single-worker block storage.
+    pub fn max_worker_memory_bytes(&self) -> u64 {
+        self.worker_memory_bytes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Outcome of a batch search.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query neighbor lists, best-first, parallel to the input store.
+    pub results: Vec<Vec<harmony_index::Neighbor>>,
+    /// Wall-clock time of the batch at the client.
+    pub wall: Duration,
+    /// Metrics delta accumulated during the batch.
+    pub snapshot: ClusterSnapshot,
+    /// Communication mode in force (decides makespan composition).
+    pub comm_mode: CommMode,
+}
+
+impl BatchResult {
+    /// Queries per second by wall clock.
+    pub fn qps_wall(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / secs
+    }
+
+    /// Queries per second by the modeled cluster makespan: compute busy time
+    /// plus modeled network time, gated by the slowest node. This is the
+    /// number the paper's testbed would observe, where the 100 Gb/s fabric —
+    /// not the in-process channel — carries every message.
+    pub fn qps_modeled(&self) -> f64 {
+        let ns = self.snapshot.makespan_ns(self.comm_mode);
+        if ns == 0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (ns as f64 / 1e9)
+    }
+
+    /// Three-way time breakdown over the batch.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.snapshot.breakdown()
+    }
+
+    /// Std-dev of per-worker compute load (the measured `I(π)`).
+    pub fn load_imbalance(&self) -> f64 {
+        self.snapshot.imbalance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_cluster::NodeSnapshot;
+
+    #[test]
+    fn build_total_sums_stages() {
+        let b = BuildStats {
+            train: Duration::from_millis(10),
+            add: Duration::from_millis(20),
+            preassign: Duration::from_millis(5),
+            plan: PartitionPlan::pure_vector(4),
+            plan_cost: None,
+            bytes_shipped: 0,
+        };
+        assert_eq!(b.total(), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn qps_uses_result_count() {
+        let snapshot = ClusterSnapshot {
+            workers: vec![NodeSnapshot {
+                busy_ns: 1_000_000_000, // 1 s busy
+                ..Default::default()
+            }],
+            client: NodeSnapshot::default(),
+        };
+        let r = BatchResult {
+            results: vec![vec![]; 100],
+            wall: Duration::from_millis(500),
+            snapshot,
+            comm_mode: CommMode::NonBlocking,
+        };
+        assert!((r.qps_wall() - 200.0).abs() < 1.0);
+        assert!((r.qps_modeled() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_batch_is_zero_qps() {
+        let r = BatchResult {
+            results: vec![],
+            wall: Duration::ZERO,
+            snapshot: ClusterSnapshot::default(),
+            comm_mode: CommMode::NonBlocking,
+        };
+        assert_eq!(r.qps_wall(), 0.0);
+        assert_eq!(r.qps_modeled(), 0.0);
+    }
+
+    #[test]
+    fn engine_stats_memory_helpers() {
+        let s = EngineStats {
+            worker_memory_bytes: vec![10, 30, 20],
+            ..Default::default()
+        };
+        assert_eq!(s.total_memory_bytes(), 60);
+        assert_eq!(s.max_worker_memory_bytes(), 30);
+    }
+}

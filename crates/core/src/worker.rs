@@ -1,0 +1,786 @@
+//! The Harmony worker: hosts grid blocks and executes the dimension
+//! pipeline (Algorithm 1's `DimensionPipeline`, Fig. 5b).
+//!
+//! Each worker owns one grid block `V_s D_b` per shard it participates in:
+//! the vectors of shard `s`'s inverted lists, restricted to dimension block
+//! `b`. Query execution is a relay:
+//!
+//! 1. The *first* machine of a query's pipeline order enumerates candidates
+//!    from its probed lists, computes partial scores over its dimension
+//!    range, prunes against the threshold, and forwards survivors as a
+//!    [`Carry`].
+//! 2. *Middle* machines add their block's contribution to each carried
+//!    partial, prune again (partials only grow under L2), and forward.
+//! 3. The *last* machine completes the scores, keeps the best `k`, and
+//!    reports a [`QueryResult`] to the client.
+//!
+//! The chunk for a machine may arrive after the carry from its predecessor
+//! (different senders, one mailbox), so both orders are buffered.
+//! Per-position pruning counters feed Fig. 2a and Table 3.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use harmony_cluster::{NodeCtx, NodeHandler, NodeId, Wire, CLIENT};
+use harmony_index::distance::{ip, l2_sq};
+use harmony_index::{Metric, TopK};
+
+use crate::messages::{
+    metric_tag, Carry, LoadBlock, QueryChunk, QueryResult, StatsReport, ToClient, ToWorker,
+};
+use crate::pruning::PruneRule;
+
+/// One inverted list restricted to this worker's dimension block.
+struct ListBlock {
+    ids: Vec<u64>,
+    /// Row-major, `width` floats per member.
+    flat: Vec<f32>,
+    block_norms_sq: Vec<f32>,
+    total_norms_sq: Vec<f32>,
+    width: usize,
+}
+
+impl ListBlock {
+    fn row(&self, i: usize) -> &[f32] {
+        &self.flat[i * self.width..(i + 1) * self.width]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.ids.capacity() * 8
+            + self.flat.capacity() * 4
+            + self.block_norms_sq.capacity() * 4
+            + self.total_norms_sq.capacity() * 4
+    }
+}
+
+/// Storage for one grid block `V_s D_b`.
+struct BlockStore {
+    dim_block: u32,
+    lists: HashMap<u32, ListBlock>,
+}
+
+impl BlockStore {
+    fn memory_bytes(&self) -> usize {
+        self.lists.values().map(ListBlock::memory_bytes).sum::<usize>()
+    }
+}
+
+/// In-flight pipeline state keyed by `(query_id, shard)`.
+#[derive(Default)]
+struct PendingTables {
+    chunks: HashMap<(u64, u32), QueryChunk>,
+    carries: HashMap<(u64, u32), Carry>,
+}
+
+/// Negated dot product: the lower-is-better partial for similarity metrics.
+fn neg_ip(a: &[f32], b: &[f32]) -> f32 {
+    -ip(a, b)
+}
+
+/// Hoists the metric dispatch out of per-candidate loops: with dimension
+/// blocks as thin as 32 floats, a per-candidate `match` + feature check
+/// costs as much as the kernel itself.
+#[inline]
+fn scorer_for(metric: Metric) -> fn(&[f32], &[f32]) -> f32 {
+    match metric {
+        Metric::L2 => l2_sq,
+        Metric::InnerProduct | Metric::Cosine => neg_ip,
+    }
+}
+
+/// The Harmony worker node handler.
+pub struct HarmonyWorker {
+    /// shard → block storage (a worker serves one dim block per shard).
+    blocks: HashMap<u32, BlockStore>,
+    pending: PendingTables,
+    metric: Metric,
+    rule: PruneRule,
+    total_dim_blocks: usize,
+    // --- statistics ---
+    slice_in: Vec<u64>,
+    slice_pruned: Vec<u64>,
+    scanned_point_dims: u64,
+}
+
+impl Default for HarmonyWorker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HarmonyWorker {
+    /// Creates an empty worker; configuration arrives with the first
+    /// [`LoadBlock`].
+    pub fn new() -> Self {
+        Self {
+            blocks: HashMap::new(),
+            pending: PendingTables::default(),
+            metric: Metric::L2,
+            rule: PruneRule::new(Metric::L2, true),
+            total_dim_blocks: 1,
+            slice_in: vec![0],
+            slice_pruned: vec![0],
+            scanned_point_dims: 0,
+        }
+    }
+
+    fn handle_load(&mut self, ctx: &NodeCtx, load: LoadBlock) {
+        let metric = metric_tag::decode(load.metric).unwrap_or(Metric::L2);
+        self.metric = metric;
+        self.rule = PruneRule::new(metric, load.pruning);
+        self.total_dim_blocks = load.total_dim_blocks.max(1) as usize;
+        self.slice_in = vec![0; self.total_dim_blocks];
+        self.slice_pruned = vec![0; self.total_dim_blocks];
+
+        let width = (load.dim_end - load.dim_start) as usize;
+        let mut lists = HashMap::with_capacity(load.lists.len());
+        for cb in load.lists {
+            lists.insert(
+                cb.cluster,
+                ListBlock {
+                    ids: cb.ids,
+                    flat: cb.flat,
+                    block_norms_sq: cb.block_norms_sq,
+                    total_norms_sq: cb.total_norms_sq,
+                    width,
+                },
+            );
+        }
+        let shard = load.shard;
+        self.blocks.insert(
+            shard,
+            BlockStore {
+                dim_block: load.dim_block,
+                lists,
+            },
+        );
+        let ack = ToClient::LoadAck {
+            shard,
+            dim_block: self.blocks[&shard].dim_block,
+        }
+        .to_bytes();
+        let _ = ctx.send(CLIENT, ack);
+    }
+
+    fn handle_chunk(&mut self, ctx: &NodeCtx, chunk: QueryChunk) {
+        if chunk.position == 0 {
+            self.start_pipeline(ctx, chunk);
+        } else {
+            let key = (chunk.query_id, chunk.shard);
+            if let Some(carry) = self.pending.carries.remove(&key) {
+                self.continue_pipeline(ctx, chunk, carry);
+            } else {
+                self.pending.chunks.insert(key, chunk);
+            }
+        }
+    }
+
+    fn handle_carry(&mut self, ctx: &NodeCtx, carry: Carry) {
+        let key = (carry.query_id, carry.shard);
+        if let Some(chunk) = self.pending.chunks.remove(&key) {
+            self.continue_pipeline(ctx, chunk, carry);
+        } else {
+            self.pending.carries.insert(key, carry);
+        }
+    }
+
+    /// Position 0: enumerate candidates from the probed lists and compute
+    /// the first partials.
+    fn start_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk) {
+        let Some(block) = self.blocks.get(&chunk.shard) else {
+            // Block never loaded: answer emptily so the client can finish.
+            self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
+            return;
+        };
+        let is_ip = !matches!(self.metric, Metric::L2);
+        let q_block_norm_sq = if is_ip { ip(&chunk.dims, &chunk.dims) } else { 0.0 };
+        let threshold = chunk.threshold;
+        let rule = self.rule;
+
+        let single_hop = chunk.order.len() <= 1;
+        let mut indices = Vec::new();
+        let mut partials = Vec::new();
+        let mut visited_norms_sq = Vec::new();
+        // Single-hop fast path accumulates directly into a top-k.
+        let mut topk = TopK::new(chunk.k.max(1) as usize);
+        let mut out_ids = Vec::new();
+        let mut seen = 0u64;
+        let mut pruned = 0u64;
+        let mut scanned = 0u64;
+
+        let scorer = scorer_for(self.metric);
+        {
+            let mut enum_index = 0u32;
+            for cluster in &chunk.clusters {
+                let Some(list) = block.lists.get(cluster) else {
+                    continue;
+                };
+                for (i, row) in list.flat.chunks_exact(list.width.max(1)).enumerate() {
+                    let index = enum_index;
+                    enum_index += 1;
+                    seen += 1;
+                    scanned += list.width as u64;
+                    let partial = scorer(&chunk.dims, row);
+                    if single_hop {
+                        // Partials are full scores; keep the best k.
+                        let local_tau = threshold.min(topk.threshold());
+                        if rule.enabled() && partial > local_tau {
+                            pruned += 1;
+                            continue;
+                        }
+                        topk.push(list.ids[i], partial);
+                        continue;
+                    }
+                    let (q_rest, p_rest) = if is_ip {
+                        (
+                            chunk.q_total_norm_sq - q_block_norm_sq,
+                            list.total_norms_sq[i] - list.block_norms_sq[i],
+                        )
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    if rule.should_prune(partial, threshold, q_rest, p_rest) {
+                        pruned += 1;
+                        continue;
+                    }
+                    indices.push(index);
+                    partials.push(partial);
+                    if is_ip {
+                        visited_norms_sq.push(list.block_norms_sq[i]);
+                    }
+                }
+            }
+        }
+        // Modeled compute charge: deterministic, host-independent.
+        ctx.charge_compute(scanned, seen);
+
+        self.slice_in[0] += seen;
+        self.slice_pruned[0] += pruned;
+        self.scanned_point_dims += scanned;
+
+        if single_hop {
+            let mut scores = Vec::new();
+            for n in topk.into_sorted() {
+                out_ids.push(n.id);
+                scores.push(n.score);
+            }
+            self.finalize(ctx, &chunk, out_ids, scores, seen);
+        } else {
+            let carry = Carry {
+                query_id: chunk.query_id,
+                shard: chunk.shard,
+                threshold,
+                next_position: 1,
+                indices,
+                partials,
+                visited_norms_sq,
+                q_visited_norm_sq: q_block_norm_sq,
+            };
+            let next = chunk.order[1] as NodeId;
+            let _ = ctx.send(next, ToWorker::Carry(carry).to_bytes());
+        }
+    }
+
+    /// Positions 1..: add this block's contribution to carried partials.
+    fn continue_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk, carry: Carry) {
+        let position = chunk.position as usize;
+        let is_last = position + 1 >= chunk.order.len();
+        let Some(block) = self.blocks.get(&chunk.shard) else {
+            self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
+            return;
+        };
+        let is_ip = !matches!(self.metric, Metric::L2);
+        let q_block_norm_sq = if is_ip { ip(&chunk.dims, &chunk.dims) } else { 0.0 };
+        let q_visited = carry.q_visited_norm_sq + q_block_norm_sq;
+        // Tightest threshold wins (lower-is-better scores).
+        let threshold = chunk.threshold.min(carry.threshold);
+        let rule = self.rule;
+
+        let seen = carry.indices.len() as u64;
+        let mut pruned = 0u64;
+        let mut scanned = 0u64;
+        let mut indices = Vec::with_capacity(carry.indices.len());
+        let mut partials = Vec::with_capacity(carry.indices.len());
+        let mut visited_norms_sq = Vec::new();
+        // Last hop keeps a local top-k so the threshold tightens within the
+        // scan itself.
+        let mut topk = TopK::new(chunk.k.max(1) as usize);
+
+        let scorer = scorer_for(self.metric);
+        {
+            // Merge-walk the canonical enumeration (clusters in chunk order,
+            // members in list order) against the ascending survivor indices.
+            let mut cursor = 0usize; // position in carry.indices
+            let mut base = 0u32; // enumeration index of current list's row 0
+            'clusters: for cluster in &chunk.clusters {
+                let Some(list) = block.lists.get(cluster) else {
+                    continue;
+                };
+                let list_len = list.ids.len() as u32;
+                while cursor < carry.indices.len() {
+                    let index = carry.indices[cursor];
+                    if index >= base + list_len {
+                        break; // survivor lives in a later list
+                    }
+                    let row = (index - base) as usize;
+                    scanned += list.width as u64;
+                    let partial = carry.partials[cursor]
+                        + scorer(&chunk.dims, list.row(row));
+                    let (q_rest, p_rest, p_visited) = if is_ip {
+                        let p_visited =
+                            carry.visited_norms_sq[cursor] + list.block_norms_sq[row];
+                        (
+                            chunk.q_total_norm_sq - q_visited,
+                            list.total_norms_sq[row] - p_visited,
+                            p_visited,
+                        )
+                    } else {
+                        (0.0, 0.0, 0.0)
+                    };
+                    if is_last {
+                        // Full score now known; keep only entries beating
+                        // both the global threshold and the local top-k.
+                        let local_tau = threshold.min(topk.threshold());
+                        if rule.enabled() && partial > local_tau {
+                            pruned += 1;
+                        } else {
+                            topk.push(list.ids[row], partial);
+                        }
+                    } else if rule.should_prune(partial, threshold, q_rest, p_rest) {
+                        pruned += 1;
+                    } else {
+                        indices.push(index);
+                        partials.push(partial);
+                        if is_ip {
+                            visited_norms_sq.push(p_visited);
+                        }
+                    }
+                    cursor += 1;
+                    if cursor == carry.indices.len() {
+                        break 'clusters;
+                    }
+                }
+                base += list_len;
+            }
+            debug_assert_eq!(
+                cursor,
+                carry.indices.len(),
+                "carried indices extend past the canonical enumeration"
+            );
+        }
+        ctx.charge_compute(scanned, seen);
+
+        if position < self.slice_in.len() {
+            self.slice_in[position] += seen;
+            self.slice_pruned[position] += pruned;
+        }
+        self.scanned_point_dims += scanned;
+
+        if is_last {
+            let (mut ids, mut scores) = (Vec::new(), Vec::new());
+            for n in topk.into_sorted() {
+                ids.push(n.id);
+                scores.push(n.score);
+            }
+            self.finalize(ctx, &chunk, ids, scores, seen);
+        } else {
+            let next_position = position as u32 + 1;
+            let next = chunk.order[position + 1] as NodeId;
+            let out = Carry {
+                query_id: chunk.query_id,
+                shard: chunk.shard,
+                threshold,
+                next_position,
+                indices,
+                partials,
+                visited_norms_sq,
+                q_visited_norm_sq: q_visited,
+            };
+            let _ = ctx.send(next, ToWorker::Carry(out).to_bytes());
+        }
+    }
+
+    /// Sends the shard's final candidates to the client, truncated to `k`.
+    fn finalize(
+        &mut self,
+        ctx: &NodeCtx,
+        chunk: &QueryChunk,
+        ids: Vec<u64>,
+        scores: Vec<f32>,
+        candidates_seen: u64,
+    ) {
+        let k = chunk.k.max(1) as usize;
+        let (ids, scores) = if ids.len() > k {
+            let mut topk = TopK::new(k);
+            for (&id, &s) in ids.iter().zip(&scores) {
+                topk.push(id, s);
+            }
+            let mut out_ids = Vec::with_capacity(k);
+            let mut out_scores = Vec::with_capacity(k);
+            for n in topk.into_sorted() {
+                out_ids.push(n.id);
+                out_scores.push(n.score);
+            }
+            (out_ids, out_scores)
+        } else {
+            (ids, scores)
+        };
+        let result = ToClient::Result(QueryResult {
+            query_id: chunk.query_id,
+            shard: chunk.shard,
+            ids,
+            scores,
+            candidates_seen,
+        });
+        let _ = ctx.send(CLIENT, result.to_bytes());
+    }
+
+    fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            slice_in: self.slice_in.clone(),
+            slice_pruned: self.slice_pruned.clone(),
+            scanned_point_dims: self.scanned_point_dims,
+            memory_bytes: self
+                .blocks
+                .values()
+                .map(BlockStore::memory_bytes)
+                .sum::<usize>() as u64,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.slice_in = vec![0; self.total_dim_blocks];
+        self.slice_pruned = vec![0; self.total_dim_blocks];
+        self.scanned_point_dims = 0;
+    }
+}
+
+impl NodeHandler for HarmonyWorker {
+    fn handle(&mut self, ctx: &NodeCtx, _from: NodeId, payload: Bytes) {
+        let msg = match ToWorker::from_bytes(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                debug_assert!(false, "malformed worker message");
+                return;
+            }
+        };
+        match msg {
+            ToWorker::Load(load) => self.handle_load(ctx, load),
+            ToWorker::Chunk(chunk) => self.handle_chunk(ctx, chunk),
+            ToWorker::Carry(carry) => self.handle_carry(ctx, carry),
+            ToWorker::GetStats => {
+                let _ = ctx.send(CLIENT, ToClient::Stats(self.stats_report()).to_bytes());
+            }
+            ToWorker::ResetStats => self.reset_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_cluster::{Cluster, ClusterConfig};
+    use std::time::Duration;
+
+    /// Loads a 2-vector block into a single worker and runs a query.
+    fn one_worker_cluster() -> Cluster {
+        Cluster::spawn(ClusterConfig::new(1), |_| HarmonyWorker::new())
+    }
+
+    fn load_block(pruning: bool) -> LoadBlock {
+        LoadBlock {
+            shard: 0,
+            dim_block: 0,
+            dim_start: 0,
+            dim_end: 2,
+            total_dim_blocks: 1,
+            metric: 0,
+            pruning,
+            lists: vec![ClusterBlockFixture::simple()],
+        }
+    }
+
+    struct ClusterBlockFixture;
+    impl ClusterBlockFixture {
+        fn simple() -> crate::messages::ClusterBlock {
+            crate::messages::ClusterBlock {
+                cluster: 0,
+                ids: vec![100, 200, 300],
+                // Vectors (1,0), (0,1), (5,5).
+                flat: vec![1.0, 0.0, 0.0, 1.0, 5.0, 5.0],
+                block_norms_sq: vec![],
+                total_norms_sq: vec![],
+            }
+        }
+    }
+
+    fn recv_result(cluster: &mut Cluster) -> QueryResult {
+        loop {
+            let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+            match ToClient::from_bytes(payload).unwrap() {
+                ToClient::Result(r) => return r,
+                _ => continue,
+            }
+        }
+    }
+
+    fn drain_ack(cluster: &mut Cluster) {
+        let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            ToClient::from_bytes(payload).unwrap(),
+            ToClient::LoadAck { .. }
+        ));
+    }
+
+    #[test]
+    fn single_block_pipeline_returns_topk() {
+        let mut cluster = one_worker_cluster();
+        cluster
+            .send(0, ToWorker::Load(load_block(true)).to_bytes())
+            .unwrap();
+        drain_ack(&mut cluster);
+
+        let chunk = QueryChunk {
+            query_id: 1,
+            shard: 0,
+            k: 2,
+            threshold: f32::INFINITY,
+            clusters: vec![0],
+            dims: vec![1.0, 0.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        assert_eq!(r.query_id, 1);
+        assert_eq!(r.ids, vec![100, 200]); // distances 0, 2 (vs 41 for id 300)
+        assert_eq!(r.candidates_seen, 3);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn threshold_prunes_at_first_hop() {
+        let mut cluster = one_worker_cluster();
+        cluster
+            .send(0, ToWorker::Load(load_block(true)).to_bytes())
+            .unwrap();
+        drain_ack(&mut cluster);
+
+        // τ = 1.0: only id 100 (distance 0) survives.
+        let chunk = QueryChunk {
+            query_id: 2,
+            shard: 0,
+            k: 3,
+            threshold: 1.0,
+            clusters: vec![0],
+            dims: vec![1.0, 0.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        assert_eq!(r.ids, vec![100]);
+
+        // Stats must show 2 pruned of 3 seen.
+        cluster.send(0, ToWorker::GetStats.to_bytes()).unwrap();
+        let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        match ToClient::from_bytes(payload).unwrap() {
+            ToClient::Stats(s) => {
+                assert_eq!(s.slice_in, vec![3]);
+                assert_eq!(s.slice_pruned, vec![2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn two_hop_pipeline_accumulates_partials() {
+        // Two workers, 4-d vectors split 2+2. Worker 0 has dims [0,2),
+        // worker 1 has dims [2,4).
+        let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| HarmonyWorker::new());
+        let base: Vec<[f32; 4]> = vec![[1.0, 0.0, 0.0, 0.0], [0.0, 0.0, 0.0, 2.0]];
+        let ids = vec![10u64, 20u64];
+        for (w, range) in [(0usize, 0..2), (1usize, 2..4)] {
+            let flat: Vec<f32> = base
+                .iter()
+                .flat_map(|v| v[range.clone()].to_vec())
+                .collect();
+            let load = LoadBlock {
+                shard: 0,
+                dim_block: w as u32,
+                dim_start: range.start as u64,
+                dim_end: range.end as u64,
+                total_dim_blocks: 2,
+                metric: 0,
+                pruning: true,
+                lists: vec![crate::messages::ClusterBlock {
+                    cluster: 0,
+                    ids: ids.clone(),
+                    flat,
+                    block_norms_sq: vec![],
+                    total_norms_sq: vec![],
+                }],
+            };
+            cluster.send(w, ToWorker::Load(load).to_bytes()).unwrap();
+            drain_ack(&mut cluster);
+        }
+
+        // Query = (1, 0, 0, 0): distance 0 to id 10, 1 + 4 = 5 to id 20.
+        let query = [1.0f32, 0.0, 0.0, 0.0];
+        for (w, range, position) in [(0usize, 0..2, 0u32), (1usize, 2..4, 1u32)] {
+            let chunk = QueryChunk {
+                query_id: 7,
+                shard: 0,
+                k: 2,
+                threshold: f32::INFINITY,
+                clusters: vec![0],
+                dims: query[range].to_vec(),
+                q_total_norm_sq: 0.0,
+                order: vec![0, 1],
+                position,
+            };
+            cluster.send(w, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        }
+        let r = recv_result(&mut cluster);
+        assert_eq!(r.ids, vec![10, 20]);
+        assert!((r.scores[0] - 0.0).abs() < 1e-6);
+        assert!((r.scores[1] - 5.0).abs() < 1e-6);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn carry_before_chunk_is_buffered() {
+        // Deliver the carry to worker 0 before its chunk: the pipeline must
+        // still complete.
+        let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| HarmonyWorker::new());
+        let load = LoadBlock {
+            shard: 0,
+            dim_block: 1,
+            dim_start: 1,
+            dim_end: 2,
+            total_dim_blocks: 2,
+            metric: 0,
+            pruning: true,
+            lists: vec![crate::messages::ClusterBlock {
+                cluster: 0,
+                ids: vec![1],
+                flat: vec![3.0],
+                block_norms_sq: vec![],
+                total_norms_sq: vec![],
+            }],
+        };
+        cluster.send(0, ToWorker::Load(load).to_bytes()).unwrap();
+        drain_ack(&mut cluster);
+
+        let carry = Carry {
+            query_id: 9,
+            shard: 0,
+            threshold: f32::INFINITY,
+            next_position: 1,
+            indices: vec![0],
+            partials: vec![4.0],
+            visited_norms_sq: vec![],
+            q_visited_norm_sq: 0.0,
+        };
+        cluster.send(0, ToWorker::Carry(carry).to_bytes()).unwrap();
+        // Now the chunk (position 1 of a 2-hop order [9, 0] — final hop).
+        let chunk = QueryChunk {
+            query_id: 9,
+            shard: 0,
+            k: 1,
+            threshold: f32::INFINITY,
+            clusters: vec![0],
+            dims: vec![1.0], // (1 - 3)^2 = 4 added to carried 4.0
+            q_total_norm_sq: 0.0,
+            order: vec![9, 0],
+            position: 1,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        assert_eq!(r.ids, vec![1]);
+        assert!((r.scores[0] - 8.0).abs() < 1e-6);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pruning_disabled_forwards_everything() {
+        let mut cluster = one_worker_cluster();
+        cluster
+            .send(0, ToWorker::Load(load_block(false)).to_bytes())
+            .unwrap();
+        drain_ack(&mut cluster);
+        let chunk = QueryChunk {
+            query_id: 3,
+            shard: 0,
+            k: 3,
+            threshold: 0.5, // would prune everything if enabled
+            clusters: vec![0],
+            dims: vec![9.0, 9.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        assert_eq!(r.ids.len(), 3, "disabled pruning must keep all candidates");
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_shard_answers_empty() {
+        let mut cluster = one_worker_cluster();
+        // No Load at all.
+        let chunk = QueryChunk {
+            query_id: 4,
+            shard: 5,
+            k: 1,
+            threshold: f32::INFINITY,
+            clusters: vec![0],
+            dims: vec![0.0, 0.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        assert!(r.ids.is_empty());
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut cluster = one_worker_cluster();
+        cluster
+            .send(0, ToWorker::Load(load_block(true)).to_bytes())
+            .unwrap();
+        drain_ack(&mut cluster);
+        let chunk = QueryChunk {
+            query_id: 5,
+            shard: 0,
+            k: 1,
+            threshold: f32::INFINITY,
+            clusters: vec![0],
+            dims: vec![0.0, 0.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let _ = recv_result(&mut cluster);
+        cluster.send(0, ToWorker::ResetStats.to_bytes()).unwrap();
+        cluster.send(0, ToWorker::GetStats.to_bytes()).unwrap();
+        let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        match ToClient::from_bytes(payload).unwrap() {
+            ToClient::Stats(s) => {
+                assert!(s.slice_in.iter().all(|&x| x == 0));
+                assert_eq!(s.scanned_point_dims, 0);
+                assert!(s.memory_bytes > 0, "memory survives a stats reset");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        cluster.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! Exact k-NN ground truth and recall computation.
+//!
+//! The paper's QPS-recall trade-off (Fig. 6) sweeps `nprobe` and measures
+//! recall against exhaustive search. This module computes that ground truth
+//! in parallel and scores approximate results with the standard
+//! `recall@k = |approx ∩ exact| / k`, averaged over queries.
+
+use harmony_index::{FlatIndex, Metric, Neighbor, VectorStore};
+
+/// Exact top-`k` neighbors of every query, computed by parallel brute force.
+pub fn ground_truth(
+    base: &VectorStore,
+    queries: &VectorStore,
+    k: usize,
+    metric: Metric,
+) -> Vec<Vec<Neighbor>> {
+    let flat = FlatIndex::from_store(base.clone(), metric);
+    flat.search_batch(queries, k)
+        .expect("ground truth dims must match")
+}
+
+/// Average recall@k of `results` against `truth`.
+///
+/// Each entry of both slices is one query's neighbor list, best-first.
+/// Result lists shorter than `k` simply contribute fewer hits.
+///
+/// # Panics
+/// Panics if the slices have different lengths or `k == 0`.
+pub fn recall_at_k(truth: &[Vec<Neighbor>], results: &[Vec<Neighbor>], k: usize) -> f64 {
+    assert_eq!(truth.len(), results.len(), "query count mismatch");
+    assert!(k > 0, "k must be positive");
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for (t, r) in truth.iter().zip(results) {
+        let expected: std::collections::HashSet<u64> =
+            t.iter().take(k).map(|n| n.id).collect();
+        let hits = r
+            .iter()
+            .take(k)
+            .filter(|n| expected.contains(&n.id))
+            .count();
+        // Normalize by the achievable maximum (ground truth may hold fewer
+        // than k entries for tiny datasets).
+        let denom = expected.len().min(k).max(1);
+        total += hits as f64 / denom as f64;
+    }
+    total / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    #[test]
+    fn truth_of_self_queries_is_identity() {
+        let d = SyntheticSpec::clustered(300, 8, 4).with_seed(1).generate();
+        let queries = d.base.gather(&[5, 10, 15]);
+        let truth = ground_truth(&d.base, &queries, 1, Metric::L2);
+        assert_eq!(truth[0][0].id, 5);
+        assert_eq!(truth[1][0].id, 10);
+        assert_eq!(truth[2][0].id, 15);
+    }
+
+    #[test]
+    fn recall_of_exact_results_is_one() {
+        let d = SyntheticSpec::clustered(200, 4, 4).with_seed(2).generate();
+        let truth = ground_truth(&d.base, &d.queries, 10, Metric::L2);
+        assert_eq!(recall_at_k(&truth, &truth, 10), 1.0);
+    }
+
+    #[test]
+    fn recall_of_disjoint_results_is_zero() {
+        let truth = vec![vec![Neighbor::new(1, 0.0), Neighbor::new(2, 1.0)]];
+        let results = vec![vec![Neighbor::new(8, 0.0), Neighbor::new(9, 1.0)]];
+        assert_eq!(recall_at_k(&truth, &results, 2), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_partial_overlap() {
+        let truth = vec![vec![
+            Neighbor::new(1, 0.0),
+            Neighbor::new(2, 1.0),
+            Neighbor::new(3, 2.0),
+            Neighbor::new(4, 3.0),
+        ]];
+        let results = vec![vec![
+            Neighbor::new(1, 0.0),
+            Neighbor::new(3, 2.0),
+            Neighbor::new(99, 9.0),
+            Neighbor::new(98, 9.5),
+        ]];
+        assert!((recall_at_k(&truth, &results, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_only_considers_top_k_prefix() {
+        let truth = vec![vec![Neighbor::new(1, 0.0), Neighbor::new(2, 1.0)]];
+        // Correct id appears beyond position k.
+        let results = vec![vec![Neighbor::new(9, 0.0), Neighbor::new(1, 1.0)]];
+        assert_eq!(recall_at_k(&truth, &results, 1), 0.0);
+        assert_eq!(recall_at_k(&truth, &results, 2), 0.5);
+    }
+
+    #[test]
+    fn empty_query_set_scores_perfect() {
+        assert_eq!(recall_at_k(&[], &[], 5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query count mismatch")]
+    fn mismatched_lengths_panic() {
+        recall_at_k(&[vec![]], &[], 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! `fvecs` / `ivecs` file IO.
+//!
+//! The standard formats of the SIFT/GloVe/Deep benchmark suites: every
+//! vector is a 4-byte little-endian dimension count followed by that many
+//! 4-byte little-endian values (`f32` for fvecs, `i32` for ivecs). Readers
+//! validate that all records agree on the dimension. With these, the real
+//! Table 2 datasets drop into every experiment in place of the synthetic
+//! analogs.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use harmony_index::VectorStore;
+
+/// Errors from dataset file IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Structurally invalid file.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an entire `.fvecs` file into a [`VectorStore`] (ids `0..n`).
+///
+/// # Errors
+/// [`IoError`] on filesystem failure or malformed records.
+pub fn read_fvecs(path: impl AsRef<Path>) -> Result<VectorStore, IoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut dim: Option<usize> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut header = [0u8; 4];
+    loop {
+        match reader.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let d = i32::from_le_bytes(header);
+        if d <= 0 {
+            return Err(IoError::Format(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(expected) if expected != d => {
+                return Err(IoError::Format(format!(
+                    "inconsistent dimensions: {expected} then {d}"
+                )))
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; d * 4];
+        reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                IoError::Format("truncated record".to_string())
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        data.extend(
+            buf.chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+    }
+    let dim = dim.ok_or_else(|| IoError::Format("empty file".to_string()))?;
+    VectorStore::from_flat(dim, data).map_err(|e| IoError::Format(e.to_string()))
+}
+
+/// Writes a [`VectorStore`] as `.fvecs`.
+///
+/// # Errors
+/// [`IoError::Io`] on filesystem failure.
+pub fn write_fvecs(path: impl AsRef<Path>, store: &VectorStore) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    let dim = store.dim() as i32;
+    for row in 0..store.len() {
+        writer.write_all(&dim.to_le_bytes())?;
+        for &x in store.row(row) {
+            writer.write_all(&x.to_le_bytes())?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads an `.ivecs` file (e.g. ground-truth id lists).
+///
+/// # Errors
+/// [`IoError`] on filesystem failure or malformed records.
+pub fn read_ivecs(path: impl AsRef<Path>) -> Result<Vec<Vec<i32>>, IoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    let mut header = [0u8; 4];
+    loop {
+        match reader.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let d = i32::from_le_bytes(header);
+        if d < 0 {
+            return Err(IoError::Format(format!("negative count {d}")));
+        }
+        let mut buf = vec![0u8; d as usize * 4];
+        reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                IoError::Format("truncated record".to_string())
+            } else {
+                IoError::Io(e)
+            }
+        })?;
+        out.push(
+            buf.chunks_exact(4)
+                .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Writes id lists as `.ivecs`.
+///
+/// # Errors
+/// [`IoError::Io`] on filesystem failure.
+pub fn write_ivecs(path: impl AsRef<Path>, lists: &[Vec<i32>]) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    for list in lists {
+        writer.write_all(&(list.len() as i32).to_le_bytes())?;
+        for &x in list {
+            writer.write_all(&x.to_le_bytes())?;
+        }
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// Unique temp path per test (no tempfile dependency).
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "harmony-io-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        p
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let store =
+            VectorStore::from_flat(3, vec![1.0, 2.0, 3.0, -4.0, 5.5, 6.25]).unwrap();
+        let path = temp_path("fvecs");
+        write_fvecs(&path, &store).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(back.dim(), 3);
+        assert_eq!(back.as_flat(), store.as_flat());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ivecs_roundtrip_with_ragged_lists() {
+        let lists = vec![vec![1, 2, 3], vec![], vec![42]];
+        let path = temp_path("ivecs");
+        write_ivecs(&path, &lists).unwrap();
+        assert_eq!(read_ivecs(&path).unwrap(), lists);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_fvecs_rejected() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(read_fvecs(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let path = temp_path("trunc");
+        let mut bytes = Vec::new();
+        bytes.extend(4i32.to_le_bytes()); // claims 4 floats
+        bytes.extend(1.0f32.to_le_bytes()); // provides 1
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_fvecs(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_dims_rejected() {
+        let path = temp_path("mixdim");
+        let mut bytes = Vec::new();
+        bytes.extend(1i32.to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2i32.to_le_bytes());
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2.0f32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_fvecs(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_fvecs("/nonexistent/harmony.fvecs"),
+            Err(IoError::Io(_))
+        ));
+    }
+}

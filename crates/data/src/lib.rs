@@ -1,0 +1,31 @@
+//! # harmony-data
+//!
+//! Dataset substrate for the Harmony evaluation.
+//!
+//! The paper evaluates on ten open-source datasets (Table 2: SIFT1M, Msong,
+//! GloVe, Deep1M, Word2vec, StarLightCurves, HandOutlines, SpaceV1B,
+//! Sift1B). Those files are not redistributable here, so this crate provides
+//! (see DESIGN.md §4 *Substitutions*):
+//!
+//! * [`synthetic`] — seeded generators for Gaussian-mixture data with
+//!   controllable cluster structure and inter-dimension correlation,
+//! * [`analogs`] — one *analog* per paper dataset, matching its exact
+//!   dimensionality and data-type character (time series → highly correlated
+//!   dimensions, word embeddings → loosely correlated, ...) at a scaled-down
+//!   cardinality,
+//! * [`workload`] — uniform and skewed query workloads with a controllable
+//!   load-imbalance knob (the x-axis of Fig. 7),
+//! * [`ground_truth`] — exact k-NN answers and recall@k,
+//! * [`io`] — readers/writers for the standard `fvecs`/`ivecs` formats so
+//!   the real datasets drop in when available.
+
+pub mod analogs;
+pub mod ground_truth;
+pub mod io;
+pub mod synthetic;
+pub mod workload;
+
+pub use analogs::DatasetAnalog;
+pub use ground_truth::{ground_truth, recall_at_k};
+pub use synthetic::{Dataset, SyntheticSpec};
+pub use workload::{Workload, WorkloadSpec};

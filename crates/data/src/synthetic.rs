@@ -1,0 +1,403 @@
+//! Seeded synthetic dataset generation.
+//!
+//! All generated data is a *Gaussian mixture*: `components` cluster centers
+//! drawn uniformly in a box, each point sampled around one center with
+//! per-dimension noise. Two knobs shape the data to mimic different
+//! modalities:
+//!
+//! * `spread` — intra-cluster standard deviation relative to the box size:
+//!   small values give tight, IVF-friendly clusters (image descriptors);
+//!   large values approach an unclustered cloud (word embeddings).
+//! * `correlation` — a moving-average smoothing applied across dimensions:
+//!   `0.0` leaves dimensions independent; values near `1.0` produce the
+//!   smooth curves of time-series datasets. Correlated dimensions make
+//!   early dimension blocks more predictive of the full distance, which is
+//!   exactly the property that drives the pruning-ratio differences across
+//!   datasets in the paper's Table 3.
+//! * `spectrum_decay` — per-dimension energy decay `(1 + j)^-decay`. Real
+//!   embeddings (SIFT, deep features, audio) have strongly decaying
+//!   eigenspectra: the leading dimensions carry most of the distance, so
+//!   partial distances over early blocks approximate the full distance and
+//!   dimension-level pruning fires early (the paper's Fig. 2a measures up
+//!   to 97 % cumulative pruning by the last quarter). `0.0` gives a flat
+//!   (isotropic) spectrum.
+//!
+//! Queries are sampled from the same mixture (uniform component choice by
+//! default; see [`crate::workload`] for skewed choices), matching the usual
+//! benchmark construction where query and base distributions coincide.
+
+use harmony_index::VectorStore;
+use rand::prelude::*;
+
+/// A generated dataset: base vectors plus a query set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name for reports.
+    pub name: String,
+    /// Base vectors (ids `0..n`).
+    pub base: VectorStore,
+    /// Query vectors (ids `0..n_queries`).
+    pub queries: VectorStore,
+    /// Mixture component that generated each base vector.
+    pub base_components: Vec<u32>,
+    /// Mixture component that generated each query vector.
+    pub query_components: Vec<u32>,
+    /// Number of mixture components used.
+    pub components: usize,
+}
+
+impl Dataset {
+    /// Dimensionality of the dataset.
+    pub fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    /// Number of base vectors.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// `true` when no base vectors exist.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+}
+
+/// Specification of a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSpec {
+    /// Dataset name used in reports.
+    pub name: String,
+    /// Number of base vectors.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of query vectors.
+    pub n_queries: usize,
+    /// Number of Gaussian mixture components.
+    pub components: usize,
+    /// Intra-cluster standard deviation (box half-width is 1.0).
+    pub spread: f32,
+    /// Cross-dimension smoothing in `[0, 1)`; higher = smoother rows.
+    pub correlation: f32,
+    /// Per-dimension energy decay exponent (`0.0` = isotropic).
+    pub spectrum_decay: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Single-component Gaussian cloud (`n` points, `dim` dims), as used for
+    /// the paper's Fig. 11a dimension/size sweep ("datasets that follow a
+    /// Gaussian distribution").
+    pub fn gaussian(n: usize, dim: usize) -> Self {
+        Self {
+            name: format!("gaussian-{n}x{dim}"),
+            n,
+            dim,
+            n_queries: (n / 100).clamp(16, 1000),
+            components: 1,
+            spread: 0.4,
+            correlation: 0.0,
+            spectrum_decay: 0.5,
+            seed: 0xDA7A,
+        }
+    }
+
+    /// Clustered mixture with `components` centers — the IVF-friendly shape
+    /// of real embedding datasets.
+    pub fn clustered(n: usize, dim: usize, components: usize) -> Self {
+        Self {
+            name: format!("clustered-{n}x{dim}c{components}"),
+            n,
+            dim,
+            n_queries: (n / 100).clamp(16, 1000),
+            components: components.max(1),
+            spread: 0.12,
+            correlation: 0.0,
+            spectrum_decay: 0.5,
+            seed: 0xDA7A,
+        }
+    }
+
+    /// Overrides the per-dimension energy decay exponent.
+    pub fn with_spectrum_decay(mut self, spectrum_decay: f32) -> Self {
+        self.spectrum_decay = spectrum_decay.max(0.0);
+        self
+    }
+
+    /// Per-dimension amplitude scales `(1 + j)^-decay`.
+    fn dim_scales(&self) -> Vec<f32> {
+        (0..self.dim)
+            .map(|j| ((1 + j) as f32).powf(-self.spectrum_decay))
+            .collect()
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the query count.
+    pub fn with_queries(mut self, n_queries: usize) -> Self {
+        self.n_queries = n_queries;
+        self
+    }
+
+    /// Overrides the cross-dimension correlation.
+    pub fn with_correlation(mut self, correlation: f32) -> Self {
+        self.correlation = correlation.clamp(0.0, 0.99);
+        self
+    }
+
+    /// Overrides the intra-cluster spread.
+    pub fn with_spread(mut self, spread: f32) -> Self {
+        self.spread = spread;
+        self
+    }
+
+    /// Overrides the report name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Generates the dataset with uniform query-component weights.
+    pub fn generate(&self) -> Dataset {
+        self.generate_weighted(None)
+    }
+
+    /// The mixture component centers this spec generates (deterministic in
+    /// `seed`). Exposed so query workloads can be regenerated against an
+    /// existing dataset without re-materializing the base vectors.
+    pub fn centers(&self) -> Vec<Vec<f32>> {
+        let scales = self.dim_scales();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.components.max(1))
+            .map(|_| {
+                (0..self.dim)
+                    .map(|j| rng.random_range(-1.0..1.0f32) * scales[j])
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Samples a fresh query set from this spec's mixture, drawing component
+    /// choices from `weights` (`None` = uniform) using an independent
+    /// `query_seed`. The base vectors of [`SyntheticSpec::generate`] are
+    /// untouched — this is how skewed workloads (Fig. 7) are produced against
+    /// a fixed dataset.
+    ///
+    /// # Panics
+    /// Panics if `weights` has the wrong length or is not positive-summable.
+    pub fn make_queries(
+        &self,
+        n_queries: usize,
+        weights: Option<&[f64]>,
+        query_seed: u64,
+    ) -> (VectorStore, Vec<u32>) {
+        let components = self.components.max(1);
+        let scales = self.dim_scales();
+        let centers = self.centers();
+        let uniform = vec![1.0f64; components];
+        let w = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), components, "weights length mismatch");
+                w.to_vec()
+            }
+            None => uniform,
+        };
+        let dist = rand::distr::weighted::WeightedIndex::new(&w)
+            .expect("weights must be positive and finite");
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let mut queries = VectorStore::with_capacity(self.dim, n_queries);
+        let mut query_components = Vec::with_capacity(n_queries);
+        let mut row = vec![0.0f32; self.dim];
+        for i in 0..n_queries {
+            let c = dist.sample(&mut rng) as u32;
+            self.sample_point(&centers[c as usize], &scales, &mut row, &mut rng);
+            queries.push(i as u64, &row).expect("dims match");
+            query_components.push(c);
+        }
+        (queries, query_components)
+    }
+
+    /// Generates the dataset, drawing query components from `weights`
+    /// (length must equal `components`); `None` means uniform.
+    ///
+    /// # Panics
+    /// Panics if `weights` has the wrong length or sums to zero.
+    pub fn generate_weighted(&self, weights: Option<&[f64]>) -> Dataset {
+        assert!(self.n > 0 && self.dim > 0, "empty spec");
+        let scales = self.dim_scales();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let components = self.components.max(1);
+
+        // Component centers, uniform in [-1, 1]^dim scaled by the spectrum
+        // (must draw in the same order as `centers()`).
+        let centers: Vec<Vec<f32>> = (0..components)
+            .map(|_| {
+                (0..self.dim)
+                    .map(|j| rng.random_range(-1.0..1.0f32) * scales[j])
+                    .collect()
+            })
+            .collect();
+
+        let mut base = VectorStore::with_capacity(self.dim, self.n);
+        let mut base_components = Vec::with_capacity(self.n);
+        let mut row = vec![0.0f32; self.dim];
+        for i in 0..self.n {
+            let c = (i % components) as u32; // exact balance across components
+            self.sample_point(&centers[c as usize], &scales, &mut row, &mut rng);
+            base.push(i as u64, &row).expect("dims match");
+            base_components.push(c);
+        }
+
+        // Query sampling: weighted component choice.
+        let uniform = vec![1.0f64; components];
+        let w = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), components, "weights length mismatch");
+                w.to_vec()
+            }
+            None => uniform,
+        };
+        let dist = rand::distr::weighted::WeightedIndex::new(&w)
+            .expect("weights must be positive and finite");
+        let mut queries = VectorStore::with_capacity(self.dim, self.n_queries);
+        let mut query_components = Vec::with_capacity(self.n_queries);
+        for i in 0..self.n_queries {
+            let c = dist.sample(&mut rng) as u32;
+            self.sample_point(&centers[c as usize], &scales, &mut row, &mut rng);
+            queries.push(i as u64, &row).expect("dims match");
+            query_components.push(c);
+        }
+
+        Dataset {
+            name: self.name.clone(),
+            base,
+            queries,
+            base_components,
+            query_components,
+            components,
+        }
+    }
+
+    /// Samples one point around `center` into `out`; `scales` is the
+    /// precomputed per-dimension amplitude profile.
+    fn sample_point(&self, center: &[f32], scales: &[f32], out: &mut [f32], rng: &mut StdRng) {
+        // Box-Muller pairs are overkill; sum of uniforms (Irwin-Hall, n=4)
+        // gives an approximately normal noise term cheaply and portably.
+        for ((o, &c), &s) in out.iter_mut().zip(center).zip(scales) {
+            let u: f32 = (0..4).map(|_| rng.random_range(-0.5..0.5)).sum();
+            *o = c + u * self.spread * s;
+        }
+        // Cross-dimension smoothing: first-order IIR low-pass.
+        if self.correlation > 0.0 {
+            let a = self.correlation;
+            for i in 1..out.len() {
+                out[i] = a * out[i - 1] + (1.0 - a) * out[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_index::distance::l2_sq;
+
+    #[test]
+    fn generates_requested_shapes() {
+        let d = SyntheticSpec::clustered(500, 16, 8).with_queries(37).generate();
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.dim(), 16);
+        assert_eq!(d.queries.len(), 37);
+        assert_eq!(d.base_components.len(), 500);
+        assert_eq!(d.query_components.len(), 37);
+        assert_eq!(d.components, 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticSpec::clustered(200, 8, 4).with_seed(1).generate();
+        let b = SyntheticSpec::clustered(200, 8, 4).with_seed(1).generate();
+        assert_eq!(a.base.as_flat(), b.base.as_flat());
+        assert_eq!(a.queries.as_flat(), b.queries.as_flat());
+        let c = SyntheticSpec::clustered(200, 8, 4).with_seed(2).generate();
+        assert_ne!(a.base.as_flat(), c.base.as_flat());
+    }
+
+    #[test]
+    fn clusters_are_tighter_than_cloud() {
+        let d = SyntheticSpec::clustered(600, 8, 6)
+            .with_seed(3)
+            .with_spread(0.05)
+            .generate();
+        // Mean distance within a component must be far below the mean
+        // distance across components.
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        for i in (0..600).step_by(17) {
+            for j in (1..600).step_by(23) {
+                if i == j {
+                    continue;
+                }
+                let dist = l2_sq(d.base.row(i), d.base.row(j));
+                if d.base_components[i] == d.base_components[j] {
+                    within.push(dist);
+                } else {
+                    across.push(dist);
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(&within) * 4.0 < mean(&across));
+    }
+
+    #[test]
+    fn correlation_smooths_rows() {
+        let rough = SyntheticSpec::gaussian(50, 64).with_seed(4).generate();
+        let smooth = SyntheticSpec::gaussian(50, 64)
+            .with_seed(4)
+            .with_correlation(0.95)
+            .generate();
+        let total_variation = |s: &VectorStore| -> f32 {
+            (0..s.len())
+                .map(|r| {
+                    let row = s.row(r);
+                    row.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>()
+                })
+                .sum()
+        };
+        assert!(total_variation(&smooth.base) * 3.0 < total_variation(&rough.base));
+    }
+
+    #[test]
+    fn weighted_queries_respect_weights() {
+        let spec = SyntheticSpec::clustered(100, 4, 4)
+            .with_seed(5)
+            .with_queries(400);
+        // All the weight on component 2.
+        let d = spec.generate_weighted(Some(&[0.0001, 0.0001, 1000.0, 0.0001]));
+        let hits = d.query_components.iter().filter(|&&c| c == 2).count();
+        assert!(hits > 390, "only {hits}/400 queries hit the hot component");
+    }
+
+    #[test]
+    fn base_components_balanced() {
+        let d = SyntheticSpec::clustered(400, 4, 8).generate();
+        let mut counts = [0usize; 8];
+        for &c in &d.base_components {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights length mismatch")]
+    fn wrong_weight_length_panics() {
+        SyntheticSpec::clustered(10, 4, 4).generate_weighted(Some(&[1.0]));
+    }
+}

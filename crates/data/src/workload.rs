@@ -1,0 +1,269 @@
+//! Query workload generation with a controllable skew knob.
+//!
+//! §6.2.2 of the paper manipulates query sets "to ensure different load
+//! differences on each machine" and plots QPS against the resulting load
+//! variance (Fig. 7). The driver of that variance is *where* queries land:
+//! a query sampled near mixture component `c` probes the IVF lists around
+//! `c`, so concentrating queries on few components concentrates work on the
+//! machines owning those lists.
+//!
+//! [`WorkloadSpec`] expresses the concentration: uniform, Zipf-weighted, or
+//! an explicit hot-set. [`WorkloadSpec::skew_level`] maps a scalar in
+//! `[0, 1]` onto a Zipf exponent, giving experiments a single monotone
+//! x-axis knob.
+
+use crate::synthetic::SyntheticSpec;
+use harmony_index::VectorStore;
+
+/// How query components are drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Every mixture component equally likely (balanced load).
+    Uniform,
+    /// Component `i` drawn with weight `(i + 1)^-s`: classic skew.
+    Zipf {
+        /// Zipf exponent; `0.0` degenerates to uniform.
+        s: f64,
+    },
+    /// `hot` components absorb `hot_share` of the queries; the rest spread
+    /// uniformly over the remaining components.
+    HotSet {
+        /// Number of hot components.
+        hot: usize,
+        /// Fraction of queries hitting the hot set, in `[0, 1]`.
+        hot_share: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Maps `level ∈ [0, 1]` onto a Zipf spec: 0 = uniform, 1 = extreme
+    /// concentration (s = 4).
+    pub fn skew_level(level: f64) -> Self {
+        let level = level.clamp(0.0, 1.0);
+        if level == 0.0 {
+            WorkloadSpec::Uniform
+        } else {
+            WorkloadSpec::Zipf { s: level * 4.0 }
+        }
+    }
+
+    /// Component weights for a mixture of `components` parts.
+    ///
+    /// # Panics
+    /// Panics if `components == 0` or a `HotSet` is invalid.
+    pub fn weights(&self, components: usize) -> Vec<f64> {
+        assert!(components > 0, "no components");
+        match *self {
+            WorkloadSpec::Uniform => vec![1.0; components],
+            WorkloadSpec::Zipf { s } => (0..components)
+                .map(|i| ((i + 1) as f64).powf(-s))
+                .collect(),
+            WorkloadSpec::HotSet { hot, hot_share } => {
+                assert!(hot > 0 && hot <= components, "invalid hot set size");
+                assert!((0.0..=1.0).contains(&hot_share), "invalid hot share");
+                let cold = components - hot;
+                let hot_w = hot_share / hot as f64;
+                let cold_w = if cold == 0 {
+                    0.0
+                } else {
+                    (1.0 - hot_share) / cold as f64
+                };
+                (0..components)
+                    .map(|i| if i < hot { hot_w } else { cold_w }.max(1e-12))
+                    .collect()
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Uniform => "uniform".to_string(),
+            WorkloadSpec::Zipf { s } => format!("zipf(s={s:.2})"),
+            WorkloadSpec::HotSet { hot, hot_share } => {
+                format!("hot({hot}@{:.0}%)", hot_share * 100.0)
+            }
+        }
+    }
+}
+
+/// A generated query workload against a fixed dataset.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Report label.
+    pub name: String,
+    /// The query vectors.
+    pub queries: VectorStore,
+    /// Mixture component of each query.
+    pub query_components: Vec<u32>,
+    /// Number of mixture components in the underlying dataset.
+    pub components: usize,
+}
+
+impl Workload {
+    /// Generates `n_queries` queries from `dataset_spec`'s mixture under
+    /// workload `spec`, with an independent seed.
+    pub fn generate(
+        dataset_spec: &SyntheticSpec,
+        spec: &WorkloadSpec,
+        n_queries: usize,
+        seed: u64,
+    ) -> Self {
+        let components = dataset_spec.components.max(1);
+        let weights = spec.weights(components);
+        let (queries, query_components) =
+            dataset_spec.make_queries(n_queries, Some(&weights), seed);
+        Self {
+            name: format!("{}/{}", dataset_spec.name, spec.label()),
+            queries,
+            query_components,
+            components,
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` when the workload holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Queries per component.
+    pub fn component_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.components];
+        for &c in &self.query_components {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Variance of the per-component query counts — the workload-side driver
+    /// of the paper's load variance x-axis (Fig. 7).
+    pub fn count_variance(&self) -> f64 {
+        let counts = self.component_counts();
+        let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / counts.len() as f64;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec::clustered(2_000, 8, 16).with_seed(77)
+    }
+
+    #[test]
+    fn uniform_weights_are_flat() {
+        let w = WorkloadSpec::Uniform.weights(4);
+        assert_eq!(w, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = WorkloadSpec::Zipf { s: 1.0 }.weights(4);
+        assert!(w[0] > w[1] && w[1] > w[2] && w[2] > w[3]);
+        assert!((w[0] / w[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_set_concentrates_mass() {
+        let w = WorkloadSpec::HotSet {
+            hot: 2,
+            hot_share: 0.9,
+        }
+        .weights(10);
+        let hot: f64 = w[..2].iter().sum();
+        let cold: f64 = w[2..].iter().sum();
+        assert!((hot - 0.9).abs() < 1e-9);
+        assert!((cold - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skew_level_monotone_in_variance() {
+        let spec = spec();
+        let mut prev = -1.0;
+        for level in [0.0, 0.3, 0.6, 1.0] {
+            let w = Workload::generate(&spec, &WorkloadSpec::skew_level(level), 800, 5);
+            let var = w.count_variance();
+            assert!(
+                var >= prev,
+                "variance not monotone at level {level}: {var} < {prev}"
+            );
+            prev = var;
+        }
+    }
+
+    #[test]
+    fn uniform_workload_has_low_variance() {
+        let spec = spec();
+        let w = Workload::generate(&spec, &WorkloadSpec::Uniform, 1600, 3);
+        // 16 components x 100 expected queries each: variance ≈ binomial,
+        // far below the extreme-skew case.
+        let extreme = Workload::generate(&spec, &WorkloadSpec::skew_level(1.0), 1600, 3);
+        assert!(w.count_variance() * 10.0 < extreme.count_variance());
+    }
+
+    #[test]
+    fn counts_sum_to_len() {
+        let spec = spec();
+        let w = Workload::generate(&spec, &WorkloadSpec::Zipf { s: 1.5 }, 500, 9);
+        assert_eq!(w.len(), 500);
+        assert_eq!(w.component_counts().iter().sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn workload_queries_live_near_their_centers() {
+        // A query tagged with component c must be closer to center c than to
+        // the average center.
+        let spec = spec();
+        let centers = spec.centers();
+        let w = Workload::generate(&spec, &WorkloadSpec::Uniform, 100, 11);
+        use harmony_index::distance::l2_sq;
+        for qi in 0..w.len() {
+            let c = w.query_components[qi] as usize;
+            let own = l2_sq(w.queries.row(qi), &centers[c]);
+            let mean_other: f32 = centers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != c)
+                .map(|(_, ctr)| l2_sq(w.queries.row(qi), ctr))
+                .sum::<f32>()
+                / (centers.len() - 1) as f32;
+            assert!(own < mean_other, "query {qi} not near its center");
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(WorkloadSpec::Uniform.label(), "uniform");
+        assert!(WorkloadSpec::Zipf { s: 2.0 }.label().contains("2.00"));
+        assert!(WorkloadSpec::HotSet {
+            hot: 3,
+            hot_share: 0.5
+        }
+        .label()
+        .contains('3'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hot set")]
+    fn invalid_hot_set_panics() {
+        WorkloadSpec::HotSet {
+            hot: 5,
+            hot_share: 0.5,
+        }
+        .weights(3);
+    }
+}

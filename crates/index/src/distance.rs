@@ -1,0 +1,487 @@
+//! Distance kernels: full-range and dimension-range partial variants.
+//!
+//! Harmony's dimension-based partitioning splits a `d`-dimensional distance
+//! computation into per-block partial results (§3.1 of the paper):
+//!
+//! * squared Euclidean distance decomposes as
+//!   `D²(p, q) = Σ_k D²_k(p, q)` over disjoint dimension blocks `I_k`,
+//! * dot products decompose as `p·q = Σ_k α_k(p, q)`.
+//!
+//! Every kernel here therefore operates on *slices*: a worker that owns the
+//! dimension block `I_k` stores only those coordinates, and calls the same
+//! kernels on its sub-slices. The decomposition identities are verified by
+//! property tests at the bottom of this module.
+//!
+//! Kernels ship in two flavors: a portable scalar implementation with 4-way
+//! unrolled accumulators (auto-vectorizes well), and AVX2+FMA intrinsics that
+//! are selected at runtime when the CPU supports them. The paper's testbed
+//! uses Intel MKL with AVX-512; AVX2 is our closest widely-available analog
+//! (see DESIGN.md §4 Substitutions).
+
+/// Vector similarity metric.
+///
+/// `L2` is a distance (lower is better); `InnerProduct` and `Cosine` are
+/// similarities (higher is better). [`Metric::score`] maps all three onto a
+/// single lower-is-better score so the rest of the system works with one
+/// ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance.
+    #[default]
+    L2,
+    /// Dot product (maximized). Scored as its negation.
+    InnerProduct,
+    /// Cosine similarity (maximized). Callers are expected to normalize
+    /// vectors at ingestion; the kernel computes a true cosine regardless.
+    Cosine,
+}
+
+impl Metric {
+    /// Lower-is-better score of `a` vs `b` under this metric.
+    #[inline]
+    pub fn score(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => l2_sq(a, b),
+            Metric::InnerProduct => -ip(a, b),
+            Metric::Cosine => -cosine(a, b),
+        }
+    }
+
+    /// `true` when partial sums of this metric grow monotonically, enabling
+    /// Harmony's exact early-stop pruning without auxiliary bounds.
+    ///
+    /// L2 partials are sums of squares (non-negative terms); inner-product
+    /// partials may be negative and need the Cauchy–Schwarz residual bound
+    /// implemented in `harmony-core::pruning`.
+    #[inline]
+    pub fn monotone_partials(self) -> bool {
+        matches!(self, Metric::L2)
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::L2 => "l2",
+            Metric::InnerProduct => "ip",
+            Metric::Cosine => "cosine",
+        }
+    }
+}
+
+/// Half-open dimension range `[start, end)` — one dimension block `D_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimRange {
+    /// First dimension (inclusive).
+    pub start: usize,
+    /// One past the last dimension (exclusive).
+    pub end: usize,
+}
+
+impl DimRange {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    #[inline]
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "invalid DimRange {start}..{end}");
+        Self { start, end }
+    }
+
+    /// The full range `[0, dim)`.
+    #[inline]
+    pub fn full(dim: usize) -> Self {
+        Self { start: 0, end: dim }
+    }
+
+    /// Number of dimensions covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the range covers no dimensions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Splits `[0, dim)` into `blocks` contiguous near-equal ranges.
+    ///
+    /// The first `dim % blocks` ranges get one extra dimension, matching the
+    /// paper's quarter splits (`[1, d/4], [d/4+1, d/2], ...`).
+    ///
+    /// # Panics
+    /// Panics if `blocks == 0` or `blocks > dim`.
+    pub fn split(dim: usize, blocks: usize) -> Vec<DimRange> {
+        assert!(blocks > 0, "cannot split into 0 blocks");
+        assert!(
+            blocks <= dim,
+            "cannot split {dim} dims into {blocks} blocks"
+        );
+        let base = dim / blocks;
+        let extra = dim % blocks;
+        let mut out = Vec::with_capacity(blocks);
+        let mut start = 0;
+        for b in 0..blocks {
+            let len = base + usize::from(b < extra);
+            out.push(DimRange::new(start, start + len));
+            start += len;
+        }
+        debug_assert_eq!(start, dim);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (reference implementations, 4-way unrolled).
+// ---------------------------------------------------------------------------
+
+/// Squared L2 distance, scalar implementation.
+#[inline]
+pub fn l2_sq_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..a.len() {
+        let d = a[j] - b[j];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Dot product, scalar implementation.
+#[inline]
+pub fn ip_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] * b[j];
+        acc1 += a[j + 1] * b[j + 1];
+        acc2 += a[j + 2] * b[j + 2];
+        acc3 += a[j + 3] * b[j + 3];
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..a.len() {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels, selected at runtime.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Squared L2 distance using AVX2 + FMA.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2` and `fma`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut acc = _mm256_setzero_ps();
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let pa = _mm256_loadu_ps(a.as_ptr().add(i * 8));
+            let pb = _mm256_loadu_ps(b.as_ptr().add(i * 8));
+            let d = _mm256_sub_ps(pa, pb);
+            acc = _mm256_fmadd_ps(d, d, acc);
+        }
+        let mut sum = horizontal_sum(acc);
+        for j in chunks * 8..n {
+            let d = a[j] - b[j];
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// Dot product using AVX2 + FMA.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2` and `fma`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn ip(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut acc = _mm256_setzero_ps();
+        let chunks = n / 8;
+        for i in 0..chunks {
+            let pa = _mm256_loadu_ps(a.as_ptr().add(i * 8));
+            let pb = _mm256_loadu_ps(b.as_ptr().add(i * 8));
+            acc = _mm256_fmadd_ps(pa, pb, acc);
+        }
+        let mut sum = horizontal_sum(acc);
+        for j in chunks * 8..n {
+            sum += a[j] * b[j];
+        }
+        sum
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn horizontal_sum(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let sum128 = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(sum128);
+        let sums = _mm_add_ps(sum128, shuf);
+        let shuf = _mm_movehl_ps(shuf, sums);
+        let sums = _mm_add_ss(sums, shuf);
+        _mm_cvtss_f32(sums)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE
+        .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatching kernels.
+// ---------------------------------------------------------------------------
+
+/// Squared L2 distance between equal-length slices.
+///
+/// Dispatches to AVX2 when available, scalar otherwise.
+///
+/// # Panics
+/// Panics in debug builds when slice lengths differ.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: availability checked above.
+            return unsafe { avx2::l2_sq(a, b) };
+        }
+    }
+    l2_sq_scalar(a, b)
+}
+
+/// Dot product between equal-length slices.
+#[inline]
+pub fn ip(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: availability checked above.
+            return unsafe { avx2::ip(a, b) };
+        }
+    }
+    ip_scalar(a, b)
+}
+
+/// True cosine similarity (handles unnormalized inputs; zero vectors map
+/// to similarity 0).
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot = ip(a, b);
+    let na = ip(a, a);
+    let nb = ip(b, b);
+    let denom = (na * nb).sqrt();
+    if denom > 0.0 {
+        dot / denom
+    } else {
+        0.0
+    }
+}
+
+/// Partial lower-is-better score over one dimension block.
+///
+/// `a_block` and `b_block` are the *pre-sliced* coordinates of the block.
+/// For L2 this is the block's squared-distance contribution `d²_k`; for
+/// inner-product metrics it is the negated partial dot product `-α_k`.
+/// Summing the partials over all blocks of a partition reconstructs the
+/// full score exactly (up to f32 reassociation) — the identity Harmony's
+/// pipeline relies on.
+#[inline]
+pub fn partial_score(metric: Metric, a_block: &[f32], b_block: &[f32]) -> f32 {
+    match metric {
+        Metric::L2 => l2_sq(a_block, b_block),
+        // Cosine assumes ingestion-time normalization; the partial is the
+        // negated partial dot product in both similarity cases.
+        Metric::InnerProduct | Metric::Cosine => -ip(a_block, b_block),
+    }
+}
+
+/// Batch of scores from `query` to every row of a row-major matrix.
+///
+/// `matrix.len()` must be a multiple of `query.len()`.
+pub fn scores_into(metric: Metric, query: &[f32], matrix: &[f32], out: &mut Vec<f32>) {
+    let dim = query.len();
+    debug_assert_eq!(matrix.len() % dim.max(1), 0);
+    out.clear();
+    out.extend(matrix.chunks_exact(dim).map(|row| metric.score(query, row)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f32 = 1e-3;
+
+    #[test]
+    fn l2_matches_naive() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let naive: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        assert!((l2_sq(&a, &b) - naive).abs() < EPS);
+        assert!((l2_sq_scalar(&a, &b) - naive).abs() < EPS);
+    }
+
+    #[test]
+    fn ip_matches_naive() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = [9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((ip(&a, &b) - naive).abs() < EPS);
+        assert!((ip_scalar(&a, &b) - naive).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_slices_score_zero() {
+        assert_eq!(l2_sq(&[], &[]), 0.0);
+        assert_eq!(ip(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        let a = [1.0, 2.0, 2.0];
+        let b = [2.0, 4.0, 4.0];
+        assert!((cosine(&a, &b) - 1.0).abs() < EPS);
+        assert!((cosine(&a, &[0.0, 0.0, 0.0])).abs() < EPS);
+    }
+
+    #[test]
+    fn metric_score_orients_lower_is_better() {
+        let q = [1.0, 0.0];
+        let near = [1.0, 0.1];
+        let far = [-1.0, 0.0];
+        for m in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            assert!(
+                m.score(&q, &near) < m.score(&q, &far),
+                "{:?} should rank near before far",
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn only_l2_has_monotone_partials() {
+        assert!(Metric::L2.monotone_partials());
+        assert!(!Metric::InnerProduct.monotone_partials());
+        assert!(!Metric::Cosine.monotone_partials());
+    }
+
+    #[test]
+    fn dim_range_split_covers_exactly() {
+        let ranges = DimRange::split(10, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0], DimRange::new(0, 4));
+        assert_eq!(ranges[1], DimRange::new(4, 7));
+        assert_eq!(ranges[2], DimRange::new(7, 10));
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn dim_range_split_rejects_zero_blocks() {
+        DimRange::split(10, 0);
+    }
+
+    #[test]
+    fn dim_range_full_covers_all() {
+        let r = DimRange::full(7);
+        assert_eq!(r.len(), 7);
+        assert!(!r.is_empty());
+        assert!(DimRange::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn partial_scores_sum_to_full_score() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.11).cos()).collect();
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            for blocks in [1, 2, 3, 5] {
+                let total: f32 = DimRange::split(37, blocks)
+                    .iter()
+                    .map(|r| partial_score(metric, &a[r.start..r.end], &b[r.start..r.end]))
+                    .sum();
+                let full = match metric {
+                    Metric::L2 => l2_sq(&a, &b),
+                    _ => -ip(&a, &b),
+                };
+                assert!(
+                    (total - full).abs() < 1e-3,
+                    "{metric:?} blocks={blocks}: {total} vs {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scores_into_computes_batch() {
+        let q = [0.0, 0.0];
+        let matrix = [1.0, 0.0, 0.0, 2.0, 3.0, 4.0];
+        let mut out = Vec::new();
+        scores_into(Metric::L2, &q, &matrix, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!((out[0] - 1.0).abs() < EPS);
+        assert!((out[1] - 4.0).abs() < EPS);
+        assert!((out[2] - 25.0).abs() < EPS);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_matches_scalar_when_available() {
+        if !(is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")) {
+            return;
+        }
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for len in [1usize, 7, 8, 15, 64, 100, 1024] {
+            let a: Vec<f32> = (0..len).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.random_range(-1.0..1.0)).collect();
+            // SAFETY: feature checked above.
+            let (av_l2, av_ip) = unsafe { (avx2::l2_sq(&a, &b), avx2::ip(&a, &b)) };
+            let rel = |x: f32, y: f32| (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+            assert!(rel(av_l2, l2_sq_scalar(&a, &b)) < 1e-4, "l2 len={len}");
+            assert!(rel(av_ip, ip_scalar(&a, &b)) < 1e-4, "ip len={len}");
+        }
+    }
+}

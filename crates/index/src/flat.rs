@@ -1,0 +1,191 @@
+//! Exact brute-force index.
+//!
+//! Scans every stored vector. Used for ground-truth computation (recall
+//! denominators in the paper's Fig. 6 sweeps) and as the ultimate oracle in
+//! property tests. Batch search parallelizes over queries with scoped
+//! threads.
+
+use crate::distance::Metric;
+use crate::error::IndexError;
+use crate::topk::{Neighbor, TopK};
+use crate::vector::{VectorId, VectorStore};
+
+/// Brute-force exact nearest-neighbor index.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    metric: Metric,
+    store: VectorStore,
+}
+
+impl FlatIndex {
+    /// Creates an empty index for vectors of dimensionality `dim`.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Self {
+            metric,
+            store: VectorStore::new(dim),
+        }
+    }
+
+    /// Builds an index over an existing store.
+    pub fn from_store(store: VectorStore, metric: Metric) -> Self {
+        Self { metric, store }
+    }
+
+    /// Adds one vector.
+    ///
+    /// # Errors
+    /// [`IndexError::DimensionMismatch`] when the vector has the wrong width.
+    pub fn add(&mut self, id: VectorId, vector: &[f32]) -> Result<(), IndexError> {
+        self.store.push(id, vector)
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` when no vector is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Metric this index searches under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// Exact top-`k` search for a single query.
+    ///
+    /// # Errors
+    /// [`IndexError::DimensionMismatch`] when the query has the wrong width.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        if query.len() != self.store.dim() {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.store.dim(),
+                actual: query.len(),
+            });
+        }
+        let mut topk = TopK::new(k);
+        for (id, row) in self.store.iter() {
+            topk.push(id, self.metric.score(query, row));
+        }
+        Ok(topk.into_sorted())
+    }
+
+    /// Exact top-`k` search for a batch of queries, parallelized over queries.
+    ///
+    /// # Errors
+    /// [`IndexError::DimensionMismatch`] when the query store width differs.
+    pub fn search_batch(
+        &self,
+        queries: &VectorStore,
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        if queries.dim() != self.store.dim() {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.store.dim(),
+                actual: queries.dim(),
+            });
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let n = queries.len();
+        let chunk = n.div_ceil(threads).max(1);
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        crossbeam::thread::scope(|s| {
+            for (ci, out_chunk) in results.chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                s.spawn(move |_| {
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = self
+                            .search(queries.row(start + off), k)
+                            .expect("dims already validated");
+                    }
+                });
+            }
+        })
+        .expect("crossbeam scope");
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_index() -> FlatIndex {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        let data: Vec<f32> = (0..10).flat_map(|i| [i as f32, 0.0]).collect();
+        FlatIndex::from_store(VectorStore::from_flat(2, data).unwrap(), Metric::L2)
+    }
+
+    #[test]
+    fn finds_exact_nearest() {
+        let idx = line_index();
+        let res = idx.search(&[3.2, 0.0], 3).unwrap();
+        assert_eq!(res.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_store_returns_everything() {
+        let idx = line_index();
+        let res = idx.search(&[0.0, 0.0], 100).unwrap();
+        assert_eq!(res.len(), 10);
+        assert_eq!(res[0].id, 0);
+        assert_eq!(res[9].id, 9);
+    }
+
+    #[test]
+    fn rejects_wrong_dim() {
+        let idx = line_index();
+        assert!(matches!(
+            idx.search(&[1.0], 1),
+            Err(IndexError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let idx = line_index();
+        let queries =
+            VectorStore::from_flat(2, vec![0.1, 0.0, 5.4, 0.0, 8.9, 0.0]).unwrap();
+        let batch = idx.search_batch(&queries, 2).unwrap();
+        for (qi, res) in batch.iter().enumerate() {
+            let single = idx.search(queries.row(qi), 2).unwrap();
+            assert_eq!(res, &single, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn inner_product_prefers_aligned_large_vectors() {
+        let mut idx = FlatIndex::new(2, Metric::InnerProduct);
+        idx.add(0, &[1.0, 0.0]).unwrap();
+        idx.add(1, &[10.0, 0.0]).unwrap();
+        idx.add(2, &[0.0, 5.0]).unwrap();
+        let res = idx.search(&[1.0, 0.0], 3).unwrap();
+        assert_eq!(res[0].id, 1);
+        assert_eq!(res[1].id, 0);
+    }
+
+    #[test]
+    fn cosine_ignores_magnitude() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.add(0, &[100.0, 1.0]).unwrap();
+        idx.add(1, &[0.1, 0.1]).unwrap();
+        let res = idx.search(&[1.0, 1.0], 2).unwrap();
+        assert_eq!(res[0].id, 1, "cosine should prefer direction over length");
+    }
+
+    #[test]
+    fn empty_index_returns_empty() {
+        let idx = FlatIndex::new(4, Metric::L2);
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 4], 5).unwrap().is_empty());
+    }
+}

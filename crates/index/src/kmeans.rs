@@ -1,0 +1,433 @@
+//! Seeded k-means clustering (k-means++ initialization + Lloyd iterations).
+//!
+//! Every engine in the Harmony evaluation — Faiss-like single-node, the three
+//! Harmony distribution modes, and the Auncel-like baseline — must share "the
+//! same clustering algorithm and number of clusters" (paper §6.1) so that the
+//! measured differences come from the distribution strategy alone. This
+//! module is that shared algorithm.
+//!
+//! Determinism: given the same data and [`KMeansConfig::seed`], training
+//! produces bit-identical centroids regardless of available parallelism.
+//! Assignment (the O(n·k·d) part) is parallelized over points, which is
+//! order-independent; centroid accumulation runs serially in row order.
+
+use rand::distr::weighted::WeightedIndex;
+use rand::prelude::*;
+
+use crate::distance::{l2_sq, Metric};
+use crate::error::IndexError;
+use crate::vector::VectorStore;
+
+/// Configuration for k-means training.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters (`nlist` in IVF terms).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Relative improvement in inertia below which training stops early.
+    pub tol: f64,
+    /// RNG seed; equal seeds give bit-identical results.
+    pub seed: u64,
+    /// If set, train on at most `k * samples_per_centroid` points sampled
+    /// uniformly (Faiss-style subsampling for large datasets).
+    pub samples_per_centroid: Option<usize>,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            max_iters: 20,
+            tol: 1e-4,
+            seed: 0x4A12_9E55,
+            samples_per_centroid: Some(256),
+        }
+    }
+}
+
+impl KMeansConfig {
+    /// Convenience constructor fixing `k` and `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self {
+            k,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A trained k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// The `k` centroids (ids are `0..k`).
+    pub centroids: VectorStore,
+    /// Final inertia: sum of squared distances of training points to their
+    /// assigned centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Trains k-means on `data`.
+    ///
+    /// # Errors
+    /// * [`IndexError::InvalidParameter`] if `k == 0` or `max_iters == 0`.
+    /// * [`IndexError::NotEnoughData`] if `data.len() < k`.
+    pub fn train(data: &VectorStore, cfg: &KMeansConfig) -> Result<Self, IndexError> {
+        if cfg.k == 0 {
+            return Err(IndexError::InvalidParameter("k must be > 0".into()));
+        }
+        if cfg.max_iters == 0 {
+            return Err(IndexError::InvalidParameter(
+                "max_iters must be > 0".into(),
+            ));
+        }
+        if data.len() < cfg.k {
+            return Err(IndexError::NotEnoughData {
+                required: cfg.k,
+                available: data.len(),
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Optional subsampling, Faiss-style.
+        let sampled;
+        let train_data: &VectorStore = match cfg.samples_per_centroid {
+            Some(spc) if data.len() > cfg.k * spc => {
+                let want = cfg.k * spc;
+                let mut rows: Vec<usize> = (0..data.len()).collect();
+                rows.shuffle(&mut rng);
+                rows.truncate(want);
+                rows.sort_unstable();
+                sampled = data.gather(&rows);
+                &sampled
+            }
+            _ => data,
+        };
+
+        let mut centroids = kmeans_pp_init(train_data, cfg.k, &mut rng);
+        let mut assignments = vec![0u32; train_data.len()];
+        let mut prev_inertia = f64::INFINITY;
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0;
+
+        for iter in 0..cfg.max_iters {
+            iterations = iter + 1;
+            inertia = assign_into(train_data, &centroids, &mut assignments);
+            recompute_centroids(train_data, &assignments, &mut centroids, &mut rng);
+            if prev_inertia.is_finite() {
+                let denom = prev_inertia.abs().max(f64::MIN_POSITIVE);
+                if (prev_inertia - inertia) / denom < cfg.tol {
+                    break;
+                }
+            }
+            prev_inertia = inertia;
+        }
+
+        Ok(Self {
+            centroids,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// Assigns every row of `data` to its nearest centroid.
+    pub fn assign(&self, data: &VectorStore) -> Vec<u32> {
+        let mut out = vec![0u32; data.len()];
+        assign_into(data, &self.centroids, &mut out);
+        out
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii 2007).
+fn kmeans_pp_init(data: &VectorStore, k: usize, rng: &mut StdRng) -> VectorStore {
+    let n = data.len();
+    let mut centroids = VectorStore::with_capacity(data.dim(), k);
+    let first = rng.random_range(0..n);
+    centroids
+        .push(0, data.row(first))
+        .expect("dims match by construction");
+
+    // d2[i] = squared distance of point i to its closest chosen centroid.
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| l2_sq(data.row(i), centroids.row(0)))
+        .collect();
+
+    for c in 1..k {
+        let total: f64 = d2.iter().map(|&x| x as f64).sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with chosen centroids; pick any.
+            rng.random_range(0..n)
+        } else {
+            let dist = WeightedIndex::new(d2.iter().map(|&x| x as f64 + 1e-12))
+                .expect("weights are positive");
+            dist.sample(rng)
+        };
+        centroids
+            .push(c as u64, data.row(next))
+            .expect("dims match by construction");
+        let new_row = centroids.row(c);
+        for i in 0..n {
+            let d = l2_sq(data.row(i), new_row);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Parallel nearest-centroid assignment; returns the inertia.
+fn assign_into(data: &VectorStore, centroids: &VectorStore, out: &mut [u32]) -> f64 {
+    debug_assert_eq!(out.len(), data.len());
+    let threads = available_threads();
+    let chunk = data.len().div_ceil(threads).max(1);
+    let inertia_parts: Vec<f64> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, out_chunk)| {
+                let start = ci * chunk;
+                s.spawn(move |_| {
+                    let mut local = 0.0f64;
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        let row = data.row(start + off);
+                        let (best, best_d) = nearest_centroid(row, centroids);
+                        *slot = best;
+                        local += best_d as f64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("assignment worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    inertia_parts.into_iter().sum()
+}
+
+/// Index and squared distance of the centroid nearest to `row`.
+pub fn nearest_centroid(row: &[f32], centroids: &VectorStore) -> (u32, f32) {
+    let mut best = 0u32;
+    let mut best_d = f32::INFINITY;
+    for c in 0..centroids.len() {
+        let d = l2_sq(row, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    (best, best_d)
+}
+
+/// Indices of the `nprobe` centroids nearest to `row`, best first.
+pub fn nearest_centroids(row: &[f32], centroids: &VectorStore, nprobe: usize) -> Vec<u32> {
+    let mut scored: Vec<(f32, u32)> = (0..centroids.len())
+        .map(|c| (Metric::L2.score(row, centroids.row(c)), c as u32))
+        .collect();
+    let n = nprobe.min(scored.len());
+    scored.select_nth_unstable_by(n.saturating_sub(1), |a, b| {
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+    });
+    scored.truncate(n);
+    scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Lloyd update: recompute centroids as assigned-point means; empty clusters
+/// are re-seeded from random points of the largest cluster.
+fn recompute_centroids(
+    data: &VectorStore,
+    assignments: &[u32],
+    centroids: &mut VectorStore,
+    rng: &mut StdRng,
+) {
+    let k = centroids.len();
+    let dim = data.dim();
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
+    for (row, &a) in assignments.iter().enumerate() {
+        let a = a as usize;
+        counts[a] += 1;
+        let r = data.row(row);
+        let s = &mut sums[a * dim..(a + 1) * dim];
+        for (acc, &x) in s.iter_mut().zip(r) {
+            *acc += x as f64;
+        }
+    }
+    for c in 0..k {
+        if counts[c] == 0 {
+            // Empty-cluster repair: re-seed from a random member of the
+            // largest cluster, nudged to break the tie deterministically.
+            let largest = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &n)| n)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let members: Vec<usize> = assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a as usize == largest)
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&pick) = members.as_slice().choose(rng) {
+                let src = data.row(pick).to_vec();
+                centroids.row_mut(c).copy_from_slice(&src);
+            }
+            continue;
+        }
+        let inv = 1.0 / counts[c] as f64;
+        let dst = centroids.row_mut(c);
+        let s = &sums[c * dim..(c + 1) * dim];
+        for (d, &acc) in dst.iter_mut().zip(s) {
+            *d = (acc * inv) as f32;
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs.
+    fn blobs(seed: u64, per_blob: usize) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [[0.0f32, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut store = VectorStore::with_capacity(2, per_blob * 3);
+        let mut id = 0u64;
+        for c in centers {
+            for _ in 0..per_blob {
+                let v = [
+                    c[0] + rng.random_range(-0.5..0.5),
+                    c[1] + rng.random_range(-0.5..0.5),
+                ];
+                store.push(id, &v).unwrap();
+                id += 1;
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs(1, 50);
+        let km = KMeans::train(&data, &KMeansConfig::new(3, 42)).unwrap();
+        assert_eq!(km.k(), 3);
+        // Every blob should map to a single distinct centroid.
+        let assignments = km.assign(&data);
+        for blob in 0..3 {
+            let labels: std::collections::HashSet<u32> = assignments
+                [blob * 50..(blob + 1) * 50]
+                .iter()
+                .copied()
+                .collect();
+            assert_eq!(labels.len(), 1, "blob {blob} split across centroids");
+        }
+        // Inertia of well-separated tight blobs is small.
+        assert!(km.inertia < 150.0 * 1.0, "inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let data = blobs(2, 40);
+        let a = KMeans::train(&data, &KMeansConfig::new(4, 7)).unwrap();
+        let b = KMeans::train(&data, &KMeansConfig::new(4, 7)).unwrap();
+        assert_eq!(a.centroids.as_flat(), b.centroids.as_flat());
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_both_valid() {
+        let data = blobs(3, 40);
+        let a = KMeans::train(&data, &KMeansConfig::new(3, 1)).unwrap();
+        let b = KMeans::train(&data, &KMeansConfig::new(3, 2)).unwrap();
+        assert_eq!(a.k(), 3);
+        assert_eq!(b.k(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let data = blobs(4, 5);
+        assert!(matches!(
+            KMeans::train(&data, &KMeansConfig::new(0, 0)),
+            Err(IndexError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            KMeans::train(&data, &KMeansConfig::new(1000, 0)),
+            Err(IndexError::NotEnoughData { .. })
+        ));
+        let cfg = KMeansConfig {
+            max_iters: 0,
+            ..KMeansConfig::new(2, 0)
+        };
+        assert!(matches!(
+            KMeans::train(&data, &cfg),
+            Err(IndexError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn assignment_matches_nearest_centroid() {
+        let data = blobs(5, 30);
+        let km = KMeans::train(&data, &KMeansConfig::new(3, 11)).unwrap();
+        let assignments = km.assign(&data);
+        for row in 0..data.len() {
+            let (best, _) = nearest_centroid(data.row(row), &km.centroids);
+            assert_eq!(assignments[row], best, "row {row}");
+        }
+    }
+
+    #[test]
+    fn nearest_centroids_returns_sorted_probe_list() {
+        let centroids =
+            VectorStore::from_flat(1, vec![0.0, 10.0, 20.0, 30.0]).unwrap();
+        let probes = nearest_centroids(&[11.0], &centroids, 3);
+        assert_eq!(probes, vec![1, 2, 0]);
+        // nprobe larger than nlist clamps.
+        let probes = nearest_centroids(&[11.0], &centroids, 99);
+        assert_eq!(probes.len(), 4);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        // All points identical: k-means must not crash or loop forever.
+        let data = VectorStore::from_flat(2, vec![1.0; 20]).unwrap();
+        let km = KMeans::train(&data, &KMeansConfig::new(3, 5)).unwrap();
+        assert_eq!(km.k(), 3);
+        assert!(km.inertia < 1e-6);
+    }
+
+    #[test]
+    fn subsampling_still_trains() {
+        let data = blobs(6, 100);
+        let cfg = KMeansConfig {
+            samples_per_centroid: Some(8),
+            ..KMeansConfig::new(3, 9)
+        };
+        let km = KMeans::train(&data, &cfg).unwrap();
+        assert_eq!(km.k(), 3);
+        // Assignments on the full data still separate the blobs decently:
+        // at least two distinct labels must appear.
+        let labels: std::collections::HashSet<u32> =
+            km.assign(&data).into_iter().collect();
+        assert!(labels.len() >= 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # harmony-index
+//!
+//! ANN indexing substrate for the Harmony distributed vector database.
+//!
+//! This crate provides the single-node building blocks that the distributed
+//! layers (`harmony-core`, `harmony-baseline`) compose:
+//!
+//! * [`vector::VectorStore`] — a dense, row-major `f32` matrix with stable
+//!   vector ids and cheap dimension-slice views,
+//! * [`distance`] — full-range and *dimension-range partial* distance kernels
+//!   (scalar reference implementations plus runtime-detected AVX2 variants),
+//! * [`topk`] — a bounded max-heap tracking the current top-*k* candidates and
+//!   the pruning threshold `τ²` used by Harmony's early-stop mechanism,
+//! * [`kmeans`] — seeded k-means++ / Lloyd clustering shared by every engine
+//!   in the evaluation (the paper mandates identical clustering across all
+//!   compared systems, §6.1),
+//! * [`flat`] — an exact brute-force index used for ground truth,
+//! * [`ivf`] — the IVF-Flat cluster-based index that Harmony partitions and
+//!   distributes.
+//!
+//! All randomized entry points take explicit seeds; given the same seed the
+//! results are deterministic across runs and thread counts.
+
+pub mod distance;
+pub mod error;
+pub mod flat;
+pub mod ivf;
+pub mod kmeans;
+pub mod persist;
+pub mod topk;
+pub mod vector;
+
+pub use distance::{DimRange, Metric};
+pub use error::IndexError;
+pub use flat::FlatIndex;
+pub use ivf::{IvfIndex, IvfParams};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use topk::{Neighbor, TopK};
+pub use vector::{VectorId, VectorStore};

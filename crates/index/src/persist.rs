@@ -1,0 +1,364 @@
+//! Index persistence: a versioned, checksummed binary format for
+//! [`IvfIndex`].
+//!
+//! Production deployments build indexes offline and ship them to serving
+//! fleets; Harmony's pre-assign stage likewise benefits from loading a
+//! trained index instead of re-clustering. The format is deliberately
+//! simple and fully self-describing:
+//!
+//! ```text
+//! magic "HIVF" | version u32 | metric u8 | dim u64 | nlist u64
+//! centroids: nlist*dim f32 LE
+//! per list:  len u64 | ids len*u64 | vectors len*dim f32 LE
+//! trailer:   fnv1a-64 checksum of everything above
+//! ```
+//!
+//! Readers validate magic, version, shapes, and checksum before
+//! constructing the index, so a truncated or corrupted file can never
+//! produce a silently-wrong index.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::distance::Metric;
+use crate::ivf::{InvertedList, IvfIndex};
+use crate::vector::VectorStore;
+
+const MAGIC: &[u8; 4] = b"HIVF";
+const VERSION: u32 = 1;
+
+/// Errors from index persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Structurally invalid or corrupted file.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Streaming FNV-1a 64 hasher for the integrity trailer.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Writer that hashes everything it writes.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash.update(bytes);
+        self.inner.write_all(bytes)
+    }
+    fn write_u32(&mut self, v: u32) -> io::Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+    fn write_u64(&mut self, v: u64) -> io::Result<()> {
+        self.write_bytes(&v.to_le_bytes())
+    }
+    fn write_f32s(&mut self, vs: &[f32]) -> io::Result<()> {
+        for &v in vs {
+            self.write_bytes(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Reader that hashes everything it reads.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv1a,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn read_exact_hashed(&mut self, buf: &mut [u8]) -> Result<(), PersistError> {
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                PersistError::Format("truncated index file".into())
+            } else {
+                PersistError::Io(e)
+            }
+        })?;
+        self.hash.update(buf);
+        Ok(())
+    }
+    fn read_u32(&mut self) -> Result<u32, PersistError> {
+        let mut b = [0u8; 4];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn read_u64(&mut self) -> Result<u64, PersistError> {
+        let mut b = [0u8; 8];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn read_f32s(&mut self, n: usize) -> Result<Vec<f32>, PersistError> {
+        let mut bytes = vec![0u8; n * 4];
+        self.read_exact_hashed(&mut bytes)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+}
+
+fn metric_to_tag(metric: Metric) -> u8 {
+    match metric {
+        Metric::L2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    }
+}
+
+fn metric_from_tag(tag: u8) -> Result<Metric, PersistError> {
+    match tag {
+        0 => Ok(Metric::L2),
+        1 => Ok(Metric::InnerProduct),
+        2 => Ok(Metric::Cosine),
+        t => Err(PersistError::Format(format!("unknown metric tag {t}"))),
+    }
+}
+
+/// Writes `index` to `path`.
+///
+/// # Errors
+/// [`PersistError::Io`] on filesystem failure.
+pub fn save_ivf(index: &IvfIndex, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let mut w = HashingWriter {
+        inner: BufWriter::new(File::create(path)?),
+        hash: Fnv1a::new(),
+    };
+    w.write_bytes(MAGIC)?;
+    w.write_u32(VERSION)?;
+    w.write_bytes(&[metric_to_tag(index.metric())])?;
+    let dim = index.centroids().dim() as u64;
+    w.write_u64(dim)?;
+    w.write_u64(index.nlist() as u64)?;
+    w.write_f32s(index.centroids().as_flat())?;
+    for list in index.lists() {
+        w.write_u64(list.len() as u64)?;
+        for &id in list.vectors.ids() {
+            w.write_u64(id)?;
+        }
+        w.write_f32s(list.vectors.as_flat())?;
+    }
+    let checksum = w.hash.0;
+    w.inner.write_all(&checksum.to_le_bytes())?;
+    w.inner.flush()?;
+    Ok(())
+}
+
+/// Reads an index from `path`, validating structure and checksum.
+///
+/// # Errors
+/// [`PersistError`] on IO failure, malformed structure, version mismatch,
+/// or checksum mismatch.
+pub fn load_ivf(path: impl AsRef<Path>) -> Result<IvfIndex, PersistError> {
+    let mut r = HashingReader {
+        inner: BufReader::new(File::open(path)?),
+        hash: Fnv1a::new(),
+    };
+    let mut magic = [0u8; 4];
+    r.read_exact_hashed(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic; not a Harmony index".into()));
+    }
+    let version = r.read_u32()?;
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact_hashed(&mut tag)?;
+    let metric = metric_from_tag(tag[0])?;
+    let dim = r.read_u64()? as usize;
+    let nlist = r.read_u64()? as usize;
+    if dim == 0 || nlist == 0 || dim > 1 << 20 || nlist > 1 << 24 {
+        return Err(PersistError::Format(format!(
+            "implausible shape: dim {dim}, nlist {nlist}"
+        )));
+    }
+    let centroids = VectorStore::from_flat(dim, r.read_f32s(nlist * dim)?)
+        .map_err(|e| PersistError::Format(e.to_string()))?;
+
+    let mut lists = Vec::with_capacity(nlist);
+    for _ in 0..nlist {
+        let len = r.read_u64()? as usize;
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            ids.push(r.read_u64()?);
+        }
+        let flat = r.read_f32s(len * dim)?;
+        let vectors = VectorStore::from_flat_with_ids(dim, flat, ids)
+            .map_err(|e| PersistError::Format(e.to_string()))?;
+        lists.push(InvertedList { vectors });
+    }
+
+    let computed = r.hash.0;
+    let mut trailer = [0u8; 8];
+    r.inner.read_exact(&mut trailer).map_err(|_| {
+        PersistError::Format("missing checksum trailer".into())
+    })?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != computed {
+        return Err(PersistError::Format(format!(
+            "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    // Reject trailing garbage.
+    let mut extra = [0u8; 1];
+    match r.inner.read(&mut extra) {
+        Ok(0) => {}
+        Ok(_) => return Err(PersistError::Format("trailing bytes after checksum".into())),
+        Err(e) => return Err(PersistError::Io(e)),
+    }
+
+    Ok(IvfIndex::from_parts(metric, centroids, lists))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfParams;
+    use rand::prelude::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "harmony-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        p
+    }
+
+    fn build_index(seed: u64) -> (IvfIndex, VectorStore) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..500 * 8).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let store = VectorStore::from_flat(8, data).unwrap();
+        let mut ivf = IvfIndex::train(&store, &IvfParams::new(8).with_seed(seed)).unwrap();
+        ivf.add(&store).unwrap();
+        (ivf, store)
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let (ivf, store) = build_index(1);
+        let path = temp_path("roundtrip");
+        save_ivf(&ivf, &path).unwrap();
+        let loaded = load_ivf(&path).unwrap();
+        assert_eq!(loaded.len(), ivf.len());
+        assert_eq!(loaded.nlist(), ivf.nlist());
+        assert_eq!(loaded.metric(), ivf.metric());
+        for qi in [0usize, 100, 499] {
+            assert_eq!(
+                loaded.search(store.row(qi), 5, 8).unwrap(),
+                ivf.search(store.row(qi), 5, 8).unwrap(),
+                "query {qi}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (ivf, _) = build_index(2);
+        let path = temp_path("corrupt");
+        save_ivf(&ivf, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_ivf(&path) {
+            Err(PersistError::Format(msg)) => {
+                assert!(
+                    msg.contains("checksum") || msg.contains("implausible") || msg.contains("truncated"),
+                    "unexpected message: {msg}"
+                )
+            }
+            other => panic!("corruption not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (ivf, _) = build_index(3);
+        let path = temp_path("trunc");
+        save_ivf(&ivf, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(matches!(load_ivf(&path), Err(PersistError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOPE00000000").unwrap();
+        match load_ivf(&path) {
+            Err(PersistError::Format(msg)) => assert!(msg.contains("magic")),
+            other => panic!("bad magic not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (ivf, _) = build_index(4);
+        let path = temp_path("trailing");
+        save_ivf(&ivf, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xAB);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_ivf(&path), Err(PersistError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_ivf("/nonexistent/harmony.hivf"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+//! Semantic text search: cosine similarity over embedding-like vectors.
+//!
+//! Demonstrates the inner-product/cosine path, where Harmony's pruning uses
+//! the Cauchy–Schwarz residual bound instead of L2 monotonicity, and recall
+//! is verified against exact search.
+//!
+//! ```sh
+//! cargo run --release --example semantic_search
+//! ```
+
+use harmony::data::ground_truth;
+use harmony::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // GloVe-like text embeddings: diffuse clusters, 200-d, normalized.
+    let mut dataset = SyntheticSpec::clustered(15_000, 200, 48)
+        .with_seed(11)
+        .with_spread(0.3)
+        .generate();
+    dataset.base.normalize();
+    dataset.queries.normalize();
+    println!(
+        "corpus: {} documents x {} dims (normalized)",
+        dataset.len(),
+        dataset.dim()
+    );
+
+    let config = HarmonyConfig::builder()
+        .n_machines(4)
+        .nlist(96)
+        .metric(Metric::Cosine)
+        .build()?;
+    let engine = HarmonyEngine::build(config, &dataset.base)?;
+    println!("plan: {}", engine.plan().label());
+
+    // Recall sweep against exact cosine search.
+    let queries = dataset.queries.gather(&(0..64).collect::<Vec<_>>());
+    let truth = ground_truth(&dataset.base, &queries, 10, Metric::Cosine);
+    println!("\n{:>7} {:>9} {:>12}", "nprobe", "recall@10", "modeled QPS");
+    for nprobe in [2, 8, 24, 96] {
+        let opts = SearchOptions::new(10).with_nprobe(nprobe);
+        let batch = engine.search_batch(&queries, &opts)?;
+        let recall = harmony::data::recall_at_k(&truth, &batch.results, 10);
+        println!("{nprobe:>7} {recall:>9.4} {:>12.0}", batch.qps_modeled());
+    }
+
+    // Show one result list with similarity scores (scores are negated
+    // similarities internally; flip the sign for display).
+    let opts = SearchOptions::new(5).with_nprobe(24);
+    let result = engine.search(queries.row(0), &opts)?;
+    println!("\nnearest documents for query 0:");
+    for n in &result.neighbors {
+        println!("  doc {:>6}  cosine {:.4}", n.id, -n.score);
+    }
+
+    engine.shutdown()?;
+    Ok(())
+}

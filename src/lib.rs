@@ -1,0 +1,61 @@
+//! # Harmony
+//!
+//! A scalable distributed vector database for high-throughput approximate
+//! nearest neighbor search — a full Rust reproduction of the SIGMOD 2025
+//! paper (arXiv:2506.14707).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`index`] — single-node substrate: distance kernels, k-means, Flat and
+//!   IVF-Flat indexes,
+//! * [`cluster`] — the simulated multi-node runtime with its network cost
+//!   model and metrics,
+//! * [`data`] — synthetic datasets, paper-dataset analogs, workload
+//!   generators, ground truth and recall,
+//! * [`core`] — Harmony itself: multi-granularity partitioning, the cost
+//!   model, load-aware routing, dimension-level pruning and the pipelined
+//!   execution engine,
+//! * [`baseline`] — the Faiss-like and Auncel-like comparison systems.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use harmony::prelude::*;
+//!
+//! // 10k random 32-d vectors.
+//! let dataset = SyntheticSpec::gaussian(10_000, 32).with_seed(7).generate();
+//!
+//! // Build a 4-worker Harmony deployment.
+//! let config = HarmonyConfig::builder()
+//!     .n_machines(4)
+//!     .nlist(64)
+//!     .build()
+//!     .unwrap();
+//! let engine = HarmonyEngine::build(config, &dataset.base).unwrap();
+//!
+//! // Search.
+//! let results = engine
+//!     .search(dataset.queries.row(0), &SearchOptions::new(10).with_nprobe(8))
+//!     .unwrap();
+//! assert_eq!(results.neighbors.len(), 10);
+//! engine.shutdown().unwrap();
+//! ```
+
+pub use harmony_baseline as baseline;
+pub use harmony_cluster as cluster;
+pub use harmony_core as core;
+pub use harmony_data as data;
+pub use harmony_index as index;
+
+/// Convenient glob-import surface for applications and examples.
+pub mod prelude {
+    pub use harmony_baseline::{AuncelEngine, FaissLikeEngine};
+    pub use harmony_cluster::{ClusterConfig, CommMode, DelayMode, NetworkModel};
+    pub use harmony_core::{
+        EngineMode, HarmonyConfig, HarmonyEngine, PartitionPlan, SearchOptions,
+    };
+    pub use harmony_data::{DatasetAnalog, SyntheticSpec, Workload, WorkloadSpec};
+    pub use harmony_index::{
+        DimRange, FlatIndex, IvfIndex, IvfParams, Metric, Neighbor, TopK, VectorStore,
+    };
+}

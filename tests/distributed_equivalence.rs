@@ -1,0 +1,173 @@
+//! Property-based tests of the core correctness invariant: every Harmony
+//! deployment — any partition grid, any switch combination — returns the
+//! same top-k as a single-node IVF index with the same clustering, and
+//! early-stop pruning never changes results.
+
+use harmony::core::EngineMode;
+use harmony::prelude::*;
+use proptest::prelude::*;
+
+fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> = (0..n * dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+    VectorStore::from_flat(dim, data).unwrap()
+}
+
+/// Compares result lists, tolerating tie swaps from f32 reassociation
+/// (block-wise partial sums differ from single-pass sums in the last ulps).
+fn assert_equivalent(a: &[Neighbor], b: &[Neighbor]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        if x.id != y.id {
+            assert!(
+                (x.score - y.score).abs() <= 1e-3 * x.score.abs().max(1.0),
+                "ids differ with distinct scores: {x:?} vs {y:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case spins up real worker threads
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn harmony_matches_single_node_ivf(
+        seed in 0u64..1000,
+        vec_shards in 1usize..4,
+        dim_blocks in 1usize..4,
+        nprobe in 1usize..16,
+        k in 1usize..20,
+    ) {
+        let n = 800;
+        let dim = 16;
+        let base = random_store(n, dim, seed);
+        let queries = random_store(8, dim, seed ^ 0xABCD);
+
+        // Single-node reference with identical clustering.
+        let mut ivf = IvfIndex::train(
+            &base,
+            &IvfParams::new(16).with_seed(7),
+        ).unwrap();
+        ivf.add(&base).unwrap();
+
+        let config = HarmonyConfig::builder()
+            .n_machines(vec_shards * dim_blocks)
+            .nlist(16)
+            .plan(PartitionPlan::new(vec_shards, dim_blocks).unwrap())
+            .seed(7)
+            .build()
+            .unwrap();
+        let engine = HarmonyEngine::build(config, &base).unwrap();
+        let opts = SearchOptions::new(k).with_nprobe(nprobe);
+
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            let got = engine.search(q, &opts).unwrap().neighbors;
+            let want = ivf.search(q, k, nprobe).unwrap();
+            assert_equivalent(&got, &want);
+        }
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pruning_is_exact(
+        seed in 0u64..1000,
+        dim_blocks in 2usize..5,
+        nprobe in 1usize..12,
+    ) {
+        let base = random_store(600, 20, seed);
+        let queries = random_store(6, 20, seed ^ 0x1234);
+        let mk = |pruning: bool| {
+            let config = HarmonyConfig::builder()
+                .n_machines(dim_blocks)
+                .nlist(12)
+                .plan(PartitionPlan::new(1, dim_blocks).unwrap())
+                .pruning(pruning)
+                .seed(3)
+                .build()
+                .unwrap();
+            HarmonyEngine::build(config, &base).unwrap()
+        };
+        let with = mk(true);
+        let without = mk(false);
+        let opts = SearchOptions::new(10).with_nprobe(nprobe);
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            let a = with.search(q, &opts).unwrap().neighbors;
+            let b = without.search(q, &opts).unwrap().neighbors;
+            assert_equivalent(&a, &b);
+        }
+        with.shutdown().unwrap();
+        without.shutdown().unwrap();
+    }
+
+    #[test]
+    fn inner_product_pruning_is_exact(
+        seed in 0u64..1000,
+    ) {
+        // The Cauchy–Schwarz residual bound must be admissible: pruning on
+        // and off agree under inner-product scoring.
+        let base = random_store(500, 24, seed);
+        let queries = random_store(5, 24, seed ^ 0x77);
+        let mk = |pruning: bool| {
+            let config = HarmonyConfig::builder()
+                .n_machines(4)
+                .nlist(10)
+                .metric(Metric::InnerProduct)
+                .plan(PartitionPlan::new(2, 2).unwrap())
+                .pruning(pruning)
+                .seed(5)
+                .build()
+                .unwrap();
+            HarmonyEngine::build(config, &base).unwrap()
+        };
+        let with = mk(true);
+        let without = mk(false);
+        let opts = SearchOptions::new(5).with_nprobe(4);
+        for qi in 0..queries.len() {
+            let q = queries.row(qi);
+            let a = with.search(q, &opts).unwrap().neighbors;
+            let b = without.search(q, &opts).unwrap().neighbors;
+            assert_equivalent(&a, &b);
+        }
+        with.shutdown().unwrap();
+        without.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn modes_are_equivalent_on_fixed_dataset() {
+    let base = random_store(1_000, 16, 42);
+    let queries = random_store(10, 16, 43);
+    let opts = SearchOptions::new(10).with_nprobe(6);
+    let mut results: Vec<Vec<Vec<u64>>> = Vec::new();
+    for mode in EngineMode::ALL {
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(16)
+            .mode(mode)
+            .seed(11)
+            .build()
+            .unwrap();
+        let engine = HarmonyEngine::build(config, &base).unwrap();
+        let mode_results: Vec<Vec<u64>> = (0..queries.len())
+            .map(|qi| {
+                engine
+                    .search(queries.row(qi), &opts)
+                    .unwrap()
+                    .neighbors
+                    .iter()
+                    .map(|n| n.id)
+                    .collect()
+            })
+            .collect();
+        results.push(mode_results);
+        engine.shutdown().unwrap();
+    }
+    assert_eq!(results[0], results[1], "Harmony vs Harmony-vector");
+    assert_eq!(results[0], results[2], "Harmony vs Harmony-dimension");
+}

@@ -1,0 +1,220 @@
+//! End-to-end integration: build → search → recall, across engine modes,
+//! metrics, worker counts, and ablation switches.
+
+use harmony::core::EngineMode;
+use harmony::data::{ground_truth, recall_at_k};
+use harmony::prelude::*;
+
+fn dataset(n: usize, dim: usize, seed: u64) -> harmony::data::Dataset {
+    SyntheticSpec::clustered(n, dim, 16)
+        .with_seed(seed)
+        .with_queries(64)
+        .generate()
+}
+
+fn build(mode: EngineMode, workers: usize, base: &VectorStore) -> HarmonyEngine {
+    let config = HarmonyConfig::builder()
+        .n_machines(workers)
+        .nlist(32)
+        .mode(mode)
+        .seed(99)
+        .build()
+        .unwrap();
+    HarmonyEngine::build(config, base).unwrap()
+}
+
+#[test]
+fn all_modes_reach_high_recall_at_full_probe() {
+    let d = dataset(3_000, 24, 1);
+    let queries = d.queries.gather(&(0..32).collect::<Vec<_>>());
+    let truth = ground_truth(&d.base, &queries, 10, Metric::L2);
+    for mode in EngineMode::ALL {
+        let engine = build(mode, 4, &d.base);
+        let opts = SearchOptions::new(10).with_nprobe(32);
+        let batch = engine.search_batch(&queries, &opts).unwrap();
+        let recall = recall_at_k(&truth, &batch.results, 10);
+        assert!(
+            recall > 0.999,
+            "{mode}: full-probe recall {recall} below exact"
+        );
+        engine.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn recall_grows_with_nprobe() {
+    let d = dataset(3_000, 24, 2);
+    let queries = d.queries.gather(&(0..32).collect::<Vec<_>>());
+    let truth = ground_truth(&d.base, &queries, 10, Metric::L2);
+    let engine = build(EngineMode::Harmony, 4, &d.base);
+    let mut prev = 0.0;
+    for nprobe in [1, 4, 16, 32] {
+        let opts = SearchOptions::new(10).with_nprobe(nprobe);
+        let batch = engine.search_batch(&queries, &opts).unwrap();
+        let recall = recall_at_k(&truth, &batch.results, 10);
+        assert!(
+            recall >= prev - 1e-9,
+            "recall regressed at nprobe {nprobe}: {recall} < {prev}"
+        );
+        prev = recall;
+    }
+    assert!(prev > 0.999);
+    engine.shutdown().unwrap();
+}
+
+#[test]
+fn worker_counts_do_not_change_results() {
+    let d = dataset(2_000, 16, 3);
+    let opts = SearchOptions::new(5).with_nprobe(8);
+    let reference = build(EngineMode::Harmony, 2, &d.base);
+    let wide = build(EngineMode::Harmony, 8, &d.base);
+    for qi in 0..10 {
+        let q = d.queries.row(qi);
+        let a = reference.search(q, &opts).unwrap().neighbors;
+        let b = wide.search(q, &opts).unwrap().neighbors;
+        let ids = |v: &[Neighbor]| v.iter().map(|n| n.id).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b), "query {qi}");
+    }
+    reference.shutdown().unwrap();
+    wide.shutdown().unwrap();
+}
+
+#[test]
+fn ablation_switches_do_not_change_results() {
+    let d = dataset(2_000, 16, 4);
+    let opts = SearchOptions::new(10).with_nprobe(8);
+    let mut engines = Vec::new();
+    for (balanced, pipeline, pruning) in [
+        (false, false, false),
+        (true, false, false),
+        (true, true, false),
+        (true, true, true),
+    ] {
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(32)
+            .plan(PartitionPlan::new(2, 2).unwrap())
+            .balanced_load(balanced)
+            .pipeline(pipeline)
+            .pruning(pruning)
+            .seed(99)
+            .build()
+            .unwrap();
+        engines.push(HarmonyEngine::build(config, &d.base).unwrap());
+    }
+    for qi in 0..8 {
+        let q = d.queries.row(qi);
+        let reference: Vec<u64> = engines[0]
+            .search(q, &opts)
+            .unwrap()
+            .neighbors
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        for (ei, engine) in engines.iter().enumerate().skip(1) {
+            let got: Vec<u64> = engine
+                .search(q, &opts)
+                .unwrap()
+                .neighbors
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            assert_eq!(got, reference, "engine variant {ei}, query {qi}");
+        }
+    }
+    for e in engines {
+        e.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn cosine_metric_end_to_end() {
+    let mut d = dataset(2_000, 32, 5);
+    d.base.normalize();
+    d.queries.normalize();
+    let config = HarmonyConfig::builder()
+        .n_machines(4)
+        .nlist(32)
+        .metric(Metric::Cosine)
+        .seed(99)
+        .build()
+        .unwrap();
+    let engine = HarmonyEngine::build(config, &d.base).unwrap();
+    let queries = d.queries.gather(&(0..16).collect::<Vec<_>>());
+    let truth = ground_truth(&d.base, &queries, 5, Metric::Cosine);
+    let batch = engine
+        .search_batch(&queries, &SearchOptions::new(5).with_nprobe(32))
+        .unwrap();
+    let recall = recall_at_k(&truth, &batch.results, 5);
+    assert!(recall > 0.99, "cosine full-probe recall {recall}");
+    engine.shutdown().unwrap();
+}
+
+#[test]
+fn faiss_baseline_agrees_with_harmony_at_full_probe() {
+    let d = dataset(1_500, 16, 6);
+    let faiss = FaissLikeEngine::build(32, Metric::L2, 99, &d.base).unwrap();
+    let engine = build(EngineMode::Harmony, 4, &d.base);
+    let opts = SearchOptions::new(10).with_nprobe(32);
+    for qi in 0..10 {
+        let q = d.queries.row(qi);
+        let a: Vec<u64> = faiss
+            .search(q, 10, 32)
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let b: Vec<u64> = engine
+            .search(q, &opts)
+            .unwrap()
+            .neighbors
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(a, b, "query {qi}");
+    }
+    engine.shutdown().unwrap();
+}
+
+#[test]
+fn auncel_respects_error_bound_end_to_end() {
+    let d = dataset(2_000, 16, 7);
+    let engine = AuncelEngine::build(
+        harmony::baseline::AuncelConfig {
+            nlist: 32,
+            epsilon: 0.1,
+            seed: 99,
+            ..Default::default()
+        },
+        &d.base,
+    )
+    .unwrap();
+    let queries = d.queries.gather(&(0..16).collect::<Vec<_>>());
+    let truth = ground_truth(&d.base, &queries, 5, Metric::L2);
+    for qi in 0..queries.len() {
+        let got = engine.search(queries.row(qi), 5).unwrap();
+        let bound = truth[qi][4].score * 1.1 + 1e-6;
+        for n in &got.neighbors {
+            assert!(n.score <= bound, "query {qi}: {} > {bound}", n.score);
+        }
+    }
+    engine.shutdown().unwrap();
+}
+
+#[test]
+fn build_stats_and_engine_stats_are_consistent() {
+    let d = dataset(2_000, 32, 8);
+    let engine = build(EngineMode::Harmony, 4, &d.base);
+    assert_eq!(engine.build_stats().plan.machines(), 4);
+    assert!(engine.build_stats().bytes_shipped > 0);
+    let _ = engine
+        .search_batch(&d.queries, &SearchOptions::new(10).with_nprobe(8))
+        .unwrap();
+    let stats = engine.collect_stats().unwrap();
+    assert!(stats.total_memory_bytes() >= (2_000 * 32 * 4) as u64 / 2);
+    assert!(stats.scanned_point_dims > 0);
+    engine.reset_stats().unwrap();
+    let stats = engine.collect_stats().unwrap();
+    assert_eq!(stats.scanned_point_dims, 0);
+    engine.shutdown().unwrap();
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the substrate invariants the distributed layers
+//! rely on: distance decomposition, partition coverage, packing, codec
+//! round-trips, and top-k semantics.
+
+use harmony::cluster::codec::Wire;
+use harmony::core::{PartitionPlan, ShardAssignment, WorkloadProfile};
+use harmony::index::distance::{self, DimRange, Metric};
+use harmony::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn partial_scores_reconstruct_full_score(
+        dim in 1usize..64,
+        blocks in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(blocks <= dim);
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..dim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let total: f32 = DimRange::split(dim, blocks)
+                .iter()
+                .map(|r| distance::partial_score(metric, &a[r.start..r.end], &b[r.start..r.end]))
+                .sum();
+            let full = match metric {
+                Metric::L2 => distance::l2_sq(&a, &b),
+                _ => -distance::ip(&a, &b),
+            };
+            prop_assert!((total - full).abs() <= 1e-3 * full.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn l2_partial_sums_are_monotone(
+        dim in 2usize..48,
+        seed in 0u64..10_000,
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..dim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let blocks = (dim / 2).clamp(1, 6);
+        let mut acc = 0.0f32;
+        for r in DimRange::split(dim, blocks) {
+            let prev = acc;
+            acc += distance::l2_sq(&a[r.start..r.end], &b[r.start..r.end]);
+            prop_assert!(acc >= prev, "L2 partial sum decreased");
+        }
+    }
+
+    #[test]
+    fn dim_ranges_partition_exactly(
+        dim in 1usize..512,
+        blocks in 1usize..16,
+    ) {
+        prop_assume!(blocks <= dim);
+        let ranges = DimRange::split(dim, blocks);
+        prop_assert_eq!(ranges.len(), blocks);
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next, "gap or overlap");
+            next = r.end;
+        }
+        prop_assert_eq!(next, dim);
+        // Near-equal widths: max - min <= 1.
+        let widths: Vec<usize> = ranges.iter().map(DimRange::len).collect();
+        prop_assert!(widths.iter().max().unwrap() - widths.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn machine_grid_is_a_bijection(
+        vec_shards in 1usize..8,
+        dim_blocks in 1usize..8,
+    ) {
+        let plan = PartitionPlan::new(vec_shards, dim_blocks).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..vec_shards {
+            for b in 0..dim_blocks {
+                let m = plan.machine_of(s, b);
+                prop_assert!(m < plan.machines());
+                prop_assert!(seen.insert(m));
+                prop_assert_eq!(plan.block_of(m), (s, b));
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_meets_its_makespan_guarantee(
+        weights in proptest::collection::vec(0u64..1_000, 1..64),
+        shards in 1usize..8,
+    ) {
+        let lpt = ShardAssignment::balanced(&weights, shards);
+        let rr = ShardAssignment::round_robin(&weights, shards);
+        // Graham's bound: LPT max load ≤ (4/3 − 1/(3m)) · OPT, and
+        // OPT ≥ max(total/m, heaviest item).
+        let total: u64 = weights.iter().sum();
+        let heaviest = weights.iter().copied().max().unwrap_or(0);
+        let opt_lb = (total as f64 / shards as f64).max(heaviest as f64);
+        let lpt_max = *lpt.shard_weights.iter().max().unwrap() as f64;
+        prop_assert!(
+            lpt_max <= (4.0 / 3.0) * opt_lb + 1e-9,
+            "LPT max {lpt_max} exceeds 4/3 x lower bound {opt_lb}"
+        );
+        // Same totals, full coverage, same cluster count.
+        prop_assert_eq!(
+            lpt.shard_weights.iter().sum::<u64>(),
+            rr.shard_weights.iter().sum::<u64>()
+        );
+        prop_assert_eq!(lpt.cluster_to_shard.len(), weights.len());
+    }
+
+    #[test]
+    fn topk_matches_sort_oracle(
+        entries in proptest::collection::vec((0u64..1_000, -1_000.0f32..1_000.0), 1..128),
+        k in 1usize..32,
+    ) {
+        let mut topk = TopK::new(k);
+        for &(id, score) in &entries {
+            topk.push(id, score);
+        }
+        let got = topk.into_sorted();
+        let mut oracle: Vec<Neighbor> =
+            entries.iter().map(|&(id, s)| Neighbor::new(id, s)).collect();
+        oracle.sort_unstable();
+        oracle.truncate(k);
+        prop_assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_payloads(
+        floats in proptest::collection::vec(-1e6f32..1e6, 0..256),
+        ids in proptest::collection::vec(proptest::num::u64::ANY, 0..64),
+        text in "[a-zA-Z0-9 ]{0,64}",
+        flag in proptest::bool::ANY,
+    ) {
+        let value = (floats, (ids, (text, flag)));
+        let bytes = value.to_bytes();
+        let back = <(Vec<f32>, (Vec<u64>, (String, bool)))>::from_bytes(bytes).unwrap();
+        prop_assert_eq!(value, back);
+    }
+
+    #[test]
+    fn codec_rejects_truncation(
+        floats in proptest::collection::vec(-1e3f32..1e3, 1..64),
+        cut in 1usize..16,
+    ) {
+        let bytes = floats.to_bytes();
+        prop_assume!(cut < bytes.len());
+        let truncated = bytes.slice(0..bytes.len() - cut);
+        prop_assert!(Vec::<f32>::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn cost_model_total_is_sum_of_terms(
+        alpha in 0.0f64..10.0,
+        nlist in 4usize..64,
+    ) {
+        use harmony::cluster::NetworkModel;
+        use harmony::core::CostModel;
+        let model = CostModel::new(NetworkModel::default(), alpha);
+        let profile = WorkloadProfile::uniform(vec![100; nlist], 32, 50, 4);
+        let cost = model.plan_cost(PartitionPlan::pure_vector(4), &profile);
+        prop_assert!(
+            (cost.total_ns - (cost.comp_ns + cost.comm_ns + alpha * cost.imbalance_ns)).abs()
+                < 1e-6 * cost.total_ns.max(1.0)
+        );
+        prop_assert!(cost.comp_ns >= 0.0 && cost.comm_ns >= 0.0 && cost.imbalance_ns >= 0.0);
+    }
+
+    #[test]
+    fn store_partitioning_preserves_content(
+        n in 1usize..32,
+        dim in 2usize..32,
+        blocks in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(blocks <= dim);
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let store = VectorStore::from_flat(dim, data).unwrap();
+        // Slicing into blocks and restitching column-wise is the identity.
+        let slices: Vec<VectorStore> = DimRange::split(dim, blocks)
+            .into_iter()
+            .map(|r| store.slice_dims(r))
+            .collect();
+        for row in 0..n {
+            let mut rebuilt = Vec::with_capacity(dim);
+            for s in &slices {
+                rebuilt.extend_from_slice(s.row(row));
+            }
+            prop_assert_eq!(rebuilt.as_slice(), store.row(row));
+        }
+    }
+}
+
+#[test]
+fn workload_profile_weights_match_cluster_work() {
+    let profile = WorkloadProfile::uniform(vec![10, 20, 30], 8, 100, 2);
+    let work = profile.cluster_work();
+    assert!(work[1] / work[0] > 1.9 && work[1] / work[0] < 2.1);
+    assert!(work[2] / work[0] > 2.9 && work[2] / work[0] < 3.1);
+}
