@@ -365,7 +365,9 @@ mod tests {
     use harmony_index::FlatIndex;
 
     fn dataset() -> harmony_data::Dataset {
-        SyntheticSpec::clustered(1_500, 16, 12).with_seed(5).generate()
+        SyntheticSpec::clustered(1_500, 16, 12)
+            .with_seed(5)
+            .generate()
     }
 
     fn engine(epsilon: f32) -> (AuncelEngine, harmony_data::Dataset) {

@@ -131,7 +131,9 @@ mod tests {
     use harmony_data::SyntheticSpec;
 
     fn dataset() -> harmony_data::Dataset {
-        SyntheticSpec::clustered(1_200, 16, 8).with_seed(3).generate()
+        SyntheticSpec::clustered(1_200, 16, 8)
+            .with_seed(3)
+            .generate()
     }
 
     #[test]

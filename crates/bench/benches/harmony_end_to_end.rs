@@ -6,7 +6,9 @@ use harmony_core::{EngineMode, HarmonyConfig, HarmonyEngine, SearchOptions};
 use harmony_data::SyntheticSpec;
 
 fn bench_engine(c: &mut Criterion) {
-    let dataset = SyntheticSpec::clustered(8_000, 64, 32).with_seed(1).generate();
+    let dataset = SyntheticSpec::clustered(8_000, 64, 32)
+        .with_seed(1)
+        .generate();
     let queries = dataset.queries.gather(&(0..16).collect::<Vec<_>>());
     let mut group = c.benchmark_group("harmony_end_to_end");
     group.sample_size(10);

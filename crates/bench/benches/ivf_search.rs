@@ -5,7 +5,9 @@ use harmony_data::SyntheticSpec;
 use harmony_index::{IvfIndex, IvfParams};
 
 fn bench_ivf(c: &mut Criterion) {
-    let dataset = SyntheticSpec::clustered(20_000, 64, 32).with_seed(5).generate();
+    let dataset = SyntheticSpec::clustered(20_000, 64, 32)
+        .with_seed(5)
+        .generate();
     let mut ivf = IvfIndex::train(&dataset.base, &IvfParams::new(64).with_seed(9)).unwrap();
     ivf.add(&dataset.base).unwrap();
     let query = dataset.queries.row(0).to_vec();

@@ -6,7 +6,9 @@ use harmony_data::SyntheticSpec;
 use harmony_index::{KMeans, KMeansConfig};
 
 fn bench_kmeans(c: &mut Criterion) {
-    let dataset = SyntheticSpec::clustered(5_000, 32, 16).with_seed(3).generate();
+    let dataset = SyntheticSpec::clustered(5_000, 32, 16)
+        .with_seed(3)
+        .generate();
     let mut group = c.benchmark_group("kmeans");
     group.sample_size(10);
 

@@ -11,15 +11,19 @@ fn bench_topk(c: &mut Criterion) {
     let scores: Vec<f32> = (0..10_000).map(|_| rng.random_range(0.0..100.0)).collect();
 
     for k in [10usize, 100] {
-        group.bench_with_input(BenchmarkId::new("push_10k_candidates", k), &k, |bench, &k| {
-            bench.iter(|| {
-                let mut topk = TopK::new(k);
-                for (i, &s) in scores.iter().enumerate() {
-                    topk.push(i as u64, s);
-                }
-                black_box(topk.threshold())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("push_10k_candidates", k),
+            &k,
+            |bench, &k| {
+                bench.iter(|| {
+                    let mut topk = TopK::new(k);
+                    for (i, &s) in scores.iter().enumerate() {
+                        topk.push(i as u64, s);
+                    }
+                    black_box(topk.threshold())
+                })
+            },
+        );
     }
     group.bench_function("threshold_read", |bench| {
         let mut topk = TopK::new(10);

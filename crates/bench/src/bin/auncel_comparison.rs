@@ -4,11 +4,9 @@
 //! partitioning), so its throughput degrades as load concentrates, while
 //! Harmony's pruning + fine-grained balancing keep it stable and ahead.
 
-use harmony_bench::runner::{
-    build_harmony, measure_harmony, nlist_for_clamped, BENCH_SEED,
-};
-use harmony_bench::{report, BenchArgs, Table};
 use harmony_baseline::{AuncelConfig, AuncelEngine};
+use harmony_bench::runner::{build_harmony, measure_harmony, nlist_for_clamped, BENCH_SEED};
+use harmony_bench::{report, BenchArgs, Table};
 use harmony_core::{EngineMode, SearchOptions};
 use harmony_data::{DatasetAnalog, Workload, WorkloadSpec};
 
@@ -44,7 +42,11 @@ fn main() {
         ],
     );
 
-    let levels: &[f64] = if args.quick { &[0.0, 1.0] } else { &[0.0, 0.25, 0.5, 0.75, 1.0] };
+    let levels: &[f64] = if args.quick {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
     for &level in levels {
         let workload = Workload::generate(
             &spec,

@@ -5,9 +5,9 @@
 //! engines and is larger for dimension-including plans, scaling with data
 //! size.
 
+use harmony_baseline::FaissLikeEngine;
 use harmony_bench::runner::{build_harmony, nlist_for_clamped, BENCH_SEED};
 use harmony_bench::{report, BenchArgs, Table};
-use harmony_baseline::FaissLikeEngine;
 use harmony_core::EngineMode;
 use harmony_data::DatasetAnalog;
 use harmony_index::Metric;

@@ -6,18 +6,22 @@
 //! count (400 %) in the top-right corner thanks to pruning. Sizes are
 //! scaled by `--scale` like every other experiment.
 
+use harmony_baseline::FaissLikeEngine;
 use harmony_bench::runner::{
     build_harmony, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, BENCH_SEED,
 };
 use harmony_bench::{report, BenchArgs, Table};
-use harmony_baseline::FaissLikeEngine;
 use harmony_core::{EngineMode, SearchOptions};
 use harmony_data::SyntheticSpec;
 use harmony_index::Metric;
 
 fn main() {
     let args = BenchArgs::parse();
-    let dims: &[usize] = if args.quick { &[64, 256] } else { &[64, 128, 256, 512] };
+    let dims: &[usize] = if args.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let sizes: &[usize] = if args.quick {
         &[250_000, 1_000_000]
     } else {
@@ -47,7 +51,11 @@ fn main() {
             let opts = SearchOptions::new(k).with_nprobe(nprobe);
             let (f_qps, _, _) = measure_faiss(&faiss, &queries, k, nprobe, None);
             let h = measure_harmony(&harmony, &queries, &opts, None);
-            let speedup = if f_qps > 0.0 { h.qps / f_qps * 100.0 } else { 0.0 };
+            let speedup = if f_qps > 0.0 {
+                h.qps / f_qps * 100.0
+            } else {
+                0.0
+            };
             table.row(vec![
                 size.to_string(),
                 dim.to_string(),

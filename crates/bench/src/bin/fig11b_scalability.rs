@@ -5,11 +5,11 @@
 //! tracks the worker count linearly, Harmony-dimension rises then flattens
 //! or declines as per-message latency eats the thinner dimension blocks.
 
+use harmony_baseline::FaissLikeEngine;
 use harmony_bench::runner::{
     build_harmony, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, BENCH_SEED,
 };
 use harmony_bench::{report, BenchArgs, Table};
-use harmony_baseline::FaissLikeEngine;
 use harmony_core::{EngineMode, SearchOptions};
 use harmony_data::DatasetAnalog;
 use harmony_index::Metric;
@@ -48,7 +48,10 @@ fn main() {
         ] {
             let engine = build_harmony(&dataset, mode, workers, nlist);
             let m = measure_harmony(&engine, &queries, &opts, None);
-            cells.push(report::num(if f_qps > 0.0 { m.qps / f_qps } else { 0.0 }, 2));
+            cells.push(report::num(
+                if f_qps > 0.0 { m.qps / f_qps } else { 0.0 },
+                2,
+            ));
             engine.shutdown().expect("shutdown");
         }
         table.row(cells);

@@ -5,8 +5,8 @@
 //! 97.4 %. We run the dimension-partitioned engine on the SIFT analog and
 //! report the same cumulative series.
 
-use harmony_bench::{report, BenchArgs, Table};
 use harmony_bench::runner::{build_harmony, nlist_for_clamped, take_queries};
+use harmony_bench::{report, BenchArgs, Table};
 use harmony_core::{EngineMode, SearchOptions};
 use harmony_data::DatasetAnalog;
 

@@ -6,12 +6,12 @@
 //! (4.63× average) thanks to pruning; below recall ≈ 0.99 Harmony-vector
 //! is the fastest distributed mode. Recall is swept via `nprobe`.
 
+use harmony_baseline::FaissLikeEngine;
 use harmony_bench::runner::{
     build_harmony, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, truth_for,
     BENCH_SEED,
 };
 use harmony_bench::{report, BenchArgs, Table};
-use harmony_baseline::FaissLikeEngine;
 use harmony_core::{EngineMode, SearchOptions};
 use harmony_data::DatasetAnalog;
 use harmony_index::Metric;
@@ -56,8 +56,7 @@ fn main() {
             FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base).expect("faiss");
         let harmony = build_harmony(&dataset, EngineMode::Harmony, args.workers, nlist);
         let vector = build_harmony(&dataset, EngineMode::HarmonyVector, args.workers, nlist);
-        let dimension =
-            build_harmony(&dataset, EngineMode::HarmonyDimension, args.workers, nlist);
+        let dimension = build_harmony(&dataset, EngineMode::HarmonyDimension, args.workers, nlist);
 
         let sweep: Vec<usize> = if args.quick {
             vec![2, 8, nlist / 2]

@@ -30,8 +30,11 @@ fn shard_local_hot_clusters(engine: &HarmonyEngine, nprobe: usize) -> Vec<u32> {
     let mut scored: Vec<(usize, u32)> = shard0
         .iter()
         .map(|&c| {
-            let probes =
-                harmony_index::kmeans::nearest_centroids(centroids.row(c as usize), centroids, nprobe);
+            let probes = harmony_index::kmeans::nearest_centroids(
+                centroids.row(c as usize),
+                centroids,
+                nprobe,
+            );
             let inside = probes.iter().filter(|p| shard0.contains(p)).count();
             (inside, c)
         })
@@ -66,7 +69,7 @@ fn targeted_queries(
         };
         let mut q = centroids.row(cluster).to_vec();
         for x in q.iter_mut() {
-            *x += rng.random_range(-0.01..0.01);
+            *x += rng.random_range(-0.01..0.01f32);
         }
         queries.push(i as u64, &q).expect("dims match");
     }
@@ -110,8 +113,7 @@ fn main() {
         );
         let harmony = build_harmony(&dataset, EngineMode::Harmony, args.workers, nlist);
         let vector = build_harmony(&dataset, EngineMode::HarmonyVector, args.workers, nlist);
-        let dimension =
-            build_harmony(&dataset, EngineMode::HarmonyDimension, args.workers, nlist);
+        let dimension = build_harmony(&dataset, EngineMode::HarmonyDimension, args.workers, nlist);
         // Few probes per query keep the per-query footprint on few shards —
         // the regime where hot partitions hurt vector partitioning most.
         let nprobe = 4;

@@ -6,9 +6,7 @@
 //! matches or beats vector despite paying some communication, because
 //! pruning cuts its computation.
 
-use harmony_bench::runner::{
-    build_harmony, measure_harmony, nlist_for_clamped, take_queries,
-};
+use harmony_bench::runner::{build_harmony, measure_harmony, nlist_for_clamped, take_queries};
 use harmony_bench::{report, BenchArgs, Table};
 use harmony_core::{EngineMode, SearchOptions};
 use harmony_data::DatasetAnalog;

@@ -8,9 +8,7 @@
 //! as load balancing only matters when the load can be unbalanced (the
 //! paper notes Sift1M's uniform distribution mutes the first two bars).
 
-use harmony_bench::runner::{
-    build_harmony_with, measure_harmony, nlist_for_clamped, BENCH_SEED,
-};
+use harmony_bench::runner::{build_harmony_with, measure_harmony, nlist_for_clamped, BENCH_SEED};
 use harmony_bench::{report, BenchArgs, Table};
 use harmony_core::{HarmonyConfig, PartitionPlan, SearchOptions};
 use harmony_data::{DatasetAnalog, Workload, WorkloadSpec};

@@ -4,9 +4,9 @@
 //! index (4 workers, no replication); dimension-including plans add ≈ 2 %
 //! bookkeeping overhead.
 
+use harmony_baseline::FaissLikeEngine;
 use harmony_bench::runner::{build_harmony, nlist_for_clamped, take_queries, BENCH_SEED};
 use harmony_bench::{report, BenchArgs, Table};
-use harmony_baseline::FaissLikeEngine;
 use harmony_core::{EngineMode, SearchOptions};
 use harmony_data::DatasetAnalog;
 use harmony_index::Metric;
@@ -32,8 +32,8 @@ fn main() {
         let nlist = nlist_for_clamped(dataset.len());
         eprintln!("[table4] {analog}: {} x {}d", dataset.len(), dataset.dim());
 
-        let faiss = FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base)
-            .expect("faiss");
+        let faiss =
+            FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base).expect("faiss");
         let faiss_bytes = faiss.memory_bytes() as u64;
 
         let mut per_node = Vec::new();

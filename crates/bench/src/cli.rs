@@ -53,12 +53,8 @@ impl BenchArgs {
             };
             match arg.as_str() {
                 "--scale" => out.scale = take("--scale").parse().expect("bad --scale"),
-                "--queries" => {
-                    out.queries = take("--queries").parse().expect("bad --queries")
-                }
-                "--workers" => {
-                    out.workers = take("--workers").parse().expect("bad --workers")
-                }
+                "--queries" => out.queries = take("--queries").parse().expect("bad --queries"),
+                "--workers" => out.workers = take("--workers").parse().expect("bad --workers"),
                 "--out-dir" => out.out_dir = PathBuf::from(take("--out-dir")),
                 "--quick" => out.quick = true,
                 "--help" | "-h" => {
@@ -104,7 +100,15 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let a = parse(&["--scale", "0.5", "--queries", "10", "--workers", "8", "--quick"]);
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--queries",
+            "10",
+            "--workers",
+            "8",
+            "--quick",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.queries, 10);
         assert_eq!(a.workers, 8);

@@ -15,9 +15,7 @@
 
 use std::time::Duration;
 
-use harmony_core::{
-    BatchResult, EngineMode, HarmonyConfig, HarmonyEngine, SearchOptions,
-};
+use harmony_core::{BatchResult, EngineMode, HarmonyConfig, HarmonyEngine, SearchOptions};
 use harmony_data::{ground_truth, recall_at_k, Dataset};
 use harmony_index::{Metric, Neighbor, VectorStore};
 
@@ -154,7 +152,9 @@ mod tests {
 
     #[test]
     fn end_to_end_measurement_smoke() {
-        let d = SyntheticSpec::clustered(1_000, 8, 8).with_seed(1).generate();
+        let d = SyntheticSpec::clustered(1_000, 8, 8)
+            .with_seed(1)
+            .generate();
         let queries = take_queries(&d.queries, 8);
         let nlist = 16;
         let engine = build_harmony(&d, EngineMode::Harmony, 2, nlist);
@@ -165,13 +165,9 @@ mod tests {
         assert!(m.recall.unwrap() > 0.3);
         engine.shutdown().unwrap();
 
-        let faiss = harmony_baseline::FaissLikeEngine::build(
-            nlist,
-            Metric::L2,
-            BENCH_SEED,
-            &d.base,
-        )
-        .unwrap();
+        let faiss =
+            harmony_baseline::FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &d.base)
+                .unwrap();
         let (qps, recall, _) = measure_faiss(&faiss, &queries, 5, 4, Some(&truth));
         assert!(qps > 0.0);
         assert!(recall.unwrap() > 0.3);

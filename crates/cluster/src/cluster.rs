@@ -96,7 +96,9 @@ impl Cluster {
             rates: config.rates,
             comm_mode: config.comm_mode,
             delay: config.delay,
-            worker_metrics: (0..config.workers).map(|_| NodeMetrics::default()).collect(),
+            worker_metrics: (0..config.workers)
+                .map(|_| NodeMetrics::default())
+                .collect(),
             client_metrics: NodeMetrics::default(),
             drop_counter: AtomicU64::new(0),
             drop_every_nth: config.drop_every_nth,
@@ -441,7 +443,10 @@ mod tests {
             cluster.recv_timeout(Duration::from_secs(1)).unwrap().1,
         ];
         got.sort();
-        assert_eq!(got, vec![Bytes::from_static(b"A"), Bytes::from_static(b"B")]);
+        assert_eq!(
+            got,
+            vec![Bytes::from_static(b"A"), Bytes::from_static(b"B")]
+        );
         cluster.shutdown().unwrap();
     }
 
@@ -466,10 +471,7 @@ mod tests {
         let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| Echo);
         cluster.shutdown().unwrap();
         cluster.shutdown().unwrap();
-        assert_eq!(
-            cluster.send(0, Bytes::new()),
-            Err(ClusterError::ShutDown)
-        );
+        assert_eq!(cluster.send(0, Bytes::new()), Err(ClusterError::ShutDown));
         // Drop after shutdown must not panic.
         drop(cluster);
     }

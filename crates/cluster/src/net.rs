@@ -98,8 +98,8 @@ impl ComputeRates {
     /// Modeled nanoseconds for scanning `point_dims` products over
     /// `candidates` candidates.
     pub fn compute_ns(&self, point_dims: u64, candidates: u64) -> u64 {
-        (point_dims as f64 * self.ns_per_point_dim
-            + candidates as f64 * self.ns_per_candidate) as u64
+        (point_dims as f64 * self.ns_per_point_dim + candidates as f64 * self.ns_per_candidate)
+            as u64
     }
 
     /// Modeled serialization overhead for one message of `bytes` payload.

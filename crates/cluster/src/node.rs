@@ -97,7 +97,7 @@ impl Shared {
             return false;
         }
         let n = self.drop_counter.fetch_add(1, Ordering::Relaxed) + 1;
-        n % self.drop_every_nth == 0
+        n.is_multiple_of(self.drop_every_nth)
     }
 }
 
@@ -382,9 +382,6 @@ mod tests {
         let shared = test_shared(1, 0);
         let (ctx, receivers) = test_ctx(shared);
         drop(receivers);
-        assert_eq!(
-            ctx.send(0, Bytes::new()),
-            Err(ClusterError::NodeDown(0))
-        );
+        assert_eq!(ctx.send(0, Bytes::new()), Err(ClusterError::NodeDown(0)));
     }
 }

@@ -12,58 +12,22 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use harmony_cluster::{
-    Cluster, ClusterConfig, ClusterSnapshot, CommMode, NodeId, Wire,
-};
+use harmony_cluster::{Cluster, ClusterConfig, ClusterSnapshot, CommMode, NodeId, Wire};
 use harmony_index::distance::ip;
 use harmony_index::kmeans::nearest_centroids;
 use harmony_index::{DimRange, KMeans, KMeansConfig, Metric, Neighbor, TopK, VectorStore};
 use parking_lot::Mutex;
-use rand_like::SmallRng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::config::{EngineMode, HarmonyConfig, SearchOptions};
 use crate::cost::{CostModel, WorkloadProfile};
 use crate::error::CoreError;
-use crate::messages::{
-    metric_tag, ClusterBlock, LoadBlock, QueryChunk, ToClient, ToWorker,
-};
+use crate::messages::{metric_tag, ClusterBlock, LoadBlock, QueryChunk, ToClient, ToWorker};
 use crate::partition::{PartitionPlan, ShardAssignment};
 use crate::pruning::SliceStats;
 use crate::stats::{BatchResult, BuildStats, EngineStats};
 use crate::worker::HarmonyWorker;
-
-/// Minimal deterministic PRNG (xorshift*) for sampling decisions that must
-/// not pull `rand` into the core crate's public dependency surface.
-mod rand_like {
-    /// xorshift64* generator.
-    pub struct SmallRng(u64);
-
-    impl SmallRng {
-        /// Seeds the generator (0 is remapped).
-        pub fn new(seed: u64) -> Self {
-            Self(seed.max(1))
-        }
-
-        /// Next raw value.
-        pub fn next_u64(&mut self) -> u64 {
-            let mut x = self.0;
-            x ^= x >> 12;
-            x ^= x << 25;
-            x ^= x >> 27;
-            self.0 = x;
-            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-        }
-
-        /// Uniform value in `[0, bound)`.
-        pub fn below(&mut self, bound: usize) -> usize {
-            if bound == 0 {
-                0
-            } else {
-                (self.next_u64() % bound as u64) as usize
-            }
-        }
-    }
-}
 
 /// A built, running Harmony deployment.
 ///
@@ -281,7 +245,7 @@ impl HarmonyEngine {
         let preassign = t0.elapsed();
 
         // --- Prewarm samples -------------------------------------------
-        let mut rng = SmallRng::new(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
         let mut prewarm_store = VectorStore::new(dim);
         let mut prewarm_rows: Vec<Vec<usize>> = vec![Vec::new(); nlist];
         if config.prewarm > 0 {
@@ -289,7 +253,7 @@ impl HarmonyEngine {
                 let take = config.prewarm.min(rows.len());
                 for i in 0..take {
                     // Deterministic stratified pick.
-                    let pick = rows[(rng.below(rows.len().max(1)) + i) % rows.len()];
+                    let pick = rows[(rng.random_range(0..rows.len().max(1)) + i) % rows.len()];
                     prewarm_rows[c].push(prewarm_store.len());
                     prewarm_store
                         .push(base.id(pick), base.row(pick))
@@ -359,15 +323,9 @@ impl HarmonyEngine {
     ///
     /// # Errors
     /// Dimension mismatches or distributed-collection failures.
-    pub fn search(
-        &self,
-        query: &[f32],
-        opts: &SearchOptions,
-    ) -> Result<SingleResult, CoreError> {
+    pub fn search(&self, query: &[f32], opts: &SearchOptions) -> Result<SingleResult, CoreError> {
         let mut store = VectorStore::new(self.dim);
-        store
-            .push(0, query)
-            .map_err(CoreError::Index)?;
+        store.push(0, query).map_err(CoreError::Index)?;
         let batch = self.search_batch(&store, opts)?;
         Ok(SingleResult {
             neighbors: batch.results.into_iter().next().unwrap_or_default(),
@@ -460,8 +418,7 @@ impl HarmonyEngine {
 
             // Discharge the load estimate of this visit.
             if let Some((machine, amount)) = state.charged.pop() {
-                inner.outstanding[machine] =
-                    (inner.outstanding[machine] - amount).max(0.0);
+                inner.outstanding[machine] = (inner.outstanding[machine] - amount).max(0.0);
             }
 
             // Stage the next visit (pipeline mode) or finish.
@@ -601,10 +558,7 @@ impl HarmonyEngine {
         let q_total_norm_sq = if is_ip { ip(query, query) } else { 0.0 };
 
         // Estimate the candidate volume of this visit for load accounting.
-        let candidates: usize = clusters
-            .iter()
-            .map(|&c| self.list_sizes[c as usize])
-            .sum();
+        let candidates: usize = clusters.iter().map(|&c| self.list_sizes[c as usize]).sum();
 
         // Pipeline order over dimension blocks (§4.3 Load Balancing):
         // balanced mode sends the most-loaded machine's block last, where
@@ -688,9 +642,7 @@ impl HarmonyEngine {
         };
         let mut received = 0;
         while received < workers {
-            let (from, payload) = inner
-                .cluster
-                .recv_timeout(Duration::from_secs(30))?;
+            let (from, payload) = inner.cluster.recv_timeout(Duration::from_secs(30))?;
             match ToClient::from_bytes(payload)? {
                 ToClient::Stats(r) => {
                     stats.slices.merge_report(&r.slice_in, &r.slice_pruned);

@@ -71,7 +71,7 @@ impl PartitionPlan {
     pub fn enumerate(n_machines: usize) -> Vec<PartitionPlan> {
         let mut plans = Vec::new();
         for a in (1..=n_machines).rev() {
-            if n_machines % a == 0 {
+            if n_machines.is_multiple_of(a) {
                 plans.push(PartitionPlan {
                     vec_shards: a,
                     dim_blocks: n_machines / a,
@@ -219,12 +219,8 @@ mod tests {
     #[test]
     fn enumerate_covers_all_factorizations() {
         let plans = PartitionPlan::enumerate(12);
-        let expected: Vec<(usize, usize)> =
-            vec![(12, 1), (6, 2), (4, 3), (3, 4), (2, 6), (1, 12)];
-        let got: Vec<(usize, usize)> = plans
-            .iter()
-            .map(|p| (p.vec_shards, p.dim_blocks))
-            .collect();
+        let expected: Vec<(usize, usize)> = vec![(12, 1), (6, 2), (4, 3), (3, 4), (2, 6), (1, 12)];
+        let got: Vec<(usize, usize)> = plans.iter().map(|p| (p.vec_shards, p.dim_blocks)).collect();
         assert_eq!(got, expected);
         for p in &plans {
             assert_eq!(p.machines(), 12);

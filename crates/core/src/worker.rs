@@ -61,7 +61,10 @@ struct BlockStore {
 
 impl BlockStore {
     fn memory_bytes(&self) -> usize {
-        self.lists.values().map(ListBlock::memory_bytes).sum::<usize>()
+        self.lists
+            .values()
+            .map(ListBlock::memory_bytes)
+            .sum::<usize>()
     }
 }
 
@@ -193,7 +196,11 @@ impl HarmonyWorker {
             return;
         };
         let is_ip = !matches!(self.metric, Metric::L2);
-        let q_block_norm_sq = if is_ip { ip(&chunk.dims, &chunk.dims) } else { 0.0 };
+        let q_block_norm_sq = if is_ip {
+            ip(&chunk.dims, &chunk.dims)
+        } else {
+            0.0
+        };
         let threshold = chunk.threshold;
         let rule = self.rule;
 
@@ -290,7 +297,11 @@ impl HarmonyWorker {
             return;
         };
         let is_ip = !matches!(self.metric, Metric::L2);
-        let q_block_norm_sq = if is_ip { ip(&chunk.dims, &chunk.dims) } else { 0.0 };
+        let q_block_norm_sq = if is_ip {
+            ip(&chunk.dims, &chunk.dims)
+        } else {
+            0.0
+        };
         let q_visited = carry.q_visited_norm_sq + q_block_norm_sq;
         // Tightest threshold wins (lower-is-better scores).
         let threshold = chunk.threshold.min(carry.threshold);
@@ -324,11 +335,9 @@ impl HarmonyWorker {
                     }
                     let row = (index - base) as usize;
                     scanned += list.width as u64;
-                    let partial = carry.partials[cursor]
-                        + scorer(&chunk.dims, list.row(row));
+                    let partial = carry.partials[cursor] + scorer(&chunk.dims, list.row(row));
                     let (q_rest, p_rest, p_visited) = if is_ip {
-                        let p_visited =
-                            carry.visited_norms_sq[cursor] + list.block_norms_sq[row];
+                        let p_visited = carry.visited_norms_sq[cursor] + list.block_norms_sq[row];
                         (
                             chunk.q_total_norm_sq - q_visited,
                             list.total_norms_sq[row] - p_visited,

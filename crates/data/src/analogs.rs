@@ -275,14 +275,19 @@ mod tests {
 
     #[test]
     fn seeds_differ_across_analogs() {
-        let seeds: std::collections::HashSet<u64> =
-            DatasetAnalog::ALL.iter().map(|d| d.spec(0.01).seed).collect();
+        let seeds: std::collections::HashSet<u64> = DatasetAnalog::ALL
+            .iter()
+            .map(|d| d.spec(0.01).seed)
+            .collect();
         assert_eq!(seeds.len(), DatasetAnalog::ALL.len());
     }
 
     #[test]
     fn display_matches_paper_names() {
         assert_eq!(DatasetAnalog::Glove1_2M.to_string(), "Glove1.2M");
-        assert_eq!(DatasetAnalog::StarLightCurves.to_string(), "StarLightCurves");
+        assert_eq!(
+            DatasetAnalog::StarLightCurves.to_string(),
+            "StarLightCurves"
+        );
     }
 }

@@ -34,8 +34,7 @@ pub fn recall_at_k(truth: &[Vec<Neighbor>], results: &[Vec<Neighbor>], k: usize)
     }
     let mut total = 0.0;
     for (t, r) in truth.iter().zip(results) {
-        let expected: std::collections::HashSet<u64> =
-            t.iter().take(k).map(|n| n.id).collect();
+        let expected: std::collections::HashSet<u64> = t.iter().take(k).map(|n| n.id).collect();
         let hits = r
             .iter()
             .take(k)

@@ -178,8 +178,7 @@ mod tests {
 
     #[test]
     fn fvecs_roundtrip() {
-        let store =
-            VectorStore::from_flat(3, vec![1.0, 2.0, 3.0, -4.0, 5.5, 6.25]).unwrap();
+        let store = VectorStore::from_flat(3, vec![1.0, 2.0, 3.0, -4.0, 5.5, 6.25]).unwrap();
         let path = temp_path("fvecs");
         write_fvecs(&path, &store).unwrap();
         let back = read_fvecs(&path).unwrap();

@@ -290,7 +290,7 @@ impl SyntheticSpec {
         // Box-Muller pairs are overkill; sum of uniforms (Irwin-Hall, n=4)
         // gives an approximately normal noise term cheaply and portably.
         for ((o, &c), &s) in out.iter_mut().zip(center).zip(scales) {
-            let u: f32 = (0..4).map(|_| rng.random_range(-0.5..0.5)).sum();
+            let u: f32 = (0..4).map(|_| rng.random_range(-0.5..0.5f32)).sum();
             *o = c + u * self.spread * s;
         }
         // Cross-dimension smoothing: first-order IIR low-pass.
@@ -310,7 +310,9 @@ mod tests {
 
     #[test]
     fn generates_requested_shapes() {
-        let d = SyntheticSpec::clustered(500, 16, 8).with_queries(37).generate();
+        let d = SyntheticSpec::clustered(500, 16, 8)
+            .with_queries(37)
+            .generate();
         assert_eq!(d.len(), 500);
         assert_eq!(d.dim(), 16);
         assert_eq!(d.queries.len(), 37);

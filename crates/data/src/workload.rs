@@ -55,9 +55,9 @@ impl WorkloadSpec {
         assert!(components > 0, "no components");
         match *self {
             WorkloadSpec::Uniform => vec![1.0; components],
-            WorkloadSpec::Zipf { s } => (0..components)
-                .map(|i| ((i + 1) as f64).powf(-s))
-                .collect(),
+            WorkloadSpec::Zipf { s } => {
+                (0..components).map(|i| ((i + 1) as f64).powf(-s)).collect()
+            }
             WorkloadSpec::HotSet { hot, hot_share } => {
                 assert!(hot > 0 && hot <= components, "invalid hot set size");
                 assert!((0.0..=1.0).contains(&hot_share), "invalid hot share");

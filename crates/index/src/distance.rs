@@ -262,8 +262,7 @@ mod avx2 {
 fn avx2_available() -> bool {
     use std::sync::OnceLock;
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
-    *AVAILABLE
-        .get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
 }
 
 // ---------------------------------------------------------------------------
@@ -354,11 +353,7 @@ mod tests {
     fn l2_matches_naive() {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0];
         let b = [5.0, 4.0, 3.0, 2.0, 1.0];
-        let naive: f32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
         assert!((l2_sq(&a, &b) - naive).abs() < EPS);
         assert!((l2_sq_scalar(&a, &b) - naive).abs() < EPS);
     }

@@ -153,8 +153,7 @@ mod tests {
     #[test]
     fn batch_matches_single() {
         let idx = line_index();
-        let queries =
-            VectorStore::from_flat(2, vec![0.1, 0.0, 5.4, 0.0, 8.9, 0.0]).unwrap();
+        let queries = VectorStore::from_flat(2, vec![0.1, 0.0, 5.4, 0.0, 8.9, 0.0]).unwrap();
         let batch = idx.search_batch(&queries, 2).unwrap();
         for (qi, res) in batch.iter().enumerate() {
             let single = idx.search(queries.row(qi), 2).unwrap();

@@ -332,20 +332,13 @@ mod tests {
         let (ivf, data) = build(400, 8, 16, 3);
         let flat = FlatIndex::from_store(data.clone(), Metric::L2);
         let q = data.row(100);
-        let truth: std::collections::HashSet<u64> = flat
-            .search(q, 10)
-            .unwrap()
-            .iter()
-            .map(|n| n.id)
-            .collect();
+        let truth: std::collections::HashSet<u64> =
+            flat.search(q, 10).unwrap().iter().map(|n| n.id).collect();
         let mut prev_hits = 0;
         for nprobe in [1, 2, 4, 8, 16] {
             let res = ivf.search(q, 10, nprobe).unwrap();
             let hits = res.iter().filter(|n| truth.contains(&n.id)).count();
-            assert!(
-                hits >= prev_hits,
-                "recall dropped going to nprobe={nprobe}"
-            );
+            assert!(hits >= prev_hits, "recall dropped going to nprobe={nprobe}");
             prev_hits = hits;
         }
         assert_eq!(prev_hits, 10, "full probe must be exact");
@@ -389,11 +382,8 @@ mod tests {
     #[test]
     fn from_parts_roundtrip() {
         let (ivf, data) = build(150, 4, 6, 7);
-        let rebuilt = IvfIndex::from_parts(
-            ivf.metric(),
-            ivf.centroids().clone(),
-            ivf.lists().to_vec(),
-        );
+        let rebuilt =
+            IvfIndex::from_parts(ivf.metric(), ivf.centroids().clone(), ivf.lists().to_vec());
         assert_eq!(rebuilt.len(), ivf.len());
         let q = data.row(3);
         assert_eq!(

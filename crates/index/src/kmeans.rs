@@ -80,9 +80,7 @@ impl KMeans {
             return Err(IndexError::InvalidParameter("k must be > 0".into()));
         }
         if cfg.max_iters == 0 {
-            return Err(IndexError::InvalidParameter(
-                "max_iters must be > 0".into(),
-            ));
+            return Err(IndexError::InvalidParameter("max_iters must be > 0".into()));
         }
         if data.len() < cfg.k {
             return Err(IndexError::NotEnoughData {
@@ -175,10 +173,10 @@ fn kmeans_pp_init(data: &VectorStore, k: usize, rng: &mut StdRng) -> VectorStore
             .push(c as u64, data.row(next))
             .expect("dims match by construction");
         let new_row = centroids.row(c);
-        for i in 0..n {
+        for (i, best) in d2.iter_mut().enumerate() {
             let d = l2_sq(data.row(i), new_row);
-            if d < d2[i] {
-                d2[i] = d;
+            if d < *best {
+                *best = d;
             }
         }
     }
@@ -316,8 +314,8 @@ mod tests {
         for c in centers {
             for _ in 0..per_blob {
                 let v = [
-                    c[0] + rng.random_range(-0.5..0.5),
-                    c[1] + rng.random_range(-0.5..0.5),
+                    c[0] + rng.random_range(-0.5..0.5f32),
+                    c[1] + rng.random_range(-0.5..0.5f32),
                 ];
                 store.push(id, &v).unwrap();
                 id += 1;
@@ -334,8 +332,7 @@ mod tests {
         // Every blob should map to a single distinct centroid.
         let assignments = km.assign(&data);
         for blob in 0..3 {
-            let labels: std::collections::HashSet<u32> = assignments
-                [blob * 50..(blob + 1) * 50]
+            let labels: std::collections::HashSet<u32> = assignments[blob * 50..(blob + 1) * 50]
                 .iter()
                 .copied()
                 .collect();
@@ -389,16 +386,15 @@ mod tests {
         let data = blobs(5, 30);
         let km = KMeans::train(&data, &KMeansConfig::new(3, 11)).unwrap();
         let assignments = km.assign(&data);
-        for row in 0..data.len() {
+        for (row, &assigned) in assignments.iter().enumerate() {
             let (best, _) = nearest_centroid(data.row(row), &km.centroids);
-            assert_eq!(assignments[row], best, "row {row}");
+            assert_eq!(assigned, best, "row {row}");
         }
     }
 
     #[test]
     fn nearest_centroids_returns_sorted_probe_list() {
-        let centroids =
-            VectorStore::from_flat(1, vec![0.0, 10.0, 20.0, 30.0]).unwrap();
+        let centroids = VectorStore::from_flat(1, vec![0.0, 10.0, 20.0, 30.0]).unwrap();
         let probes = nearest_centroids(&[11.0], &centroids, 3);
         assert_eq!(probes, vec![1, 2, 0]);
         // nprobe larger than nlist clamps.
@@ -426,8 +422,7 @@ mod tests {
         assert_eq!(km.k(), 3);
         // Assignments on the full data still separate the blobs decently:
         // at least two distinct labels must appear.
-        let labels: std::collections::HashSet<u32> =
-            km.assign(&data).into_iter().collect();
+        let labels: std::collections::HashSet<u32> = km.assign(&data).into_iter().collect();
         assert!(labels.len() >= 2);
     }
 }

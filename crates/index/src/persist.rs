@@ -198,7 +198,9 @@ pub fn load_ivf(path: impl AsRef<Path>) -> Result<IvfIndex, PersistError> {
     let mut magic = [0u8; 4];
     r.read_exact_hashed(&mut magic)?;
     if &magic != MAGIC {
-        return Err(PersistError::Format("bad magic; not a Harmony index".into()));
+        return Err(PersistError::Format(
+            "bad magic; not a Harmony index".into(),
+        ));
     }
     let version = r.read_u32()?;
     if version != VERSION {
@@ -234,9 +236,9 @@ pub fn load_ivf(path: impl AsRef<Path>) -> Result<IvfIndex, PersistError> {
 
     let computed = r.hash.0;
     let mut trailer = [0u8; 8];
-    r.inner.read_exact(&mut trailer).map_err(|_| {
-        PersistError::Format("missing checksum trailer".into())
-    })?;
+    r.inner
+        .read_exact(&mut trailer)
+        .map_err(|_| PersistError::Format("missing checksum trailer".into()))?;
     let stored = u64::from_le_bytes(trailer);
     if stored != computed {
         return Err(PersistError::Format(format!(
@@ -311,7 +313,9 @@ mod tests {
         match load_ivf(&path) {
             Err(PersistError::Format(msg)) => {
                 assert!(
-                    msg.contains("checksum") || msg.contains("implausible") || msg.contains("truncated"),
+                    msg.contains("checksum")
+                        || msg.contains("implausible")
+                        || msg.contains("truncated"),
                     "unexpected message: {msg}"
                 )
             }

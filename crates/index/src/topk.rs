@@ -160,10 +160,7 @@ mod tests {
             t.push(id, score);
         }
         let out = t.into_sorted();
-        assert_eq!(
-            out.iter().map(|n| n.id).collect::<Vec<_>>(),
-            vec![1, 3, 4]
-        );
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3, 4]);
         assert_eq!(out[0].score, 1.0);
     }
 

@@ -54,7 +54,7 @@ impl VectorStore {
         if dim == 0 {
             return Err(IndexError::InvalidParameter("dim must be > 0".into()));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(IndexError::InvalidParameter(format!(
                 "flat buffer of len {} is not a multiple of dim {}",
                 data.len(),

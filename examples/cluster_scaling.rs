@@ -17,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.len(),
         dataset.dim()
     );
-    let queries = dataset.queries.gather(&(0..128.min(dataset.queries.len())).collect::<Vec<_>>());
+    let queries = dataset
+        .queries
+        .gather(&(0..128.min(dataset.queries.len())).collect::<Vec<_>>());
     let opts = SearchOptions::new(10).with_nprobe(16);
 
     println!(

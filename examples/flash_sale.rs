@@ -16,12 +16,7 @@ use rand::prelude::*;
 
 /// Queries drawn near the clusters of one (hot) shard with probability
 /// `hot_fraction`.
-fn traffic(
-    engine: &HarmonyEngine,
-    hot_fraction: f64,
-    n: usize,
-    seed: u64,
-) -> VectorStore {
+fn traffic(engine: &HarmonyEngine, hot_fraction: f64, n: usize, seed: u64) -> VectorStore {
     let centroids = engine.centroids();
     let hot = &engine.shard_clusters()[0];
     let mut rng = StdRng::seed_from_u64(seed);
@@ -34,7 +29,7 @@ fn traffic(
         };
         let mut q = centroids.row(cluster).to_vec();
         for x in q.iter_mut() {
-            *x += rng.random_range(-0.02..0.02);
+            *x += rng.random_range(-0.02..0.02f32);
         }
         queries.push(i as u64, &q).expect("dims ok");
     }
@@ -66,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let opts = SearchOptions::new(10).with_nprobe(4);
-    println!("\n{:<22} {:>14} {:>14} {:>12}", "traffic", "vector QPS", "harmony QPS", "vector σ(ms)");
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>12}",
+        "traffic", "vector QPS", "harmony QPS", "vector σ(ms)"
+    );
     for (label, hot) in [
         ("normal (uniform)", 0.0),
         ("sale ramp (50% hot)", 0.5),

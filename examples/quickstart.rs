@@ -20,10 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A 4-machine deployment; the cost model picks the partition grid.
-    let config = HarmonyConfig::builder()
-        .n_machines(4)
-        .nlist(128)
-        .build()?;
+    let config = HarmonyConfig::builder().n_machines(4).nlist(128).build()?;
     let engine = HarmonyEngine::build(config, &dataset.base)?;
     println!(
         "built: plan {}, train {:?}, add {:?}, pre-assign {:?}",

@@ -191,9 +191,9 @@ fn auncel_respects_error_bound_end_to_end() {
     .unwrap();
     let queries = d.queries.gather(&(0..16).collect::<Vec<_>>());
     let truth = ground_truth(&d.base, &queries, 5, Metric::L2);
-    for qi in 0..queries.len() {
+    for (qi, query_truth) in truth.iter().enumerate() {
         let got = engine.search(queries.row(qi), 5).unwrap();
-        let bound = truth[qi][4].score * 1.1 + 1e-6;
+        let bound = query_truth[4].score * 1.1 + 1e-6;
         for n in &got.neighbors {
             assert!(n.score <= bound, "query {qi}: {} > {bound}", n.score);
         }

@@ -1,0 +1,53 @@
+//! Smoke test mirroring the README / `src/lib.rs` doctest quickstart and
+//! `examples/quickstart.rs`: generate data, build a small deployment,
+//! search, and shut down. Guards the first path every new user takes.
+
+use harmony::prelude::*;
+
+#[test]
+fn quickstart_flow_builds_searches_and_shuts_down() {
+    // 10k random 32-d vectors — the exact doctest scenario.
+    let dataset = SyntheticSpec::gaussian(10_000, 32).with_seed(7).generate();
+    assert_eq!(dataset.len(), 10_000);
+    assert_eq!(dataset.dim(), 32);
+    assert!(!dataset.queries.is_empty(), "spec must provide a query set");
+
+    let config = HarmonyConfig::builder()
+        .n_machines(4)
+        .nlist(64)
+        .build()
+        .unwrap();
+    let engine = HarmonyEngine::build(config, &dataset.base).unwrap();
+
+    let results = engine
+        .search(
+            dataset.queries.row(0),
+            &SearchOptions::new(10).with_nprobe(8),
+        )
+        .unwrap();
+    assert_eq!(results.neighbors.len(), 10);
+    // Scores must come back sorted best-first with finite values.
+    for pair in results.neighbors.windows(2) {
+        assert!(pair[0].score <= pair[1].score, "unsorted results");
+    }
+    assert!(results.neighbors.iter().all(|n| n.score.is_finite()));
+
+    // The quickstart example's batch step: self-queries find themselves.
+    let queries = dataset.base.gather(&(0..50).collect::<Vec<_>>());
+    let batch = engine
+        .search_batch(&queries, &SearchOptions::new(10).with_nprobe(64))
+        .unwrap();
+    assert_eq!(batch.results.len(), 50);
+    let self_hits = batch
+        .results
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| r.first().is_some_and(|n| n.id == *i as u64))
+        .count();
+    assert!(
+        self_hits >= 49,
+        "full-probe self-query should find itself first ({self_hits}/50)"
+    );
+
+    engine.shutdown().unwrap();
+}

@@ -1,6 +1,8 @@
 //! Failure injection, timeouts, dataset IO, and cross-crate plumbing.
 
-use harmony::cluster::{Cluster, ClusterConfig, ClusterError, NodeCtx, NodeHandler, NodeId, CLIENT};
+use harmony::cluster::{
+    Cluster, ClusterConfig, ClusterError, NodeCtx, NodeHandler, NodeId, CLIENT,
+};
 use harmony::data::io;
 use harmony::prelude::*;
 use std::time::Duration;
@@ -23,7 +25,9 @@ fn lossy_network_times_out_cleanly() {
     let mut delivered = 0;
     let mut timeouts = 0;
     for i in 0..8 {
-        cluster.send(i % 2, bytes::Bytes::from_static(b"x")).unwrap();
+        cluster
+            .send(i % 2, bytes::Bytes::from_static(b"x"))
+            .unwrap();
         match cluster.recv_timeout(Duration::from_millis(100)) {
             Ok(_) => delivered += 1,
             Err(ClusterError::Timeout) => timeouts += 1,
@@ -51,7 +55,11 @@ fn search_survives_engine_reuse_after_timeout_configuration() {
     let opts = SearchOptions::new(3).with_nprobe(2).with_timeout_ms(5_000);
     for qi in 0..5 {
         assert_eq!(
-            engine.search(d.queries.row(qi), &opts).unwrap().neighbors.len(),
+            engine
+                .search(d.queries.row(qi), &opts)
+                .unwrap()
+                .neighbors
+                .len(),
             3
         );
     }
@@ -93,7 +101,10 @@ fn empty_and_tiny_datasets_behave() {
         .unwrap();
     let engine = HarmonyEngine::build(config, &store).unwrap();
     let res = engine
-        .search(&[1.0, 2.0, 3.0, 4.0], &SearchOptions::new(10).with_nprobe(4))
+        .search(
+            &[1.0, 2.0, 3.0, 4.0],
+            &SearchOptions::new(10).with_nprobe(4),
+        )
         .unwrap();
     assert_eq!(res.neighbors.len(), 1);
     assert_eq!(res.neighbors[0].id, 0);

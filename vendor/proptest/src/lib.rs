@@ -1,0 +1,478 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the `proptest!` macro surface this workspace's test suites
+//! use — `#![proptest_config(...)]`, `arg in strategy` parameters,
+//! `prop_assume!` / `prop_assert!` / `prop_assert_eq!` — over a simple
+//! randomized runner:
+//!
+//! * each test runs `ProptestConfig::cases` accepted cases with a
+//!   deterministic per-test seed (derived from the test name), so failures
+//!   reproduce across runs;
+//! * strategies are sampled, not explored: there is **no shrinking** — a
+//!   failing case reports the inputs via the panic message instead;
+//! * supported strategies: numeric `Range`s, `proptest::bool::ANY`,
+//!   `proptest::num::<ty>::ANY`, tuples, `collection::vec`, and string
+//!   character-class regexes of the form `"[class]{lo,hi}"`.
+
+use std::ops::Range;
+
+pub mod strategy;
+pub use strategy::Strategy;
+
+/// Runner configuration; mirrors the upstream field used by this workspace.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test must pass.
+    pub cases: u32,
+    /// Abort if this many `prop_assume!` rejections accumulate.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Outcome of a single case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case without counting it.
+    Reject,
+    /// `prop_assert*!` failed — the property does not hold.
+    Fail(String),
+}
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A float in `[0, 1)` built from 24 bits — exactly representable in
+    /// `f32`, so range strategies can never round up to the excluded `end`
+    /// (narrowing a 53-bit `f64` could).
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Stable seed derived from the test name, so each test owns a
+/// deterministic stream independent of declaration order.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// `vec(element_strategy, len_range)` and friends.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::bool::ANY`.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `proptest::num::<ty>::ANY` for the integer and float types.
+pub mod num {
+    macro_rules! int_any {
+        ($($mod_name:ident => $ty:ty),*) => {$(
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::TestRng;
+
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut TestRng) -> $ty {
+                        rng.next_u64() as $ty
+                    }
+                }
+            }
+        )*};
+    }
+    int_any!(u8 => ::core::primitive::u8, u16 => ::core::primitive::u16,
+             u32 => ::core::primitive::u32, u64 => ::core::primitive::u64,
+             usize => ::core::primitive::usize,
+             i8 => ::core::primitive::i8, i16 => ::core::primitive::i16,
+             i32 => ::core::primitive::i32, i64 => ::core::primitive::i64,
+             isize => ::core::primitive::isize);
+
+    macro_rules! float_any {
+        ($($mod_name:ident => $ty:ty),*) => {$(
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::TestRng;
+
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut TestRng) -> $ty {
+                        // Finite values spanning a wide magnitude range.
+                        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                        let exp = rng.below(61) as i32 - 30;
+                        (sign * rng.unit_f64() * (2f64).powi(exp)) as $ty
+                    }
+                }
+            }
+        )*};
+    }
+    float_any!(f32 => ::core::primitive::f32, f64 => ::core::primitive::f64);
+}
+
+/// The names a typical `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// String strategies: "[class]{lo,hi}" character-class regexes.
+// ---------------------------------------------------------------------------
+
+/// Parses the `[class]{lo,hi}` pattern subset; returns the expanded
+/// alphabet and length bounds, or `None` for unsupported patterns.
+fn parse_charclass_pattern(pattern: &str) -> Option<(Vec<char>, Range<usize>)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            alphabet.extend(lo..=hi);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let quant = &rest[close + 1..];
+    let (lo, hi) = match quant.strip_prefix('{').and_then(|q| q.strip_suffix('}')) {
+        Some(body) => {
+            let (lo, hi) = body.split_once(',')?;
+            (lo.trim().parse().ok()?, hi.trim().parse::<usize>().ok()?)
+        }
+        None if quant.is_empty() => (1, 1),
+        None if quant == "*" => (0, 16),
+        None if quant == "+" => (1, 16),
+        None => return None,
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((alphabet, lo..hi + 1))
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, len) = parse_charclass_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "unsupported string strategy pattern {self:?}: \
+                 this proptest stand-in only handles \"[class]{{lo,hi}}\""
+            )
+        });
+        let span = (len.end - len.start) as u64;
+        let n = len.start + rng.below(span.max(1)) as usize;
+        (0..n)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::new($crate::seed_for(::core::stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                let inputs = || {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&::std::format!(
+                        "  {} = {:?}\n", ::core::stringify!($arg), &$arg
+                    ));)*
+                    s
+                };
+                let case_inputs = inputs();
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            ::core::panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                ::core::stringify!($name), rejected
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        ::core::panic!(
+                            "proptest {} failed after {} case(s): {}\nwith inputs:\n{}",
+                            ::core::stringify!($name), accepted, msg, case_inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 5usize..10, f in -1.0f32..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((0u64..100, -1.0f32..1.0), 1..16),
+            b in crate::bool::ANY,
+            any in crate::num::u64::ANY,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 16);
+            for &(id, f) in &v {
+                prop_assert!(id < 100);
+                prop_assert!((-1.0..1.0).contains(&f));
+            }
+            let _ = (b, any);
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-zA-Z0-9 ]{0,64}") {
+            prop_assert!(s.len() <= 64);
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+
+        #[test]
+        fn assume_rejects_and_passes(a in 0u64..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_header_accepted(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        let mut a = crate::TestRng::new(crate::seed_for("t"));
+        let mut b = crate::TestRng::new(crate::seed_for("t"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    // No `#[test]` attribute: invoked (and expected to panic) from
+    // `failures_panic_with_inputs` below.
+    proptest! {
+        fn always_fails(x in 0u64..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failures_panic_with_inputs() {
+        always_fails();
+    }
+}

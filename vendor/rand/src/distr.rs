@@ -1,0 +1,145 @@
+//! Distributions: the `Distribution` trait and `weighted::WeightedIndex`.
+
+use crate::{unit_f64, RngCore};
+
+/// A distribution that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+pub mod weighted {
+    use super::{unit_f64, Distribution};
+    use crate::RngCore;
+    use std::fmt;
+
+    /// Error building a [`WeightedIndex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights were supplied.
+        NoItem,
+        /// A weight was negative or not finite.
+        InvalidWeight,
+        /// All weights were zero.
+        AllWeightsZero,
+    }
+
+    impl fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                WeightedError::NoItem => write!(f, "no weights provided"),
+                WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+                WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Conversion of a caller-supplied weight item into `f64`.
+    ///
+    /// Upstream `WeightedIndex` is generic over the weight type via
+    /// `SampleBorrow`; this shim flattens everything to `f64`, which is
+    /// exact for every weight the workspace uses.
+    pub trait IntoWeight {
+        fn into_weight(self) -> f64;
+    }
+
+    macro_rules! into_weight {
+        ($($ty:ty),*) => {$(
+            impl IntoWeight for $ty {
+                #[inline]
+                fn into_weight(self) -> f64 { self as f64 }
+            }
+            impl IntoWeight for &$ty {
+                #[inline]
+                fn into_weight(self) -> f64 { *self as f64 }
+            }
+        )*};
+    }
+    into_weight!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Samples indices `0..n` proportionally to the supplied weights.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Builds the sampler from an iterator of non-negative weights.
+        ///
+        /// # Errors
+        /// [`WeightedError`] when the iterator is empty, any weight is
+        /// negative/non-finite, or every weight is zero.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: IntoWeight,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = w.into_weight();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let target = unit_f64(rng) * self.total;
+            // Entry `i` owns the half-open interval `[c[i-1], c[i])`; a
+            // zero-weight entry owns an empty interval and is therefore
+            // never selected, even when the draw lands exactly on its
+            // (duplicated) cumulative boundary.
+            let i = self.cumulative.partition_point(|&c| c <= target);
+            i.min(self.cumulative.len() - 1)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::prelude::*;
+
+        #[test]
+        fn respects_weights() {
+            let dist = WeightedIndex::new(vec![1.0f32, 0.0, 3.0]).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut counts = [0usize; 3];
+            for _ in 0..40_000 {
+                counts[dist.sample(&mut rng)] += 1;
+            }
+            assert_eq!(counts[1], 0, "zero weight must never be drawn");
+            let ratio = counts[2] as f64 / counts[0] as f64;
+            assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        }
+
+        #[test]
+        fn rejects_bad_inputs() {
+            assert_eq!(
+                WeightedIndex::new(Vec::<f64>::new()),
+                Err(WeightedError::NoItem)
+            );
+            assert_eq!(
+                WeightedIndex::new(vec![-1.0f64]),
+                Err(WeightedError::InvalidWeight)
+            );
+            assert_eq!(
+                WeightedIndex::new(vec![0.0f64, 0.0]),
+                Err(WeightedError::AllWeightsZero)
+            );
+        }
+    }
+}

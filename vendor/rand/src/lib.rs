@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of `rand` it actually uses: seedable deterministic
+//! generators (`StdRng`, `SmallRng`), uniform range sampling
+//! (`Rng::random_range`, `Rng::random_bool`), slice helpers
+//! (`shuffle`, `choose`) and `distr::weighted::WeightedIndex`.
+//!
+//! The generators are xoshiro256++ seeded through SplitMix64 — high-quality,
+//! deterministic across platforms and runs for a given seed, which is the
+//! property every Harmony test relies on. The exact stream differs from the
+//! upstream crate; nothing in this workspace depends on upstream streams.
+
+pub mod distr;
+pub mod rngs;
+pub mod seq;
+
+/// Core generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A double in `[0, 1)` built from the top 53 bits of a `u64`.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A float in `[0, 1)` built from 24 bits — exactly representable in
+/// `f32`, so it can never round up to 1.0 (narrowing a 53-bit `f64`
+/// could, which would let range sampling return the excluded `end`).
+#[inline]
+pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+///
+/// Generic over the output type (mirroring upstream's
+/// `SampleRange<T: SampleUniform>`) so type inference can flow from the
+/// destination — `let u: f32 = rng.random_range(-0.5..0.5)` resolves the
+/// unsuffixed literals to `f32`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift mapping of a 64-bit draw onto the span.
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + v) as $ty
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($ty:ty => $unit:ident),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + $unit(rng) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range!(f32 => unit_f32, f64 => unit_f64);
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+
+    /// Samples from a distribution (mirror of `rand::Rng::sample`).
+    #[inline]
+    fn sample<T, D: distr::Distribution<T>>(&mut self, dist: &D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The items a typical `use rand::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::distr::Distribution;
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::{IndexedRandom, SliceRandom};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = rng.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_and_choose_work() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert!(v.as_slice().choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Slice sampling helpers (`shuffle`, `choose`).
+
+use crate::{Rng, RngCore};
+
+/// In-place Fisher–Yates shuffle.
+pub trait SliceRandom {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Uniform selection of one element by index.
+pub trait IndexedRandom {
+    type Item;
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
