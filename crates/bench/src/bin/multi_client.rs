@@ -1,0 +1,143 @@
+//! Multi-client session throughput: aggregate QPS vs number of client
+//! threads sharing one engine.
+//!
+//! The ROADMAP north star is serving heavy multi-user traffic, which needs
+//! client-side concurrency on top of worker parallelism. This benchmark
+//! drives N client threads against a shared engine two ways:
+//!
+//! * **serialized** — every `search_batch` call runs under one external
+//!   mutex, reproducing the engine's old single-client contract where an
+//!   engine-wide lock admitted one batch at a time;
+//! * **sessions** — the threads call `search_batch` directly and run as
+//!   concurrent sessions multiplexed over the shared worker pool.
+//!
+//! Each client issues many small requests (a few queries per
+//! `search_batch` call, the interactive multi-user shape), and the modeled
+//! interconnect latency is *injected for real* (`DelayMode::Sleep`, the
+//! substrate's testbed-realism mode): every request spends most of its
+//! life waiting on the 0.8 ms-latency blocking fabric, exactly like a
+//! client talking to a remote cluster. A serialized client waits those
+//! latencies out one request at a time; concurrent sessions overlap them,
+//! so aggregate wall QPS scales with client threads until the workers'
+//! own send latency saturates. (Injected latency, rather than raw CPU
+//! wall time, keeps the comparison meaningful on any core count — the
+//! same reasoning behind `qps_modeled` in the figure binaries.)
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use harmony_bench::runner::{build_harmony_with, nlist_for_clamped, BENCH_SEED};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{HarmonyConfig, SearchOptions};
+use harmony_data::DatasetAnalog;
+use harmony_index::{Metric, VectorStore};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let dataset = DatasetAnalog::Sift1M.generate(args.scale);
+    let nlist = nlist_for_clamped(dataset.len());
+    eprintln!(
+        "[multi_client] sift analog: {} x {}d, nlist {nlist}, {} workers",
+        dataset.len(),
+        dataset.dim(),
+        args.workers
+    );
+    let net = harmony_cluster::NetworkModel {
+        bandwidth_gbps: f64::INFINITY,
+        latency_ns: 800_000, // 0.8 ms per message, injected below
+        per_message_overhead_bytes: 0,
+    };
+    let config = HarmonyConfig::builder()
+        .n_machines(args.workers)
+        .nlist(nlist)
+        .metric(Metric::L2)
+        .seed(BENCH_SEED)
+        .pipeline(false) // blocking transport: senders really wait
+        .net(net)
+        .delay(harmony_cluster::DelayMode::Sleep { scale: 1.0 })
+        .build()
+        .expect("valid config");
+    let engine = build_harmony_with(&dataset, config);
+    let opts = SearchOptions::new(10).with_nprobe(8);
+    // Interactive request shape: a handful of queries per search_batch
+    // call, many calls per client.
+    let request_size = 4usize;
+    let requests_per_client = (args.effective_queries() / request_size).max(8);
+    let per_thread = request_size * requests_per_client;
+
+    let thread_counts: &[usize] = if args.quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Multi-client sessions — aggregate wall QPS over a blocking 0.8 ms-latency \
+             fabric (injected for real), {} workers, {} requests x {} queries per client \
+             (serialized = one external client mutex, the pre-session contract)",
+            args.workers, requests_per_client, request_size
+        ),
+        &["clients", "serialized QPS", "sessions QPS", "speedup"],
+    );
+
+    // Warm the engine (thread pools, allocator, branch predictors).
+    let warmup = dataset
+        .base
+        .gather(&(0..64.min(dataset.base.len())).collect::<Vec<_>>());
+    engine.search_batch(&warmup, &opts).expect("warmup");
+
+    for &clients in thread_counts {
+        // Disjoint per-client request streams drawn from the base set.
+        let streams: Vec<Vec<VectorStore>> = (0..clients)
+            .map(|t| {
+                (0..requests_per_client)
+                    .map(|r| {
+                        let rows: Vec<usize> = (0..request_size)
+                            .map(|i| (t * 7919 + r * 127 + i * 13) % dataset.base.len())
+                            .collect();
+                        dataset.base.gather(&rows)
+                    })
+                    .collect()
+            })
+            .collect();
+        let total = (clients * per_thread) as f64;
+
+        let gate = Mutex::new(());
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for stream in &streams {
+                let (engine, opts, gate) = (&engine, &opts, &gate);
+                s.spawn(move || {
+                    for batch in stream {
+                        let _serialized = gate.lock().expect("client gate");
+                        engine.search_batch(batch, opts).expect("serialized batch");
+                    }
+                });
+            }
+        });
+        let serialized_qps = total / t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for stream in &streams {
+                let (engine, opts) = (&engine, &opts);
+                s.spawn(move || {
+                    for batch in stream {
+                        engine.search_batch(batch, opts).expect("session batch");
+                    }
+                });
+            }
+        });
+        let sessions_qps = total / t0.elapsed().as_secs_f64();
+
+        table.row(vec![
+            clients.to_string(),
+            report::num(serialized_qps, 1),
+            report::num(sessions_qps, 1),
+            format!("{:.2}x", sessions_qps / serialized_qps),
+        ]);
+    }
+    engine.shutdown().expect("shutdown");
+    table.emit(&args.out_dir, "multi_client");
+}

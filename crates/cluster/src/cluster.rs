@@ -6,6 +6,12 @@
 //! calling thread plays the paper's *client node*: it submits queries with
 //! [`Cluster::send`] / [`Cluster::broadcast`] and harvests results with
 //! [`Cluster::recv_timeout`].
+//!
+//! For multi-threaded clients the receive path can be *split off* with
+//! [`Cluster::take_client_receiver`]: the returned [`ClientReceiver`] is
+//! moved to a dedicated reader thread (e.g. `harmony-core`'s session
+//! router) while any number of threads keep submitting through
+//! [`Cluster::send`], which only needs `&self`.
 
 use std::collections::VecDeque;
 use std::sync::atomic::AtomicU64;
@@ -14,7 +20,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 
 use crate::error::ClusterError;
 use crate::metrics::{ClusterSnapshot, NodeMetrics};
@@ -70,7 +77,10 @@ pub struct Cluster {
     shared: Arc<Shared>,
     worker_senders: Vec<Sender<Envelope>>,
     client_sender: Sender<Envelope>,
-    client_rx: Receiver<Envelope>,
+    /// The client mailbox; `None` after [`Cluster::take_client_receiver`].
+    /// Wrapped in a mutex so the cluster stays `Sync` (the underlying mpsc
+    /// receiver is not) and can be shared behind an `Arc` for sending.
+    client_rx: Mutex<Option<Receiver<Envelope>>>,
     /// User messages buffered while waiting for barrier pongs.
     pending: VecDeque<(NodeId, Bytes)>,
     handles: Vec<JoinHandle<()>>,
@@ -135,7 +145,7 @@ impl Cluster {
             shared,
             worker_senders,
             client_sender,
-            client_rx,
+            client_rx: Mutex::new(Some(client_rx)),
             pending: VecDeque::new(),
             handles,
             next_ping_token: 1,
@@ -186,15 +196,19 @@ impl Cluster {
     /// Receives the next message addressed to the client.
     ///
     /// # Errors
-    /// [`ClusterError::Timeout`] when nothing arrives in time.
+    /// [`ClusterError::Timeout`] when nothing arrives in time, and
+    /// [`ClusterError::ReceiverDetached`] after
+    /// [`Cluster::take_client_receiver`].
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(NodeId, Bytes), ClusterError> {
         if let Some(msg) = self.pending.pop_front() {
             return Ok(msg);
         }
+        let guard = self.client_rx.lock();
+        let rx = guard.as_ref().ok_or(ClusterError::ReceiverDetached)?;
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.client_rx.recv_timeout(remaining) {
+            match rx.recv_timeout(remaining) {
                 Ok(Envelope::User {
                     from,
                     payload,
@@ -211,6 +225,30 @@ impl Cluster {
         }
     }
 
+    /// Detaches the client mailbox as a standalone [`ClientReceiver`].
+    ///
+    /// After the split, `&self` sends ([`Cluster::send`] /
+    /// [`Cluster::broadcast`]) keep working from any thread, while all
+    /// receiving goes through the returned handle — typically on one
+    /// dedicated reader thread. Messages already buffered by
+    /// [`Cluster::quiesce`] move over with it. Subsequent calls to
+    /// [`Cluster::recv_timeout`] or [`Cluster::quiesce`] report
+    /// [`ClusterError::ReceiverDetached`].
+    ///
+    /// # Errors
+    /// [`ClusterError::ReceiverDetached`] if the receiver was already taken.
+    pub fn take_client_receiver(&mut self) -> Result<ClientReceiver, ClusterError> {
+        let rx = self
+            .client_rx
+            .lock()
+            .take()
+            .ok_or(ClusterError::ReceiverDetached)?;
+        Ok(ClientReceiver {
+            rx,
+            pending: std::mem::take(&mut self.pending),
+        })
+    }
+
     /// Barrier: waits until every worker has drained its mailbox `rounds`
     /// times. One round is sufficient for client→worker→client round trips;
     /// pipelines that hop across `h` workers need `rounds >= h`.
@@ -219,8 +257,12 @@ impl Cluster {
     /// returned by [`Cluster::recv_timeout`] in order.
     ///
     /// # Errors
-    /// [`ClusterError::Timeout`] when a worker fails to answer in time.
+    /// [`ClusterError::Timeout`] when a worker fails to answer in time,
+    /// [`ClusterError::ReceiverDetached`] after
+    /// [`Cluster::take_client_receiver`].
     pub fn quiesce(&mut self, rounds: usize, timeout: Duration) -> Result<(), ClusterError> {
+        let guard = self.client_rx.lock();
+        let rx = guard.as_ref().ok_or(ClusterError::ReceiverDetached)?;
         let deadline = Instant::now() + timeout;
         for _ in 0..rounds {
             let token = self.next_ping_token;
@@ -234,7 +276,7 @@ impl Cluster {
             let mut acks = 0;
             while acks < self.config.workers {
                 let remaining = deadline.saturating_duration_since(Instant::now());
-                match self.client_rx.recv_timeout(remaining) {
+                match rx.recv_timeout(remaining) {
                     Ok(Envelope::Pong { token: t, from }) if t == token => {
                         if let Some(slot) = acked.get_mut(from) {
                             if !*slot {
@@ -324,6 +366,50 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         let _ = self.shutdown();
+    }
+}
+
+/// The client-side receive half of a cluster, detached via
+/// [`Cluster::take_client_receiver`].
+///
+/// Exactly one thread should own this handle; it observes every message a
+/// worker addresses to [`CLIENT`](crate::node::CLIENT) and applies the same
+/// receiver-side delay injection as [`Cluster::recv_timeout`].
+pub struct ClientReceiver {
+    rx: Receiver<Envelope>,
+    /// Messages buffered by a pre-split [`Cluster::quiesce`] barrier.
+    pending: VecDeque<(NodeId, Bytes)>,
+}
+
+impl ClientReceiver {
+    /// Receives the next message addressed to the client.
+    ///
+    /// # Errors
+    /// [`ClusterError::Timeout`] when nothing arrives in time,
+    /// [`ClusterError::ShutDown`] once every sending endpoint (the cluster
+    /// and all workers) is gone.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(NodeId, Bytes), ClusterError> {
+        if let Some(msg) = self.pending.pop_front() {
+            return Ok(msg);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(Envelope::User {
+                    from,
+                    payload,
+                    injected_delay_ns,
+                }) => {
+                    spin_sleep(injected_delay_ns);
+                    return Ok((from, payload));
+                }
+                // Stray pong from an abandoned barrier: skip.
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => return Err(ClusterError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::ShutDown),
+            }
+        }
     }
 }
 
@@ -523,6 +609,58 @@ mod tests {
             let (_, r) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(&r[..], b"HI");
         }
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn split_receiver_sees_replies_while_cluster_sends() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| Echo);
+        let mut rx = cluster.take_client_receiver().unwrap();
+        // The cluster half can still send from any thread.
+        std::thread::scope(|s| {
+            s.spawn(|| cluster.send(0, Bytes::from_static(b"a")).unwrap());
+            s.spawn(|| cluster.send(1, Bytes::from_static(b"b")).unwrap());
+        });
+        let mut got = vec![
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().1,
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().1,
+        ];
+        got.sort();
+        assert_eq!(
+            got,
+            vec![Bytes::from_static(b"A"), Bytes::from_static(b"B")]
+        );
+        // The cluster's own receive path is now detached.
+        assert_eq!(
+            cluster.recv_timeout(Duration::from_millis(10)),
+            Err(ClusterError::ReceiverDetached)
+        );
+        assert!(matches!(
+            cluster.take_client_receiver(),
+            Err(ClusterError::ReceiverDetached)
+        ));
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn split_receiver_observes_disconnect_after_drop() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| Echo);
+        let mut rx = cluster.take_client_receiver().unwrap();
+        drop(cluster);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)),
+            Err(ClusterError::ShutDown)
+        );
+    }
+
+    #[test]
+    fn split_receiver_carries_quiesce_buffered_messages() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| Echo);
+        cluster.send(0, Bytes::from_static(b"x")).unwrap();
+        cluster.quiesce(1, Duration::from_secs(5)).unwrap();
+        let mut rx = cluster.take_client_receiver().unwrap();
+        let (_, reply) = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&reply[..], b"X");
         cluster.shutdown().unwrap();
     }
 

@@ -18,6 +18,9 @@ pub enum ClusterError {
     Codec(CodecError),
     /// The cluster was already shut down.
     ShutDown,
+    /// The client receive path was detached via
+    /// [`crate::cluster::Cluster::take_client_receiver`].
+    ReceiverDetached,
 }
 
 impl fmt::Display for ClusterError {
@@ -28,6 +31,9 @@ impl fmt::Display for ClusterError {
             ClusterError::Timeout => write!(f, "timed out waiting for a message"),
             ClusterError::Codec(e) => write!(f, "codec error: {e}"),
             ClusterError::ShutDown => write!(f, "cluster is shut down"),
+            ClusterError::ReceiverDetached => {
+                write!(f, "client receiver was detached from the cluster")
+            }
         }
     }
 }

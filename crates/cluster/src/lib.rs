@@ -32,7 +32,7 @@ pub mod metrics;
 pub mod net;
 pub mod node;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{ClientReceiver, Cluster, ClusterConfig};
 pub use codec::{CodecError, Wire};
 pub use error::ClusterError;
 pub use metrics::{ClusterSnapshot, NodeMetrics, NodeSnapshot, TimeBreakdown};

@@ -131,6 +131,23 @@ impl NodeSnapshot {
         }
     }
 
+    /// Counter delta since `earlier` (element-wise saturating subtraction).
+    ///
+    /// Used by concurrent clients to attribute a time window without
+    /// resetting the shared counters under other sessions' feet.
+    pub fn delta(&self, earlier: &NodeSnapshot) -> NodeSnapshot {
+        NodeSnapshot {
+            compute_ns: self.compute_ns.saturating_sub(earlier.compute_ns),
+            comm_tx_ns: self.comm_tx_ns.saturating_sub(earlier.comm_tx_ns),
+            comm_rx_ns: self.comm_rx_ns.saturating_sub(earlier.comm_rx_ns),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+            bytes_tx: self.bytes_tx.saturating_sub(earlier.bytes_tx),
+            bytes_rx: self.bytes_rx.saturating_sub(earlier.bytes_rx),
+            msgs_tx: self.msgs_tx.saturating_sub(earlier.msgs_tx),
+            msgs_rx: self.msgs_rx.saturating_sub(earlier.msgs_rx),
+        }
+    }
+
     /// Element-wise sum (for aggregating nodes).
     pub fn merged(&self, other: &NodeSnapshot) -> NodeSnapshot {
         NodeSnapshot {
@@ -161,6 +178,20 @@ impl ClusterSnapshot {
         self.workers
             .iter()
             .fold(self.client, |acc, w| acc.merged(w))
+    }
+
+    /// Node-wise counter delta since `earlier` (see [`NodeSnapshot::delta`]).
+    pub fn delta(&self, earlier: &ClusterSnapshot) -> ClusterSnapshot {
+        let zero = NodeSnapshot::default();
+        ClusterSnapshot {
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| w.delta(earlier.workers.get(i).unwrap_or(&zero)))
+                .collect(),
+            client: self.client.delta(&earlier.client),
+        }
     }
 
     /// Cluster makespan: the slowest node gates completion.
@@ -341,6 +372,48 @@ mod tests {
         assert!((c + m + o - 100.0).abs() < 1e-9);
         let zero = TimeBreakdown::default();
         assert_eq!(zero.percentages(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn delta_subtracts_earlier_counters() {
+        let earlier = NodeSnapshot {
+            compute_ns: 10,
+            bytes_tx: 100,
+            msgs_tx: 2,
+            ..Default::default()
+        };
+        let later = NodeSnapshot {
+            compute_ns: 25,
+            bytes_tx: 160,
+            msgs_tx: 5,
+            ..Default::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.compute_ns, 15);
+        assert_eq!(d.bytes_tx, 60);
+        assert_eq!(d.msgs_tx, 3);
+        // A reset between snapshots must saturate, not underflow.
+        assert_eq!(earlier.delta(&later), NodeSnapshot::default());
+    }
+
+    #[test]
+    fn cluster_delta_is_node_wise() {
+        let mk = |b| NodeSnapshot {
+            bytes_rx: b,
+            ..Default::default()
+        };
+        let earlier = ClusterSnapshot {
+            workers: vec![mk(5), mk(10)],
+            client: mk(1),
+        };
+        let later = ClusterSnapshot {
+            workers: vec![mk(8), mk(30)],
+            client: mk(4),
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.workers[0].bytes_rx, 3);
+        assert_eq!(d.workers[1].bytes_rx, 20);
+        assert_eq!(d.client.bytes_rx, 3);
     }
 
     #[test]

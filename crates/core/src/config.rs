@@ -257,7 +257,9 @@ pub struct SearchOptions {
     pub k: usize,
     /// IVF lists probed per query (recall knob).
     pub nprobe: usize,
-    /// Per-query timeout in milliseconds for distributed collection.
+    /// Batch deadline in milliseconds for distributed collection: the
+    /// whole `search_batch` call must finish within this budget (each
+    /// receive waits only for the remaining time, never a fresh timeout).
     pub timeout_ms: u64,
 }
 
@@ -277,7 +279,7 @@ impl SearchOptions {
         self
     }
 
-    /// Sets the collection timeout.
+    /// Sets the batch collection deadline.
     pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
         self.timeout_ms = timeout_ms;
         self

@@ -8,11 +8,31 @@
 //! execution engine* (§4.3) is the dispatch loop of
 //! [`HarmonyEngine::search_batch`] plus the worker-side relay in
 //! [`crate::worker`].
+//!
+//! # Concurrent search sessions
+//!
+//! The engine multiplexes any number of caller threads over one worker
+//! pool. Each [`HarmonyEngine::search_batch`] call opens a *session*: it
+//! reserves a contiguous `query_id` range from a shared atomic counter,
+//! registers the range in a session table, and drives its own dispatch
+//! loop. A dedicated client-side **router thread** owns the cluster's
+//! receive path and demultiplexes incoming [`ToClient::Result`] messages by
+//! query-id range to the owning session's channel (control replies such as
+//! [`ToClient::Stats`] go to a separate control channel). Sends need only
+//! `&self`, so sessions never serialize on one another; the per-machine
+//! `outstanding` load estimates that drive §4.3 deferred-dimension
+//! scheduling live in a lock-free [`LoadTracker`] shared by all sessions.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use harmony_cluster::{Cluster, ClusterConfig, ClusterSnapshot, CommMode, NodeId, Wire};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use harmony_cluster::{
+    ClientReceiver, Cluster, ClusterConfig, ClusterError, ClusterSnapshot, CommMode, NodeId, Wire,
+};
 use harmony_index::distance::ip;
 use harmony_index::kmeans::nearest_centroids;
 use harmony_index::{DimRange, KMeans, KMeansConfig, Metric, Neighbor, TopK, VectorStore};
@@ -23,17 +43,22 @@ use rand::{Rng, SeedableRng};
 use crate::config::{EngineMode, HarmonyConfig, SearchOptions};
 use crate::cost::{CostModel, WorkloadProfile};
 use crate::error::CoreError;
-use crate::messages::{metric_tag, ClusterBlock, LoadBlock, QueryChunk, ToClient, ToWorker};
+use crate::messages::{
+    metric_tag, ClusterBlock, LoadBlock, QueryChunk, QueryResult, ToClient, ToWorker,
+};
 use crate::partition::{PartitionPlan, ShardAssignment};
 use crate::pruning::SliceStats;
-use crate::stats::{BatchResult, BuildStats, EngineStats};
+use crate::stats::{BatchResult, BuildStats, EngineStats, LoadTracker};
 use crate::worker::HarmonyWorker;
 
 /// A built, running Harmony deployment.
 ///
-/// The engine owns a simulated cluster of `n_machines` workers; the calling
-/// thread is the paper's client node. All search entry points take `&self`
-/// (an internal mutex serializes batches, mirroring the single client).
+/// The engine owns a simulated cluster of `n_machines` workers plus one
+/// client-side session-router thread. All search entry points take `&self`
+/// and are safe to call from any number of threads concurrently; each call
+/// runs as an independent session against the shared worker pool (see the
+/// [module docs](self) for the session model). `max_inflight` bounds the
+/// in-flight queries *per session*.
 pub struct HarmonyEngine {
     config: HarmonyConfig,
     metric: Metric,
@@ -50,31 +75,164 @@ pub struct HarmonyEngine {
     /// Rows of `prewarm_store` per cluster.
     prewarm_rows: Vec<Vec<usize>>,
     build_stats: BuildStats,
-    inner: Mutex<EngineInner>,
+    shared: Arc<EngineShared>,
+    sessions: Arc<SessionTable>,
+    /// Control-plane replies (acks, stats) demultiplexed by the router.
+    /// Locking the receiver serializes concurrent stats collectors.
+    control: Mutex<Receiver<(NodeId, ToClient)>>,
+    router_stop: Arc<AtomicBool>,
+    router: Option<JoinHandle<()>>,
 }
 
-struct EngineInner {
+/// State shared between caller threads: the send half of the cluster and
+/// the cross-session counters.
+struct EngineShared {
     cluster: Cluster,
-    next_query_id: u64,
+    next_query_id: AtomicU64,
     /// Client-side estimate of outstanding work per machine, driving the
     /// deferred-dimension scheduling of §4.3 "Load Balancing Strategies".
-    outstanding: Vec<f64>,
+    outstanding: LoadTracker,
 }
 
-/// Per-query dispatch state held by the batch loop.
+/// Registered sessions, keyed by the base of their reserved query-id range.
+#[derive(Default)]
+struct SessionTable {
+    inner: Mutex<SessionTableState>,
+}
+
+#[derive(Default)]
+struct SessionTableState {
+    /// Set when the router is gone: no result can ever be routed again.
+    closed: bool,
+    ranges: BTreeMap<u64, SessionEntry>,
+}
+
+struct SessionEntry {
+    /// One past the last query id of the session's range.
+    end: u64,
+    tx: Sender<QueryResult>,
+}
+
+impl SessionTable {
+    /// Registers a session owning `[base, base + count)` and returns its
+    /// result channel. Must happen before the session dispatches anything.
+    /// On a closed table the sender is dropped immediately, so the session
+    /// observes a disconnect instead of waiting out its deadline.
+    fn register(&self, base: u64, count: u64) -> Receiver<QueryResult> {
+        let (tx, rx) = unbounded();
+        let mut inner = self.inner.lock();
+        if !inner.closed {
+            inner.ranges.insert(
+                base,
+                SessionEntry {
+                    end: base + count,
+                    tx,
+                },
+            );
+        }
+        rx
+    }
+
+    fn unregister(&self, base: u64) {
+        self.inner.lock().ranges.remove(&base);
+    }
+
+    /// Routes one result to the session owning its query id; results for
+    /// departed sessions (timed out, dropped) are discarded.
+    fn route(&self, result: QueryResult) {
+        let mut inner = self.inner.lock();
+        let Some((&base, entry)) = inner.ranges.range(..=result.query_id).next_back() else {
+            return;
+        };
+        if result.query_id >= entry.end {
+            return;
+        }
+        if entry.tx.send(result).is_err() {
+            inner.ranges.remove(&base);
+        }
+    }
+
+    /// Drops every session sender and refuses new registrations: blocked
+    /// and future sessions see a disconnect right away. Called by the
+    /// router on exit (cluster death or engine shutdown).
+    fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        inner.ranges.clear();
+    }
+}
+
+/// RAII registration of one `search_batch` session.
+struct Session<'a> {
+    table: &'a SessionTable,
+    base: u64,
+    rx: Receiver<QueryResult>,
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        self.table.unregister(self.base);
+    }
+}
+
+/// How often the router re-checks its stop flag while the cluster is idle.
+const ROUTER_TICK: Duration = Duration::from_millis(25);
+
+/// The client-side router loop: drains the cluster's receive path and
+/// demultiplexes results to sessions, everything else to the control
+/// channel. Exits on the stop flag or once the cluster is gone.
+///
+/// Receiver-side injected delays (`DelayMode::Sleep` + non-blocking
+/// transport) are paid here, serially — the client is modeled as one node,
+/// and one NIC drains its transfers one at a time, exactly as the previous
+/// single-threaded client did.
+fn run_router(
+    mut rx: ClientReceiver,
+    sessions: Arc<SessionTable>,
+    control_tx: Sender<(NodeId, ToClient)>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match rx.recv_timeout(ROUTER_TICK) {
+            Ok((from, payload)) => match ToClient::from_bytes(payload) {
+                Ok(ToClient::Result(result)) => sessions.route(result),
+                Ok(other) => {
+                    let _ = control_tx.send((from, other));
+                }
+                Err(_) => debug_assert!(false, "malformed client-bound message"),
+            },
+            Err(ClusterError::Timeout) => continue,
+            // Every sending endpoint is gone: nothing can arrive anymore.
+            Err(_) => break,
+        }
+    }
+    // Whatever ended the loop, no result can be routed anymore: fail
+    // blocked and future sessions fast instead of letting them wait out
+    // their deadlines.
+    sessions.close();
+}
+
+/// Per-query dispatch state held by the session loop.
 struct QueryState {
     topk: TopK,
     /// Ids already inserted by prewarm (skip on merge to avoid duplicates).
-    prewarm_ids: std::collections::HashSet<u64>,
+    prewarm_ids: HashSet<u64>,
     /// Shard visits not yet dispatched: `(shard, probed clusters)`.
     pending_visits: Vec<(u32, Vec<u32>)>,
     /// Visits currently in flight.
     in_flight: usize,
-    /// Work estimates added to `outstanding`, to be subtracted on completion:
-    /// `(machine, amount)` per in-flight visit.
-    charged: Vec<(NodeId, f64)>,
+    /// Work estimates added to `outstanding`, one entry per in-flight
+    /// visit, keyed by the visit's shard so the completing result
+    /// discharges exactly the machines it charged.
+    charged: Vec<VisitCharge>,
     /// Row of this query in the input batch.
     row: usize,
+}
+
+/// The per-machine load estimates charged for one shard visit.
+struct VisitCharge {
+    shard: u32,
+    per_machine: Vec<(NodeId, f64)>,
 }
 
 impl HarmonyEngine {
@@ -161,7 +319,7 @@ impl HarmonyEngine {
         } else {
             CommMode::Blocking
         };
-        let cluster = Cluster::spawn(
+        let mut cluster = Cluster::spawn(
             ClusterConfig {
                 workers: config.n_machines,
                 net: config.net,
@@ -223,15 +381,11 @@ impl HarmonyEngine {
             }
         }
 
-        // Collect acknowledgments.
-        let mut inner = EngineInner {
-            cluster,
-            next_query_id: 0,
-            outstanding: vec![0.0; config.n_machines],
-        };
+        // Collect acknowledgments (the receive path is still attached to
+        // the building thread here).
         let deadline = Duration::from_secs(120);
         for _ in 0..expected_acks {
-            let (_, payload) = inner.cluster.recv_timeout(deadline)?;
+            let (_, payload) = cluster.recv_timeout(deadline)?;
             match ToClient::from_bytes(payload)? {
                 ToClient::LoadAck { .. } => {}
                 other => {
@@ -241,7 +395,7 @@ impl HarmonyEngine {
                 }
             }
         }
-        let bytes_shipped = inner.cluster.snapshot().client.bytes_tx;
+        let bytes_shipped = cluster.snapshot().client.bytes_tx;
         let preassign = t0.elapsed();
 
         // --- Prewarm samples -------------------------------------------
@@ -263,7 +417,27 @@ impl HarmonyEngine {
         }
 
         // Search metrics must not include the build traffic.
-        inner.cluster.reset_metrics();
+        cluster.reset_metrics();
+
+        // Hand the receive path to the session router; from here on the
+        // cluster is send-only for every caller thread.
+        let receiver = cluster.take_client_receiver()?;
+        let shared = Arc::new(EngineShared {
+            cluster,
+            next_query_id: AtomicU64::new(0),
+            outstanding: LoadTracker::new(config.n_machines),
+        });
+        let sessions = Arc::new(SessionTable::default());
+        let (control_tx, control_rx) = unbounded();
+        let router_stop = Arc::new(AtomicBool::new(false));
+        let router = std::thread::Builder::new()
+            .name("harmony-client-router".into())
+            .spawn({
+                let sessions = Arc::clone(&sessions);
+                let stop = Arc::clone(&router_stop);
+                move || run_router(receiver, sessions, control_tx, stop)
+            })
+            .expect("spawn client router thread");
 
         Ok(Self {
             config,
@@ -285,7 +459,11 @@ impl HarmonyEngine {
                 plan_cost,
                 bytes_shipped,
             },
-            inner: Mutex::new(inner),
+            shared,
+            sessions,
+            control: Mutex::new(control_rx),
+            router_stop,
+            router: Some(router),
         })
     }
 
@@ -319,6 +497,14 @@ impl HarmonyEngine {
         &self.shard_clusters
     }
 
+    /// The current per-machine outstanding-work estimates (diagnostics).
+    ///
+    /// Returns to ~0 whenever no search session has visits in flight — the
+    /// invariant behind §4.3's deferred-dimension scheduling.
+    pub fn outstanding_load(&self) -> Vec<f64> {
+        self.shared.outstanding.snapshot()
+    }
+
     /// Top-`k` search for one query.
     ///
     /// # Errors
@@ -333,6 +519,12 @@ impl HarmonyEngine {
     }
 
     /// Top-`k` search for a batch of queries with pipelined dispatch.
+    ///
+    /// Safe to call from multiple threads at once: each call runs as its
+    /// own session over the shared workers (see the [module docs](self)).
+    /// `opts.timeout_ms` is a *batch deadline*: every receive waits only
+    /// for the time remaining until it, so a stalled batch fails after one
+    /// timeout total, not one per query.
     ///
     /// # Errors
     /// Dimension mismatches or distributed-collection failures.
@@ -349,36 +541,84 @@ impl HarmonyEngine {
                 },
             ));
         }
-        let mut inner = self.inner.lock();
-        let comm_mode = inner.cluster.config().comm_mode;
-        inner.cluster.reset_metrics();
+        let comm_mode = self.shared.cluster.config().comm_mode;
         let t0 = Instant::now();
 
         let n = queries.len();
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let start = self.shared.cluster.snapshot();
         if n == 0 {
             return Ok(BatchResult {
                 results,
                 wall: t0.elapsed(),
-                snapshot: inner.cluster.snapshot(),
+                snapshot: start.delta(&start),
                 comm_mode,
             });
         }
 
-        let timeout = Duration::from_millis(opts.timeout_ms.max(1));
+        // One deadline for the whole batch: every receive below gets only
+        // the remaining budget, never a fresh full timeout.
+        let deadline = Instant::now() + Duration::from_millis(opts.timeout_ms.max(1));
+        let base = self
+            .shared
+            .next_query_id
+            .fetch_add(n as u64, Ordering::Relaxed);
+        let session = Session {
+            table: &self.sessions,
+            base,
+            rx: self.sessions.register(base, n as u64),
+        };
+
         let mut active: HashMap<u64, QueryState> = HashMap::new();
+        let outcome =
+            self.drive_batch(queries, opts, &session, deadline, &mut results, &mut active);
+        if outcome.is_err() {
+            // Queries abandoned mid-flight must not leave their load
+            // estimates charged forever.
+            for state in active.values() {
+                self.discharge_state(state);
+            }
+        }
+        outcome?;
+
+        let wall = t0.elapsed();
+        // Metrics are attributed by window delta; with overlapping sessions
+        // the window includes their traffic too (shared-cluster view).
+        let snapshot = self.shared.cluster.snapshot().delta(&start);
+        Ok(BatchResult {
+            results,
+            wall,
+            snapshot,
+            comm_mode,
+        })
+    }
+
+    /// The admission/collection loop of one session.
+    fn drive_batch(
+        &self,
+        queries: &VectorStore,
+        opts: &SearchOptions,
+        session: &Session<'_>,
+        deadline: Instant,
+        results: &mut [Vec<Neighbor>],
+        active: &mut HashMap<u64, QueryState>,
+    ) -> Result<(), CoreError> {
+        let n = queries.len();
         let mut next_row = 0usize;
         let mut completed = 0usize;
 
         while completed < n {
-            // Admit new queries up to the in-flight window.
+            // Admit new queries up to the session's in-flight window. The
+            // batch deadline covers dispatch too: blocking transports can
+            // stall sends long enough to eat the whole budget.
             while next_row < n && active.len() < self.config.max_inflight {
+                if deadline.saturating_duration_since(Instant::now()).is_zero() {
+                    return Err(CoreError::Cluster(ClusterError::Timeout));
+                }
                 let row = next_row;
                 next_row += 1;
-                let qid = inner.next_query_id;
-                inner.next_query_id += 1;
-                let state = self.admit_query(&mut inner, qid, queries.row(row), row, opts)?;
-                match state {
+                let qid = session.base + row as u64;
+                match self.admit_query(qid, queries.row(row), row, opts)? {
                     Some(state) => {
                         active.insert(qid, state);
                     }
@@ -393,20 +633,26 @@ impl HarmonyEngine {
                 break;
             }
 
-            // Collect one message.
-            let (_, payload) = inner.cluster.recv_timeout(timeout)?;
-            let msg = ToClient::from_bytes(payload)?;
-            let result = match msg {
-                ToClient::Result(r) => r,
-                other => {
-                    return Err(CoreError::Protocol(format!(
-                        "unexpected message during search: {other:?}"
-                    )))
+            // Collect one routed result within the remaining batch budget.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CoreError::Cluster(ClusterError::Timeout));
+            }
+            let result = match session.rx.recv_timeout(remaining) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CoreError::Cluster(ClusterError::Timeout))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::Cluster(ClusterError::ShutDown))
                 }
             };
             let Some(state) = active.get_mut(&result.query_id) else {
-                continue; // stale result from a timed-out query
+                continue; // stale result for an already-finished query
             };
+            if state.in_flight == 0 {
+                continue; // defensive: duplicate result for this visit
+            }
 
             // Merge candidates (skipping prewarm duplicates).
             for (&id, &score) in result.ids.iter().zip(&result.scores) {
@@ -416,16 +662,23 @@ impl HarmonyEngine {
             }
             state.in_flight -= 1;
 
-            // Discharge the load estimate of this visit.
-            if let Some((machine, amount)) = state.charged.pop() {
-                inner.outstanding[machine] = (inner.outstanding[machine] - amount).max(0.0);
+            // Discharge exactly the completing visit's load estimates,
+            // matched by the shard that answered.
+            if let Some(pos) = state.charged.iter().position(|c| c.shard == result.shard) {
+                let charge = state.charged.swap_remove(pos);
+                self.discharge(&charge);
             }
 
             // Stage the next visit (pipeline mode) or finish.
             if state.in_flight == 0 && !state.pending_visits.is_empty() {
                 let qid = result.query_id;
                 let mut state = active.remove(&qid).expect("state exists");
-                self.dispatch_next(&mut inner, qid, queries.row(state.row), opts, &mut state)?;
+                if let Err(e) = self.dispatch_next(qid, queries.row(state.row), opts, &mut state) {
+                    // The state is outside `active` here: discharge its
+                    // load estimates before surfacing the error.
+                    self.discharge_state(&state);
+                    return Err(e);
+                }
                 active.insert(qid, state);
             } else if state.in_flight == 0 {
                 let state = active.remove(&result.query_id).expect("state exists");
@@ -433,22 +686,27 @@ impl HarmonyEngine {
                 completed += 1;
             }
         }
+        Ok(())
+    }
 
-        let wall = t0.elapsed();
-        let snapshot = inner.cluster.snapshot();
-        Ok(BatchResult {
-            results,
-            wall,
-            snapshot,
-            comm_mode,
-        })
+    /// Subtracts one visit's per-machine estimates from the shared tracker.
+    fn discharge(&self, charge: &VisitCharge) {
+        for &(machine, amount) in &charge.per_machine {
+            self.shared.outstanding.sub(machine, amount);
+        }
+    }
+
+    /// Discharges every remaining visit charge of an abandoned query.
+    fn discharge_state(&self, state: &QueryState) {
+        for charge in &state.charged {
+            self.discharge(charge);
+        }
     }
 
     /// Sets up a query: probes, prewarm, visit list; dispatches its first
     /// stage(s). Returns `None` when the query has nothing to visit.
     fn admit_query(
         &self,
-        inner: &mut EngineInner,
         qid: u64,
         query: &[f32],
         row: usize,
@@ -460,7 +718,7 @@ impl HarmonyEngine {
         // samples of the probed lists. The budget is capped so prewarming
         // stays a cheap threshold seed — nearest probes sampled first.
         let mut topk = TopK::new(opts.k);
-        let mut prewarm_ids = std::collections::HashSet::new();
+        let mut prewarm_ids = HashSet::new();
         let budget = (4 * opts.k).max(16);
         'prewarm: for &c in &probes {
             for &sample_row in &self.prewarm_rows[c as usize] {
@@ -478,7 +736,7 @@ impl HarmonyEngine {
         // the same modeled rates as any node: the client is a real machine.
         let centroid_pd = (self.centroids.len() * self.dim) as u64;
         let prewarm_pd = (prewarm_ids.len() * self.dim) as u64;
-        inner.cluster.charge_client_compute(
+        self.shared.cluster.charge_client_compute(
             centroid_pd + prewarm_pd,
             (self.centroids.len() + prewarm_ids.len()) as u64,
         );
@@ -513,7 +771,12 @@ impl HarmonyEngine {
             charged: Vec::new(),
             row,
         };
-        self.dispatch_next(inner, qid, query, opts, &mut state)?;
+        if let Err(e) = self.dispatch_next(qid, query, opts, &mut state) {
+            // The query never reaches `active`: release whatever this
+            // partial dispatch already charged.
+            self.discharge_state(&state);
+            return Err(e);
+        }
         Ok(Some(state))
     }
 
@@ -521,7 +784,6 @@ impl HarmonyEngine {
     /// visit at once (non-pipelined mode).
     fn dispatch_next(
         &self,
-        inner: &mut EngineInner,
         qid: u64,
         query: &[f32],
         opts: &SearchOptions,
@@ -536,16 +798,14 @@ impl HarmonyEngine {
             let Some((shard, clusters)) = state.pending_visits.pop() else {
                 break;
             };
-            self.dispatch_visit(inner, qid, query, opts, state, shard, clusters)?;
+            self.dispatch_visit(qid, query, opts, state, shard, clusters)?;
         }
         Ok(())
     }
 
     /// Sends the dimension-sliced chunks of one `(query, shard)` pipeline.
-    #[allow(clippy::too_many_arguments)]
     fn dispatch_visit(
         &self,
-        inner: &mut EngineInner,
         qid: u64,
         query: &[f32],
         opts: &SearchOptions,
@@ -567,13 +827,17 @@ impl HarmonyEngine {
         let blocks: Vec<usize> = {
             let mut blocks: Vec<usize> = (0..self.plan.dim_blocks).collect();
             if self.config.balanced_load {
+                let loads = self.shared.outstanding.snapshot();
                 blocks.sort_by(|&a, &b| {
-                    let la = inner.outstanding[self.plan.machine_of(shard as usize, a)];
-                    let lb = inner.outstanding[self.plan.machine_of(shard as usize, b)];
+                    let la = loads[self.plan.machine_of(shard as usize, a)];
+                    let lb = loads[self.plan.machine_of(shard as usize, b)];
                     la.total_cmp(&lb).then(a.cmp(&b))
                 });
             } else {
-                blocks.rotate_left(qid as usize % self.plan.dim_blocks.max(1));
+                // Rotate by the query's batch row, not its global id: ids
+                // depend on how concurrent sessions interleave their range
+                // reservations, rows make results reproducible per batch.
+                blocks.rotate_left(state.row % self.plan.dim_blocks.max(1));
             }
             blocks
         };
@@ -582,9 +846,10 @@ impl HarmonyEngine {
             .map(|&b| self.plan.machine_of(shard as usize, b) as u64)
             .collect();
 
-        // Charge the estimated work: later positions are discounted by the
-        // expected pruning survival rate.
-        let mut charge_total = 0.0;
+        // Charge the estimated work per machine: later positions are
+        // discounted by the expected pruning survival rate. The same
+        // entries are discharged when this visit's result arrives.
+        let mut per_machine: Vec<(NodeId, f64)> = Vec::with_capacity(blocks.len());
         for (pos, &b) in blocks.iter().enumerate() {
             let machine = self.plan.machine_of(shard as usize, b);
             let width = self.dim_ranges[b].len() as f64;
@@ -594,14 +859,10 @@ impl HarmonyEngine {
                 1.0
             };
             let amount = candidates as f64 * width * survival;
-            inner.outstanding[machine] += amount;
-            charge_total += amount;
+            self.shared.outstanding.add(machine, amount);
+            per_machine.push((machine, amount));
         }
-        // One aggregate charge entry per visit (discharged on completion):
-        // attribute it to the first machine for bookkeeping simplicity.
-        state
-            .charged
-            .push((order[0] as NodeId, charge_total / order.len().max(1) as f64));
+        state.charged.push(VisitCharge { shard, per_machine });
 
         for (pos, &b) in blocks.iter().enumerate() {
             let machine = self.plan.machine_of(shard as usize, b);
@@ -617,7 +878,7 @@ impl HarmonyEngine {
                 order: order.clone(),
                 position: pos as u32,
             };
-            inner
+            self.shared
                 .cluster
                 .send(machine, ToWorker::Chunk(chunk).to_bytes())?;
         }
@@ -627,37 +888,55 @@ impl HarmonyEngine {
 
     /// Gathers per-worker pruning/memory statistics.
     ///
+    /// Runs over the control channel, so it can proceed while search
+    /// sessions are in flight; concurrent collectors serialize on the
+    /// channel lock.
+    ///
     /// # Errors
     /// Transport failures or protocol violations.
     pub fn collect_stats(&self) -> Result<EngineStats, CoreError> {
-        let mut inner = self.inner.lock();
-        let workers = inner.cluster.workers();
+        let control = self.control.lock();
+        // Drop stragglers from an earlier, timed-out collection.
+        while control.try_recv().is_ok() {}
+        let workers = self.shared.cluster.workers();
         for w in 0..workers {
-            inner.cluster.send(w, ToWorker::GetStats.to_bytes())?;
+            self.shared.cluster.send(w, ToWorker::GetStats.to_bytes())?;
         }
         let mut stats = EngineStats {
             slices: SliceStats::new(self.plan.dim_blocks),
             worker_memory_bytes: vec![0; workers],
             scanned_point_dims: 0,
         };
+        let deadline = Instant::now() + Duration::from_secs(30);
         let mut received = 0;
+        // One reply per worker: a straggler from an earlier timed-out
+        // collection that arrives mid-flight must not be merged twice.
+        let mut seen = vec![false; workers];
         while received < workers {
-            let (from, payload) = inner.cluster.recv_timeout(Duration::from_secs(30))?;
-            match ToClient::from_bytes(payload)? {
-                ToClient::Stats(r) => {
-                    stats.slices.merge_report(&r.slice_in, &r.slice_pruned);
-                    if from < workers {
-                        stats.worker_memory_bytes[from] = r.memory_bytes;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CoreError::Cluster(ClusterError::Timeout));
+            }
+            match control.recv_timeout(remaining) {
+                Ok((from, ToClient::Stats(r))) => {
+                    if from >= workers || std::mem::replace(&mut seen[from], true) {
+                        continue; // duplicate or stale reply from this worker
                     }
+                    stats.slices.merge_report(&r.slice_in, &r.slice_pruned);
+                    stats.worker_memory_bytes[from] = r.memory_bytes;
                     stats.scanned_point_dims += r.scanned_point_dims;
                     received += 1;
                 }
-                // Late results from a previous timed-out batch: drop.
-                ToClient::Result(_) => continue,
-                other => {
+                Ok((_, other)) => {
                     return Err(CoreError::Protocol(format!(
                         "unexpected message during stats collection: {other:?}"
                     )))
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CoreError::Cluster(ClusterError::Timeout))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::Cluster(ClusterError::ShutDown))
                 }
             }
         }
@@ -669,25 +948,37 @@ impl HarmonyEngine {
     /// # Errors
     /// Transport failures.
     pub fn reset_stats(&self) -> Result<(), CoreError> {
-        let inner = self.inner.lock();
-        for w in 0..inner.cluster.workers() {
-            inner.cluster.send(w, ToWorker::ResetStats.to_bytes())?;
+        for w in 0..self.shared.cluster.workers() {
+            self.shared
+                .cluster
+                .send(w, ToWorker::ResetStats.to_bytes())?;
         }
         Ok(())
     }
 
-    /// Point-in-time cluster metrics.
+    /// Point-in-time cluster metrics (cumulative since the build finished).
     pub fn cluster_snapshot(&self) -> ClusterSnapshot {
-        self.inner.lock().cluster.snapshot()
+        self.shared.cluster.snapshot()
     }
 
-    /// Stops all workers and releases the cluster.
+    /// Stops the session router and all workers, releasing the cluster.
     ///
     /// # Errors
     /// Reports the first worker that panicked, if any.
-    pub fn shutdown(self) -> Result<(), CoreError> {
-        self.inner.into_inner().cluster.shutdown()?;
-        Ok(())
+    pub fn shutdown(mut self) -> Result<(), CoreError> {
+        self.router_stop.store(true, Ordering::Release);
+        if let Some(handle) = self.router.take() {
+            let _ = handle.join();
+        }
+        match Arc::try_unwrap(self.shared) {
+            Ok(mut shared) => {
+                shared.cluster.shutdown()?;
+                Ok(())
+            }
+            // Unreachable in practice (the router holds no engine
+            // reference); the last Arc drop still stops the cluster.
+            Err(_) => Ok(()),
+        }
     }
 }
 
@@ -890,5 +1181,135 @@ mod tests {
         let dm = engine_with(EngineMode::HarmonyDimension, &d.base);
         assert_eq!(dm.plan(), PartitionPlan::pure_dimension(4));
         dm.shutdown().unwrap();
+    }
+
+    #[test]
+    fn session_table_routes_by_query_id_range() {
+        let table = SessionTable::default();
+        let rx_a = table.register(0, 10);
+        let rx_b = table.register(10, 5);
+        let result = |qid| QueryResult {
+            query_id: qid,
+            shard: 0,
+            ids: vec![],
+            scores: vec![],
+            candidates_seen: 0,
+        };
+        table.route(result(3));
+        table.route(result(9));
+        table.route(result(10));
+        table.route(result(14));
+        // Out-of-range ids (no session) are dropped, not misdelivered.
+        table.route(result(15));
+        table.route(result(99));
+        assert_eq!(rx_a.try_iter().count(), 2);
+        assert_eq!(rx_b.try_iter().count(), 2);
+        // After unregistering, results to the old range are dropped.
+        table.unregister(0);
+        table.route(result(3));
+        assert!(rx_a.try_recv().is_err());
+    }
+
+    #[test]
+    fn closed_session_table_disconnects_blocked_and_future_sessions() {
+        use crossbeam::channel::TryRecvError;
+        let table = SessionTable::default();
+        let rx = table.register(0, 4);
+        // Router death closes the table: the registered session's sender is
+        // dropped so its receive loop sees a disconnect, not a timeout.
+        table.close();
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        // Later sessions fail fast the same way instead of waiting out
+        // their whole deadline.
+        let rx2 = table.register(10, 4);
+        assert!(matches!(rx2.try_recv(), Err(TryRecvError::Disconnected)));
+        // Routing into a closed table is a no-op, not a panic.
+        table.route(QueryResult {
+            query_id: 1,
+            shard: 0,
+            ids: vec![],
+            scores: vec![],
+            candidates_seen: 0,
+        });
+    }
+
+    #[test]
+    fn concurrent_sessions_match_serial_results() {
+        let d = dataset(2_000, 24);
+        let engine = engine_with(EngineMode::Harmony, &d.base);
+        let opts = SearchOptions::new(5).with_nprobe(4);
+        let batches: Vec<VectorStore> = (0..4)
+            .map(|t| {
+                let rows: Vec<usize> = (0..16).map(|i| (t * 97 + i * 13) % d.base.len()).collect();
+                d.base.gather(&rows)
+            })
+            .collect();
+        let serial: Vec<_> = batches
+            .iter()
+            .map(|b| engine.search_batch(b, &opts).unwrap().results)
+            .collect();
+        let concurrent: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = batches
+                .iter()
+                .map(|b| s.spawn(|| engine.search_batch(b, &opts).unwrap().results))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (se, co) in serial.iter().zip(&concurrent) {
+            for (a, b) in se.iter().zip(co) {
+                assert_equivalent(a, b);
+            }
+        }
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn concurrent_outstanding_load_settles_to_zero() {
+        let d = dataset(1_500, 16);
+        // Non-pipelined mode dispatches every shard visit at once, the
+        // regression case for shard-matched discharge.
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(16)
+            .seed(7)
+            .pipeline(false)
+            .build()
+            .unwrap();
+        let engine = HarmonyEngine::build(config, &d.base).unwrap();
+        let opts = SearchOptions::new(5).with_nprobe(8);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let _ = engine.search_batch(&d.queries, &opts).unwrap();
+                });
+            }
+        });
+        let leftover: f64 = engine.outstanding_load().iter().sum();
+        assert!(
+            leftover.abs() < 1e-6,
+            "outstanding load must settle to ~0, got {leftover}"
+        );
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn stats_collection_runs_alongside_search_sessions() {
+        let d = dataset(1_200, 16);
+        let engine = engine_with(EngineMode::Harmony, &d.base);
+        let opts = SearchOptions::new(5).with_nprobe(4);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    let _ = engine.search_batch(&d.queries, &opts).unwrap();
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..3 {
+                    let stats = engine.collect_stats().unwrap();
+                    assert_eq!(stats.worker_memory_bytes.len(), 4);
+                }
+            });
+        });
+        engine.shutdown().unwrap();
     }
 }

@@ -38,5 +38,5 @@ pub use engine::{HarmonyEngine, SingleResult};
 pub use error::CoreError;
 pub use partition::{PartitionPlan, ShardAssignment};
 pub use pruning::{PruneRule, SliceStats};
-pub use stats::{BatchResult, BuildStats, EngineStats};
+pub use stats::{BatchResult, BuildStats, EngineStats, LoadTracker};
 pub use worker::HarmonyWorker;

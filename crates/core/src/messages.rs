@@ -117,8 +117,8 @@ pub struct QueryChunk {
     pub clusters: Vec<u32>,
     /// The query's coordinates for *this machine's* dimension block.
     pub dims: Vec<f32>,
-    /// Squared norm of the query's *remaining* full vector (inner-product
-    /// pruning; 0 under L2).
+    /// Squared norm of the query's *full* vector (inner-product pruning
+    /// residuals and cosine score normalization; 0 under L2).
     pub q_total_norm_sq: f32,
     /// Machines of this shard's pipeline, in execution order.
     pub order: Vec<u64>,
@@ -213,6 +213,11 @@ impl Wire for Carry {
 }
 
 /// Final hop of a shard pipeline: the shard's top candidates.
+///
+/// `query_id` is the session demultiplexing key: the client router matches
+/// it against each session's reserved id range, and `shard` identifies the
+/// completing visit so the session can discharge exactly that visit's load
+/// estimates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     /// Query this result answers.
@@ -221,7 +226,9 @@ pub struct QueryResult {
     pub shard: u32,
     /// Candidate ids (at most `k`).
     pub ids: Vec<u64>,
-    /// Full scores, parallel to `ids`.
+    /// Full scores, parallel to `ids`, in the metric's client-side
+    /// lower-is-better space ([`harmony_index::Metric::score`]): raw for L2
+    /// and inner product, normalized by the full vector norms for cosine.
     pub scores: Vec<f32>,
     /// Candidates this shard's pipeline enumerated (diagnostics).
     pub candidates_seen: u64,

@@ -16,6 +16,13 @@
 //! and a candidate is pruned when even that optimistic bound exceeds `τ`.
 //! The residual norms come from per-block norm tables shipped at build time
 //! (`ClusterBlock::{block,total}_norms_sq`).
+//!
+//! Cosine adds one more step: final scores are the negated dot product
+//! *divided by the full norms* (`-q·p / (‖q‖‖p‖)`), so the optimistic
+//! completion bound must be rescaled into that normalized space before it
+//! is compared against `τ` — see [`PruneRule::should_prune_cosine`]. This
+//! keeps worker-side partials comparable with the client-side prewarm
+//! scores ([`Metric::score`]) even for unnormalized inputs.
 
 use harmony_index::Metric;
 
@@ -70,6 +77,42 @@ impl PruneRule {
                 partial - best_remaining > threshold
             }
         }
+    }
+
+    /// Cosine-specific prune test on an accumulated *raw* (negated dot
+    /// product) partial.
+    ///
+    /// The admissible bound is the inner-product completion bound rescaled
+    /// by the full norms: since the final cosine score is
+    /// `-q·p / (‖q‖‖p‖)` and `-q·p ≥ partial − √(q_rest²·p_rest²)`,
+    ///
+    /// ```text
+    /// final_score ≥ (partial − √(q_rest² · p_rest²)) / √(q_total² · p_total²)
+    /// ```
+    ///
+    /// Zero-norm vectors score exactly 0 (matching
+    /// [`harmony_index::distance::cosine`]), so their bound is 0 as well.
+    #[inline]
+    pub fn should_prune_cosine(
+        &self,
+        partial: f32,
+        threshold: f32,
+        q_rest_sq: f32,
+        p_rest_sq: f32,
+        q_total_sq: f32,
+        p_total_sq: f32,
+    ) -> bool {
+        if !self.enabled || threshold == f32::INFINITY {
+            return false;
+        }
+        let best_remaining = (q_rest_sq.max(0.0) * p_rest_sq.max(0.0)).sqrt();
+        let denom = (q_total_sq.max(0.0) * p_total_sq.max(0.0)).sqrt();
+        let bound = if denom > 0.0 {
+            (partial - best_remaining) / denom
+        } else {
+            0.0
+        };
+        bound > threshold
     }
 }
 
@@ -203,6 +246,51 @@ mod tests {
         // Therefore pruning with threshold >= full never fires.
         let rule = PruneRule::new(Metric::InnerProduct, true);
         assert!(!rule.should_prune(partial, full, q_rest_sq, p_rest_sq));
+    }
+
+    #[test]
+    fn cosine_bound_is_admissible_for_unnormalized_vectors() {
+        // Unnormalized vectors with very different magnitudes: the raw -q·p
+        // partial would be wildly out of scale with a cosine threshold.
+        let q = [3.0f32, -1.5, 4.0, 2.0];
+        let p = [0.2f32, 0.1, -0.3, 0.05];
+        let split = 2;
+        let dot = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+        let partial = -dot(&q[..split], &p[..split]);
+        let q_rest_sq = dot(&q[split..], &q[split..]);
+        let p_rest_sq = dot(&p[split..], &p[split..]);
+        let q_total_sq = dot(&q, &q);
+        let p_total_sq = dot(&p, &p);
+        let full = -dot(&q, &p) / (q_total_sq * p_total_sq).sqrt();
+
+        let rule = PruneRule::new(Metric::Cosine, true);
+        // The true final score must never be pruned by its own threshold.
+        assert!(
+            !rule.should_prune_cosine(partial, full, q_rest_sq, p_rest_sq, q_total_sq, p_total_sq)
+        );
+        // A threshold strictly better than the best possible completion
+        // does prune.
+        let bound = (partial - (q_rest_sq * p_rest_sq).sqrt()) / (q_total_sq * p_total_sq).sqrt();
+        assert!(rule.should_prune_cosine(
+            partial,
+            bound - 1e-3,
+            q_rest_sq,
+            p_rest_sq,
+            q_total_sq,
+            p_total_sq
+        ));
+    }
+
+    #[test]
+    fn cosine_bound_handles_zero_norms_and_disabled_rule() {
+        let rule = PruneRule::new(Metric::Cosine, true);
+        // Zero-norm candidate: score is defined as 0; prune only when the
+        // threshold is better than 0.
+        assert!(rule.should_prune_cosine(0.0, -0.5, 0.0, 0.0, 1.0, 0.0));
+        assert!(!rule.should_prune_cosine(0.0, 0.5, 0.0, 0.0, 1.0, 0.0));
+        let off = PruneRule::new(Metric::Cosine, false);
+        assert!(!off.should_prune_cosine(1e9, -1.0, 0.0, 0.0, 1.0, 1.0));
+        assert!(!rule.should_prune_cosine(1e9, f32::INFINITY, 0.0, 0.0, 1.0, 1.0));
     }
 
     #[test]

@@ -1,5 +1,8 @@
-//! Engine-level statistics: build timing, pruning breakdowns, QPS.
+//! Engine-level statistics: build timing, pruning breakdowns, QPS, and the
+//! shared per-machine load estimates driving §4.3 deferred-dimension
+//! scheduling.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use harmony_cluster::{ClusterSnapshot, CommMode, TimeBreakdown};
@@ -7,6 +10,74 @@ use harmony_cluster::{ClusterSnapshot, CommMode, TimeBreakdown};
 use crate::cost::PlanCost;
 use crate::partition::PartitionPlan;
 use crate::pruning::SliceStats;
+
+/// Lock-free per-machine outstanding-work estimates.
+///
+/// Each cell stores an `f64` as its bit pattern in an [`AtomicU64`], updated
+/// with CAS loops, so any number of concurrent search sessions can charge
+/// and discharge load without a shared lock. Values are clamped at zero on
+/// discharge: a late or duplicated discharge can never drive an estimate
+/// negative.
+#[derive(Debug, Default)]
+pub struct LoadTracker {
+    cells: Vec<AtomicU64>,
+}
+
+impl LoadTracker {
+    /// A tracker for `machines` nodes, all starting at zero load.
+    pub fn new(machines: usize) -> Self {
+        Self {
+            cells: (0..machines).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of machines tracked.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no machines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn update(&self, machine: usize, f: impl Fn(f64) -> f64) {
+        let cell = &self.cells[machine];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Charges `amount` of estimated work to `machine`.
+    pub fn add(&self, machine: usize, amount: f64) {
+        self.update(machine, |v| v + amount);
+    }
+
+    /// Discharges `amount` from `machine`, clamping at zero.
+    pub fn sub(&self, machine: usize, amount: f64) {
+        self.update(machine, |v| (v - amount).max(0.0));
+    }
+
+    /// The current estimate for `machine`.
+    pub fn get(&self, machine: usize) -> f64 {
+        f64::from_bits(self.cells[machine].load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy of every machine's estimate.
+    pub fn snapshot(&self) -> Vec<f64> {
+        (0..self.cells.len()).map(|m| self.get(m)).collect()
+    }
+
+    /// Sum over machines (≈ 0 when no work is in flight).
+    pub fn total(&self) -> f64 {
+        self.snapshot().iter().sum()
+    }
+}
 
 /// Timing of the three index-construction stages (Fig. 10).
 #[derive(Debug, Clone)]
@@ -62,7 +133,9 @@ pub struct BatchResult {
     pub results: Vec<Vec<harmony_index::Neighbor>>,
     /// Wall-clock time of the batch at the client.
     pub wall: Duration,
-    /// Metrics delta accumulated during the batch.
+    /// Metrics delta over the batch's time window. When other sessions run
+    /// concurrently on the same engine, the window includes their traffic
+    /// too (the cluster's counters are shared).
     pub snapshot: ClusterSnapshot,
     /// Communication mode in force (decides makespan composition).
     pub comm_mode: CommMode,
@@ -148,6 +221,42 @@ mod tests {
         };
         assert_eq!(r.qps_wall(), 0.0);
         assert_eq!(r.qps_modeled(), 0.0);
+    }
+
+    #[test]
+    fn load_tracker_charges_and_discharges() {
+        let t = LoadTracker::new(3);
+        assert_eq!(t.len(), 3);
+        t.add(1, 12.5);
+        t.add(1, 2.5);
+        t.add(2, 4.0);
+        assert_eq!(t.get(1), 15.0);
+        assert_eq!(t.snapshot(), vec![0.0, 15.0, 4.0]);
+        t.sub(1, 15.0);
+        t.sub(2, 4.0);
+        assert_eq!(t.total(), 0.0);
+        // Over-discharge clamps at zero instead of going negative.
+        t.sub(0, 100.0);
+        assert_eq!(t.get(0), 0.0);
+    }
+
+    #[test]
+    fn load_tracker_is_consistent_under_threads() {
+        let t = LoadTracker::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        t.add(0, 1.0);
+                        t.add(1, 0.5);
+                        t.sub(1, 0.5);
+                        t.sub(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.get(0), 0.0);
+        assert_eq!(t.get(1), 0.0);
     }
 
     #[test]

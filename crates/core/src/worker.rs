@@ -14,6 +14,12 @@
 //! 3. The *last* machine completes the scores, keeps the best `k`, and
 //!    reports a [`QueryResult`] to the client.
 //!
+//! Reported scores live in the metric's client-side lower-is-better space
+//! ([`Metric::score`]): raw for L2 and inner product, and normalized by the
+//! full vector norms for cosine (using the `total_norms_sq` tables shipped
+//! at load time), so merged heaps never mix incomparable orderings even
+//! when inputs are not normalized at ingestion.
+//!
 //! The chunk for a machine may arrive after the carry from its predecessor
 //! (different senders, one mailbox), so both orders are buffered.
 //! Per-position pruning counters feed Fig. 2a and Table 3.
@@ -78,6 +84,21 @@ struct PendingTables {
 /// Negated dot product: the lower-is-better partial for similarity metrics.
 fn neg_ip(a: &[f32], b: &[f32]) -> f32 {
     -ip(a, b)
+}
+
+/// Final cosine score from a fully accumulated raw partial (`-q·p`):
+/// normalized by the full vector norms so worker results land in the same
+/// lower-is-better space as the client's prewarm scores
+/// ([`Metric::score`]), even for unnormalized inputs. Zero-norm vectors
+/// score 0, matching [`harmony_index::distance::cosine`].
+#[inline]
+fn cos_normalize(partial: f32, q_total_sq: f32, p_total_sq: f32) -> f32 {
+    let denom = (q_total_sq * p_total_sq).sqrt();
+    if denom > 0.0 {
+        partial / denom
+    } else {
+        0.0
+    }
 }
 
 /// Hoists the metric dispatch out of per-candidate loops: with dimension
@@ -196,6 +217,7 @@ impl HarmonyWorker {
             return;
         };
         let is_ip = !matches!(self.metric, Metric::L2);
+        let is_cos = matches!(self.metric, Metric::Cosine);
         let q_block_norm_sq = if is_ip {
             ip(&chunk.dims, &chunk.dims)
         } else {
@@ -229,13 +251,19 @@ impl HarmonyWorker {
                     scanned += list.width as u64;
                     let partial = scorer(&chunk.dims, row);
                     if single_hop {
-                        // Partials are full scores; keep the best k.
+                        // Partials are full scores (cosine normalizes by the
+                        // full norms here); keep the best k.
+                        let score = if is_cos {
+                            cos_normalize(partial, chunk.q_total_norm_sq, list.total_norms_sq[i])
+                        } else {
+                            partial
+                        };
                         let local_tau = threshold.min(topk.threshold());
-                        if rule.enabled() && partial > local_tau {
+                        if rule.enabled() && score > local_tau {
                             pruned += 1;
                             continue;
                         }
-                        topk.push(list.ids[i], partial);
+                        topk.push(list.ids[i], score);
                         continue;
                     }
                     let (q_rest, p_rest) = if is_ip {
@@ -246,7 +274,19 @@ impl HarmonyWorker {
                     } else {
                         (0.0, 0.0)
                     };
-                    if rule.should_prune(partial, threshold, q_rest, p_rest) {
+                    let prune = if is_cos {
+                        rule.should_prune_cosine(
+                            partial,
+                            threshold,
+                            q_rest,
+                            p_rest,
+                            chunk.q_total_norm_sq,
+                            list.total_norms_sq[i],
+                        )
+                    } else {
+                        rule.should_prune(partial, threshold, q_rest, p_rest)
+                    };
+                    if prune {
                         pruned += 1;
                         continue;
                     }
@@ -297,6 +337,7 @@ impl HarmonyWorker {
             return;
         };
         let is_ip = !matches!(self.metric, Metric::L2);
+        let is_cos = matches!(self.metric, Metric::Cosine);
         let q_block_norm_sq = if is_ip {
             ip(&chunk.dims, &chunk.dims)
         } else {
@@ -347,21 +388,41 @@ impl HarmonyWorker {
                         (0.0, 0.0, 0.0)
                     };
                     if is_last {
-                        // Full score now known; keep only entries beating
-                        // both the global threshold and the local top-k.
+                        // Full score now known (cosine normalizes by the
+                        // full norms); keep only entries beating both the
+                        // global threshold and the local top-k.
+                        let score = if is_cos {
+                            cos_normalize(partial, chunk.q_total_norm_sq, list.total_norms_sq[row])
+                        } else {
+                            partial
+                        };
                         let local_tau = threshold.min(topk.threshold());
-                        if rule.enabled() && partial > local_tau {
+                        if rule.enabled() && score > local_tau {
                             pruned += 1;
                         } else {
-                            topk.push(list.ids[row], partial);
+                            topk.push(list.ids[row], score);
                         }
-                    } else if rule.should_prune(partial, threshold, q_rest, p_rest) {
-                        pruned += 1;
                     } else {
-                        indices.push(index);
-                        partials.push(partial);
-                        if is_ip {
-                            visited_norms_sq.push(p_visited);
+                        let prune = if is_cos {
+                            rule.should_prune_cosine(
+                                partial,
+                                threshold,
+                                q_rest,
+                                p_rest,
+                                chunk.q_total_norm_sq,
+                                list.total_norms_sq[row],
+                            )
+                        } else {
+                            rule.should_prune(partial, threshold, q_rest, p_rest)
+                        };
+                        if prune {
+                            pruned += 1;
+                        } else {
+                            indices.push(index);
+                            partials.push(partial);
+                            if is_ip {
+                                visited_norms_sq.push(p_visited);
+                            }
                         }
                     }
                     cursor += 1;
@@ -711,6 +772,122 @@ mod tests {
         let r = recv_result(&mut cluster);
         assert_eq!(r.ids, vec![1]);
         assert!((r.scores[0] - 8.0).abs() < 1e-6);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cosine_single_hop_reports_normalized_scores() {
+        // Deliberately unnormalized vectors: raw -q·p and true cosine order
+        // them differently (id 300 has a huge dot product but poor angle).
+        let mut cluster = one_worker_cluster();
+        let base: Vec<[f32; 2]> = vec![[1.0, 0.0], [0.0, 1.0], [5.0, 5.0]];
+        let load = LoadBlock {
+            shard: 0,
+            dim_block: 0,
+            dim_start: 0,
+            dim_end: 2,
+            total_dim_blocks: 1,
+            metric: 2, // cosine
+            pruning: true,
+            lists: vec![crate::messages::ClusterBlock {
+                cluster: 0,
+                ids: vec![100, 200, 300],
+                flat: base.iter().flatten().copied().collect(),
+                block_norms_sq: base.iter().map(|v| ip(v, v)).collect(),
+                total_norms_sq: base.iter().map(|v| ip(v, v)).collect(),
+            }],
+        };
+        cluster.send(0, ToWorker::Load(load).to_bytes()).unwrap();
+        drain_ack(&mut cluster);
+
+        let query = [2.0f32, 0.5]; // unnormalized on purpose
+        let chunk = QueryChunk {
+            query_id: 11,
+            shard: 0,
+            k: 3,
+            threshold: f32::INFINITY,
+            clusters: vec![0],
+            dims: query.to_vec(),
+            q_total_norm_sq: ip(&query, &query),
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        for (&id, &score) in r.ids.iter().zip(&r.scores) {
+            let row = &base[(id / 100 - 1) as usize];
+            let want = Metric::Cosine.score(&query, row);
+            assert!(
+                (score - want).abs() < 1e-6,
+                "id {id}: worker {score} vs client {want}"
+            );
+        }
+        assert_eq!(r.ids[0], 100, "best angle must win, not largest dot");
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cosine_two_hop_pipeline_matches_client_scoring() {
+        let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| HarmonyWorker::new());
+        let base: Vec<[f32; 4]> = vec![
+            [2.0, 0.0, 0.0, 0.1],
+            [0.0, 3.0, 3.0, 0.0],
+            [0.5, 0.5, 0.5, 0.5],
+        ];
+        let ids = vec![1u64, 2, 3];
+        for (w, range) in [(0usize, 0..2), (1usize, 2..4)] {
+            let flat: Vec<f32> = base
+                .iter()
+                .flat_map(|v| v[range.clone()].to_vec())
+                .collect();
+            let load = LoadBlock {
+                shard: 0,
+                dim_block: w as u32,
+                dim_start: range.start as u64,
+                dim_end: range.end as u64,
+                total_dim_blocks: 2,
+                metric: 2, // cosine
+                pruning: true,
+                lists: vec![crate::messages::ClusterBlock {
+                    cluster: 0,
+                    ids: ids.clone(),
+                    flat,
+                    block_norms_sq: base
+                        .iter()
+                        .map(|v| ip(&v[range.clone()], &v[range.clone()]))
+                        .collect(),
+                    total_norms_sq: base.iter().map(|v| ip(v, v)).collect(),
+                }],
+            };
+            cluster.send(w, ToWorker::Load(load).to_bytes()).unwrap();
+            drain_ack(&mut cluster);
+        }
+
+        let query = [1.0f32, 2.0, 0.0, 1.0]; // unnormalized
+        for (w, range, position) in [(0usize, 0..2, 0u32), (1usize, 2..4, 1u32)] {
+            let chunk = QueryChunk {
+                query_id: 12,
+                shard: 0,
+                k: 3,
+                threshold: f32::INFINITY,
+                clusters: vec![0],
+                dims: query[range].to_vec(),
+                q_total_norm_sq: ip(&query, &query),
+                order: vec![0, 1],
+                position,
+            };
+            cluster.send(w, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        }
+        let r = recv_result(&mut cluster);
+        assert_eq!(r.ids.len(), 3);
+        for (&id, &score) in r.ids.iter().zip(&r.scores) {
+            let row = &base[(id - 1) as usize];
+            let want = Metric::Cosine.score(&query, row);
+            assert!(
+                (score - want).abs() < 1e-6,
+                "id {id}: worker {score} vs client {want}"
+            );
+        }
         cluster.shutdown().unwrap();
     }
 

@@ -4,11 +4,18 @@
 //!
 //! The example compares classic vector partitioning against Harmony under a
 //! traffic spike aimed at one shard's clusters, showing vector-mode
-//! throughput collapse while Harmony stays level.
+//! throughput collapse while Harmony stays level — then simulates the
+//! sale's *client side*: 8 storefront threads firing small search requests
+//! at one shared engine over a realistic-latency fabric, comparing
+//! serialized access (one request in flight cluster-wide, the old engine
+//! contract) against concurrent search sessions.
 //!
 //! ```sh
 //! cargo run --release --example flash_sale
 //! ```
+
+use std::sync::Mutex;
+use std::time::Instant;
 
 use harmony::core::EngineMode;
 use harmony::prelude::*;
@@ -85,5 +92,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     vector.shutdown()?;
     harmony.shutdown()?;
+
+    // --- Concurrent storefront clients --------------------------------
+    // During the sale, requests come from many frontend threads at once,
+    // each a small batch. Model a remote cluster by injecting the 0.5 ms
+    // blocking send latency for real: a serialized client waits out each
+    // request's network time alone, concurrent sessions overlap them.
+    let config = HarmonyConfig::builder()
+        .n_machines(4)
+        .nlist(128)
+        .seed(7)
+        .pipeline(false) // blocking transport: senders really wait
+        .net(NetworkModel {
+            bandwidth_gbps: f64::INFINITY,
+            latency_ns: 500_000,
+            per_message_overhead_bytes: 0,
+        })
+        .delay(DelayMode::Sleep { scale: 1.0 })
+        .build()?;
+    let engine = HarmonyEngine::build(config, &catalog.base)?;
+    let clients = 8;
+    let requests_per_client = 24;
+    let request_size = 4;
+    let streams: Vec<Vec<VectorStore>> = (0..clients)
+        .map(|t| {
+            (0..requests_per_client)
+                .map(|r| traffic(&engine, 0.95, request_size, 7_000 + (t * 100 + r) as u64))
+                .collect()
+        })
+        .collect();
+    let total = (clients * requests_per_client * request_size) as f64;
+
+    let gate = Mutex::new(());
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for stream in &streams {
+            let (engine, opts, gate) = (&engine, &opts, &gate);
+            s.spawn(move || {
+                for batch in stream {
+                    let _one_at_a_time = gate.lock().expect("gate");
+                    engine
+                        .search_batch(batch, opts)
+                        .expect("serialized request");
+                }
+            });
+        }
+    });
+    let serialized_qps = total / t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for stream in &streams {
+            let (engine, opts) = (&engine, &opts);
+            s.spawn(move || {
+                for batch in stream {
+                    engine.search_batch(batch, opts).expect("session request");
+                }
+            });
+        }
+    });
+    let sessions_qps = total / t0.elapsed().as_secs_f64();
+
+    println!(
+        "\n{clients} storefront threads x {requests_per_client} requests x {request_size} queries, 0.5 ms fabric:"
+    );
+    println!("  serialized client (old contract): {serialized_qps:>8.0} QPS aggregate");
+    println!("  concurrent sessions:              {sessions_qps:>8.0} QPS aggregate");
+    println!(
+        "  -> {:.1}x from multiplexing sessions over the same 4 workers",
+        sessions_qps / serialized_qps
+    );
+    engine.shutdown()?;
     Ok(())
 }
