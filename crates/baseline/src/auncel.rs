@@ -172,6 +172,7 @@ impl AuncelEngine {
                 })
                 .collect();
             let load = LoadBlock {
+                epoch: 0,
                 shard: machine as u32,
                 dim_block: 0,
                 dim_start: 0,
@@ -285,6 +286,7 @@ impl AuncelEngine {
             for (machine, clusters) in by_machine {
                 let chunk = QueryChunk {
                     query_id: qid,
+                    epoch: 0,
                     shard: machine as u32,
                     k: k as u32,
                     threshold: topk.threshold(),

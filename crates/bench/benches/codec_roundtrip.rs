@@ -8,6 +8,7 @@ use harmony_core::messages::{Carry, QueryChunk, ToWorker};
 fn chunk(dims: usize) -> QueryChunk {
     QueryChunk {
         query_id: 42,
+        epoch: 0,
         shard: 1,
         k: 10,
         threshold: 3.25,
@@ -22,6 +23,7 @@ fn chunk(dims: usize) -> QueryChunk {
 fn carry(survivors: usize) -> Carry {
     Carry {
         query_id: 42,
+        epoch: 0,
         shard: 1,
         threshold: 3.25,
         next_position: 1,

@@ -1,0 +1,204 @@
+//! Drift recovery — Fig. 7 extended to *runtime*: QPS before a workload
+//! drift, during it on the stale plan, and after the adaptive replanning
+//! supervisor live-migrates to a layout that fits.
+//!
+//! The scenario is the flash-sale drift of §6.2.2 taken online: the engine
+//! is deployed on vector partitioning (the stale plan), traffic then
+//! concentrates on a hot set smaller than the shard count, and the plan
+//! supervisor — fed only by the engine's own probe counters — must switch
+//! plans under live traffic. The migration runs while ≥ 4 concurrent
+//! sessions keep querying; the harness verifies none of their results are
+//! lost or duplicated.
+//!
+//! `--assert-switch` turns the run into a smoke check: it exits non-zero
+//! unless the supervisor actually switched plans and the post-switch QPS
+//! beats the stale plan.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{
+    EngineMode, HarmonyConfig, HarmonyEngine, ReplanConfig, ReplanOutcome, SearchOptions,
+};
+use harmony_data::SyntheticSpec;
+use harmony_index::VectorStore;
+use rand::prelude::*;
+
+const SEED: u64 = 0x000D_21F7;
+
+/// Queries jittered around one centroid: their probes concentrate on a hot
+/// set smaller than the shard count — the drift no re-packing can absorb.
+fn hot_queries(engine: &HarmonyEngine, cluster: usize, n: usize, seed: u64) -> VectorStore {
+    let centroids = engine.centroids();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = VectorStore::with_capacity(centroids.dim(), n);
+    for i in 0..n {
+        let mut q = centroids.row(cluster).to_vec();
+        for x in q.iter_mut() {
+            *x += rng.random_range(-0.01..0.01f32);
+        }
+        queries.push(i as u64, &q).expect("dims match");
+    }
+    queries
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let assert_switch = raw.iter().any(|a| a == "--assert-switch");
+    raw.retain(|a| a != "--assert-switch");
+    let args = BenchArgs::parse_from(raw.into_iter());
+
+    // Big lists and wide vectors keep per-probe computation above the
+    // per-message network cost — the paper's 1M-vector regime, where a hot
+    // partition genuinely starves the cluster (Figs. 6-7).
+    let n = if args.quick { 24_000 } else { 64_000 };
+    let dim = if args.quick { 64 } else { 96 };
+    let nlist = 16;
+    let dataset = SyntheticSpec::clustered(n, dim, 8).with_seed(21).generate();
+    eprintln!("[drift_recovery] {} x {}d, nlist {nlist}", n, dim);
+
+    // Deployed on the stale plan: pure vector partitioning, supervisor in
+    // manual-tick mode so the phases are cleanly separated.
+    let config = HarmonyConfig::builder()
+        .n_machines(args.workers)
+        .nlist(nlist)
+        .mode(EngineMode::HarmonyVector)
+        .seed(SEED)
+        .replan(ReplanConfig {
+            min_window_queries: 32,
+            amortize_windows: 200.0,
+            ..ReplanConfig::default()
+        })
+        .build()
+        .expect("valid config");
+    let engine = HarmonyEngine::build(config, &dataset.base).expect("engine build");
+
+    let mut table = Table::new(
+        "Drift recovery — QPS before drift, on the stale plan, and after the supervisor replans",
+        &["phase", "plan", "epoch", "QPS", "load max/mean"],
+    );
+    let phase_row = |table: &mut Table, phase: &str, engine: &HarmonyEngine, qps: f64, imb: f64| {
+        table.row(vec![
+            phase.to_string(),
+            engine.plan().label(),
+            engine.current_epoch().to_string(),
+            report::num(qps, 1),
+            report::num(imb, 3),
+        ]);
+    };
+
+    let queries = args.effective_queries().max(64);
+    let opts = SearchOptions::new(10).with_nprobe(4);
+    let hot_opts = SearchOptions::new(10).with_nprobe(2);
+
+    // Phase 1 — before the drift: uniform traffic on the deployed plan.
+    let uniform: VectorStore = {
+        let take: Vec<usize> = (0..queries.min(dataset.queries.len())).collect();
+        dataset.queries.gather(&take)
+    };
+    let before = engine.search_batch(&uniform, &opts).expect("uniform batch");
+    phase_row(
+        &mut table,
+        "before drift (uniform)",
+        &engine,
+        before.qps_modeled(),
+        before.snapshot.imbalance_ratio(),
+    );
+
+    // Phase 2 — the drift hits: hot traffic on the stale plan. Two batches
+    // so the hot signal dominates the observation window.
+    let hot = hot_queries(&engine, 3, queries, SEED ^ 0x99);
+    engine
+        .search_batch(&hot, &hot_opts)
+        .expect("warm drift batch");
+    let stale = engine.search_batch(&hot, &hot_opts).expect("stale batch");
+    let stale_qps = stale.qps_modeled();
+    phase_row(
+        &mut table,
+        "during drift (stale plan)",
+        &engine,
+        stale_qps,
+        stale.snapshot.imbalance_ratio(),
+    );
+
+    // Phase 3 — replanning under live traffic: 4 concurrent sessions keep
+    // querying while the supervisor migrates. Every in-flight batch must
+    // come back complete and duplicate-free.
+    let stop = AtomicBool::new(false);
+    let outcome = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let engine = &engine;
+            let hot_opts = &hot_opts;
+            let stop = &stop;
+            let batch = hot_queries(engine, 3, 32, SEED ^ (0x1000 + t));
+            handles.push(s.spawn(move || {
+                let mut served = 0usize;
+                while !stop.load(Ordering::Relaxed) || served == 0 {
+                    let out = engine.search_batch(&batch, hot_opts).expect("live batch");
+                    assert_eq!(out.results.len(), batch.len(), "lost results");
+                    for r in &out.results {
+                        let mut ids: Vec<u64> = r.iter().map(|n| n.id).collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        assert_eq!(ids.len(), r.len(), "duplicated results");
+                    }
+                    served += out.results.len();
+                }
+                served
+            }));
+        }
+        let outcome = engine.supervisor_tick().expect("replan tick");
+        stop.store(true, Ordering::Relaxed);
+        let served: usize = handles
+            .into_iter()
+            .map(|h| h.join().expect("session"))
+            .sum();
+        eprintln!("[drift_recovery] {served} live queries served across the migration, none lost");
+        outcome
+    });
+    match &outcome {
+        ReplanOutcome::Switched(r) => eprintln!(
+            "[drift_recovery] switched {} -> {}: moved {} clusters, {} pieces, {} KiB over the fabric (modeled {:.2} ms)",
+            r.from_plan.label(),
+            r.to_plan.label(),
+            r.clusters_moved,
+            r.network_pieces,
+            r.modeled_bytes / 1024,
+            r.migration_ns / 1e6,
+        ),
+        other => eprintln!("[drift_recovery] supervisor outcome: {other:?}"),
+    }
+
+    // Phase 4 — after the replan: the same hot traffic on the new layout.
+    let after = engine
+        .search_batch(&hot, &hot_opts)
+        .expect("recovered batch");
+    let after_qps = after.qps_modeled();
+    phase_row(
+        &mut table,
+        "after replan",
+        &engine,
+        after_qps,
+        after.snapshot.imbalance_ratio(),
+    );
+
+    table.emit(&args.out_dir, "drift_recovery");
+
+    if assert_switch {
+        let switched = matches!(outcome, ReplanOutcome::Switched(_));
+        assert!(
+            switched,
+            "--assert-switch: supervisor did not switch plans under induced skew ({outcome:?})"
+        );
+        assert!(
+            after_qps > stale_qps,
+            "--assert-switch: post-replan QPS {after_qps:.0} must beat the stale plan's {stale_qps:.0}"
+        );
+        eprintln!(
+            "[drift_recovery] OK: plan switched and QPS recovered {:.0} -> {:.0}",
+            stale_qps, after_qps
+        );
+    }
+    engine.shutdown().expect("shutdown");
+}

@@ -228,6 +228,23 @@ impl ClusterSnapshot {
         var.sqrt()
     }
 
+    /// Ratio of the hottest worker's compute load to the mean (1.0 = even).
+    ///
+    /// The live analogue of the planner's imbalance factor, usable on a
+    /// window [`ClusterSnapshot::delta`]: a drifting workload shows up here
+    /// before it shows up in tail latency. Uses max/mean (not max/min) so
+    /// legitimately idle workers do not blow the ratio up to infinity; a
+    /// window with no compute anywhere reports 1.0.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let loads = self.worker_loads();
+        let total: u64 = loads.iter().sum();
+        if total == 0 || loads.is_empty() {
+            return 1.0;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0);
+        max as f64 / (total as f64 / loads.len() as f64)
+    }
+
     /// Three-way time breakdown across the whole cluster.
     pub fn breakdown(&self) -> TimeBreakdown {
         let t = self.total();
@@ -356,6 +373,30 @@ mod tests {
             client: NodeSnapshot::default(),
         };
         assert!(skewed.imbalance() > 99.0);
+    }
+
+    #[test]
+    fn imbalance_ratio_tracks_concentration() {
+        let mk = |c| NodeSnapshot {
+            compute_ns: c,
+            ..Default::default()
+        };
+        let even = ClusterSnapshot {
+            workers: vec![mk(100), mk(100)],
+            client: NodeSnapshot::default(),
+        };
+        assert_eq!(even.imbalance_ratio(), 1.0);
+        let hot = ClusterSnapshot {
+            workers: vec![mk(300), mk(100), mk(0), mk(0)],
+            client: NodeSnapshot::default(),
+        };
+        assert_eq!(hot.imbalance_ratio(), 3.0);
+        // An idle window is "balanced", not a division by zero.
+        let idle = ClusterSnapshot {
+            workers: vec![mk(0), mk(0)],
+            client: NodeSnapshot::default(),
+        };
+        assert_eq!(idle.imbalance_ratio(), 1.0);
     }
 
     #[test]

@@ -55,6 +55,75 @@ impl std::fmt::Display for EngineMode {
     }
 }
 
+/// Knobs of the adaptive replanning supervisor.
+///
+/// The supervisor folds live per-cluster probe counts into an *observed*
+/// [`crate::cost::WorkloadProfile`], re-scores every factorization with the
+/// §4.2.1 cost model extended by a migration-cost term, and live-migrates
+/// to a better plan when the projected steady-state win amortizes the move
+/// (see the `engine` module docs for epoch semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanConfig {
+    /// Auto-tick the supervisor every `check_every` completed queries
+    /// (0 = manual [`crate::HarmonyEngine::supervisor_tick`] calls only).
+    pub check_every: u64,
+    /// Minimum queries observed in a window before the supervisor acts.
+    pub min_window_queries: u64,
+    /// Hysteresis: required relative cost win before switching (0.1 = the
+    /// candidate must beat the incumbent by 10 %).
+    pub hysteresis: f64,
+    /// Observation windows over which the one-time migration cost is
+    /// amortized when scoring a switch (larger = more eager to move).
+    pub amortize_windows: f64,
+    /// Bound on the weight fraction a same-plan incremental rebalance may
+    /// move in one tick (caps migration traffic).
+    pub max_move_frac: f64,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        Self {
+            check_every: 0,
+            min_window_queries: 64,
+            hysteresis: 0.10,
+            amortize_windows: 10.0,
+            max_move_frac: 0.25,
+        }
+    }
+}
+
+impl ReplanConfig {
+    /// Auto-checking configuration with defaults elsewhere.
+    pub fn auto(check_every: u64) -> Self {
+        Self {
+            check_every,
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if !(0.0..1.0).contains(&self.hysteresis) {
+            return Err(CoreError::Config(format!(
+                "replan hysteresis must be in [0, 1), got {}",
+                self.hysteresis
+            )));
+        }
+        if self.amortize_windows <= 0.0 || !self.amortize_windows.is_finite() {
+            return Err(CoreError::Config(format!(
+                "replan amortize_windows must be positive and finite, got {}",
+                self.amortize_windows
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.max_move_frac) {
+            return Err(CoreError::Config(format!(
+                "replan max_move_frac must be in [0, 1], got {}",
+                self.max_move_frac
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Full engine configuration. Build with [`HarmonyConfig::builder`].
 #[derive(Debug, Clone)]
 pub struct HarmonyConfig {
@@ -89,6 +158,8 @@ pub struct HarmonyConfig {
     pub plan_override: Option<PartitionPlan>,
     /// Maximum queries in flight during batch search.
     pub max_inflight: usize,
+    /// Adaptive replanning supervisor knobs.
+    pub replan: ReplanConfig,
 }
 
 impl HarmonyConfig {
@@ -117,6 +188,7 @@ impl HarmonyConfig {
         if self.max_inflight == 0 {
             return Err(CoreError::Config("max_inflight must be > 0".into()));
         }
+        self.replan.validate()?;
         if let Some(plan) = self.plan_override {
             if plan.machines() != self.n_machines {
                 return Err(CoreError::Config(format!(
@@ -165,6 +237,7 @@ impl Default for HarmonyConfigBuilder {
                 delay: DelayMode::Account,
                 plan_override: None,
                 max_inflight: 64,
+                replan: ReplanConfig::default(),
             },
         }
     }
@@ -232,6 +305,10 @@ impl HarmonyConfigBuilder {
     builder_setter!(
         /// Maximum in-flight queries for batch search.
         max_inflight: usize
+    );
+    builder_setter!(
+        /// Adaptive replanning supervisor knobs.
+        replan: ReplanConfig
     );
 
     /// Forces a specific partition plan (diagnostics / ablations).
@@ -323,6 +400,27 @@ mod tests {
         assert!(HarmonyConfig::builder().alpha(-1.0).build().is_err());
         assert!(HarmonyConfig::builder().alpha(f64::NAN).build().is_err());
         assert!(HarmonyConfig::builder().max_inflight(0).build().is_err());
+    }
+
+    #[test]
+    fn invalid_replan_configs_rejected() {
+        let bad = |r: ReplanConfig| HarmonyConfig::builder().replan(r).build().is_err();
+        assert!(bad(ReplanConfig {
+            hysteresis: 1.0,
+            ..ReplanConfig::default()
+        }));
+        assert!(bad(ReplanConfig {
+            amortize_windows: 0.0,
+            ..ReplanConfig::default()
+        }));
+        assert!(bad(ReplanConfig {
+            max_move_frac: 1.5,
+            ..ReplanConfig::default()
+        }));
+        assert!(HarmonyConfig::builder()
+            .replan(ReplanConfig::auto(256))
+            .build()
+            .is_ok());
     }
 
     #[test]

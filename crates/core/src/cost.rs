@@ -25,6 +25,7 @@
 
 use harmony_cluster::NetworkModel;
 
+use crate::error::CoreError;
 use crate::partition::{PartitionPlan, ShardAssignment};
 
 /// Expected workload characteristics fed to the planner.
@@ -46,6 +47,50 @@ pub struct WorkloadProfile {
 }
 
 impl WorkloadProfile {
+    /// Validating constructor: the cost model indexes `probe_freq` and
+    /// `list_sizes` in lockstep, so a length mismatch (easy to produce when
+    /// profiles are assembled from runtime statistics) would read out of
+    /// bounds or silently truncate the workload. All shape and value
+    /// invariants are checked here instead.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when the lengths differ, a frequency is
+    /// negative or non-finite, or `dim` is zero.
+    pub fn new(
+        list_sizes: Vec<usize>,
+        probe_freq: Vec<f64>,
+        dim: usize,
+        queries: usize,
+        nprobe: usize,
+        k: usize,
+    ) -> Result<Self, CoreError> {
+        if probe_freq.len() != list_sizes.len() {
+            return Err(CoreError::Config(format!(
+                "workload profile shape mismatch: {} probe frequencies for {} lists",
+                probe_freq.len(),
+                list_sizes.len()
+            )));
+        }
+        if let Some(f) = probe_freq.iter().find(|f| !f.is_finite() || **f < 0.0) {
+            return Err(CoreError::Config(format!(
+                "probe frequencies must be finite and non-negative, got {f}"
+            )));
+        }
+        if dim == 0 {
+            return Err(CoreError::Config(
+                "workload profile needs a positive dimensionality".into(),
+            ));
+        }
+        Ok(Self {
+            list_sizes,
+            probe_freq,
+            dim,
+            queries: queries.max(1),
+            nprobe: nprobe.max(1),
+            k: k.max(1),
+        })
+    }
+
     /// Uniform probe frequencies over the given list sizes.
     pub fn uniform(list_sizes: Vec<usize>, dim: usize, queries: usize, nprobe: usize) -> Self {
         let n = list_sizes.len();
@@ -59,14 +104,38 @@ impl WorkloadProfile {
         }
     }
 
+    /// Profile assembled from *observed* per-cluster probe counters (the
+    /// supervisor's runtime view), validated like [`WorkloadProfile::new`].
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] on shape mismatches (see
+    /// [`WorkloadProfile::new`]).
+    pub fn observed(
+        list_sizes: Vec<usize>,
+        probe_counts: &[u64],
+        dim: usize,
+        queries: usize,
+        nprobe: usize,
+        k: usize,
+    ) -> Result<Self, CoreError> {
+        let freq = probe_counts.iter().map(|&c| c as f64).collect();
+        Self::new(list_sizes, freq, dim, queries, nprobe, k)
+    }
+
     /// Replaces the probe frequencies (e.g. observed from a query log).
     ///
-    /// # Panics
-    /// Panics when the length differs from the cluster count.
-    pub fn with_probe_freq(mut self, probe_freq: Vec<f64>) -> Self {
-        assert_eq!(probe_freq.len(), self.list_sizes.len());
-        self.probe_freq = probe_freq;
-        self
+    /// # Errors
+    /// [`CoreError::Config`] when the length differs from the cluster count
+    /// or a frequency is invalid (see [`WorkloadProfile::new`]).
+    pub fn with_probe_freq(self, probe_freq: Vec<f64>) -> Result<Self, CoreError> {
+        Self::new(
+            self.list_sizes,
+            probe_freq,
+            self.dim,
+            self.queries,
+            self.nprobe,
+            self.k,
+        )
     }
 
     /// Expected number of probes of cluster `c` across the whole batch.
@@ -272,6 +341,21 @@ impl CostModel {
         }
     }
 
+    /// Modeled one-time cost of shipping `bytes` of migration traffic as
+    /// `messages` point-to-point transfers over the interconnect: total
+    /// byte time plus per-message latency/framing. This is the §4.2.1 cost
+    /// model's migration extension — the supervisor only switches plans
+    /// when the projected steady-state win amortizes this over its
+    /// configured horizon.
+    pub fn migration_ns(&self, bytes: u64, messages: u64) -> f64 {
+        if messages == 0 {
+            return 0.0;
+        }
+        let per_message = self.net.transfer_ns(0) as f64;
+        let byte_ns = (self.net.transfer_ns(bytes as usize) as f64 - per_message).max(0.0);
+        byte_ns + messages as f64 * per_message
+    }
+
     /// Picks the cheapest factorization of `n_machines` for the profile.
     /// Returns the plan and its cost.
     pub fn choose_plan(
@@ -346,7 +430,7 @@ mod tests {
         for f in freq.iter_mut().take(hot) {
             *f = 100.0;
         }
-        uniform_profile(nlist, dim).with_probe_freq(freq)
+        uniform_profile(nlist, dim).with_probe_freq(freq).unwrap()
     }
 
     #[test]
@@ -454,8 +538,44 @@ mod tests {
 
     #[test]
     fn cluster_work_scales_with_probe_frequency() {
-        let profile = uniform_profile(4, 16).with_probe_freq(vec![3.0, 1.0, 1.0, 1.0]);
+        let profile = uniform_profile(4, 16)
+            .with_probe_freq(vec![3.0, 1.0, 1.0, 1.0])
+            .unwrap();
         let work = profile.cluster_work();
         assert!((work[0] / work[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_profiles_rejected() {
+        // 4 lists, 3 frequencies: the bug this constructor exists to catch.
+        let err = WorkloadProfile::new(vec![100; 4], vec![1.0; 3], 16, 10, 2, 10);
+        assert!(matches!(err, Err(crate::error::CoreError::Config(_))));
+        let err = uniform_profile(4, 16).with_probe_freq(vec![1.0; 5]);
+        assert!(matches!(err, Err(crate::error::CoreError::Config(_))));
+        // Invalid frequency values are rejected too.
+        let err = WorkloadProfile::new(vec![100; 2], vec![1.0, f64::NAN], 16, 10, 2, 10);
+        assert!(err.is_err());
+        let err = WorkloadProfile::new(vec![100; 2], vec![1.0, -1.0], 16, 10, 2, 10);
+        assert!(err.is_err());
+        // And the happy path works.
+        assert!(WorkloadProfile::new(vec![100; 2], vec![1.0, 2.0], 16, 10, 2, 10).is_ok());
+    }
+
+    #[test]
+    fn observed_profile_normalizes_counts() {
+        let p = WorkloadProfile::observed(vec![100; 3], &[30, 10, 0], 16, 20, 4, 10).unwrap();
+        assert_eq!(p.probe_freq, vec![30.0, 10.0, 0.0]);
+        assert!(WorkloadProfile::observed(vec![100; 3], &[1, 2], 16, 20, 4, 10).is_err());
+    }
+
+    #[test]
+    fn migration_cost_scales_with_bytes_and_messages() {
+        let model = CostModel::new(NetworkModel::default(), 1.0);
+        assert_eq!(model.migration_ns(0, 0), 0.0);
+        let small = model.migration_ns(1_000, 1);
+        let big = model.migration_ns(1_000_000, 1);
+        assert!(big > small);
+        let many = model.migration_ns(1_000, 100);
+        assert!(many > small, "per-message latency must be charged");
     }
 }

@@ -22,6 +22,24 @@
 //! `&self`, so sessions never serialize on one another; the per-machine
 //! `outstanding` load estimates that drive §4.3 deferred-dimension
 //! scheduling live in a lock-free [`LoadTracker`] shared by all sessions.
+//!
+//! # Adaptive replanning and routing epochs
+//!
+//! The partition layout is no longer fixed at build time. Routing state
+//! (plan, shard assignment, dimension ranges) lives in an immutable
+//! [`RoutingEpoch`] behind an `RwLock<Arc<_>>`; every query captures the
+//! Arc at admission and keeps it for all its visits, so a layout switch
+//! can land *between* queries but never *inside* one. A **plan
+//! supervisor** ([`HarmonyEngine::supervisor_tick`], optionally auto-run
+//! every [`crate::config::ReplanConfig::check_every`] queries) folds the
+//! live per-cluster probe counters ([`ProbeTracker`]) into an observed
+//! [`WorkloadProfile`], re-scores every factorization with the cost model
+//! plus a migration-cost term, and — when the projected win amortizes the
+//! move — executes a live migration: workers ship [`ListPiece`]s of their
+//! grid blocks to the new layout's machines (epoch N+1), destinations ack
+//! once assembled, the client swaps the routing Arc, and the old epoch is
+//! evicted only after its last in-flight query drains (tracked by the
+//! Arc's reference count).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,19 +54,22 @@ use harmony_cluster::{
 use harmony_index::distance::ip;
 use harmony_index::kmeans::nearest_centroids;
 use harmony_index::{DimRange, KMeans, KMeansConfig, Metric, Neighbor, TopK, VectorStore};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{EngineMode, HarmonyConfig, SearchOptions};
-use crate::cost::{CostModel, WorkloadProfile};
+use crate::cost::{weights_from, CostModel, WorkloadProfile};
 use crate::error::CoreError;
 use crate::messages::{
-    metric_tag, ClusterBlock, LoadBlock, QueryChunk, QueryResult, ToClient, ToWorker,
+    metric_tag, BeginEpoch, ClusterBlock, LoadBlock, MigrateOut, QueryChunk, QueryResult, ToClient,
+    ToWorker, TransferSpec,
 };
 use crate::partition::{PartitionPlan, ShardAssignment};
 use crate::pruning::SliceStats;
-use crate::stats::{BatchResult, BuildStats, EngineStats, LoadTracker};
+use crate::stats::{
+    BatchResult, BuildStats, EngineStats, LoadTracker, ProbeSnapshot, ProbeTracker,
+};
 use crate::worker::HarmonyWorker;
 
 /// A built, running Harmony deployment.
@@ -63,25 +84,61 @@ pub struct HarmonyEngine {
     config: HarmonyConfig,
     metric: Metric,
     dim: usize,
-    plan: PartitionPlan,
-    assignment: ShardAssignment,
-    dim_ranges: Vec<DimRange>,
     centroids: VectorStore,
     list_sizes: Vec<usize>,
-    /// Clusters owned by each shard.
-    shard_clusters: Vec<Vec<u32>>,
     /// Full-dimension samples kept client-side for threshold prewarming.
     prewarm_store: VectorStore,
     /// Rows of `prewarm_store` per cluster.
     prewarm_rows: Vec<Vec<usize>>,
     build_stats: BuildStats,
+    /// Calibrated cost model reused by the replanning supervisor.
+    model: CostModel,
     shared: Arc<EngineShared>,
     sessions: Arc<SessionTable>,
     /// Control-plane replies (acks, stats) demultiplexed by the router.
     /// Locking the receiver serializes concurrent stats collectors.
     control: Mutex<Receiver<(NodeId, ToClient)>>,
+    /// Serializes replanning ticks and migrations.
+    supervisor: Mutex<SupervisorState>,
     router_stop: Arc<AtomicBool>,
     router: Option<JoinHandle<()>>,
+}
+
+/// One immutable generation of routing state. Queries capture the Arc at
+/// admission; the engine swaps the shared Arc on a plan switch.
+#[derive(Debug)]
+pub struct RoutingEpoch {
+    /// Monotonic epoch counter (the build is epoch 0).
+    pub epoch: u64,
+    /// The partition plan in force.
+    pub plan: PartitionPlan,
+    /// Cluster → shard mapping in force.
+    pub assignment: ShardAssignment,
+    /// Dimension ranges of the plan's blocks.
+    dim_ranges: Vec<DimRange>,
+    /// Clusters owned by each shard.
+    shard_clusters: Vec<Vec<u32>>,
+}
+
+impl RoutingEpoch {
+    fn new(
+        epoch: u64,
+        plan: PartitionPlan,
+        assignment: ShardAssignment,
+        dim: usize,
+    ) -> Result<Self, CoreError> {
+        let dim_ranges = plan.dim_ranges(dim)?;
+        let shard_clusters = (0..plan.vec_shards)
+            .map(|s| assignment.clusters_of(s))
+            .collect();
+        Ok(Self {
+            epoch,
+            plan,
+            assignment,
+            dim_ranges,
+            shard_clusters,
+        })
+    }
 }
 
 /// State shared between caller threads: the send half of the cluster and
@@ -92,6 +149,71 @@ struct EngineShared {
     /// Client-side estimate of outstanding work per machine, driving the
     /// deferred-dimension scheduling of §4.3 "Load Balancing Strategies".
     outstanding: LoadTracker,
+    /// The routing generation new queries are admitted under.
+    routing: RwLock<Arc<RoutingEpoch>>,
+    /// Observed per-cluster probe counters (the supervisor's input).
+    probes: ProbeTracker,
+}
+
+/// Supervisor bookkeeping, serialized under one mutex.
+struct SupervisorState {
+    /// Probe snapshot at the start of the current observation window.
+    window_start: ProbeSnapshot,
+    /// Query count at which the next auto-check fires.
+    next_check: u64,
+    /// Next epoch number to hand out. Advances on every migration
+    /// *attempt*, successful or not: a failed handshake must never reuse
+    /// its epoch number, or stale acks/pieces from the aborted attempt
+    /// could corrupt the retry.
+    next_epoch: u64,
+    /// Retired routing epochs still referenced by in-flight queries. Once
+    /// only this list holds an Arc (`strong_count == 1`), the epoch's
+    /// storage is evicted from the workers.
+    retired: Vec<Arc<RoutingEpoch>>,
+}
+
+/// What one supervisor tick decided.
+#[derive(Debug, Clone)]
+pub enum ReplanOutcome {
+    /// The observation window has too few queries to act on.
+    InsufficientData,
+    /// The incumbent layout survived (no candidate beat it by the
+    /// configured hysteresis once migration cost was charged).
+    Hold {
+        /// Modeled cost of staying on the current layout, ns.
+        stay_ns: f64,
+        /// Best challenger's modeled cost including amortized migration, ns.
+        best_ns: f64,
+    },
+    /// The engine switched layouts via live migration.
+    Switched(MigrationReport),
+}
+
+/// Accounting of one executed live migration.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Epoch the cluster left.
+    pub from_epoch: u64,
+    /// Epoch now in force.
+    pub to_epoch: u64,
+    /// Plan before the switch.
+    pub from_plan: PartitionPlan,
+    /// Plan after the switch.
+    pub to_plan: PartitionPlan,
+    /// Clusters whose shard changed.
+    pub clusters_moved: usize,
+    /// Point-to-point transfers that crossed the fabric (self-transfers
+    /// install locally and are excluded).
+    pub network_pieces: u64,
+    /// Modeled payload bytes shipped across the fabric.
+    pub modeled_bytes: u64,
+    /// Modeled one-time migration time, ns.
+    pub migration_ns: f64,
+    /// Modeled cost of staying, ns (0 for forced migrations).
+    pub stay_ns: f64,
+    /// Modeled steady-state cost of the new layout, ns (0 for forced
+    /// migrations).
+    pub projected_ns: f64,
 }
 
 /// Registered sessions, keyed by the base of their reserved query-id range.
@@ -178,6 +300,12 @@ impl Drop for Session<'_> {
 /// How often the router re-checks its stop flag while the cluster is idle.
 const ROUTER_TICK: Duration = Duration::from_millis(25);
 
+/// Deadline for a migration's announce → ship → ack handshake. Generous:
+/// migrations move whole grid blocks over the modeled fabric while query
+/// traffic shares the worker mailboxes. On expiry the epoch is aborted
+/// (evicted everywhere) and the incumbent layout stays in force.
+const MIGRATION_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(120);
+
 /// The client-side router loop: drains the cluster's receive path and
 /// demultiplexes results to sessions, everything else to the control
 /// channel. Exits on the stop flag or once the cluster is gone.
@@ -227,6 +355,9 @@ struct QueryState {
     charged: Vec<VisitCharge>,
     /// Row of this query in the input batch.
     row: usize,
+    /// Routing generation captured at admission: every visit of this query
+    /// executes against this layout, even if the engine switches mid-query.
+    routing: Arc<RoutingEpoch>,
 }
 
 /// The per-machine load estimates charged for one shard visit.
@@ -300,7 +431,6 @@ impl HarmonyEngine {
                 plan.label()
             )));
         }
-        let dim_ranges = plan.dim_ranges(dim)?;
 
         // --- Pre-assign ------------------------------------------------
         let t0 = Instant::now();
@@ -310,9 +440,7 @@ impl HarmonyEngine {
         } else {
             ShardAssignment::round_robin(&weights, plan.vec_shards)
         };
-        let shard_clusters: Vec<Vec<u32>> = (0..plan.vec_shards)
-            .map(|s| assignment.clusters_of(s))
-            .collect();
+        let routing = RoutingEpoch::new(0, plan, assignment, dim)?;
 
         let comm_mode = if config.pipeline {
             CommMode::NonBlocking
@@ -336,8 +464,8 @@ impl HarmonyEngine {
 
         let is_ip = !matches!(metric, Metric::L2);
         let mut expected_acks = 0usize;
-        for (s, clusters) in shard_clusters.iter().enumerate() {
-            for (b, range) in dim_ranges.iter().enumerate() {
+        for (s, clusters) in routing.shard_clusters.iter().enumerate() {
+            for (b, range) in routing.dim_ranges.iter().enumerate() {
                 let machine = plan.machine_of(s, b);
                 let lists: Vec<ClusterBlock> = clusters
                     .iter()
@@ -367,6 +495,7 @@ impl HarmonyEngine {
                     })
                     .collect();
                 let load = LoadBlock {
+                    epoch: 0,
                     shard: s as u32,
                     dim_block: b as u32,
                     dim_start: range.start as u64,
@@ -426,6 +555,8 @@ impl HarmonyEngine {
             cluster,
             next_query_id: AtomicU64::new(0),
             outstanding: LoadTracker::new(config.n_machines),
+            routing: RwLock::new(Arc::new(routing)),
+            probes: ProbeTracker::new(nlist),
         });
         let sessions = Arc::new(SessionTable::default());
         let (control_tx, control_rx) = unbounded();
@@ -439,16 +570,13 @@ impl HarmonyEngine {
             })
             .expect("spawn client router thread");
 
+        let check_every = config.replan.check_every;
         Ok(Self {
             config,
             metric,
             dim,
-            plan,
-            assignment,
-            dim_ranges,
             centroids: km.centroids,
             list_sizes,
-            shard_clusters,
             prewarm_store,
             prewarm_rows,
             build_stats: BuildStats {
@@ -459,9 +587,16 @@ impl HarmonyEngine {
                 plan_cost,
                 bytes_shipped,
             },
+            model,
             shared,
             sessions,
             control: Mutex::new(control_rx),
+            supervisor: Mutex::new(SupervisorState {
+                window_start: ProbeSnapshot::default(),
+                next_check: check_every.max(1),
+                next_epoch: 1,
+                retired: Vec::new(),
+            }),
             router_stop,
             router: Some(router),
         })
@@ -472,9 +607,20 @@ impl HarmonyEngine {
         &self.config
     }
 
-    /// The partition plan in force.
+    /// The partition plan in force (the current routing epoch's plan).
     pub fn plan(&self) -> PartitionPlan {
-        self.plan
+        self.shared.routing.read().plan
+    }
+
+    /// The current routing epoch (0 = the initial build; bumps on every
+    /// live migration).
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.routing.read().epoch
+    }
+
+    /// The cluster → shard assignment in force.
+    pub fn assignment(&self) -> ShardAssignment {
+        self.shared.routing.read().assignment.clone()
     }
 
     /// Build-stage timings (Fig. 10).
@@ -492,9 +638,15 @@ impl HarmonyEngine {
         &self.centroids
     }
 
-    /// Clusters owned by each vector shard.
-    pub fn shard_clusters(&self) -> &[Vec<u32>] {
-        &self.shard_clusters
+    /// Clusters owned by each vector shard (under the current epoch).
+    pub fn shard_clusters(&self) -> Vec<Vec<u32>> {
+        self.shared.routing.read().shard_clusters.clone()
+    }
+
+    /// Observed per-cluster probe counts since build (the supervisor's
+    /// workload signal).
+    pub fn probe_counts(&self) -> Vec<u64> {
+        self.shared.probes.snapshot().counts
     }
 
     /// The current per-machine outstanding-work estimates (diagnostics).
@@ -585,6 +737,14 @@ impl HarmonyEngine {
         // Metrics are attributed by window delta; with overlapping sessions
         // the window includes their traffic too (shared-cluster view).
         let snapshot = self.shared.cluster.snapshot().delta(&start);
+
+        // Traffic-driven supervision, *after* the batch's metrics capture
+        // so a migration's one-time cost is not billed to this batch's
+        // window: evict any drained retired epochs, then run the
+        // replanning tick if this batch crossed the check threshold.
+        self.maybe_gc_retired();
+        self.maybe_auto_replan();
+
         Ok(BatchResult {
             results,
             wall,
@@ -712,7 +872,13 @@ impl HarmonyEngine {
         row: usize,
         opts: &SearchOptions,
     ) -> Result<Option<QueryState>, CoreError> {
+        // Capture the routing generation for this query's whole lifetime:
+        // a concurrent plan switch must never split one query across
+        // layouts.
+        let routing = Arc::clone(&self.shared.routing.read());
         let probes = nearest_centroids(query, &self.centroids, opts.nprobe);
+        // Feed the observed-workload counters driving the plan supervisor.
+        self.shared.probes.record(&probes, opts.k);
 
         // Prewarm (Algorithm 1 lines 1-5): seed the heap from client-side
         // samples of the probed lists. The budget is capped so prewarming
@@ -745,7 +911,7 @@ impl HarmonyEngine {
         let mut visit_order: Vec<u32> = Vec::new();
         let mut by_shard: HashMap<u32, Vec<u32>> = HashMap::new();
         for &c in &probes {
-            let s = self.assignment.cluster_to_shard[c as usize];
+            let s = routing.assignment.cluster_to_shard[c as usize];
             by_shard.entry(s).or_insert_with(|| {
                 visit_order.push(s);
                 Vec::new()
@@ -770,6 +936,7 @@ impl HarmonyEngine {
             in_flight: 0,
             charged: Vec::new(),
             row,
+            routing,
         };
         if let Err(e) = self.dispatch_next(qid, query, opts, &mut state) {
             // The query never reaches `active`: release whatever this
@@ -813,6 +980,8 @@ impl HarmonyEngine {
         shard: u32,
         clusters: Vec<u32>,
     ) -> Result<(), CoreError> {
+        let routing = Arc::clone(&state.routing);
+        let plan = routing.plan;
         let threshold = state.topk.threshold();
         let is_ip = !matches!(self.metric, Metric::L2);
         let q_total_norm_sq = if is_ip { ip(query, query) } else { 0.0 };
@@ -825,25 +994,25 @@ impl HarmonyEngine {
         // pruning has already thinned the candidates; otherwise natural
         // order with a deterministic rotation to spread stage collisions.
         let blocks: Vec<usize> = {
-            let mut blocks: Vec<usize> = (0..self.plan.dim_blocks).collect();
+            let mut blocks: Vec<usize> = (0..plan.dim_blocks).collect();
             if self.config.balanced_load {
                 let loads = self.shared.outstanding.snapshot();
                 blocks.sort_by(|&a, &b| {
-                    let la = loads[self.plan.machine_of(shard as usize, a)];
-                    let lb = loads[self.plan.machine_of(shard as usize, b)];
+                    let la = loads[plan.machine_of(shard as usize, a)];
+                    let lb = loads[plan.machine_of(shard as usize, b)];
                     la.total_cmp(&lb).then(a.cmp(&b))
                 });
             } else {
                 // Rotate by the query's batch row, not its global id: ids
                 // depend on how concurrent sessions interleave their range
                 // reservations, rows make results reproducible per batch.
-                blocks.rotate_left(state.row % self.plan.dim_blocks.max(1));
+                blocks.rotate_left(state.row % plan.dim_blocks.max(1));
             }
             blocks
         };
         let order: Vec<u64> = blocks
             .iter()
-            .map(|&b| self.plan.machine_of(shard as usize, b) as u64)
+            .map(|&b| plan.machine_of(shard as usize, b) as u64)
             .collect();
 
         // Charge the estimated work per machine: later positions are
@@ -851,8 +1020,8 @@ impl HarmonyEngine {
         // entries are discharged when this visit's result arrives.
         let mut per_machine: Vec<(NodeId, f64)> = Vec::with_capacity(blocks.len());
         for (pos, &b) in blocks.iter().enumerate() {
-            let machine = self.plan.machine_of(shard as usize, b);
-            let width = self.dim_ranges[b].len() as f64;
+            let machine = plan.machine_of(shard as usize, b);
+            let width = routing.dim_ranges[b].len() as f64;
             let survival = if self.config.pruning {
                 0.55f64.powi(pos as i32)
             } else {
@@ -865,10 +1034,11 @@ impl HarmonyEngine {
         state.charged.push(VisitCharge { shard, per_machine });
 
         for (pos, &b) in blocks.iter().enumerate() {
-            let machine = self.plan.machine_of(shard as usize, b);
-            let range = self.dim_ranges[b];
+            let machine = plan.machine_of(shard as usize, b);
+            let range = routing.dim_ranges[b];
             let chunk = QueryChunk {
                 query_id: qid,
+                epoch: routing.epoch,
                 shard,
                 k: opts.k as u32,
                 threshold,
@@ -884,6 +1054,412 @@ impl HarmonyEngine {
         }
         state.in_flight += 1;
         Ok(())
+    }
+
+    // --- Adaptive replanning -----------------------------------------
+
+    /// Runs one supervisor tick: fold the observation window's probe
+    /// counters into an observed [`WorkloadProfile`], re-score every
+    /// factorization with the cost model plus the amortized migration-cost
+    /// term, and live-migrate when a challenger beats the incumbent by the
+    /// configured hysteresis.
+    ///
+    /// Safe to call from any thread; ticks serialize on the supervisor
+    /// lock. With [`crate::config::ReplanConfig::check_every`] set, the
+    /// engine also ticks itself after batches.
+    ///
+    /// # Errors
+    /// Transport failures or a migration handshake timeout.
+    pub fn supervisor_tick(&self) -> Result<ReplanOutcome, CoreError> {
+        let mut sup = self.supervisor.lock();
+        self.tick_locked(&mut sup)
+    }
+
+    /// Forces a live migration to `plan` (diagnostics / benchmarks),
+    /// bypassing the cost model but using the same epoch handshake.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] when the plan does not fit the deployment;
+    /// transport failures or a handshake timeout otherwise.
+    pub fn migrate_to(&self, plan: PartitionPlan) -> Result<MigrationReport, CoreError> {
+        if plan.machines() != self.config.n_machines {
+            return Err(CoreError::Config(format!(
+                "plan {} needs {} machines but the deployment has {}",
+                plan.label(),
+                plan.machines(),
+                self.config.n_machines
+            )));
+        }
+        if plan.dim_blocks > self.dim {
+            return Err(CoreError::Config(format!(
+                "plan {} needs more dimension blocks than dimensions ({})",
+                plan.label(),
+                self.dim
+            )));
+        }
+        let weights: Vec<u64> = self.list_sizes.iter().map(|&s| s as u64 + 1).collect();
+        let cur = Arc::clone(&self.shared.routing.read());
+        let assignment = if plan == cur.plan {
+            ShardAssignment::rebalance(&cur.assignment, &weights, plan.vec_shards, 1.0)
+        } else if self.config.balanced_load {
+            ShardAssignment::balanced(&weights, plan.vec_shards)
+        } else {
+            ShardAssignment::round_robin(&weights, plan.vec_shards)
+        };
+        drop(cur);
+        let mut sup = self.supervisor.lock();
+        self.gc_retired(&mut sup);
+        self.execute_migration(&mut sup, plan, assignment)
+    }
+
+    /// Drain-time eviction hook: retired epochs must not wait for the next
+    /// supervisor tick (which may never come in manual mode) to release
+    /// their worker-side storage. Non-blocking and O(1) when nothing is
+    /// retired.
+    fn maybe_gc_retired(&self) {
+        let Some(mut sup) = self.supervisor.try_lock() else {
+            return;
+        };
+        if !sup.retired.is_empty() {
+            self.gc_retired(&mut sup);
+        }
+    }
+
+    /// Auto-tick hook: runs a supervisor pass when enough queries completed
+    /// since the last check. Non-blocking — if another thread is already
+    /// ticking, this one skips.
+    fn maybe_auto_replan(&self) {
+        let every = self.config.replan.check_every;
+        if every == 0 {
+            return;
+        }
+        let done = self.shared.probes.queries();
+        let Some(mut sup) = self.supervisor.try_lock() else {
+            return;
+        };
+        if done < sup.next_check {
+            return;
+        }
+        sup.next_check = done + every;
+        // Auto mode is best-effort: a failed tick (e.g. handshake timeout)
+        // leaves the incumbent layout in force and retries next window.
+        let _ = self.tick_locked(&mut sup);
+    }
+
+    fn tick_locked(&self, sup: &mut SupervisorState) -> Result<ReplanOutcome, CoreError> {
+        self.gc_retired(sup);
+        let replan = self.config.replan;
+        let now = self.shared.probes.snapshot();
+        let window = now.delta(&sup.window_start);
+        if window.queries < replan.min_window_queries.max(1) {
+            return Ok(ReplanOutcome::InsufficientData);
+        }
+        let nprobe = (window.total_probes() / window.queries.max(1)).max(1) as usize;
+        let k = self.shared.probes.last_k().max(1) as usize;
+        let profile = WorkloadProfile::observed(
+            self.list_sizes.clone(),
+            &window.counts,
+            self.dim,
+            window.queries as usize,
+            nprobe,
+            k,
+        )?;
+        let weights = weights_from(&profile);
+        let cur = Arc::clone(&self.shared.routing.read());
+        let stay_ns = self
+            .model
+            .plan_cost_with_assignment(cur.plan, &profile, &cur.assignment)
+            .total_ns;
+
+        // Score every factorization under the observed profile, charging
+        // challengers the amortized cost of moving to them.
+        let mut best: Option<(PartitionPlan, ShardAssignment, f64, f64)> = None;
+        for plan in PartitionPlan::enumerate(self.config.n_machines) {
+            if plan.dim_blocks > self.dim {
+                continue;
+            }
+            let assignment = if plan == cur.plan {
+                ShardAssignment::rebalance(
+                    &cur.assignment,
+                    &weights,
+                    plan.vec_shards,
+                    replan.max_move_frac,
+                )
+            } else {
+                ShardAssignment::balanced(&weights, plan.vec_shards)
+            };
+            if plan == cur.plan && assignment.cluster_to_shard == cur.assignment.cluster_to_shard {
+                continue; // identical to the incumbent, already priced
+            }
+            let cost = self
+                .model
+                .plan_cost_with_assignment(plan, &profile, &assignment)
+                .total_ns;
+            let next = RoutingEpoch::new(cur.epoch + 1, plan, assignment, self.dim)?;
+            let (bytes, msgs, _) = self.migration_volume(&cur, &next);
+            let migration_ns = self.model.migration_ns(bytes, msgs);
+            let score = cost + migration_ns / replan.amortize_windows;
+            if best.as_ref().is_none_or(|b| score < b.2) {
+                best = Some((next.plan, next.assignment, score, cost));
+            }
+        }
+        drop(cur);
+        // Every decision starts a fresh observation window.
+        sup.window_start = now;
+
+        let Some((plan, assignment, best_ns, cost)) = best else {
+            return Ok(ReplanOutcome::Hold {
+                stay_ns,
+                best_ns: stay_ns,
+            });
+        };
+        if best_ns >= stay_ns * (1.0 - replan.hysteresis) {
+            return Ok(ReplanOutcome::Hold { stay_ns, best_ns });
+        }
+        let mut report = self.execute_migration(sup, plan, assignment)?;
+        report.stay_ns = stay_ns;
+        report.projected_ns = cost;
+        Ok(ReplanOutcome::Switched(report))
+    }
+
+    /// Evicts retired epochs whose last in-flight query has drained (only
+    /// the supervisor's own Arc remains).
+    fn gc_retired(&self, sup: &mut SupervisorState) {
+        sup.retired.retain(|old| {
+            if Arc::strong_count(old) > 1 {
+                return true;
+            }
+            for m in 0..self.config.n_machines {
+                let _ = self
+                    .shared
+                    .cluster
+                    .send(m, ToWorker::EvictEpoch { epoch: old.epoch }.to_bytes());
+            }
+            false
+        });
+    }
+
+    /// Walks the migration schedule from `cur` to `next` without
+    /// materializing it: for every cluster, the overlap of each old
+    /// dimension block with each new dimension block is one piece, shipped
+    /// from the machine storing the old block to the machine hosting the
+    /// new one. The supervisor scores many candidate layouts per tick;
+    /// streaming the schedule keeps those evaluations allocation-free —
+    /// only the one winning layout ever materializes its specs.
+    fn visit_transfers(
+        &self,
+        cur: &RoutingEpoch,
+        next: &RoutingEpoch,
+        mut visit: impl FnMut(NodeId, TransferSpec),
+    ) {
+        for c in 0..self.list_sizes.len() {
+            let s_old = cur.assignment.cluster_to_shard.get(c).copied().unwrap_or(0) as usize;
+            let s_old = s_old.min(cur.plan.vec_shards - 1);
+            let s_new = next
+                .assignment
+                .cluster_to_shard
+                .get(c)
+                .copied()
+                .unwrap_or(0) as usize;
+            let s_new = s_new.min(next.plan.vec_shards - 1);
+            for (b_new, r_new) in next.dim_ranges.iter().enumerate() {
+                let dest = next.plan.machine_of(s_new, b_new);
+                for (b_old, r_old) in cur.dim_ranges.iter().enumerate() {
+                    let start = r_new.start.max(r_old.start);
+                    let end = r_new.end.min(r_old.end);
+                    if start >= end {
+                        continue;
+                    }
+                    let src = cur.plan.machine_of(s_old, b_old);
+                    visit(
+                        src,
+                        TransferSpec {
+                            cluster: c as u32,
+                            src_epoch: cur.epoch,
+                            src_shard: s_old as u32,
+                            dim_start: start as u64,
+                            dim_end: end as u64,
+                            dest: dest as u64,
+                            dest_shard: s_new as u32,
+                            dest_dim_block: b_new as u32,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Materializes the migration schedule (used once, for the winning
+    /// layout).
+    fn build_transfers(
+        &self,
+        cur: &RoutingEpoch,
+        next: &RoutingEpoch,
+    ) -> Vec<(NodeId, TransferSpec)> {
+        let mut out = Vec::new();
+        self.visit_transfers(cur, next, |src, t| out.push((src, t)));
+        out
+    }
+
+    /// Modeled `(payload bytes, network messages, network pieces)` of the
+    /// migration from `cur` to `next`. Self-directed pieces install locally
+    /// and cost nothing on the fabric.
+    fn migration_volume(&self, cur: &RoutingEpoch, next: &RoutingEpoch) -> (u64, u64, u64) {
+        let is_ip = !matches!(self.metric, Metric::L2);
+        let mut bytes = 0u64;
+        let mut pieces = 0u64;
+        let mut groups: HashSet<(NodeId, u64, u32, u32)> = HashSet::new();
+        self.visit_transfers(cur, next, |src, t| {
+            if src as u64 == t.dest {
+                return;
+            }
+            let rows = self
+                .list_sizes
+                .get(t.cluster as usize)
+                .copied()
+                .unwrap_or(0) as u64;
+            let width = t.dim_end - t.dim_start;
+            // Header + ids + row-major coordinates (+ norm tables under
+            // inner-product metrics) — mirrors the ListPiece wire layout.
+            let mut piece = 44 + rows * (8 + width * 4);
+            if is_ip {
+                piece += rows * 8;
+            }
+            bytes += piece;
+            pieces += 1;
+            groups.insert((src, t.dest, t.dest_shard, t.dest_dim_block));
+        });
+        (bytes, groups.len() as u64, pieces)
+    }
+
+    /// Executes a live layout switch: announce the next epoch to every
+    /// machine, ship the pieces, await activation acks, then atomically
+    /// swap the routing Arc. The old epoch stays on the workers until its
+    /// last in-flight query drains (see [`HarmonyEngine::gc_retired`]).
+    fn execute_migration(
+        &self,
+        sup: &mut SupervisorState,
+        plan: PartitionPlan,
+        assignment: ShardAssignment,
+    ) -> Result<MigrationReport, CoreError> {
+        let cur = Arc::clone(&self.shared.routing.read());
+        // Epoch numbers are never reused, even across failed attempts: a
+        // stale ack or piece from an aborted handshake must not be able to
+        // impersonate a later one.
+        let epoch = sup.next_epoch;
+        sup.next_epoch += 1;
+        let next = Arc::new(RoutingEpoch::new(epoch, plan, assignment, self.dim)?);
+        let specs = self.build_transfers(&cur, &next);
+        let (modeled_bytes, msgs, network_pieces) = self.migration_volume(&cur, &next);
+        let clusters_moved = cur.assignment.moved_clusters(&next.assignment).len();
+        let machines = self.config.n_machines;
+
+        // Hold the control channel for the whole handshake so concurrent
+        // stats collectors cannot consume the activation acks.
+        let control = self.control.lock();
+
+        let mut expected = vec![0u64; machines];
+        for (_, t) in &specs {
+            expected[t.dest as usize] += 1;
+        }
+        let sends = (|| -> Result<(), CoreError> {
+            for (m, &expected_pieces) in expected.iter().enumerate() {
+                let (shard, dim_block) = next.plan.block_of(m);
+                let range = next.dim_ranges[dim_block];
+                let begin = BeginEpoch {
+                    epoch,
+                    shard: shard as u32,
+                    dim_block: dim_block as u32,
+                    dim_start: range.start as u64,
+                    dim_end: range.end as u64,
+                    total_dim_blocks: next.plan.dim_blocks as u32,
+                    expected_pieces,
+                };
+                self.shared
+                    .cluster
+                    .send(m, ToWorker::BeginEpoch(begin).to_bytes())?;
+            }
+            let mut by_src: BTreeMap<NodeId, Vec<TransferSpec>> = BTreeMap::new();
+            for (src, t) in &specs {
+                by_src.entry(*src).or_default().push(t.clone());
+            }
+            for (src, transfers) in by_src {
+                let msg = MigrateOut { epoch, transfers };
+                self.shared
+                    .cluster
+                    .send(src, ToWorker::MigrateOut(msg).to_bytes())?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = sends {
+            drop(control);
+            self.abort_epoch(epoch);
+            return Err(e);
+        }
+
+        // Await one activation ack per machine.
+        let deadline = Instant::now() + MIGRATION_HANDSHAKE_TIMEOUT;
+        let mut ready = vec![false; machines];
+        let mut count = 0usize;
+        while count < machines {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                drop(control);
+                self.abort_epoch(epoch);
+                return Err(CoreError::Cluster(ClusterError::Timeout));
+            }
+            match control.recv_timeout(remaining) {
+                Ok((from, ToClient::EpochReady { epoch: e })) if e == epoch => {
+                    if from < machines && !std::mem::replace(&mut ready[from], true) {
+                        count += 1;
+                    }
+                }
+                // Stale stats replies / acks of older epochs are skipped.
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    drop(control);
+                    self.abort_epoch(epoch);
+                    return Err(CoreError::Cluster(ClusterError::Timeout));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::Cluster(ClusterError::ShutDown))
+                }
+            }
+        }
+        drop(control);
+
+        // Atomically route new admissions to the new epoch. In-flight
+        // queries hold Arcs of the old epoch; it retires until they drain.
+        let report = MigrationReport {
+            from_epoch: cur.epoch,
+            to_epoch: next.epoch,
+            from_plan: cur.plan,
+            to_plan: next.plan,
+            clusters_moved,
+            network_pieces,
+            modeled_bytes,
+            migration_ns: self.model.migration_ns(modeled_bytes, msgs),
+            stay_ns: 0.0,
+            projected_ns: 0.0,
+        };
+        drop(cur);
+        {
+            let mut routing = self.shared.routing.write();
+            sup.retired.push(Arc::clone(&routing));
+            *routing = next;
+        }
+        Ok(report)
+    }
+
+    /// Best-effort cleanup of a half-installed epoch after a failed
+    /// handshake, so a retry cannot meet leftover state.
+    fn abort_epoch(&self, epoch: u64) {
+        for m in 0..self.config.n_machines {
+            let _ = self
+                .shared
+                .cluster
+                .send(m, ToWorker::EvictEpoch { epoch }.to_bytes());
+        }
     }
 
     /// Gathers per-worker pruning/memory statistics.
@@ -903,7 +1479,7 @@ impl HarmonyEngine {
             self.shared.cluster.send(w, ToWorker::GetStats.to_bytes())?;
         }
         let mut stats = EngineStats {
-            slices: SliceStats::new(self.plan.dim_blocks),
+            slices: SliceStats::new(self.plan().dim_blocks),
             worker_memory_bytes: vec![0; workers],
             scanned_point_dims: 0,
         };
@@ -927,6 +1503,8 @@ impl HarmonyEngine {
                     stats.scanned_point_dims += r.scanned_point_dims;
                     received += 1;
                 }
+                // A late EpochReady from an aborted migration is harmless.
+                Ok((_, ToClient::EpochReady { .. })) => continue,
                 Ok((_, other)) => {
                     return Err(CoreError::Protocol(format!(
                         "unexpected message during stats collection: {other:?}"

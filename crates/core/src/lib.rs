@@ -32,11 +32,11 @@ pub mod pruning;
 pub mod stats;
 pub mod worker;
 
-pub use config::{EngineMode, HarmonyConfig, HarmonyConfigBuilder, SearchOptions};
+pub use config::{EngineMode, HarmonyConfig, HarmonyConfigBuilder, ReplanConfig, SearchOptions};
 pub use cost::{CostModel, PlanCost, WorkloadProfile};
-pub use engine::{HarmonyEngine, SingleResult};
+pub use engine::{HarmonyEngine, MigrationReport, ReplanOutcome, RoutingEpoch, SingleResult};
 pub use error::CoreError;
 pub use partition::{PartitionPlan, ShardAssignment};
 pub use pruning::{PruneRule, SliceStats};
-pub use stats::{BatchResult, BuildStats, EngineStats, LoadTracker};
+pub use stats::{BatchResult, BuildStats, EngineStats, LoadTracker, ProbeSnapshot, ProbeTracker};
 pub use worker::HarmonyWorker;

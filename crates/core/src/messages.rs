@@ -57,6 +57,8 @@ impl Wire for ClusterBlock {
 /// Build-phase shipment of one grid block to its machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadBlock {
+    /// Routing epoch this block belongs to (the initial build is epoch 0).
+    pub epoch: u64,
     /// Vector shard index `s` of the block.
     pub shard: u32,
     /// Dimension block index `b`.
@@ -77,6 +79,7 @@ pub struct LoadBlock {
 
 impl Wire for LoadBlock {
     fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
         self.shard.encode(buf);
         self.dim_block.encode(buf);
         self.dim_start.encode(buf);
@@ -89,6 +92,7 @@ impl Wire for LoadBlock {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
             dim_block: u32::decode(buf)?,
             dim_start: u64::decode(buf)?,
@@ -107,6 +111,10 @@ impl Wire for LoadBlock {
 pub struct QueryChunk {
     /// Query identifier, unique within a batch.
     pub query_id: u64,
+    /// Routing epoch the query was admitted under: workers resolve block
+    /// storage by epoch, so in-flight queries keep completing against the
+    /// old layout while a migration installs the new one.
+    pub epoch: u64,
     /// Visited vector shard.
     pub shard: u32,
     /// Results wanted (`k`).
@@ -129,6 +137,7 @@ pub struct QueryChunk {
 impl Wire for QueryChunk {
     fn encode(&self, buf: &mut BytesMut) {
         self.query_id.encode(buf);
+        self.epoch.encode(buf);
         self.shard.encode(buf);
         self.k.encode(buf);
         self.threshold.encode(buf);
@@ -142,6 +151,7 @@ impl Wire for QueryChunk {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
             query_id: u64::decode(buf)?,
+            epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
             k: u32::decode(buf)?,
             threshold: f32::decode(buf)?,
@@ -167,6 +177,8 @@ impl Wire for QueryChunk {
 pub struct Carry {
     /// Query this carry belongs to.
     pub query_id: u64,
+    /// Routing epoch of the originating chunk (see [`QueryChunk::epoch`]).
+    pub epoch: u64,
     /// Shard whose pipeline this is.
     pub shard: u32,
     /// Tightest threshold known to the sender.
@@ -189,6 +201,7 @@ pub struct Carry {
 impl Wire for Carry {
     fn encode(&self, buf: &mut BytesMut) {
         self.query_id.encode(buf);
+        self.epoch.encode(buf);
         self.shard.encode(buf);
         self.threshold.encode(buf);
         self.next_position.encode(buf);
@@ -201,6 +214,7 @@ impl Wire for Carry {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
             query_id: u64::decode(buf)?,
+            epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
             threshold: f32::decode(buf)?,
             next_position: u32::decode(buf)?,
@@ -254,6 +268,206 @@ impl Wire for QueryResult {
     }
 }
 
+/// One cluster's rows restricted to a *dimension sub-range* — the unit of
+/// live migration. Pieces sent to one destination partition that block's
+/// dimension range, so the receiver reassembles the full grid block by
+/// copying each piece's columns at its offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListPiece {
+    /// IVF list (cluster) id.
+    pub cluster: u32,
+    /// Absolute dimension range `[start, end)` the piece covers.
+    pub dim_start: u64,
+    /// End of the piece's dimension range.
+    pub dim_end: u64,
+    /// Member vector ids (identical across the cluster's pieces).
+    pub ids: Vec<u64>,
+    /// Row-major member coordinates, `dim_end - dim_start` wide.
+    pub flat: Vec<f32>,
+    /// Per-member squared norm over *this piece's* dimensions
+    /// (inner-product metrics only; empty under L2). The destination sums
+    /// these across pieces to rebuild its block norms.
+    pub piece_norms_sq: Vec<f32>,
+    /// Per-member squared norm of the full vector (inner-product only).
+    pub total_norms_sq: Vec<f32>,
+}
+
+impl Wire for ListPiece {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cluster.encode(buf);
+        self.dim_start.encode(buf);
+        self.dim_end.encode(buf);
+        self.ids.encode(buf);
+        self.flat.encode(buf);
+        self.piece_norms_sq.encode(buf);
+        self.total_norms_sq.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            cluster: u32::decode(buf)?,
+            dim_start: u64::decode(buf)?,
+            dim_end: u64::decode(buf)?,
+            ids: Vec::decode(buf)?,
+            flat: Vec::decode(buf)?,
+            piece_norms_sq: Vec::decode(buf)?,
+            total_norms_sq: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// One migration transfer: "slice this cluster's stored block to the given
+/// dimension sub-range and deliver it to `dest`'s new-epoch grid block".
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferSpec {
+    /// Cluster whose data moves.
+    pub cluster: u32,
+    /// Epoch whose storage the source slices from.
+    pub src_epoch: u64,
+    /// Shard the cluster belongs to under the source epoch.
+    pub src_shard: u32,
+    /// Absolute dimension range `[start, end)` to ship.
+    pub dim_start: u64,
+    /// End of the shipped dimension range.
+    pub dim_end: u64,
+    /// Destination machine.
+    pub dest: u64,
+    /// Shard of the destination grid block (new epoch).
+    pub dest_shard: u32,
+    /// Dimension block of the destination grid block (new epoch).
+    pub dest_dim_block: u32,
+}
+
+impl Wire for TransferSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cluster.encode(buf);
+        self.src_epoch.encode(buf);
+        self.src_shard.encode(buf);
+        self.dim_start.encode(buf);
+        self.dim_end.encode(buf);
+        self.dest.encode(buf);
+        self.dest_shard.encode(buf);
+        self.dest_dim_block.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            cluster: u32::decode(buf)?,
+            src_epoch: u64::decode(buf)?,
+            src_shard: u32::decode(buf)?,
+            dim_start: u64::decode(buf)?,
+            dim_end: u64::decode(buf)?,
+            dest: u64::decode(buf)?,
+            dest_shard: u32::decode(buf)?,
+            dest_dim_block: u32::decode(buf)?,
+        })
+    }
+}
+
+/// Client → source machine: execute these transfers toward `epoch`.
+/// Worker-to-worker shipping rides the existing fabric; transfers whose
+/// destination is the source itself are installed locally without touching
+/// the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrateOut {
+    /// Epoch the shipped pieces install into.
+    pub epoch: u64,
+    /// Transfers this source must perform.
+    pub transfers: Vec<TransferSpec>,
+}
+
+impl Wire for MigrateOut {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.transfers.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            epoch: u64::decode(buf)?,
+            transfers: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// Client → destination machine: announce the grid block the machine hosts
+/// under `epoch` and how many [`ListPiece`]s to expect. Once the count is
+/// met the machine activates the epoch's storage and acks with
+/// [`ToClient::EpochReady`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeginEpoch {
+    /// The new epoch.
+    pub epoch: u64,
+    /// Shard of this machine's grid block under the new plan.
+    pub shard: u32,
+    /// Dimension block index under the new plan.
+    pub dim_block: u32,
+    /// Dimension range `[start, end)` of the block.
+    pub dim_start: u64,
+    /// End of the block's dimension range.
+    pub dim_end: u64,
+    /// Pipeline length of the new plan.
+    pub total_dim_blocks: u32,
+    /// Pieces that must arrive before the epoch activates.
+    pub expected_pieces: u64,
+}
+
+impl Wire for BeginEpoch {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.shard.encode(buf);
+        self.dim_block.encode(buf);
+        self.dim_start.encode(buf);
+        self.dim_end.encode(buf);
+        self.total_dim_blocks.encode(buf);
+        self.expected_pieces.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            epoch: u64::decode(buf)?,
+            shard: u32::decode(buf)?,
+            dim_block: u32::decode(buf)?,
+            dim_start: u64::decode(buf)?,
+            dim_end: u64::decode(buf)?,
+            total_dim_blocks: u32::decode(buf)?,
+            expected_pieces: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Worker → worker (or worker → itself): migrated pieces for one grid
+/// block of `epoch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstallLists {
+    /// Epoch the pieces install into.
+    pub epoch: u64,
+    /// Destination shard (sanity-checked against the announced block).
+    pub shard: u32,
+    /// Destination dimension block.
+    pub dim_block: u32,
+    /// The shipped pieces.
+    pub pieces: Vec<ListPiece>,
+}
+
+impl Wire for InstallLists {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.shard.encode(buf);
+        self.dim_block.encode(buf);
+        self.pieces.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            epoch: u64::decode(buf)?,
+            shard: u32::decode(buf)?,
+            dim_block: u32::decode(buf)?,
+            pieces: Vec::decode(buf)?,
+        })
+    }
+}
+
 /// Per-worker pruning and load counters.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReport {
@@ -298,6 +512,17 @@ pub enum ToWorker {
     GetStats,
     /// Zero the statistics counters.
     ResetStats,
+    /// Announce a new epoch's grid block to its destination machine.
+    BeginEpoch(BeginEpoch),
+    /// Execute migration transfers toward a new epoch.
+    MigrateOut(MigrateOut),
+    /// Migrated pieces from a peer (or from the machine itself).
+    InstallLists(InstallLists),
+    /// Drop all storage of a retired epoch.
+    EvictEpoch {
+        /// The retired epoch.
+        epoch: u64,
+    },
 }
 
 impl Wire for ToWorker {
@@ -317,6 +542,22 @@ impl Wire for ToWorker {
             }
             ToWorker::GetStats => 3u8.encode(buf),
             ToWorker::ResetStats => 4u8.encode(buf),
+            ToWorker::BeginEpoch(m) => {
+                5u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::MigrateOut(m) => {
+                6u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::InstallLists(m) => {
+                7u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::EvictEpoch { epoch } => {
+                8u8.encode(buf);
+                epoch.encode(buf);
+            }
         }
     }
 
@@ -327,6 +568,12 @@ impl Wire for ToWorker {
             2 => Ok(ToWorker::Carry(Carry::decode(buf)?)),
             3 => Ok(ToWorker::GetStats),
             4 => Ok(ToWorker::ResetStats),
+            5 => Ok(ToWorker::BeginEpoch(BeginEpoch::decode(buf)?)),
+            6 => Ok(ToWorker::MigrateOut(MigrateOut::decode(buf)?)),
+            7 => Ok(ToWorker::InstallLists(InstallLists::decode(buf)?)),
+            8 => Ok(ToWorker::EvictEpoch {
+                epoch: u64::decode(buf)?,
+            }),
             t => Err(CodecError::Invalid(format!("bad ToWorker tag {t}"))),
         }
     }
@@ -346,6 +593,12 @@ pub enum ToClient {
     Result(QueryResult),
     /// Statistics reply.
     Stats(StatsReport),
+    /// A destination machine received every migrated piece of `epoch` and
+    /// activated the new storage.
+    EpochReady {
+        /// The activated epoch.
+        epoch: u64,
+    },
 }
 
 impl Wire for ToClient {
@@ -364,6 +617,10 @@ impl Wire for ToClient {
                 2u8.encode(buf);
                 m.encode(buf);
             }
+            ToClient::EpochReady { epoch } => {
+                3u8.encode(buf);
+                epoch.encode(buf);
+            }
         }
     }
 
@@ -375,6 +632,9 @@ impl Wire for ToClient {
             }),
             1 => Ok(ToClient::Result(QueryResult::decode(buf)?)),
             2 => Ok(ToClient::Stats(StatsReport::decode(buf)?)),
+            3 => Ok(ToClient::EpochReady {
+                epoch: u64::decode(buf)?,
+            }),
             t => Err(CodecError::Invalid(format!("bad ToClient tag {t}"))),
         }
     }
@@ -421,6 +681,7 @@ mod tests {
     fn sample_chunk() -> QueryChunk {
         QueryChunk {
             query_id: 42,
+            epoch: 3,
             shard: 1,
             k: 10,
             threshold: 3.25,
@@ -442,6 +703,7 @@ mod tests {
             total_norms_sq: vec![4.0, 5.0, 6.0],
         });
         roundtrip(LoadBlock {
+            epoch: 0,
             shard: 1,
             dim_block: 2,
             dim_start: 32,
@@ -454,6 +716,7 @@ mod tests {
         roundtrip(sample_chunk());
         roundtrip(Carry {
             query_id: 42,
+            epoch: 3,
             shard: 1,
             threshold: 1.5,
             next_position: 2,
@@ -475,6 +738,51 @@ mod tests {
             scanned_point_dims: 123_456,
             memory_bytes: 1 << 20,
         });
+    }
+
+    #[test]
+    fn migration_messages_roundtrip() {
+        let piece = ListPiece {
+            cluster: 5,
+            dim_start: 8,
+            dim_end: 12,
+            ids: vec![7, 9],
+            flat: vec![0.1; 8],
+            piece_norms_sq: vec![1.0, 2.0],
+            total_norms_sq: vec![3.0, 4.0],
+        };
+        roundtrip(piece.clone());
+        roundtrip(TransferSpec {
+            cluster: 5,
+            src_epoch: 0,
+            src_shard: 1,
+            dim_start: 8,
+            dim_end: 12,
+            dest: 3,
+            dest_shard: 0,
+            dest_dim_block: 1,
+        });
+        roundtrip(ToWorker::MigrateOut(MigrateOut {
+            epoch: 1,
+            transfers: vec![],
+        }));
+        roundtrip(ToWorker::BeginEpoch(BeginEpoch {
+            epoch: 1,
+            shard: 0,
+            dim_block: 1,
+            dim_start: 8,
+            dim_end: 16,
+            total_dim_blocks: 2,
+            expected_pieces: 12,
+        }));
+        roundtrip(ToWorker::InstallLists(InstallLists {
+            epoch: 1,
+            shard: 0,
+            dim_block: 1,
+            pieces: vec![piece],
+        }));
+        roundtrip(ToWorker::EvictEpoch { epoch: 0 });
+        roundtrip(ToClient::EpochReady { epoch: 1 });
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! makespan; the *naive* packing used as the ablation baseline assigns lists
 //! round-robin, oblivious to size.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use harmony_cluster::NodeId;
 use harmony_index::DimRange;
 
@@ -147,18 +150,97 @@ impl ShardAssignment {
         order.sort_unstable_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
         let mut cluster_to_shard = vec![0u32; weights.len()];
         let mut shard_weights = vec![0u64; shards];
+        // Min-heap over (weight, shard): each placement is O(log S) instead
+        // of an O(S) scan, so replanning ticks stay cheap at large shard
+        // counts. `Reverse((w, s))` pops the lightest shard, ties to the
+        // lowest index — identical packing to the previous linear scan.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..shards).map(|s| Reverse((0u64, s))).collect();
         for c in order {
-            // Lightest shard, ties to the lowest index for determinism.
-            let s = (0..shards)
-                .min_by_key(|&s| (shard_weights[s], s))
-                .expect("shards > 0");
+            let Reverse((w, s)) = heap.pop().expect("shards > 0");
             cluster_to_shard[c] = s as u32;
-            shard_weights[s] += weights[c];
+            shard_weights[s] = w + weights[c];
+            heap.push(Reverse((shard_weights[s], s)));
         }
         Self {
             cluster_to_shard,
             shard_weights,
         }
+    }
+
+    /// Incremental rebalance: starts from `prev` and greedily moves clusters
+    /// from the heaviest shard to the lightest one until no move improves
+    /// the spread or the moved weight would exceed
+    /// `max_move_frac · total_weight`.
+    ///
+    /// Bounding the moved weight is what makes this suitable for *live*
+    /// replanning: each moved cluster later becomes real migration traffic,
+    /// so the supervisor caps how much data one tick may put on the wire.
+    /// When `prev` does not match (`shards` or cluster count changed) the
+    /// incremental path is impossible and this falls back to a fresh
+    /// [`ShardAssignment::balanced`] packing.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn rebalance(
+        prev: &ShardAssignment,
+        weights: &[u64],
+        shards: usize,
+        max_move_frac: f64,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        if prev.shards() != shards || prev.cluster_to_shard.len() != weights.len() {
+            return Self::balanced(weights, shards);
+        }
+        let mut cluster_to_shard = prev.cluster_to_shard.clone();
+        // Shard weights re-derived under the *new* weights: the profile that
+        // produced `prev` may be stale.
+        let mut shard_weights = vec![0u64; shards];
+        for (c, &w) in weights.iter().enumerate() {
+            shard_weights[cluster_to_shard[c] as usize] += w;
+        }
+        let total: u64 = shard_weights.iter().sum();
+        let mut budget = (total as f64 * max_move_frac.clamp(0.0, 1.0)) as u64;
+
+        for _ in 0..weights.len().max(1) {
+            let h = (0..shards)
+                .max_by_key(|&s| (shard_weights[s], Reverse(s)))
+                .expect("shards > 0");
+            let l = (0..shards)
+                .min_by_key(|&s| (shard_weights[s], s))
+                .expect("shards > 0");
+            let gap = shard_weights[h] - shard_weights[l];
+            if gap == 0 {
+                break;
+            }
+            // Heaviest movable cluster that still shrinks the spread: after
+            // the move both endpoints stay strictly below the old maximum.
+            let candidate = (0..weights.len())
+                .filter(|&c| cluster_to_shard[c] as usize == h)
+                .filter(|&c| weights[c] > 0 && weights[c] < gap && weights[c] <= budget)
+                .max_by_key(|&c| (weights[c], Reverse(c)));
+            let Some(c) = candidate else { break };
+            cluster_to_shard[c] = l as u32;
+            shard_weights[h] -= weights[c];
+            shard_weights[l] += weights[c];
+            budget -= weights[c];
+        }
+        Self {
+            cluster_to_shard,
+            shard_weights,
+        }
+    }
+
+    /// Clusters whose shard differs between `self` and `other` (the
+    /// migration set of a rebalance).
+    pub fn moved_clusters(&self, other: &ShardAssignment) -> Vec<u32> {
+        self.cluster_to_shard
+            .iter()
+            .zip(&other.cluster_to_shard)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(c, _)| c as u32)
+            .collect()
     }
 
     /// Naive packing: cluster `c` → shard `c % shards`, ignoring sizes.
@@ -196,19 +278,25 @@ impl ShardAssignment {
             .collect()
     }
 
-    /// Ratio of heaviest to lightest shard weight (1.0 = perfectly even).
+    /// Ratio of the heaviest shard's weight to the *mean* shard weight
+    /// (1.0 = perfectly even).
+    ///
+    /// The mean — not the minimum — is the denominator on purpose: when
+    /// there are more shards than (non-empty) clusters, some shards are
+    /// empty by construction and a max/min ratio would report `∞` for a
+    /// packing that is as good as it can possibly be. Max/mean degrades
+    /// gracefully instead: an unavoidable empty shard raises the ratio in
+    /// proportion to the weight the other shards absorb. The one remaining
+    /// degenerate case — every shard empty (no clusters, or all weights
+    /// zero) — reports 1.0, "as balanced as it gets".
     pub fn imbalance_ratio(&self) -> f64 {
         let max = self.shard_weights.iter().copied().max().unwrap_or(0);
-        let min = self.shard_weights.iter().copied().min().unwrap_or(0);
-        if min == 0 {
-            if max == 0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
-            max as f64 / min as f64
+        let total: u64 = self.shard_weights.iter().sum();
+        if total == 0 || self.shard_weights.is_empty() {
+            return 1.0;
         }
+        let mean = total as f64 / self.shard_weights.len() as f64;
+        max as f64 / mean
     }
 }
 
@@ -309,11 +397,78 @@ mod tests {
     }
 
     #[test]
-    fn imbalance_ratio_handles_empty_shards() {
+    fn imbalance_ratio_finite_with_unavoidable_empty_shards() {
+        // One cluster over two shards: a perfect packing still leaves one
+        // shard empty. The ratio must stay finite (max/mean = 10/5 = 2),
+        // not blow up to ∞ as the old max/min definition did.
         let a = ShardAssignment::balanced(&[10], 2);
-        assert!(a.imbalance_ratio().is_infinite());
+        assert_eq!(a.imbalance_ratio(), 2.0);
+        // Fully degenerate packings (no weight anywhere) report 1.0.
         let b = ShardAssignment::balanced(&[], 2);
         assert_eq!(b.imbalance_ratio(), 1.0);
+        let c = ShardAssignment::balanced(&[0, 0], 2);
+        assert_eq!(c.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_ratio_is_one_for_even_packings() {
+        let a = ShardAssignment::balanced(&[5, 5, 5, 5], 4);
+        assert_eq!(a.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn rebalance_moves_weight_toward_even() {
+        // Start from a deliberately lopsided assignment.
+        let weights = vec![50, 10, 10, 10, 10, 10];
+        let prev = ShardAssignment {
+            cluster_to_shard: vec![0, 0, 0, 0, 0, 1],
+            shard_weights: vec![90, 10],
+        };
+        let next = ShardAssignment::rebalance(&prev, &weights, 2, 1.0);
+        assert!(next.imbalance_ratio() < prev.imbalance_ratio());
+        let total: u64 = next.shard_weights.iter().sum();
+        assert_eq!(total, 100);
+        // Already-balanced assignments are left alone.
+        let again = ShardAssignment::rebalance(&next, &weights, 2, 1.0);
+        assert_eq!(again.cluster_to_shard, next.cluster_to_shard);
+    }
+
+    #[test]
+    fn rebalance_respects_move_budget() {
+        let weights = vec![40, 40, 40, 40];
+        let prev = ShardAssignment {
+            cluster_to_shard: vec![0, 0, 0, 0],
+            shard_weights: vec![160, 0],
+        };
+        // A zero budget may move nothing.
+        let frozen = ShardAssignment::rebalance(&prev, &weights, 2, 0.0);
+        assert_eq!(frozen.cluster_to_shard, prev.cluster_to_shard);
+        // A 30 % budget (48 weight) fits exactly one 40-weight cluster.
+        let bounded = ShardAssignment::rebalance(&prev, &weights, 2, 0.3);
+        assert_eq!(prev.moved_clusters(&bounded).len(), 1);
+    }
+
+    #[test]
+    fn rebalance_falls_back_on_shape_mismatch() {
+        let weights = vec![5, 5, 5, 5];
+        let prev = ShardAssignment::balanced(&weights, 2);
+        // Different shard count: incremental start is impossible.
+        let fresh = ShardAssignment::rebalance(&prev, &weights, 4, 0.1);
+        assert_eq!(fresh, ShardAssignment::balanced(&weights, 4));
+    }
+
+    #[test]
+    fn moved_clusters_diffs_assignments() {
+        let a = ShardAssignment {
+            cluster_to_shard: vec![0, 1, 0],
+            shard_weights: vec![2, 1],
+        };
+        let b = ShardAssignment {
+            cluster_to_shard: vec![0, 0, 1],
+            shard_weights: vec![2, 1],
+        };
+        assert_eq!(a.moved_clusters(&b), vec![1, 2]);
+        assert!(a.moved_clusters(&a).is_empty());
     }
 
     #[test]

@@ -79,6 +79,95 @@ impl LoadTracker {
     }
 }
 
+/// Lock-free per-cluster probe counters — the engine's *observed* workload.
+///
+/// Every admitted query bumps the counter of each IVF list it probes plus a
+/// query counter. The plan supervisor periodically snapshots these, diffs
+/// against the previous snapshot, and folds the window into an observed
+/// [`crate::cost::WorkloadProfile`] — the runtime analogue of the paper's
+/// offline probe-frequency input (§4.2.1).
+#[derive(Debug, Default)]
+pub struct ProbeTracker {
+    counts: Vec<AtomicU64>,
+    queries: AtomicU64,
+    /// `k` of the most recently admitted query (the cost model's
+    /// result-message size input).
+    last_k: AtomicU64,
+}
+
+impl ProbeTracker {
+    /// A tracker for `nlist` IVF lists.
+    pub fn new(nlist: usize) -> Self {
+        Self {
+            counts: (0..nlist).map(|_| AtomicU64::new(0)).collect(),
+            queries: AtomicU64::new(0),
+            last_k: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one query probing the given clusters with result size `k`.
+    pub fn record(&self, probes: &[u32], k: usize) {
+        for &c in probes {
+            if let Some(cell) = self.counts.get(c as usize) {
+                cell.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.last_k.store(k as u64, Ordering::Relaxed);
+    }
+
+    /// Total queries recorded since construction.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// `k` of the most recently recorded query (0 before any query).
+    pub fn last_k(&self) -> u64 {
+        self.last_k.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ProbeSnapshot {
+        ProbeSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`ProbeTracker`]'s counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeSnapshot {
+    /// Probe count per cluster.
+    pub counts: Vec<u64>,
+    /// Queries recorded.
+    pub queries: u64,
+}
+
+impl ProbeSnapshot {
+    /// Counter delta since `earlier` (saturating; the observation window).
+    pub fn delta(&self, earlier: &ProbeSnapshot) -> ProbeSnapshot {
+        ProbeSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c.saturating_sub(earlier.counts.get(i).copied().unwrap_or(0)))
+                .collect(),
+            queries: self.queries.saturating_sub(earlier.queries),
+        }
+    }
+
+    /// Total probes across clusters.
+    pub fn total_probes(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// Timing of the three index-construction stages (Fig. 10).
 #[derive(Debug, Clone)]
 pub struct BuildStats {
@@ -257,6 +346,24 @@ mod tests {
         });
         assert_eq!(t.get(0), 0.0);
         assert_eq!(t.get(1), 0.0);
+    }
+
+    #[test]
+    fn probe_tracker_windows_diff_cleanly() {
+        let t = ProbeTracker::new(4);
+        t.record(&[0, 2], 10);
+        t.record(&[2, 3], 10);
+        let first = t.snapshot();
+        assert_eq!(first.counts, vec![1, 0, 2, 1]);
+        assert_eq!(first.queries, 2);
+        t.record(&[0], 25);
+        assert_eq!(t.last_k(), 25);
+        let window = t.snapshot().delta(&first);
+        assert_eq!(window.counts, vec![1, 0, 0, 0]);
+        assert_eq!(window.queries, 1);
+        assert_eq!(window.total_probes(), 1);
+        // Out-of-range clusters are ignored, not a panic.
+        t.record(&[99], 10);
     }
 
     #[test]

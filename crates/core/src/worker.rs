@@ -23,6 +23,17 @@
 //! The chunk for a machine may arrive after the carry from its predecessor
 //! (different senders, one mailbox), so both orders are buffered.
 //! Per-position pruning counters feed Fig. 2a and Table 3.
+//!
+//! # Epochs and live migration
+//!
+//! Block storage is keyed by *routing epoch*. A live replan installs the
+//! next epoch's grid block — assembled from [`ListPiece`]s shipped between
+//! machines over the same fabric that carries queries — while queries
+//! admitted under the old epoch keep executing against the old storage.
+//! The worker activates an epoch (and acks [`ToClient::EpochReady`]) only
+//! once every announced piece has arrived, and drops a retired epoch only
+//! on an explicit [`ToWorker::EvictEpoch`], which the client sends after
+//! the last in-flight query of that epoch has drained.
 
 use std::collections::HashMap;
 
@@ -32,7 +43,8 @@ use harmony_index::distance::{ip, l2_sq};
 use harmony_index::{Metric, TopK};
 
 use crate::messages::{
-    metric_tag, Carry, LoadBlock, QueryChunk, QueryResult, StatsReport, ToClient, ToWorker,
+    metric_tag, BeginEpoch, Carry, InstallLists, ListPiece, LoadBlock, MigrateOut, QueryChunk,
+    QueryResult, StatsReport, ToClient, ToWorker,
 };
 use crate::pruning::PruneRule;
 
@@ -61,7 +73,10 @@ impl ListBlock {
 
 /// Storage for one grid block `V_s D_b`.
 struct BlockStore {
-    dim_block: u32,
+    /// Absolute dimension range `[start, end)` of the block — needed to
+    /// slice sub-ranges out during migration.
+    dim_start: u64,
+    dim_end: u64,
     lists: HashMap<u32, ListBlock>,
 }
 
@@ -72,6 +87,36 @@ impl BlockStore {
             .map(ListBlock::memory_bytes)
             .sum::<usize>()
     }
+}
+
+/// All grid blocks this machine hosts under one routing epoch.
+struct EpochStore {
+    /// Pipeline length of the epoch's plan.
+    total_dim_blocks: usize,
+    /// shard → block storage.
+    blocks: HashMap<u32, BlockStore>,
+}
+
+/// A new epoch's grid block while its migrated pieces stream in.
+struct InstallAssembly {
+    shard: u32,
+    dim_block: u32,
+    dim_start: u64,
+    dim_end: u64,
+    total_dim_blocks: u32,
+    expected_pieces: u64,
+    received: u64,
+    clusters: HashMap<u32, ClusterAssembly>,
+}
+
+/// One cluster being reassembled from dimension sub-range pieces.
+struct ClusterAssembly {
+    ids: Vec<u64>,
+    /// Row-major, `width` floats per member; columns filled as pieces land.
+    flat: Vec<f32>,
+    block_norms_sq: Vec<f32>,
+    total_norms_sq: Vec<f32>,
+    width: usize,
 }
 
 /// In-flight pipeline state keyed by `(query_id, shard)`.
@@ -114,12 +159,25 @@ fn scorer_for(metric: Metric) -> fn(&[f32], &[f32]) -> f32 {
 
 /// The Harmony worker node handler.
 pub struct HarmonyWorker {
-    /// shard → block storage (a worker serves one dim block per shard).
-    blocks: HashMap<u32, BlockStore>,
+    /// epoch → grid-block storage. Queries resolve their storage by the
+    /// epoch stamped on the chunk, so in-flight traffic survives a live
+    /// migration untouched.
+    epochs: HashMap<u64, EpochStore>,
+    /// Epochs whose pieces are still streaming in.
+    installs: HashMap<u64, InstallAssembly>,
+    /// Pieces that raced ahead of their [`BeginEpoch`] announcement.
+    orphan_pieces: HashMap<u64, Vec<InstallLists>>,
+    /// Highest epoch ever evicted. Epoch numbers are never reused, so any
+    /// announcement or piece at or below this watermark is a straggler of
+    /// an aborted/retired epoch and is dropped instead of being stashed
+    /// forever in `orphan_pieces` (peer [`InstallLists`] can outrun the
+    /// client's [`ToWorker::EvictEpoch`] — different senders, no FIFO).
+    evicted_watermark: Option<u64>,
     pending: PendingTables,
     metric: Metric,
     rule: PruneRule,
-    total_dim_blocks: usize,
+    /// Longest pipeline across live epochs (sizes the slice counters).
+    slice_positions: usize,
     // --- statistics ---
     slice_in: Vec<u64>,
     slice_pruned: Vec<u64>,
@@ -137,14 +195,29 @@ impl HarmonyWorker {
     /// [`LoadBlock`].
     pub fn new() -> Self {
         Self {
-            blocks: HashMap::new(),
+            epochs: HashMap::new(),
+            installs: HashMap::new(),
+            orphan_pieces: HashMap::new(),
+            evicted_watermark: None,
             pending: PendingTables::default(),
             metric: Metric::L2,
             rule: PruneRule::new(Metric::L2, true),
-            total_dim_blocks: 1,
+            slice_positions: 1,
             slice_in: vec![0],
             slice_pruned: vec![0],
             scanned_point_dims: 0,
+        }
+    }
+
+    /// Grows the per-position pruning counters to cover `positions` slices
+    /// (never shrinks: counters aggregate across epochs).
+    fn ensure_slice_positions(&mut self, positions: usize) {
+        if positions > self.slice_positions {
+            self.slice_positions = positions;
+        }
+        if self.slice_in.len() < self.slice_positions {
+            self.slice_in.resize(self.slice_positions, 0);
+            self.slice_pruned.resize(self.slice_positions, 0);
         }
     }
 
@@ -152,9 +225,8 @@ impl HarmonyWorker {
         let metric = metric_tag::decode(load.metric).unwrap_or(Metric::L2);
         self.metric = metric;
         self.rule = PruneRule::new(metric, load.pruning);
-        self.total_dim_blocks = load.total_dim_blocks.max(1) as usize;
-        self.slice_in = vec![0; self.total_dim_blocks];
-        self.slice_pruned = vec![0; self.total_dim_blocks];
+        let total_dim_blocks = load.total_dim_blocks.max(1) as usize;
+        self.ensure_slice_positions(total_dim_blocks);
 
         let width = (load.dim_end - load.dim_start) as usize;
         let mut lists = HashMap::with_capacity(load.lists.len());
@@ -171,18 +243,21 @@ impl HarmonyWorker {
             );
         }
         let shard = load.shard;
-        self.blocks.insert(
+        let dim_block = load.dim_block;
+        let store = self.epochs.entry(load.epoch).or_insert_with(|| EpochStore {
+            total_dim_blocks,
+            blocks: HashMap::new(),
+        });
+        store.total_dim_blocks = total_dim_blocks;
+        store.blocks.insert(
             shard,
             BlockStore {
-                dim_block: load.dim_block,
+                dim_start: load.dim_start,
+                dim_end: load.dim_end,
                 lists,
             },
         );
-        let ack = ToClient::LoadAck {
-            shard,
-            dim_block: self.blocks[&shard].dim_block,
-        }
-        .to_bytes();
+        let ack = ToClient::LoadAck { shard, dim_block }.to_bytes();
         let _ = ctx.send(CLIENT, ack);
     }
 
@@ -211,8 +286,13 @@ impl HarmonyWorker {
     /// Position 0: enumerate candidates from the probed lists and compute
     /// the first partials.
     fn start_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk) {
-        let Some(block) = self.blocks.get(&chunk.shard) else {
-            // Block never loaded: answer emptily so the client can finish.
+        let Some(block) = self
+            .epochs
+            .get(&chunk.epoch)
+            .and_then(|e| e.blocks.get(&chunk.shard))
+        else {
+            // Block never loaded (or epoch already evicted): answer emptily
+            // so the client can finish.
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         };
@@ -315,6 +395,7 @@ impl HarmonyWorker {
         } else {
             let carry = Carry {
                 query_id: chunk.query_id,
+                epoch: chunk.epoch,
                 shard: chunk.shard,
                 threshold,
                 next_position: 1,
@@ -332,7 +413,11 @@ impl HarmonyWorker {
     fn continue_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk, carry: Carry) {
         let position = chunk.position as usize;
         let is_last = position + 1 >= chunk.order.len();
-        let Some(block) = self.blocks.get(&chunk.shard) else {
+        let Some(block) = self
+            .epochs
+            .get(&chunk.epoch)
+            .and_then(|e| e.blocks.get(&chunk.shard))
+        else {
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         };
@@ -458,6 +543,7 @@ impl HarmonyWorker {
             let next = chunk.order[position + 1] as NodeId;
             let out = Carry {
                 query_id: chunk.query_id,
+                epoch: chunk.epoch,
                 shard: chunk.shard,
                 threshold,
                 next_position,
@@ -505,22 +591,257 @@ impl HarmonyWorker {
         let _ = ctx.send(CLIENT, result.to_bytes());
     }
 
+    /// Client announcement of a new epoch's grid block: set up assembly and
+    /// fold in any pieces that raced ahead of the announcement.
+    fn handle_begin_epoch(&mut self, ctx: &NodeCtx, begin: BeginEpoch) {
+        let epoch = begin.epoch;
+        if self.evicted_watermark.is_some_and(|w| epoch <= w) {
+            return; // straggler of an already-evicted epoch
+        }
+        let assembly = InstallAssembly {
+            shard: begin.shard,
+            dim_block: begin.dim_block,
+            dim_start: begin.dim_start,
+            dim_end: begin.dim_end,
+            total_dim_blocks: begin.total_dim_blocks,
+            expected_pieces: begin.expected_pieces,
+            received: 0,
+            clusters: HashMap::new(),
+        };
+        self.installs.insert(epoch, assembly);
+        if let Some(orphans) = self.orphan_pieces.remove(&epoch) {
+            for msg in orphans {
+                self.handle_install(ctx, msg);
+            }
+        }
+        self.try_activate_epoch(ctx, epoch);
+    }
+
+    /// Migrated pieces for one of this machine's new-epoch blocks.
+    fn handle_install(&mut self, ctx: &NodeCtx, msg: InstallLists) {
+        let epoch = msg.epoch;
+        if self.evicted_watermark.is_some_and(|w| epoch <= w) {
+            return; // straggler of an already-evicted epoch
+        }
+        let Some(assembly) = self.installs.get_mut(&epoch) else {
+            // BeginEpoch not seen yet (possible only under reordering):
+            // stash until the announcement arrives.
+            self.orphan_pieces.entry(epoch).or_default().push(msg);
+            return;
+        };
+        debug_assert_eq!(assembly.shard, msg.shard, "piece routed to wrong block");
+        debug_assert_eq!(assembly.dim_block, msg.dim_block);
+        let width = (assembly.dim_end - assembly.dim_start) as usize;
+        for piece in msg.pieces {
+            let rows = piece.ids.len();
+            let entry = assembly
+                .clusters
+                .entry(piece.cluster)
+                .or_insert_with(|| ClusterAssembly {
+                    ids: piece.ids.clone(),
+                    flat: vec![0.0; rows * width],
+                    block_norms_sq: Vec::new(),
+                    total_norms_sq: Vec::new(),
+                    width,
+                });
+            // A source missing the cluster ships an empty fallback piece so
+            // the expected count still closes. If such a piece seeded the
+            // assembly first, re-seed from the first piece that carries
+            // rows; conversely a late empty piece only bumps the counter.
+            if entry.ids.is_empty() && !piece.ids.is_empty() {
+                entry.ids = piece.ids.clone();
+                entry.flat = vec![0.0; rows * width];
+                entry.block_norms_sq = Vec::new();
+                entry.total_norms_sq = Vec::new();
+            }
+            if entry.ids.len() == rows && rows > 0 {
+                let offset = piece.dim_start.saturating_sub(assembly.dim_start) as usize;
+                let piece_width = (piece.dim_end - piece.dim_start) as usize;
+                if offset + piece_width <= width {
+                    for row in 0..rows {
+                        let dst = row * width + offset;
+                        let src = row * piece_width;
+                        entry.flat[dst..dst + piece_width]
+                            .copy_from_slice(&piece.flat[src..src + piece_width]);
+                    }
+                } else {
+                    debug_assert!(false, "piece range escapes the announced block");
+                }
+                // Piece norms partition the block range: sum them per member.
+                if !piece.piece_norms_sq.is_empty() {
+                    if entry.block_norms_sq.is_empty() {
+                        entry.block_norms_sq = vec![0.0; rows];
+                    }
+                    for (acc, p) in entry.block_norms_sq.iter_mut().zip(&piece.piece_norms_sq) {
+                        *acc += p;
+                    }
+                }
+                if entry.total_norms_sq.is_empty() && !piece.total_norms_sq.is_empty() {
+                    entry.total_norms_sq = piece.total_norms_sq;
+                }
+            } else {
+                debug_assert!(rows == 0, "piece id sets disagree");
+            }
+            assembly.received += 1;
+        }
+        self.try_activate_epoch(ctx, epoch);
+    }
+
+    /// Activates an epoch whose assembly is complete and acks the client.
+    fn try_activate_epoch(&mut self, ctx: &NodeCtx, epoch: u64) {
+        let done = self
+            .installs
+            .get(&epoch)
+            .is_some_and(|a| a.received >= a.expected_pieces);
+        if !done {
+            return;
+        }
+        let assembly = self.installs.remove(&epoch).expect("checked above");
+        let total_dim_blocks = assembly.total_dim_blocks.max(1) as usize;
+        self.ensure_slice_positions(total_dim_blocks);
+        let lists: HashMap<u32, ListBlock> = assembly
+            .clusters
+            .into_iter()
+            .map(|(cluster, c)| {
+                (
+                    cluster,
+                    ListBlock {
+                        ids: c.ids,
+                        flat: c.flat,
+                        block_norms_sq: c.block_norms_sq,
+                        total_norms_sq: c.total_norms_sq,
+                        width: c.width,
+                    },
+                )
+            })
+            .collect();
+        let store = self.epochs.entry(epoch).or_insert_with(|| EpochStore {
+            total_dim_blocks,
+            blocks: HashMap::new(),
+        });
+        store.total_dim_blocks = total_dim_blocks;
+        store.blocks.insert(
+            assembly.shard,
+            BlockStore {
+                dim_start: assembly.dim_start,
+                dim_end: assembly.dim_end,
+                lists,
+            },
+        );
+        // Migrations are serialized and epoch numbers never reused, so any
+        // assembly or orphan pieces of an *older* epoch belong to an
+        // aborted attempt and can never activate — drop them.
+        self.installs.retain(|&e, _| e > epoch);
+        self.orphan_pieces.retain(|&e, _| e > epoch);
+        let _ = ctx.send(CLIENT, ToClient::EpochReady { epoch }.to_bytes());
+    }
+
+    /// Executes migration transfers: slice the requested dimension
+    /// sub-ranges out of local storage and ship them to their destinations.
+    /// Self-directed transfers install locally without touching the fabric
+    /// (a real machine would memcpy, not loop through its NIC).
+    fn handle_migrate_out(&mut self, ctx: &NodeCtx, msg: MigrateOut) {
+        let is_ip = !matches!(self.metric, Metric::L2);
+        // Group pieces per destination block so each destination receives
+        // one message per source (fewer, larger transfers).
+        let mut outbound: HashMap<(u64, u32, u32), Vec<ListPiece>> = HashMap::new();
+        for t in &msg.transfers {
+            let piece_width = (t.dim_end - t.dim_start) as usize;
+            let list = self
+                .epochs
+                .get(&t.src_epoch)
+                .and_then(|e| e.blocks.get(&t.src_shard))
+                .filter(|b| t.dim_start >= b.dim_start && t.dim_end <= b.dim_end)
+                .and_then(|b| {
+                    b.lists
+                        .get(&t.cluster)
+                        .map(|l| (l, (t.dim_start - b.dim_start) as usize))
+                });
+            let piece = match list {
+                Some((list, offset)) => {
+                    let rows = list.ids.len();
+                    let mut flat = Vec::with_capacity(rows * piece_width);
+                    let mut piece_norms_sq = Vec::new();
+                    for row in 0..rows {
+                        let r = list.row(row);
+                        let slice = &r[offset..offset + piece_width];
+                        flat.extend_from_slice(slice);
+                        if is_ip {
+                            piece_norms_sq.push(ip(slice, slice));
+                        }
+                    }
+                    ListPiece {
+                        cluster: t.cluster,
+                        dim_start: t.dim_start,
+                        dim_end: t.dim_end,
+                        ids: list.ids.clone(),
+                        flat,
+                        piece_norms_sq,
+                        total_norms_sq: list.total_norms_sq.clone(),
+                    }
+                }
+                // Source data missing (evicted early, unknown cluster):
+                // ship an empty piece so the destination's expected count
+                // still closes and the migration cannot wedge.
+                None => ListPiece {
+                    cluster: t.cluster,
+                    dim_start: t.dim_start,
+                    dim_end: t.dim_end,
+                    ids: Vec::new(),
+                    flat: Vec::new(),
+                    piece_norms_sq: Vec::new(),
+                    total_norms_sq: Vec::new(),
+                },
+            };
+            outbound
+                .entry((t.dest, t.dest_shard, t.dest_dim_block))
+                .or_default()
+                .push(piece);
+        }
+        // Deterministic delivery order.
+        let mut groups: Vec<_> = outbound.into_iter().collect();
+        groups.sort_by_key(|((dest, shard, block), _)| (*dest, *shard, *block));
+        for ((dest, shard, dim_block), pieces) in groups {
+            let install = InstallLists {
+                epoch: msg.epoch,
+                shard,
+                dim_block,
+                pieces,
+            };
+            if dest as usize == ctx.id() {
+                self.handle_install(ctx, install);
+            } else {
+                let _ = ctx.send(dest as NodeId, ToWorker::InstallLists(install).to_bytes());
+            }
+        }
+    }
+
+    /// Drops a retired epoch's storage (and any half-finished assembly),
+    /// and raises the watermark so stragglers for it are never re-stashed.
+    fn handle_evict(&mut self, epoch: u64) {
+        self.epochs.remove(&epoch);
+        self.installs.remove(&epoch);
+        self.orphan_pieces.remove(&epoch);
+        self.evicted_watermark = Some(self.evicted_watermark.map_or(epoch, |w| w.max(epoch)));
+    }
+
     fn stats_report(&self) -> StatsReport {
         StatsReport {
             slice_in: self.slice_in.clone(),
             slice_pruned: self.slice_pruned.clone(),
             scanned_point_dims: self.scanned_point_dims,
             memory_bytes: self
-                .blocks
+                .epochs
                 .values()
+                .flat_map(|e| e.blocks.values())
                 .map(BlockStore::memory_bytes)
                 .sum::<usize>() as u64,
         }
     }
 
     fn reset_stats(&mut self) {
-        self.slice_in = vec![0; self.total_dim_blocks];
-        self.slice_pruned = vec![0; self.total_dim_blocks];
+        self.slice_in = vec![0; self.slice_positions];
+        self.slice_pruned = vec![0; self.slice_positions];
         self.scanned_point_dims = 0;
     }
 }
@@ -542,6 +863,10 @@ impl NodeHandler for HarmonyWorker {
                 let _ = ctx.send(CLIENT, ToClient::Stats(self.stats_report()).to_bytes());
             }
             ToWorker::ResetStats => self.reset_stats(),
+            ToWorker::BeginEpoch(begin) => self.handle_begin_epoch(ctx, begin),
+            ToWorker::MigrateOut(m) => self.handle_migrate_out(ctx, m),
+            ToWorker::InstallLists(m) => self.handle_install(ctx, m),
+            ToWorker::EvictEpoch { epoch } => self.handle_evict(epoch),
         }
     }
 }
@@ -559,6 +884,7 @@ mod tests {
 
     fn load_block(pruning: bool) -> LoadBlock {
         LoadBlock {
+            epoch: 0,
             shard: 0,
             dim_block: 0,
             dim_start: 0,
@@ -612,6 +938,7 @@ mod tests {
 
         let chunk = QueryChunk {
             query_id: 1,
+            epoch: 0,
             shard: 0,
             k: 2,
             threshold: f32::INFINITY,
@@ -640,6 +967,7 @@ mod tests {
         // τ = 1.0: only id 100 (distance 0) survives.
         let chunk = QueryChunk {
             query_id: 2,
+            epoch: 0,
             shard: 0,
             k: 3,
             threshold: 1.0,
@@ -679,6 +1007,7 @@ mod tests {
                 .flat_map(|v| v[range.clone()].to_vec())
                 .collect();
             let load = LoadBlock {
+                epoch: 0,
                 shard: 0,
                 dim_block: w as u32,
                 dim_start: range.start as u64,
@@ -703,6 +1032,7 @@ mod tests {
         for (w, range, position) in [(0usize, 0..2, 0u32), (1usize, 2..4, 1u32)] {
             let chunk = QueryChunk {
                 query_id: 7,
+                epoch: 0,
                 shard: 0,
                 k: 2,
                 threshold: f32::INFINITY,
@@ -727,6 +1057,7 @@ mod tests {
         // still complete.
         let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| HarmonyWorker::new());
         let load = LoadBlock {
+            epoch: 0,
             shard: 0,
             dim_block: 1,
             dim_start: 1,
@@ -747,6 +1078,7 @@ mod tests {
 
         let carry = Carry {
             query_id: 9,
+            epoch: 0,
             shard: 0,
             threshold: f32::INFINITY,
             next_position: 1,
@@ -759,6 +1091,7 @@ mod tests {
         // Now the chunk (position 1 of a 2-hop order [9, 0] — final hop).
         let chunk = QueryChunk {
             query_id: 9,
+            epoch: 0,
             shard: 0,
             k: 1,
             threshold: f32::INFINITY,
@@ -782,6 +1115,7 @@ mod tests {
         let mut cluster = one_worker_cluster();
         let base: Vec<[f32; 2]> = vec![[1.0, 0.0], [0.0, 1.0], [5.0, 5.0]];
         let load = LoadBlock {
+            epoch: 0,
             shard: 0,
             dim_block: 0,
             dim_start: 0,
@@ -803,6 +1137,7 @@ mod tests {
         let query = [2.0f32, 0.5]; // unnormalized on purpose
         let chunk = QueryChunk {
             query_id: 11,
+            epoch: 0,
             shard: 0,
             k: 3,
             threshold: f32::INFINITY,
@@ -841,6 +1176,7 @@ mod tests {
                 .flat_map(|v| v[range.clone()].to_vec())
                 .collect();
             let load = LoadBlock {
+                epoch: 0,
                 shard: 0,
                 dim_block: w as u32,
                 dim_start: range.start as u64,
@@ -867,6 +1203,7 @@ mod tests {
         for (w, range, position) in [(0usize, 0..2, 0u32), (1usize, 2..4, 1u32)] {
             let chunk = QueryChunk {
                 query_id: 12,
+                epoch: 0,
                 shard: 0,
                 k: 3,
                 threshold: f32::INFINITY,
@@ -900,6 +1237,7 @@ mod tests {
         drain_ack(&mut cluster);
         let chunk = QueryChunk {
             query_id: 3,
+            epoch: 0,
             shard: 0,
             k: 3,
             threshold: 0.5, // would prune everything if enabled
@@ -921,6 +1259,7 @@ mod tests {
         // No Load at all.
         let chunk = QueryChunk {
             query_id: 4,
+            epoch: 0,
             shard: 5,
             k: 1,
             threshold: f32::INFINITY,
@@ -945,6 +1284,7 @@ mod tests {
         drain_ack(&mut cluster);
         let chunk = QueryChunk {
             query_id: 5,
+            epoch: 0,
             shard: 0,
             k: 1,
             threshold: f32::INFINITY,

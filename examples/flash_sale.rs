@@ -25,7 +25,8 @@ use rand::prelude::*;
 /// `hot_fraction`.
 fn traffic(engine: &HarmonyEngine, hot_fraction: f64, n: usize, seed: u64) -> VectorStore {
     let centroids = engine.centroids();
-    let hot = &engine.shard_clusters()[0];
+    let shard_clusters = engine.shard_clusters();
+    let hot = &shard_clusters[0];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut queries = VectorStore::with_capacity(centroids.dim(), n);
     for i in 0..n {
@@ -163,5 +164,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sessions_qps / serialized_qps
     );
     engine.shutdown()?;
+
+    // --- Adaptive replanning under the drift ---------------------------
+    // The sale *is* workload drift: an engine deployed on vector
+    // partitioning (fine before the sale) is stuck on a stale layout when
+    // the spike hits. With the plan supervisor on, the engine observes its
+    // own probe counters and live-migrates to a layout that fits the hot
+    // traffic — no restart, no lost queries.
+    let config = HarmonyConfig::builder()
+        .n_machines(4)
+        .nlist(128)
+        .mode(EngineMode::HarmonyVector)
+        .seed(7)
+        .replan(harmony::core::ReplanConfig {
+            min_window_queries: 64,
+            amortize_windows: 200.0,
+            ..harmony::core::ReplanConfig::default()
+        })
+        .build()?;
+    let adaptive = HarmonyEngine::build(config, &catalog.base)?;
+    println!(
+        "\nadaptive engine: initial plan {} (epoch {})",
+        adaptive.plan().label(),
+        adaptive.current_epoch()
+    );
+    let sale = traffic(&adaptive, 0.95, 400, 4242);
+    let stale = adaptive.search_batch(&sale, &opts)?;
+    println!(
+        "  flash sale on the stale plan: {:>8.0} QPS",
+        stale.qps_modeled()
+    );
+    match adaptive.supervisor_tick()? {
+        harmony::core::ReplanOutcome::Switched(r) => println!(
+            "  supervisor: switched {} -> {} (epoch {}), moved {} clusters, ~{} KiB over the fabric",
+            r.from_plan.label(),
+            r.to_plan.label(),
+            r.to_epoch,
+            r.clusters_moved,
+            r.modeled_bytes / 1024
+        ),
+        other => println!("  supervisor: {other:?}"),
+    }
+    let replanned = adaptive.search_batch(&sale, &opts)?;
+    println!(
+        "  flash sale after replanning:  {:>8.0} QPS on plan {}",
+        replanned.qps_modeled(),
+        adaptive.plan().label()
+    );
+    adaptive.shutdown()?;
     Ok(())
 }

@@ -52,7 +52,8 @@ pub mod prelude {
     pub use harmony_baseline::{AuncelEngine, FaissLikeEngine};
     pub use harmony_cluster::{ClusterConfig, CommMode, DelayMode, NetworkModel};
     pub use harmony_core::{
-        EngineMode, HarmonyConfig, HarmonyEngine, PartitionPlan, SearchOptions,
+        EngineMode, HarmonyConfig, HarmonyEngine, MigrationReport, PartitionPlan, ReplanConfig,
+        ReplanOutcome, SearchOptions,
     };
     pub use harmony_data::{DatasetAnalog, SyntheticSpec, Workload, WorkloadSpec};
     pub use harmony_index::{
