@@ -146,6 +146,7 @@ impl AuncelEngine {
                     .with_kernel_rate(model.comp_ns_per_point_dim)
                     .with_candidate_rate(model.comp_ns_per_candidate),
                 drop_every_nth: 0,
+                transport: harmony_cluster::TransportKind::InProc,
             },
             |_| HarmonyWorker::new(),
         );

@@ -15,7 +15,9 @@
 //! beats the stale plan.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
+use harmony_bench::report::{emit_bench_json, percentile, Json};
 use harmony_bench::{report, BenchArgs, Table};
 use harmony_core::{
     EngineMode, HarmonyConfig, HarmonyEngine, ReplanConfig, ReplanOutcome, SearchOptions,
@@ -69,6 +71,7 @@ fn main() {
             amortize_windows: 200.0,
             ..ReplanConfig::default()
         })
+        .transport(args.transport.clone())
         .build()
         .expect("valid config");
     let engine = HarmonyEngine::build(config, &dataset.base).expect("engine build");
@@ -125,7 +128,7 @@ fn main() {
     // querying while the supervisor migrates. Every in-flight batch must
     // come back complete and duplicate-free.
     let stop = AtomicBool::new(false);
-    let outcome = std::thread::scope(|s| {
+    let (outcome, live_served, mut live_lat_ms) = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..4u64 {
             let engine = &engine;
@@ -134,8 +137,11 @@ fn main() {
             let batch = hot_queries(engine, 3, 32, SEED ^ (0x1000 + t));
             handles.push(s.spawn(move || {
                 let mut served = 0usize;
+                let mut lats = Vec::new();
                 while !stop.load(Ordering::Relaxed) || served == 0 {
+                    let r0 = Instant::now();
                     let out = engine.search_batch(&batch, hot_opts).expect("live batch");
+                    lats.push(r0.elapsed().as_secs_f64() * 1e3);
                     assert_eq!(out.results.len(), batch.len(), "lost results");
                     for r in &out.results {
                         let mut ids: Vec<u64> = r.iter().map(|n| n.id).collect();
@@ -145,17 +151,20 @@ fn main() {
                     }
                     served += out.results.len();
                 }
-                served
+                (served, lats)
             }));
         }
         let outcome = engine.supervisor_tick().expect("replan tick");
         stop.store(true, Ordering::Relaxed);
-        let served: usize = handles
-            .into_iter()
-            .map(|h| h.join().expect("session"))
-            .sum();
+        let mut served = 0usize;
+        let mut lats = Vec::new();
+        for h in handles {
+            let (s, l) = h.join().expect("session");
+            served += s;
+            lats.extend(l);
+        }
         eprintln!("[drift_recovery] {served} live queries served across the migration, none lost");
-        outcome
+        (outcome, served, lats)
     });
     match &outcome {
         ReplanOutcome::Switched(r) => eprintln!(
@@ -184,6 +193,28 @@ fn main() {
     );
 
     table.emit(&args.out_dir, "drift_recovery");
+    let before_qps = before.qps_modeled();
+    let summary = Json::obj()
+        .field("bench", Json::Str("drift_recovery".into()))
+        .field("transport", Json::Str(args.transport.label().into()))
+        .field("workers", Json::Int(args.workers as u64))
+        .field(
+            "switched",
+            Json::Bool(matches!(outcome, ReplanOutcome::Switched(_))),
+        )
+        .field("plan", Json::Str(engine.plan().label()))
+        .field("epoch", Json::Int(engine.current_epoch()))
+        .field("before_drift_qps", Json::Num(before_qps))
+        .field("stale_plan_qps", Json::Num(stale_qps))
+        .field("after_replan_qps", Json::Num(after_qps))
+        .field(
+            "live_migration",
+            Json::obj()
+                .field("queries_served", Json::Int(live_served as u64))
+                .field("p50_ms", Json::Num(percentile(&mut live_lat_ms, 50.0)))
+                .field("p99_ms", Json::Num(percentile(&mut live_lat_ms, 99.0))),
+        );
+    emit_bench_json(&args.out_dir, "drift_recovery", &summary);
 
     if assert_switch {
         let switched = matches!(outcome, ReplanOutcome::Switched(_));

@@ -26,6 +26,7 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
+use harmony_bench::report::{emit_bench_json, percentile, Json};
 use harmony_bench::runner::{build_harmony_with, nlist_for_clamped, BENCH_SEED};
 use harmony_bench::{report, BenchArgs, Table};
 use harmony_core::{HarmonyConfig, SearchOptions};
@@ -37,10 +38,11 @@ fn main() {
     let dataset = DatasetAnalog::Sift1M.generate(args.scale);
     let nlist = nlist_for_clamped(dataset.len());
     eprintln!(
-        "[multi_client] sift analog: {} x {}d, nlist {nlist}, {} workers",
+        "[multi_client] sift analog: {} x {}d, nlist {nlist}, {} workers, {} fabric",
         dataset.len(),
         dataset.dim(),
-        args.workers
+        args.workers,
+        args.transport.label()
     );
     let net = harmony_cluster::NetworkModel {
         bandwidth_gbps: f64::INFINITY,
@@ -55,6 +57,7 @@ fn main() {
         .pipeline(false) // blocking transport: senders really wait
         .net(net)
         .delay(harmony_cluster::DelayMode::Sleep { scale: 1.0 })
+        .transport(args.transport.clone())
         .build()
         .expect("valid config");
     let engine = build_harmony_with(&dataset, config);
@@ -87,6 +90,7 @@ fn main() {
         .gather(&(0..64.min(dataset.base.len())).collect::<Vec<_>>());
     engine.search_batch(&warmup, &opts).expect("warmup");
 
+    let mut rows: Vec<Json> = Vec::new();
     for &clients in thread_counts {
         // Disjoint per-client request streams drawn from the base set.
         let streams: Vec<Vec<VectorStore>> = (0..clients)
@@ -119,17 +123,30 @@ fn main() {
         let serialized_qps = total / t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        std::thread::scope(|s| {
-            for stream in &streams {
-                let (engine, opts) = (&engine, &opts);
-                s.spawn(move || {
-                    for batch in stream {
-                        engine.search_batch(batch, opts).expect("session batch");
-                    }
-                });
-            }
+        let mut latencies_ms: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|stream| {
+                    let (engine, opts) = (&engine, &opts);
+                    s.spawn(move || {
+                        let mut lats = Vec::with_capacity(stream.len());
+                        for batch in stream {
+                            let r0 = Instant::now();
+                            engine.search_batch(batch, opts).expect("session batch");
+                            lats.push(r0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("session thread"))
+                .collect()
         });
         let sessions_qps = total / t0.elapsed().as_secs_f64();
+        let p50_ms = percentile(&mut latencies_ms, 50.0);
+        let p99_ms = percentile(&mut latencies_ms, 99.0);
 
         table.row(vec![
             clients.to_string(),
@@ -137,7 +154,24 @@ fn main() {
             report::num(sessions_qps, 1),
             format!("{:.2}x", sessions_qps / serialized_qps),
         ]);
+        rows.push(
+            Json::obj()
+                .field("clients", Json::Int(clients as u64))
+                .field("serialized_qps", Json::Num(serialized_qps))
+                .field("sessions_qps", Json::Num(sessions_qps))
+                .field("speedup", Json::Num(sessions_qps / serialized_qps))
+                .field("p50_ms", Json::Num(p50_ms))
+                .field("p99_ms", Json::Num(p99_ms)),
+        );
     }
     engine.shutdown().expect("shutdown");
     table.emit(&args.out_dir, "multi_client");
+    let summary = Json::obj()
+        .field("bench", Json::Str("multi_client".into()))
+        .field("transport", Json::Str(args.transport.label().into()))
+        .field("workers", Json::Int(args.workers as u64))
+        .field("request_size", Json::Int(request_size as u64))
+        .field("requests_per_client", Json::Int(requests_per_client as u64))
+        .field("rows", Json::Arr(rows));
+    emit_bench_json(&args.out_dir, "multi_client", &summary);
 }

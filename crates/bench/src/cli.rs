@@ -2,6 +2,8 @@
 
 use std::path::PathBuf;
 
+use harmony_cluster::TransportKind;
+
 /// Common benchmark knobs.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
@@ -15,6 +17,8 @@ pub struct BenchArgs {
     pub quick: bool,
     /// Output directory for CSV copies.
     pub out_dir: PathBuf,
+    /// Cluster fabric: in-process channels or real loopback TCP.
+    pub transport: TransportKind,
 }
 
 impl Default for BenchArgs {
@@ -29,6 +33,7 @@ impl Default for BenchArgs {
             workers: 4,
             quick: false,
             out_dir: PathBuf::from("bench_results"),
+            transport: TransportKind::InProc,
         }
     }
 }
@@ -57,9 +62,17 @@ impl BenchArgs {
                 "--workers" => out.workers = take("--workers").parse().expect("bad --workers"),
                 "--out-dir" => out.out_dir = PathBuf::from(take("--out-dir")),
                 "--quick" => out.quick = true,
+                "--transport" => {
+                    out.transport = match take("--transport").as_str() {
+                        "inproc" => TransportKind::InProc,
+                        "tcp" => TransportKind::tcp(),
+                        other => panic!("bad --transport {other} (expected inproc|tcp)"),
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale f] [--queries n] [--workers n] [--out-dir d] [--quick]"
+                        "usage: [--scale f] [--queries n] [--workers n] [--out-dir d] \
+                         [--transport inproc|tcp] [--quick]"
                     );
                     std::process::exit(0);
                 }
@@ -126,5 +139,24 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn transport_flag_selects_fabric() {
+        assert!(matches!(parse(&[]).transport, TransportKind::InProc));
+        assert!(matches!(
+            parse(&["--transport", "inproc"]).transport,
+            TransportKind::InProc
+        ));
+        assert!(matches!(
+            parse(&["--transport", "tcp"]).transport,
+            TransportKind::Tcp(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --transport")]
+    fn bad_transport_panics() {
+        parse(&["--transport", "carrier-pigeon"]);
     }
 }

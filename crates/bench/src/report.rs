@@ -119,6 +119,135 @@ impl Table {
     }
 }
 
+/// A minimal JSON value for machine-readable benchmark summaries. The
+/// build environment vendors no serde; this hand-rolled subset (objects,
+/// arrays, strings, numbers, bools) is everything the harness emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// An unsigned integer (exact, no float formatting).
+    Int(u64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Starts an empty object.
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object (builder style).
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    pub fn field(mut self, key: impl Into<String>, value: Json) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.into(), value)),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders pretty-printed JSON with two-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
+        match self {
+            Json::Num(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    Json::Str(k.clone()).render_into(out, indent + 1);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `json` to `out_dir/BENCH_<name>.json` — the machine-readable
+/// companion of [`Table::emit`]. IO failures are reported, not fatal.
+pub fn emit_bench_json(out_dir: &Path, name: &str, json: &Json) {
+    let path = out_dir.join(format!("BENCH_{name}.json"));
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    if let Err(e) = fs::write(&path, json.render()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of an unsorted sample set.
+/// Returns 0.0 for an empty slice.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN latency samples"));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
 /// Formats a float with `digits` decimals, trimming noise.
 pub fn num(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
@@ -165,5 +294,44 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(num(1.23456, 2), "1.23");
         assert_eq!(mib(2 * 1024 * 1024), "2.0MiB");
+    }
+
+    #[test]
+    fn json_renders_nested_structures() {
+        let j = Json::obj()
+            .field("bench", Json::Str("multi_client".into()))
+            .field("qps", Json::Num(1234.5))
+            .field("ok", Json::Bool(true))
+            .field(
+                "rows",
+                Json::Arr(vec![Json::obj()
+                    .field("clients", Json::Int(4))
+                    .field("p99_ms", Json::Num(2.5))]),
+            );
+        let s = j.render();
+        assert!(s.contains("\"bench\": \"multi_client\""));
+        assert!(s.contains("\"qps\": 1234.5"));
+        assert!(s.contains("\"clients\": 4"));
+        assert!(s.contains("\"p99_ms\": 2.5"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nulls_non_finite() {
+        let s = Json::obj()
+            .field("msg", Json::Str("a\"b\\c\nd".into()))
+            .field("nan", Json::Num(f64::NAN))
+            .render();
+        assert!(s.contains(r#""msg": "a\"b\\c\nd""#));
+        assert!(s.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut xs = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&mut xs, 50.0), 2.0);
+        assert_eq!(percentile(&mut xs, 99.0), 4.0);
+        assert_eq!(percentile(&mut xs, 0.0), 1.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
     }
 }

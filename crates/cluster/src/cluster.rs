@@ -1,11 +1,14 @@
 //! Cluster orchestration: spawning workers, client messaging, barriers,
 //! metrics collection, shutdown.
 //!
-//! [`Cluster::spawn`] starts one OS thread per worker node; each thread runs
-//! an event loop that feeds messages to the node's [`NodeHandler`]. The
-//! calling thread plays the paper's *client node*: it submits queries with
-//! [`Cluster::send`] / [`Cluster::broadcast`] and harvests results with
-//! [`Cluster::recv_timeout`].
+//! [`Cluster::spawn`] builds the configured [`Transport`] fabric and starts
+//! one OS thread per worker node; each thread runs an event loop that feeds
+//! messages to the node's [`NodeHandler`]. The calling thread plays the
+//! paper's *client node*: it submits queries with [`Cluster::send`] /
+//! [`Cluster::broadcast`] and harvests results with
+//! [`Cluster::recv_timeout`]. All cluster messaging is transport-agnostic:
+//! the cost model charges the same modeled nanoseconds whether frames move
+//! through in-process channels or real TCP sockets.
 //!
 //! For multi-threaded clients the receive path can be *split off* with
 //! [`Cluster::take_client_receiver`]: the returned [`ClientReceiver`] is
@@ -20,13 +23,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 
 use crate::error::ClusterError;
 use crate::metrics::{ClusterSnapshot, NodeMetrics};
 use crate::net::{CommMode, ComputeRates, DelayMode, NetworkModel};
-use crate::node::{send_impl, spin_sleep, Envelope, NodeCtx, NodeHandler, NodeId, Shared, CLIENT};
+use crate::node::{send_impl, spin_sleep, NodeCtx, NodeHandler, NodeId, Shared, CLIENT};
+use crate::transport::{build_transport, Frame, Transport, TransportKind};
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -43,6 +45,8 @@ pub struct ClusterConfig {
     pub rates: ComputeRates,
     /// Drop every n-th message (0 = never); deterministic failure injection.
     pub drop_every_nth: u64,
+    /// Which fabric physically carries the frames.
+    pub transport: TransportKind,
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +58,7 @@ impl Default for ClusterConfig {
             delay: DelayMode::Account,
             rates: ComputeRates::default(),
             drop_every_nth: 0,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -75,12 +80,10 @@ impl ClusterConfig {
 pub struct Cluster {
     config: ClusterConfig,
     shared: Arc<Shared>,
-    worker_senders: Vec<Sender<Envelope>>,
-    client_sender: Sender<Envelope>,
-    /// The client mailbox; `None` after [`Cluster::take_client_receiver`].
-    /// Wrapped in a mutex so the cluster stays `Sync` (the underlying mpsc
-    /// receiver is not) and can be shared behind an `Arc` for sending.
-    client_rx: Mutex<Option<Receiver<Envelope>>>,
+    transport: Arc<dyn Transport>,
+    /// `true` after [`Cluster::take_client_receiver`] moved the client
+    /// mailbox out.
+    client_taken: bool,
     /// User messages buffered while waiting for barrier pongs.
     pending: VecDeque<(NodeId, Bytes)>,
     handles: Vec<JoinHandle<()>>,
@@ -93,8 +96,25 @@ impl Cluster {
     /// with `factory(node_id)`.
     ///
     /// # Panics
+    /// Panics if `config.workers == 0` or the transport fabric cannot be
+    /// brought up (use [`Cluster::try_spawn`] to handle that).
+    pub fn spawn<H, F>(config: ClusterConfig, factory: F) -> Self
+    where
+        H: NodeHandler,
+        F: FnMut(NodeId) -> H,
+    {
+        Self::try_spawn(config, factory).expect("bring up cluster transport")
+    }
+
+    /// Fallible [`Cluster::spawn`]: surfaces transport bring-up failures
+    /// (e.g. a TCP listener that cannot bind) instead of panicking.
+    ///
+    /// # Errors
+    /// [`ClusterError::Io`] when the transport cannot be constructed.
+    ///
+    /// # Panics
     /// Panics if `config.workers == 0`.
-    pub fn spawn<H, F>(config: ClusterConfig, mut factory: F) -> Self
+    pub fn try_spawn<H, F>(config: ClusterConfig, mut factory: F) -> Result<Self, ClusterError>
     where
         H: NodeHandler,
         F: FnMut(NodeId) -> H,
@@ -114,43 +134,34 @@ impl Cluster {
             drop_every_nth: config.drop_every_nth,
         });
 
-        let mut worker_senders = Vec::with_capacity(config.workers);
-        let mut worker_receivers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let (tx, rx) = unbounded();
-            worker_senders.push(tx);
-            worker_receivers.push(rx);
-        }
-        let (client_sender, client_rx) = unbounded();
+        let transport = build_transport(&config.transport, config.workers)?;
 
         let mut handles = Vec::with_capacity(config.workers);
-        for (node_id, rx) in worker_receivers.into_iter().enumerate() {
+        for node_id in 0..config.workers {
             let ctx = NodeCtx {
                 node_id,
-                worker_senders: worker_senders.clone(),
-                client_sender: client_sender.clone(),
+                transport: Arc::clone(&transport),
                 shared: Arc::clone(&shared),
             };
             let handler = factory(node_id);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("harmony-worker-{node_id}"))
-                    .spawn(move || worker_main(handler, rx, ctx))
-                    .expect("spawn worker thread"),
+                    .spawn(move || worker_main(handler, ctx))
+                    .map_err(|e| ClusterError::Io(format!("spawn worker thread: {e}")))?,
             );
         }
 
-        Self {
+        Ok(Self {
             config,
             shared,
-            worker_senders,
-            client_sender,
-            client_rx: Mutex::new(Some(client_rx)),
+            transport,
+            client_taken: false,
             pending: VecDeque::new(),
             handles,
             next_ping_token: 1,
             down: false,
-        }
+        })
     }
 
     /// Number of worker nodes.
@@ -167,19 +178,12 @@ impl Cluster {
     ///
     /// # Errors
     /// [`ClusterError::UnknownNode`] / [`ClusterError::NodeDown`] /
-    /// [`ClusterError::ShutDown`].
+    /// [`ClusterError::Backpressure`] / [`ClusterError::ShutDown`].
     pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), ClusterError> {
         if self.down {
             return Err(ClusterError::ShutDown);
         }
-        send_impl(
-            &self.shared,
-            &self.worker_senders,
-            &self.client_sender,
-            CLIENT,
-            to,
-            payload,
-        )
+        send_impl(&self.shared, &*self.transport, CLIENT, to, payload)
     }
 
     /// Sends a copy of `payload` to every worker.
@@ -200,29 +204,13 @@ impl Cluster {
     /// [`ClusterError::ReceiverDetached`] after
     /// [`Cluster::take_client_receiver`].
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(NodeId, Bytes), ClusterError> {
+        if self.client_taken {
+            return Err(ClusterError::ReceiverDetached);
+        }
         if let Some(msg) = self.pending.pop_front() {
             return Ok(msg);
         }
-        let guard = self.client_rx.lock();
-        let rx = guard.as_ref().ok_or(ClusterError::ReceiverDetached)?;
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(remaining) {
-                Ok(Envelope::User {
-                    from,
-                    payload,
-                    injected_delay_ns,
-                }) => {
-                    spin_sleep(injected_delay_ns);
-                    return Ok((from, payload));
-                }
-                // Stray pong from an abandoned barrier: skip.
-                Ok(Envelope::Pong { .. }) => continue,
-                Ok(_) => continue,
-                Err(_) => return Err(ClusterError::Timeout),
-            }
-        }
+        recv_user_frame(&*self.transport, timeout)
     }
 
     /// Detaches the client mailbox as a standalone [`ClientReceiver`].
@@ -238,13 +226,12 @@ impl Cluster {
     /// # Errors
     /// [`ClusterError::ReceiverDetached`] if the receiver was already taken.
     pub fn take_client_receiver(&mut self) -> Result<ClientReceiver, ClusterError> {
-        let rx = self
-            .client_rx
-            .lock()
-            .take()
-            .ok_or(ClusterError::ReceiverDetached)?;
+        if self.client_taken {
+            return Err(ClusterError::ReceiverDetached);
+        }
+        self.client_taken = true;
         Ok(ClientReceiver {
-            rx,
+            transport: Arc::clone(&self.transport),
             pending: std::mem::take(&mut self.pending),
         })
     }
@@ -261,23 +248,24 @@ impl Cluster {
     /// [`ClusterError::ReceiverDetached`] after
     /// [`Cluster::take_client_receiver`].
     pub fn quiesce(&mut self, rounds: usize, timeout: Duration) -> Result<(), ClusterError> {
-        let guard = self.client_rx.lock();
-        let rx = guard.as_ref().ok_or(ClusterError::ReceiverDetached)?;
+        if self.client_taken {
+            return Err(ClusterError::ReceiverDetached);
+        }
+        if self.down {
+            return Err(ClusterError::ShutDown);
+        }
         let deadline = Instant::now() + timeout;
         for _ in 0..rounds {
             let token = self.next_ping_token;
             self.next_ping_token += 1;
-            for sender in &self.worker_senders {
-                sender
-                    .send(Envelope::Ping { token })
-                    .map_err(|_| ClusterError::ShutDown)?;
-            }
+            // Barrier probes ride the transport out-of-band: no cost model.
+            self.transport.broadcast(&Frame::Ping { token })?;
             let mut acked = vec![false; self.config.workers];
             let mut acks = 0;
             while acks < self.config.workers {
                 let remaining = deadline.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(remaining) {
-                    Ok(Envelope::Pong { token: t, from }) if t == token => {
+                match self.transport.recv(CLIENT, remaining) {
+                    Ok(Frame::Pong { token: t, from }) if t == token => {
                         if let Some(slot) = acked.get_mut(from) {
                             if !*slot {
                                 *slot = true;
@@ -285,8 +273,8 @@ impl Cluster {
                             }
                         }
                     }
-                    Ok(Envelope::Pong { .. }) => {}
-                    Ok(Envelope::User {
+                    Ok(Frame::Pong { .. }) => {}
+                    Ok(Frame::User {
                         from,
                         payload,
                         injected_delay_ns,
@@ -295,7 +283,8 @@ impl Cluster {
                         self.pending.push_back((from, payload));
                     }
                     Ok(_) => {}
-                    Err(_) => return Err(ClusterError::Timeout),
+                    Err(ClusterError::Timeout) => return Err(ClusterError::Timeout),
+                    Err(e) => return Err(e),
                 }
             }
         }
@@ -313,6 +302,11 @@ impl Cluster {
                 .collect(),
             client: self.shared.client_metrics.snapshot(),
         }
+    }
+
+    /// The transport fabric carrying this cluster's frames.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Attributes `ns` nanoseconds of computation to the client node
@@ -337,7 +331,8 @@ impl Cluster {
         self.shared.client_metrics.reset();
     }
 
-    /// Orderly shutdown: signals every worker and joins its thread.
+    /// Orderly shutdown: signals every worker, joins its thread, then tears
+    /// the transport down.
     ///
     /// # Errors
     /// [`ClusterError::NodeDown`] if a worker thread panicked.
@@ -346,9 +341,9 @@ impl Cluster {
             return Ok(());
         }
         self.down = true;
-        for sender in &self.worker_senders {
+        for w in 0..self.config.workers {
             // A worker that already died is reported by join below.
-            let _ = sender.send(Envelope::Shutdown);
+            let _ = self.transport.send(w, Frame::Shutdown);
         }
         let mut first_panic = None;
         for (node_id, handle) in self.handles.drain(..).enumerate() {
@@ -356,6 +351,9 @@ impl Cluster {
                 first_panic = Some(node_id);
             }
         }
+        // Workers are gone; close the fabric so detached receivers observe
+        // the disconnect.
+        self.transport.shutdown();
         match first_panic {
             Some(node) => Err(ClusterError::NodeDown(node)),
             None => Ok(()),
@@ -369,6 +367,31 @@ impl Drop for Cluster {
     }
 }
 
+/// Receives the next `User` frame addressed to the client, applying
+/// receiver-side delay injection and skipping stray barrier pongs.
+fn recv_user_frame(
+    transport: &dyn Transport,
+    timeout: Duration,
+) -> Result<(NodeId, Bytes), ClusterError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match transport.recv(CLIENT, remaining) {
+            Ok(Frame::User {
+                from,
+                payload,
+                injected_delay_ns,
+            }) => {
+                spin_sleep(injected_delay_ns);
+                return Ok((from, payload));
+            }
+            // Stray pong from an abandoned barrier: skip.
+            Ok(_) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// The client-side receive half of a cluster, detached via
 /// [`Cluster::take_client_receiver`].
 ///
@@ -376,7 +399,7 @@ impl Drop for Cluster {
 /// worker addresses to [`CLIENT`](crate::node::CLIENT) and applies the same
 /// receiver-side delay injection as [`Cluster::recv_timeout`].
 pub struct ClientReceiver {
-    rx: Receiver<Envelope>,
+    transport: Arc<dyn Transport>,
     /// Messages buffered by a pre-split [`Cluster::quiesce`] barrier.
     pending: VecDeque<(NodeId, Bytes)>,
 }
@@ -386,42 +409,26 @@ impl ClientReceiver {
     ///
     /// # Errors
     /// [`ClusterError::Timeout`] when nothing arrives in time,
-    /// [`ClusterError::ShutDown`] once every sending endpoint (the cluster
-    /// and all workers) is gone.
+    /// [`ClusterError::ShutDown`] once the cluster has been torn down and
+    /// the mailbox is drained.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(NodeId, Bytes), ClusterError> {
         if let Some(msg) = self.pending.pop_front() {
             return Ok(msg);
         }
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.rx.recv_timeout(remaining) {
-                Ok(Envelope::User {
-                    from,
-                    payload,
-                    injected_delay_ns,
-                }) => {
-                    spin_sleep(injected_delay_ns);
-                    return Ok((from, payload));
-                }
-                // Stray pong from an abandoned barrier: skip.
-                Ok(_) => continue,
-                Err(RecvTimeoutError::Timeout) => return Err(ClusterError::Timeout),
-                Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::ShutDown),
-            }
-        }
+        recv_user_frame(&*self.transport, timeout)
     }
 }
 
-/// Worker event loop.
-fn worker_main<H: NodeHandler>(mut handler: H, rx: Receiver<Envelope>, ctx: NodeCtx) {
-    while let Ok(envelope) = rx.recv() {
-        match envelope {
-            Envelope::User {
+/// Worker event loop: pulls frames off the transport and feeds payloads to
+/// the handler.
+fn worker_main<H: NodeHandler>(mut handler: H, ctx: NodeCtx) {
+    loop {
+        match ctx.transport.recv(ctx.node_id, Duration::from_millis(500)) {
+            Ok(Frame::User {
                 from,
                 payload,
                 injected_delay_ns,
-            } => {
+            }) => {
                 // Receiver-side injected network delay (non-blocking+sleep
                 // mode): the NIC drains the transfer before the handler runs.
                 spin_sleep(injected_delay_ns);
@@ -430,15 +437,20 @@ fn worker_main<H: NodeHandler>(mut handler: H, rx: Receiver<Envelope>, ctx: Node
                     .add_busy(ctx.rates().overhead_ns(payload.len()));
                 handler.handle(&ctx, from, payload);
             }
-            Envelope::Ping { token } => {
+            Ok(Frame::Ping { token }) => {
                 // Barrier probe: answer out-of-band (not cost-modeled).
-                let _ = ctx.client_sender.send(Envelope::Pong {
-                    from: ctx.node_id,
-                    token,
-                });
+                let _ = ctx.transport.send(
+                    CLIENT,
+                    Frame::Pong {
+                        from: ctx.node_id,
+                        token,
+                    },
+                );
             }
-            Envelope::Pong { .. } => {}
-            Envelope::Shutdown => break,
+            Ok(Frame::Pong { .. }) => {}
+            Ok(Frame::Shutdown) => break,
+            Err(ClusterError::Timeout) => continue,
+            Err(_) => break,
         }
     }
     handler.on_shutdown(&ctx);
@@ -447,6 +459,7 @@ fn worker_main<H: NodeHandler>(mut handler: H, rx: Receiver<Envelope>, ctx: Node
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::TcpOptions;
 
     /// Echoes every payload back to the client, uppercased.
     struct Echo;
@@ -472,6 +485,14 @@ mod tests {
         }
     }
 
+    fn tcp_config(workers: usize) -> ClusterConfig {
+        ClusterConfig {
+            workers,
+            transport: TransportKind::Tcp(TcpOptions::default()),
+            ..ClusterConfig::default()
+        }
+    }
+
     #[test]
     fn echo_roundtrip() {
         let mut cluster = Cluster::spawn(ClusterConfig::new(2), |_| Echo);
@@ -483,8 +504,27 @@ mod tests {
     }
 
     #[test]
+    fn echo_roundtrip_over_tcp() {
+        let mut cluster = Cluster::spawn(tcp_config(2), |_| Echo);
+        cluster.send(0, Bytes::from_static(b"ping")).unwrap();
+        let (from, reply) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(&reply[..], b"PING");
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
     fn multi_hop_pipeline_crosses_all_workers() {
         let mut cluster = Cluster::spawn(ClusterConfig::new(4), |_| Ring);
+        cluster.send(0, Bytes::new()).unwrap();
+        let (_, reply) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&reply[..], &[0, 1, 2, 3]);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn multi_hop_pipeline_crosses_all_workers_over_tcp() {
+        let mut cluster = Cluster::spawn(tcp_config(4), |_| Ring);
         cluster.send(0, Bytes::new()).unwrap();
         let (_, reply) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(&reply[..], &[0, 1, 2, 3]);
@@ -503,6 +543,22 @@ mod tests {
         assert_eq!(snap.client.bytes_rx, 3);
         assert_eq!(snap.workers[0].msgs_rx, 0);
         assert!(snap.workers[1].busy_ns > 0);
+        // In-process fabric adds no framing.
+        assert_eq!(snap.client.wire_tx_bytes, 3);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn tcp_charges_framing_overhead_into_wire_bytes() {
+        let mut cluster = Cluster::spawn(tcp_config(1), |_| Echo);
+        cluster.send(0, Bytes::from_static(b"abc")).unwrap();
+        let _ = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        let snap = cluster.snapshot();
+        let overhead = crate::transport::TCP_FRAME_OVERHEAD_BYTES;
+        // Payload counters stay payload-only; wire counters add framing.
+        assert_eq!(snap.client.bytes_tx, 3);
+        assert_eq!(snap.client.wire_tx_bytes, 3 + overhead);
+        assert_eq!(snap.workers[0].wire_rx_bytes, 3 + overhead);
         cluster.shutdown().unwrap();
     }
 
@@ -537,6 +593,16 @@ mod tests {
     }
 
     #[test]
+    fn quiesce_works_over_tcp() {
+        let mut cluster = Cluster::spawn(tcp_config(2), |_| Echo);
+        cluster.send(0, Bytes::from_static(b"a")).unwrap();
+        cluster.quiesce(1, Duration::from_secs(5)).unwrap();
+        let (_, reply) = cluster.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&reply[..], b"A");
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
     fn dropped_messages_cause_timeout() {
         let cfg = ClusterConfig {
             workers: 1,
@@ -559,6 +625,15 @@ mod tests {
         cluster.shutdown().unwrap();
         assert_eq!(cluster.send(0, Bytes::new()), Err(ClusterError::ShutDown));
         // Drop after shutdown must not panic.
+        drop(cluster);
+    }
+
+    #[test]
+    fn tcp_shutdown_is_idempotent_and_drop_safe() {
+        let mut cluster = Cluster::spawn(tcp_config(2), |_| Echo);
+        cluster.shutdown().unwrap();
+        cluster.shutdown().unwrap();
+        assert_eq!(cluster.send(0, Bytes::new()), Err(ClusterError::ShutDown));
         drop(cluster);
     }
 
@@ -645,6 +720,17 @@ mod tests {
     #[test]
     fn split_receiver_observes_disconnect_after_drop() {
         let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| Echo);
+        let mut rx = cluster.take_client_receiver().unwrap();
+        drop(cluster);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)),
+            Err(ClusterError::ShutDown)
+        );
+    }
+
+    #[test]
+    fn tcp_split_receiver_observes_disconnect_after_drop() {
+        let mut cluster = Cluster::spawn(tcp_config(1), |_| Echo);
         let mut rx = cluster.take_client_receiver().unwrap();
         drop(cluster);
         assert_eq!(

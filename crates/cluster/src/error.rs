@@ -21,6 +21,12 @@ pub enum ClusterError {
     /// The client receive path was detached via
     /// [`crate::cluster::Cluster::take_client_receiver`].
     ReceiverDetached,
+    /// The destination's bounded send queue stayed full past the send
+    /// deadline (TCP transport); the caller decides whether to retry, shed
+    /// load, or abort.
+    Backpressure,
+    /// A transport-level I/O failure (bind, connect, thread spawn).
+    Io(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -34,6 +40,13 @@ impl fmt::Display for ClusterError {
             ClusterError::ReceiverDetached => {
                 write!(f, "client receiver was detached from the cluster")
             }
+            ClusterError::Backpressure => {
+                write!(
+                    f,
+                    "send queue full: destination is not draining fast enough"
+                )
+            }
+            ClusterError::Io(msg) => write!(f, "transport i/o error: {msg}"),
         }
     }
 }

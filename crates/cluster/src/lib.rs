@@ -31,6 +31,7 @@ pub mod mem;
 pub mod metrics;
 pub mod net;
 pub mod node;
+pub mod transport;
 
 pub use cluster::{ClientReceiver, Cluster, ClusterConfig};
 pub use codec::{CodecError, Wire};
@@ -38,3 +39,7 @@ pub use error::ClusterError;
 pub use metrics::{ClusterSnapshot, NodeMetrics, NodeSnapshot, TimeBreakdown};
 pub use net::{CommMode, ComputeRates, DelayMode, NetworkModel};
 pub use node::{NodeCtx, NodeHandler, NodeId, CLIENT};
+pub use transport::{
+    decode_frame, encode_frame, Frame, InProcTransport, TcpOptions, TcpTransport, Transport,
+    TransportKind, MAX_FRAME_BYTES,
+};

@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
 static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static TRANSPORT_BUFFERED: AtomicUsize = AtomicUsize::new(0);
 
 /// A [`GlobalAlloc`] wrapper around the system allocator that tracks live
 /// and peak heap usage.
@@ -101,6 +102,23 @@ pub fn total_allocations() -> usize {
 /// i.e. it is installed as the global allocator.
 pub fn is_active() -> bool {
     total_allocations() > 0
+}
+
+/// Wire bytes currently parked in transport send queues (frames accepted by
+/// `Transport::send` but not yet written to the fabric). Unlike the heap
+/// counters this gauge works without installing the tracking allocator.
+pub fn transport_buffered_bytes() -> usize {
+    TRANSPORT_BUFFERED.load(Ordering::Relaxed)
+}
+
+/// Accounts `n` wire bytes entering a transport send queue.
+pub(crate) fn transport_buffer_add(n: usize) {
+    TRANSPORT_BUFFERED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` wire bytes leaving a transport send queue.
+pub(crate) fn transport_buffer_sub(n: usize) {
+    TRANSPORT_BUFFERED.fetch_sub(n, Ordering::Relaxed);
 }
 
 /// Formats a byte count using binary units ("3.21 GiB").

@@ -30,6 +30,11 @@ pub struct NodeMetrics {
     pub msgs_tx: AtomicU64,
     /// Messages received.
     pub msgs_rx: AtomicU64,
+    /// Wire bytes sent: payload plus the transport's per-message framing
+    /// overhead (0 for the in-process fabric).
+    pub wire_tx_bytes: AtomicU64,
+    /// Wire bytes received (payload + framing).
+    pub wire_rx_bytes: AtomicU64,
 }
 
 impl NodeMetrics {
@@ -61,6 +66,18 @@ impl NodeMetrics {
         self.comm_rx_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Adds `bytes` of outgoing wire traffic (payload + framing).
+    #[inline]
+    pub fn add_wire_tx(&self, bytes: u64) {
+        self.wire_tx_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds `bytes` of incoming wire traffic (payload + framing).
+    #[inline]
+    pub fn add_wire_rx(&self, bytes: u64) {
+        self.wire_rx_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of the counters.
     pub fn snapshot(&self) -> NodeSnapshot {
         NodeSnapshot {
@@ -72,6 +89,8 @@ impl NodeMetrics {
             bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
             msgs_tx: self.msgs_tx.load(Ordering::Relaxed),
             msgs_rx: self.msgs_rx.load(Ordering::Relaxed),
+            wire_tx_bytes: self.wire_tx_bytes.load(Ordering::Relaxed),
+            wire_rx_bytes: self.wire_rx_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -85,6 +104,8 @@ impl NodeMetrics {
         self.bytes_rx.store(0, Ordering::Relaxed);
         self.msgs_tx.store(0, Ordering::Relaxed);
         self.msgs_rx.store(0, Ordering::Relaxed);
+        self.wire_tx_bytes.store(0, Ordering::Relaxed);
+        self.wire_rx_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -107,6 +128,10 @@ pub struct NodeSnapshot {
     pub msgs_tx: u64,
     /// See [`NodeMetrics::msgs_rx`].
     pub msgs_rx: u64,
+    /// See [`NodeMetrics::wire_tx_bytes`].
+    pub wire_tx_bytes: u64,
+    /// See [`NodeMetrics::wire_rx_bytes`].
+    pub wire_rx_bytes: u64,
 }
 
 impl NodeSnapshot {
@@ -145,6 +170,8 @@ impl NodeSnapshot {
             bytes_rx: self.bytes_rx.saturating_sub(earlier.bytes_rx),
             msgs_tx: self.msgs_tx.saturating_sub(earlier.msgs_tx),
             msgs_rx: self.msgs_rx.saturating_sub(earlier.msgs_rx),
+            wire_tx_bytes: self.wire_tx_bytes.saturating_sub(earlier.wire_tx_bytes),
+            wire_rx_bytes: self.wire_rx_bytes.saturating_sub(earlier.wire_rx_bytes),
         }
     }
 
@@ -159,6 +186,8 @@ impl NodeSnapshot {
             bytes_rx: self.bytes_rx + other.bytes_rx,
             msgs_tx: self.msgs_tx + other.msgs_tx,
             msgs_rx: self.msgs_rx + other.msgs_rx,
+            wire_tx_bytes: self.wire_tx_bytes + other.wire_tx_bytes,
+            wire_rx_bytes: self.wire_rx_bytes + other.wire_rx_bytes,
         }
     }
 }
@@ -314,8 +343,24 @@ mod tests {
         let m = NodeMetrics::default();
         m.add_compute(1);
         m.record_tx(2, 3);
+        m.add_wire_tx(4);
         m.reset();
         assert_eq!(m.snapshot(), NodeSnapshot::default());
+    }
+
+    #[test]
+    fn wire_bytes_tracked_separately_from_payload() {
+        let m = NodeMetrics::default();
+        m.record_tx(100, 5);
+        m.add_wire_tx(121); // payload + framing
+        m.add_wire_rx(42);
+        let s = m.snapshot();
+        assert_eq!(s.bytes_tx, 100);
+        assert_eq!(s.wire_tx_bytes, 121);
+        assert_eq!(s.wire_rx_bytes, 42);
+        let d = s.delta(&NodeSnapshot::default());
+        assert_eq!(d.wire_tx_bytes, 121);
+        assert_eq!(s.merged(&s).wire_rx_bytes, 84);
     }
 
     #[test]

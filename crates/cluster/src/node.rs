@@ -1,57 +1,30 @@
-//! Worker node runtime: identity, message envelopes, and the per-node
-//! context handed to message handlers.
+//! Worker node runtime: identity, the cost-modeled send path, and the
+//! per-node context handed to message handlers.
 //!
 //! A Harmony deployment is one *client* (master) node plus `N` worker nodes
 //! (§6.1 uses "one client node and four worker nodes"). Workers run an event
 //! loop (see [`crate::cluster`]) that feeds incoming payloads to a
 //! [`NodeHandler`]. The handler sends messages — to peers for pipeline hops,
 //! to the client for results — through [`NodeCtx::send`], which charges the
-//! network cost model and updates metrics on both ends.
+//! network cost model and updates metrics on both ends before handing the
+//! frame to the [`Transport`](crate::transport::Transport) fabric.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use crossbeam::channel::Sender;
 
 use crate::error::ClusterError;
 use crate::metrics::NodeMetrics;
 use crate::net::{CommMode, ComputeRates, DelayMode, NetworkModel};
+use crate::transport::{Frame, Transport};
 
 /// Identifier of a node within a cluster. Workers are `0..N`.
 pub type NodeId = usize;
 
 /// The distinguished client (master) node id.
 pub const CLIENT: NodeId = usize::MAX;
-
-/// Internal transport envelope.
-#[derive(Debug)]
-pub(crate) enum Envelope {
-    /// An application payload.
-    User {
-        /// Sending node.
-        from: NodeId,
-        /// Serialized message.
-        payload: Bytes,
-        /// Receiver-side injected delay (non-blocking + sleep mode), ns.
-        injected_delay_ns: u64,
-    },
-    /// Barrier probe; the worker runtime answers with `Pong` directly.
-    Ping {
-        /// Token echoed back in the pong.
-        token: u64,
-    },
-    /// Barrier acknowledgment (worker → client).
-    Pong {
-        /// Responding worker.
-        from: NodeId,
-        /// Token from the matching ping.
-        token: u64,
-    },
-    /// Orderly termination of the worker loop.
-    Shutdown,
-}
 
 /// Logic hosted on a worker node.
 ///
@@ -102,22 +75,19 @@ impl Shared {
 }
 
 /// Core send path shared by workers and the client: charges the cost model,
-/// applies failure injection and delay, then enqueues the envelope.
+/// applies failure injection and delay, then hands the frame to the
+/// transport. Everything simulated lives here — the transport below only
+/// moves frames — so results are identical across fabrics.
 pub(crate) fn send_impl(
     shared: &Shared,
-    worker_senders: &[Sender<Envelope>],
-    client_sender: &Sender<Envelope>,
+    transport: &dyn Transport,
     from: NodeId,
     to: NodeId,
     payload: Bytes,
 ) -> Result<(), ClusterError> {
-    let sender = if to == CLIENT {
-        client_sender
-    } else {
-        worker_senders
-            .get(to)
-            .ok_or(ClusterError::UnknownNode(to))?
-    };
+    if to != CLIENT && to >= shared.worker_metrics.len() {
+        return Err(ClusterError::UnknownNode(to));
+    }
 
     let bytes = payload.len() as u64;
     // Blocking sends occupy the endpoint for the full transfer (latency +
@@ -127,7 +97,10 @@ pub(crate) fn send_impl(
         CommMode::Blocking => shared.net.transfer_ns(payload.len()),
         CommMode::NonBlocking => shared.net.occupancy_ns(payload.len()),
     };
+    // Wire traffic = payload plus whatever framing this fabric really adds.
+    let wire_bytes = bytes + transport.frame_overhead_bytes();
     shared.metrics_of(from).record_tx(bytes, cost_ns);
+    shared.metrics_of(from).add_wire_tx(wire_bytes);
     // Serialization CPU at the sender: modeled, charged as busy-not-compute
     // ("other overhead" in the paper's breakdowns).
     shared
@@ -139,6 +112,7 @@ pub(crate) fn send_impl(
         return Ok(());
     }
     shared.metrics_of(to).record_rx(bytes, cost_ns);
+    shared.metrics_of(to).add_wire_rx(wire_bytes);
 
     let mut injected_delay_ns = 0;
     if let DelayMode::Sleep { scale } = shared.delay {
@@ -152,13 +126,14 @@ pub(crate) fn send_impl(
         }
     }
 
-    sender
-        .send(Envelope::User {
+    transport.send(
+        to,
+        Frame::User {
             from,
             payload,
             injected_delay_ns,
-        })
-        .map_err(|_| ClusterError::NodeDown(to))
+        },
+    )
 }
 
 /// Sleeps `ns` nanoseconds with reasonable sub-millisecond accuracy.
@@ -180,8 +155,7 @@ pub(crate) fn spin_sleep(ns: u64) {
 /// Per-node context: identity, peers, metrics, and the cost-model send path.
 pub struct NodeCtx {
     pub(crate) node_id: NodeId,
-    pub(crate) worker_senders: Vec<Sender<Envelope>>,
-    pub(crate) client_sender: Sender<Envelope>,
+    pub(crate) transport: Arc<dyn Transport>,
     pub(crate) shared: Arc<Shared>,
 }
 
@@ -195,7 +169,7 @@ impl NodeCtx {
     /// Number of worker nodes in the cluster.
     #[inline]
     pub fn workers(&self) -> usize {
-        self.worker_senders.len()
+        self.transport.workers()
     }
 
     /// Sends `payload` to `to` (a worker id or [`CLIENT`]), charging the
@@ -203,16 +177,11 @@ impl NodeCtx {
     ///
     /// # Errors
     /// [`ClusterError::UnknownNode`] for an invalid id,
-    /// [`ClusterError::NodeDown`] when the destination stopped.
+    /// [`ClusterError::NodeDown`] when the destination stopped,
+    /// [`ClusterError::Backpressure`] when a bounded transport queue stayed
+    /// full.
     pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), ClusterError> {
-        send_impl(
-            &self.shared,
-            &self.worker_senders,
-            &self.client_sender,
-            self.node_id,
-            to,
-            payload,
-        )
+        send_impl(&self.shared, &*self.transport, self.node_id, to, payload)
     }
 
     /// Runs `f`, attributing its wall time to this node's *computation*
@@ -262,7 +231,8 @@ impl NodeCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::unbounded;
+    use crate::transport::InProcTransport;
+    use std::time::Duration;
 
     fn test_shared(workers: usize, drop_every_nth: u64) -> Arc<Shared> {
         Arc::new(Shared {
@@ -277,32 +247,23 @@ mod tests {
         })
     }
 
-    fn test_ctx(shared: Arc<Shared>) -> (NodeCtx, Vec<crossbeam::channel::Receiver<Envelope>>) {
+    fn test_ctx(shared: Arc<Shared>) -> (NodeCtx, Arc<InProcTransport>) {
         let workers = shared.worker_metrics.len();
-        let mut senders = Vec::new();
-        let mut receivers = Vec::new();
-        for _ in 0..workers {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let (ctx_tx, client_rx) = unbounded();
-        receivers.push(client_rx);
+        let transport = Arc::new(InProcTransport::new(workers));
         (
             NodeCtx {
                 node_id: 0,
-                worker_senders: senders,
-                client_sender: ctx_tx,
+                transport: Arc::clone(&transport) as Arc<dyn Transport>,
                 shared,
             },
-            receivers,
+            transport,
         )
     }
 
     #[test]
     fn send_accounts_both_endpoints() {
         let shared = test_shared(2, 0);
-        let (ctx, receivers) = test_ctx(shared.clone());
+        let (ctx, transport) = test_ctx(shared.clone());
         ctx.send(1, Bytes::from_static(b"hello")).unwrap();
         let tx = shared.worker_metrics[0].snapshot();
         let rx = shared.worker_metrics[1].snapshot();
@@ -310,6 +271,9 @@ mod tests {
         assert_eq!(tx.msgs_tx, 1);
         assert_eq!(rx.bytes_rx, 5);
         assert_eq!(rx.msgs_rx, 1);
+        // In-process delivery adds no framing: wire bytes == payload bytes.
+        assert_eq!(tx.wire_tx_bytes, 5);
+        assert_eq!(rx.wire_rx_bytes, 5);
         // Non-blocking sends charge wire occupancy only (no propagation
         // latency).
         assert_eq!(
@@ -318,24 +282,24 @@ mod tests {
             "non-blocking send must charge occupancy"
         );
         assert!(matches!(
-            receivers[1].try_recv().unwrap(),
-            Envelope::User { from: 0, .. }
+            transport.recv(1, Duration::from_secs(1)).unwrap(),
+            Frame::User { from: 0, .. }
         ));
     }
 
     #[test]
     fn send_to_client_uses_client_metrics() {
         let shared = test_shared(1, 0);
-        let (ctx, receivers) = test_ctx(shared.clone());
+        let (ctx, transport) = test_ctx(shared.clone());
         ctx.send(CLIENT, Bytes::from_static(b"result")).unwrap();
         assert_eq!(shared.client_metrics.snapshot().bytes_rx, 6);
-        assert!(receivers[1].try_recv().is_ok());
+        assert!(transport.recv(CLIENT, Duration::from_secs(1)).is_ok());
     }
 
     #[test]
     fn unknown_node_rejected() {
         let shared = test_shared(2, 0);
-        let (ctx, _rx) = test_ctx(shared);
+        let (ctx, _transport) = test_ctx(shared);
         assert_eq!(
             ctx.send(99, Bytes::new()),
             Err(ClusterError::UnknownNode(99))
@@ -345,12 +309,16 @@ mod tests {
     #[test]
     fn drop_injection_swallows_nth_message() {
         let shared = test_shared(2, 2); // drop every 2nd message
-        let (ctx, receivers) = test_ctx(shared.clone());
+        let (ctx, transport) = test_ctx(shared.clone());
         for _ in 0..4 {
             ctx.send(1, Bytes::from_static(b"x")).unwrap();
         }
         // 2 of 4 delivered.
-        assert_eq!(receivers[1].try_iter().count(), 2);
+        let mut delivered = 0;
+        while transport.recv(1, Duration::from_millis(10)).is_ok() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 2);
         let s = shared.worker_metrics[1].snapshot();
         assert_eq!(s.msgs_rx, 2);
         assert_eq!(shared.worker_metrics[0].snapshot().msgs_tx, 4);
@@ -359,7 +327,7 @@ mod tests {
     #[test]
     fn time_compute_records_duration() {
         let shared = test_shared(1, 0);
-        let (ctx, _rx) = test_ctx(shared.clone());
+        let (ctx, _transport) = test_ctx(shared.clone());
         let v = ctx.time_compute(|| {
             std::thread::sleep(std::time::Duration::from_millis(2));
             42
@@ -378,10 +346,10 @@ mod tests {
     }
 
     #[test]
-    fn node_down_detected() {
+    fn send_after_transport_shutdown_rejected() {
         let shared = test_shared(1, 0);
-        let (ctx, receivers) = test_ctx(shared);
-        drop(receivers);
-        assert_eq!(ctx.send(0, Bytes::new()), Err(ClusterError::NodeDown(0)));
+        let (ctx, transport) = test_ctx(shared);
+        transport.shutdown();
+        assert_eq!(ctx.send(0, Bytes::new()), Err(ClusterError::ShutDown));
     }
 }

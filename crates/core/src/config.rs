@@ -13,7 +13,7 @@
 //! ablates in Fig. 9 ("+Balanced load", "+Pipeline and asynchronous
 //! execution", "+Pruning").
 
-use harmony_cluster::{DelayMode, NetworkModel};
+use harmony_cluster::{DelayMode, NetworkModel, TransportKind};
 use harmony_index::Metric;
 
 use crate::error::CoreError;
@@ -78,6 +78,16 @@ pub struct ReplanConfig {
     /// Bound on the weight fraction a same-plan incremental rebalance may
     /// move in one tick (caps migration traffic).
     pub max_move_frac: f64,
+    /// EWMA smoothing factor applied to per-window probe counts before the
+    /// supervisor scores plans: `smoothed = α·window + (1-α)·smoothed`.
+    /// `1.0` disables smoothing (each window stands alone); smaller values
+    /// weigh recent drift against stale history more gradually.
+    pub ewma_alpha: f64,
+    /// Maximum list pieces shipped per `MigrateOut` wave during an epoch
+    /// migration (0 = unlimited). Smaller waves let foreground query
+    /// traffic interleave in worker mailboxes instead of being starved
+    /// behind one giant transfer message.
+    pub max_pieces_per_tick: usize,
 }
 
 impl Default for ReplanConfig {
@@ -88,6 +98,8 @@ impl Default for ReplanConfig {
             hysteresis: 0.10,
             amortize_windows: 10.0,
             max_move_frac: 0.25,
+            ewma_alpha: 0.65,
+            max_pieces_per_tick: 0,
         }
     }
 }
@@ -118,6 +130,12 @@ impl ReplanConfig {
             return Err(CoreError::Config(format!(
                 "replan max_move_frac must be in [0, 1], got {}",
                 self.max_move_frac
+            )));
+        }
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(CoreError::Config(format!(
+                "replan ewma_alpha must be in (0, 1], got {}",
+                self.ewma_alpha
             )));
         }
         Ok(())
@@ -160,6 +178,9 @@ pub struct HarmonyConfig {
     pub max_inflight: usize,
     /// Adaptive replanning supervisor knobs.
     pub replan: ReplanConfig,
+    /// Which fabric carries cluster frames (in-process channels or real
+    /// loopback TCP). The cost model charges identically over either.
+    pub transport: TransportKind,
 }
 
 impl HarmonyConfig {
@@ -238,6 +259,7 @@ impl Default for HarmonyConfigBuilder {
                 plan_override: None,
                 max_inflight: 64,
                 replan: ReplanConfig::default(),
+                transport: TransportKind::InProc,
             },
         }
     }
@@ -309,6 +331,10 @@ impl HarmonyConfigBuilder {
     builder_setter!(
         /// Adaptive replanning supervisor knobs.
         replan: ReplanConfig
+    );
+    builder_setter!(
+        /// Transport fabric for cluster frames.
+        transport: TransportKind
     );
 
     /// Forces a specific partition plan (diagnostics / ablations).
@@ -415,6 +441,14 @@ mod tests {
         }));
         assert!(bad(ReplanConfig {
             max_move_frac: 1.5,
+            ..ReplanConfig::default()
+        }));
+        assert!(bad(ReplanConfig {
+            ewma_alpha: 0.0,
+            ..ReplanConfig::default()
+        }));
+        assert!(bad(ReplanConfig {
+            ewma_alpha: 1.5,
             ..ReplanConfig::default()
         }));
         assert!(HarmonyConfig::builder()

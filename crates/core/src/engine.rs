@@ -68,7 +68,7 @@ use crate::messages::{
 use crate::partition::{PartitionPlan, ShardAssignment};
 use crate::pruning::SliceStats;
 use crate::stats::{
-    BatchResult, BuildStats, EngineStats, LoadTracker, ProbeSnapshot, ProbeTracker,
+    BatchResult, BuildStats, EngineStats, LoadTracker, ProbeEwma, ProbeSnapshot, ProbeTracker,
 };
 use crate::worker::HarmonyWorker;
 
@@ -159,6 +159,9 @@ struct EngineShared {
 struct SupervisorState {
     /// Probe snapshot at the start of the current observation window.
     window_start: ProbeSnapshot,
+    /// EWMA-smoothed probe windows (the supervisor's drift-aware view of
+    /// the workload; see [`ReplanConfig::ewma_alpha`](crate::ReplanConfig)).
+    ewma: ProbeEwma,
     /// Query count at which the next auto-check fires.
     next_check: u64,
     /// Next epoch number to hand out. Advances on every migration
@@ -447,7 +450,7 @@ impl HarmonyEngine {
         } else {
             CommMode::Blocking
         };
-        let mut cluster = Cluster::spawn(
+        let mut cluster = Cluster::try_spawn(
             ClusterConfig {
                 workers: config.n_machines,
                 net: config.net,
@@ -458,9 +461,11 @@ impl HarmonyEngine {
                     .with_kernel_rate(model.comp_ns_per_point_dim)
                     .with_candidate_rate(model.comp_ns_per_candidate),
                 drop_every_nth: 0,
+                transport: config.transport.clone(),
             },
             |_| HarmonyWorker::new(),
-        );
+        )
+        .map_err(CoreError::Cluster)?;
 
         let is_ip = !matches!(metric, Metric::L2);
         let mut expected_acks = 0usize;
@@ -571,6 +576,7 @@ impl HarmonyEngine {
             .expect("spawn client router thread");
 
         let check_every = config.replan.check_every;
+        let ewma = ProbeEwma::new(nlist, config.replan.ewma_alpha);
         Ok(Self {
             config,
             metric,
@@ -593,6 +599,7 @@ impl HarmonyEngine {
             control: Mutex::new(control_rx),
             supervisor: Mutex::new(SupervisorState {
                 window_start: ProbeSnapshot::default(),
+                ewma,
                 next_check: check_every.max(1),
                 next_epoch: 1,
                 retired: Vec::new(),
@@ -1156,11 +1163,16 @@ impl HarmonyEngine {
         }
         let nprobe = (window.total_probes() / window.queries.max(1)).max(1) as usize;
         let k = self.shared.probes.last_k().max(1) as usize;
+        // Smooth the raw window through the EWMA so sustained drift drives
+        // the decision while one noisy window cannot whipsaw the layout.
+        sup.ewma.absorb(&window);
+        let smoothed_counts = sup.ewma.counts();
+        let smoothed_queries = sup.ewma.queries().max(1);
         let profile = WorkloadProfile::observed(
             self.list_sizes.clone(),
-            &window.counts,
+            &smoothed_counts,
             self.dim,
-            window.queries as usize,
+            smoothed_queries as usize,
             nprobe,
             k,
         )?;
@@ -1383,11 +1395,26 @@ impl HarmonyEngine {
             for (src, t) in &specs {
                 by_src.entry(*src).or_default().push(t.clone());
             }
+            // Ship each source's transfers in bounded waves so foreground
+            // query chunks can interleave in worker mailboxes instead of
+            // stalling behind one giant transfer message. Activation counts
+            // pieces, not messages, so chunking never changes the handshake.
+            let wave = self.config.replan.max_pieces_per_tick;
             for (src, transfers) in by_src {
-                let msg = MigrateOut { epoch, transfers };
-                self.shared
-                    .cluster
-                    .send(src, ToWorker::MigrateOut(msg).to_bytes())?;
+                let wave = if wave == 0 {
+                    transfers.len().max(1)
+                } else {
+                    wave
+                };
+                for chunk in transfers.chunks(wave) {
+                    let msg = MigrateOut {
+                        epoch,
+                        transfers: chunk.to_vec(),
+                    };
+                    self.shared
+                        .cluster
+                        .send(src, ToWorker::MigrateOut(msg).to_bytes())?;
+                }
             }
             Ok(())
         })();

@@ -38,5 +38,7 @@ pub use engine::{HarmonyEngine, MigrationReport, ReplanOutcome, RoutingEpoch, Si
 pub use error::CoreError;
 pub use partition::{PartitionPlan, ShardAssignment};
 pub use pruning::{PruneRule, SliceStats};
-pub use stats::{BatchResult, BuildStats, EngineStats, LoadTracker, ProbeSnapshot, ProbeTracker};
+pub use stats::{
+    BatchResult, BuildStats, EngineStats, LoadTracker, ProbeEwma, ProbeSnapshot, ProbeTracker,
+};
 pub use worker::HarmonyWorker;

@@ -168,6 +168,70 @@ impl ProbeSnapshot {
     }
 }
 
+/// Exponentially-weighted moving average over [`ProbeTracker`] windows.
+///
+/// The plan supervisor feeds each observation window through this smoother
+/// before scoring plans, so sustained drift dominates while a single noisy
+/// window cannot whipsaw the layout. With `alpha = 1.0` every window stands
+/// alone (no memory — the pre-smoothing behavior); smaller values discount
+/// stale history geometrically: after `n` windows an old observation
+/// retains weight `(1-α)^n`.
+#[derive(Debug, Clone)]
+pub struct ProbeEwma {
+    counts: Vec<f64>,
+    queries: f64,
+    alpha: f64,
+    primed: bool,
+}
+
+impl ProbeEwma {
+    /// A smoother over `nlist` clusters with factor `alpha` ∈ (0, 1].
+    pub fn new(nlist: usize, alpha: f64) -> Self {
+        Self {
+            counts: vec![0.0; nlist],
+            queries: 0.0,
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            primed: false,
+        }
+    }
+
+    /// Folds one observation window in: `x ← α·window + (1-α)·x`. The first
+    /// window seeds the state directly so early decisions are not biased
+    /// toward the zero initialization.
+    pub fn absorb(&mut self, window: &ProbeSnapshot) {
+        if !self.primed {
+            for (cell, &c) in self.counts.iter_mut().zip(&window.counts) {
+                *cell = c as f64;
+            }
+            self.queries = window.queries as f64;
+            self.primed = true;
+            return;
+        }
+        let a = self.alpha;
+        for (i, cell) in self.counts.iter_mut().enumerate() {
+            let observed = window.counts.get(i).copied().unwrap_or(0) as f64;
+            *cell = a * observed + (1.0 - a) * *cell;
+        }
+        self.queries = a * window.queries as f64 + (1.0 - a) * self.queries;
+    }
+
+    /// The smoothed per-cluster probe counts, rounded to integers.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|&c| c.round() as u64).collect()
+    }
+
+    /// The smoothed per-window query count, rounded (at least 1 once any
+    /// window with queries has been absorbed).
+    pub fn queries(&self) -> u64 {
+        self.queries.round() as u64
+    }
+
+    /// The smoothing factor in force.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
 /// Timing of the three index-construction stages (Fig. 10).
 #[derive(Debug, Clone)]
 pub struct BuildStats {
@@ -364,6 +428,56 @@ mod tests {
         assert_eq!(window.total_probes(), 1);
         // Out-of-range clusters are ignored, not a panic.
         t.record(&[99], 10);
+    }
+
+    #[test]
+    fn probe_ewma_first_window_seeds_directly() {
+        let mut e = ProbeEwma::new(3, 0.5);
+        e.absorb(&ProbeSnapshot {
+            counts: vec![10, 0, 4],
+            queries: 8,
+        });
+        assert_eq!(e.counts(), vec![10, 0, 4]);
+        assert_eq!(e.queries(), 8);
+    }
+
+    #[test]
+    fn probe_ewma_weighs_recent_windows_heavier() {
+        let mut e = ProbeEwma::new(2, 0.75);
+        e.absorb(&ProbeSnapshot {
+            counts: vec![100, 0],
+            queries: 50,
+        });
+        // Workload flips entirely to the other cluster.
+        e.absorb(&ProbeSnapshot {
+            counts: vec![0, 100],
+            queries: 50,
+        });
+        let c = e.counts();
+        assert_eq!(c, vec![25, 75], "recent window must dominate at α=0.75");
+        assert_eq!(e.queries(), 50);
+        // Another flipped window decays the stale cluster further.
+        e.absorb(&ProbeSnapshot {
+            counts: vec![0, 100],
+            queries: 50,
+        });
+        assert!(e.counts()[0] < 10);
+        assert!(e.counts()[1] > 90);
+    }
+
+    #[test]
+    fn probe_ewma_alpha_one_has_no_memory() {
+        let mut e = ProbeEwma::new(1, 1.0);
+        e.absorb(&ProbeSnapshot {
+            counts: vec![100],
+            queries: 10,
+        });
+        e.absorb(&ProbeSnapshot {
+            counts: vec![4],
+            queries: 2,
+        });
+        assert_eq!(e.counts(), vec![4]);
+        assert_eq!(e.queries(), 2);
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub use harmony_index as index;
 /// Convenient glob-import surface for applications and examples.
 pub mod prelude {
     pub use harmony_baseline::{AuncelEngine, FaissLikeEngine};
-    pub use harmony_cluster::{ClusterConfig, CommMode, DelayMode, NetworkModel};
+    pub use harmony_cluster::{
+        ClusterConfig, CommMode, DelayMode, NetworkModel, TcpOptions, TransportKind,
+    };
     pub use harmony_core::{
         EngineMode, HarmonyConfig, HarmonyEngine, MigrationReport, PartitionPlan, ReplanConfig,
         ReplanOutcome, SearchOptions,

@@ -340,6 +340,58 @@ fn same_plan_rebalance_migrates_cleanly() {
 }
 
 #[test]
+fn throttled_migration_ships_in_waves_and_matches_unthrottled_results() {
+    let d = clustered(2_000, 16, 13);
+    let build = |max_pieces_per_tick: usize| {
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(16)
+            .seed(7)
+            .balanced_load(false)
+            .replan(ReplanConfig {
+                max_pieces_per_tick,
+                ..ReplanConfig::default()
+            })
+            .build()
+            .unwrap();
+        HarmonyEngine::build(config, &d.base).unwrap()
+    };
+    let opts = SearchOptions::new(10).with_nprobe(4);
+
+    // One engine ships every transfer in one MigrateOut per source, the
+    // other is throttled to single-transfer waves — the receivers count
+    // *pieces*, not messages, so the epoch handshake must complete
+    // identically either way.
+    let unthrottled = build(0);
+    let throttled = build(1);
+    let plan = PartitionPlan::pure_dimension(4);
+    let r0 = unthrottled.migrate_to(plan).unwrap();
+    let r1 = throttled.migrate_to(plan).unwrap();
+    assert_eq!(r0.to_epoch, r1.to_epoch);
+    assert_eq!(
+        r0.network_pieces, r1.network_pieces,
+        "throttling must reshape message waves, not the shipped pieces"
+    );
+    assert_eq!(throttled.plan(), unthrottled.plan());
+
+    // Both deployments landed on the same layout from the same seed, so
+    // the post-migration bits must agree exactly.
+    let a = unthrottled.search_batch(&d.queries, &opts).unwrap().results;
+    let b = throttled.search_batch(&d.queries, &opts).unwrap().results;
+    for (qi, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(x.len(), y.len(), "query {qi} lengths differ");
+        for (nx, ny) in x.iter().zip(y) {
+            assert!(
+                matches_bitwise(std::slice::from_ref(nx), std::slice::from_ref(ny)),
+                "query {qi}: throttled migration diverged: {nx:?} vs {ny:?}"
+            );
+        }
+    }
+    unthrottled.shutdown().unwrap();
+    throttled.shutdown().unwrap();
+}
+
+#[test]
 fn migrate_to_rejects_misfit_plans() {
     let d = clustered(1_000, 8, 3);
     let config = HarmonyConfig::builder()

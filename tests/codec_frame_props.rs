@@ -1,0 +1,263 @@
+//! Property tests for the framed transport codec: every typed message
+//! variant must survive the full wire path — `Wire` serialization into a
+//! `Frame::User` payload, length-prefixed frame encoding, frame decoding,
+//! and `Wire` deserialization — bit for bit. Truncated frames must decode
+//! to "incomplete" without consuming bytes, and frames whose header
+//! declares a body larger than [`MAX_FRAME_BYTES`] must be rejected.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use harmony::cluster::codec::Wire;
+use harmony::cluster::{decode_frame, encode_frame, Frame, MAX_FRAME_BYTES};
+use harmony::core::messages::{
+    BeginEpoch, Carry, ClusterBlock, InstallLists, ListPiece, LoadBlock, MigrateOut, QueryChunk,
+    QueryResult, StatsReport, ToClient, ToWorker, TransferSpec,
+};
+use proptest::prelude::*;
+
+/// Pushes `payload` through the complete frame path and asserts identity.
+fn roundtrip_payload(payload: Bytes, from: u64, delay: u64) -> Result<(), TestCaseError> {
+    let frame = Frame::User {
+        from: from as usize,
+        payload: payload.clone(),
+        injected_delay_ns: delay,
+    };
+    let mut wire = BytesMut::new();
+    encode_frame(&frame, &mut wire);
+    let mut buf = wire.freeze();
+    let got = decode_frame(&mut buf)
+        .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?
+        .ok_or_else(|| TestCaseError::Fail("complete frame decoded as incomplete".into()))?;
+    prop_assert_eq!(&got, &frame);
+    prop_assert_eq!(buf.remaining(), 0, "decode left trailing bytes");
+    match got {
+        Frame::User { payload: p, .. } => prop_assert_eq!(p, payload),
+        other => return Err(TestCaseError::Fail(format!("wrong frame kind {other:?}"))),
+    }
+    Ok(())
+}
+
+/// Round-trips a typed message through `Wire` + the frame path.
+fn roundtrip_msg<T: Wire + PartialEq + std::fmt::Debug>(
+    msg: T,
+    from: u64,
+    delay: u64,
+) -> Result<(), TestCaseError> {
+    let payload = msg.to_bytes();
+    roundtrip_payload(payload.clone(), from, delay)?;
+    let back =
+        T::from_bytes(payload).map_err(|e| TestCaseError::Fail(format!("Wire decode: {e}")))?;
+    prop_assert_eq!(back, msg);
+    Ok(())
+}
+
+fn sample_block(cluster: u32, n: usize, width: usize, ip: bool) -> ClusterBlock {
+    ClusterBlock {
+        cluster,
+        ids: (0..n as u64).map(|i| i * 3 + 1).collect(),
+        flat: (0..n * width).map(|i| i as f32 * 0.25 - 1.0).collect(),
+        block_norms_sq: if ip { vec![1.5; n] } else { Vec::new() },
+        total_norms_sq: if ip { vec![4.0; n] } else { Vec::new() },
+    }
+}
+
+fn sample_piece(cluster: u32, n: usize, width: usize, ip: bool) -> ListPiece {
+    ListPiece {
+        cluster,
+        dim_start: 8,
+        dim_end: 8 + width as u64,
+        ids: (0..n as u64).map(|i| i * 7).collect(),
+        flat: (0..n * width).map(|i| -(i as f32) * 0.5).collect(),
+        piece_norms_sq: if ip { vec![0.75; n] } else { Vec::new() },
+        total_norms_sq: if ip { vec![2.25; n] } else { Vec::new() },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every `ToWorker` variant survives the full frame path.
+    #[test]
+    fn to_worker_variants_roundtrip_through_frames(
+        tag in 0usize..9,
+        epoch in 0u64..1_000,
+        shard in 0u32..64,
+        n in 0usize..12,
+        width in 1usize..8,
+        ip in proptest::bool::ANY,
+        from in 0u64..8,
+        delay in 0u64..1_000_000,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let msg = match tag {
+            0 => ToWorker::Load(LoadBlock {
+                epoch,
+                shard,
+                dim_block: shard % 4,
+                dim_start: 0,
+                dim_end: width as u64,
+                total_dim_blocks: 4,
+                metric: (seed % 3) as u8,
+                pruning: ip,
+                lists: vec![sample_block(shard, n, width, ip)],
+            }),
+            1 => ToWorker::Chunk(QueryChunk {
+                query_id: seed,
+                epoch,
+                shard,
+                k: 10,
+                threshold: if ip { f32::INFINITY } else { 1.25 },
+                clusters: (0..n as u32).collect(),
+                dims: (0..width).map(|i| i as f32 * 0.1).collect(),
+                q_total_norm_sq: 2.0,
+                order: (0..4u64).collect(),
+                position: shard % 4,
+            }),
+            2 => ToWorker::Carry(Carry {
+                query_id: seed,
+                epoch,
+                shard,
+                threshold: 0.5,
+                next_position: 1,
+                indices: (0..n as u32).map(|i| i * 2).collect(),
+                partials: (0..n).map(|i| i as f32).collect(),
+                visited_norms_sq: if ip { vec![1.0; n] } else { Vec::new() },
+                q_visited_norm_sq: if ip { 0.25 } else { 0.0 },
+            }),
+            3 => ToWorker::GetStats,
+            4 => ToWorker::ResetStats,
+            5 => ToWorker::BeginEpoch(BeginEpoch {
+                epoch,
+                shard,
+                dim_block: 1,
+                dim_start: 0,
+                dim_end: width as u64,
+                total_dim_blocks: 2,
+                expected_pieces: n as u64,
+            }),
+            6 => ToWorker::MigrateOut(MigrateOut {
+                epoch,
+                transfers: (0..n as u32).map(|c| TransferSpec {
+                    cluster: c,
+                    src_epoch: epoch,
+                    src_shard: shard,
+                    dim_start: 0,
+                    dim_end: width as u64,
+                    dest: seed % 4,
+                    dest_shard: c % 2,
+                    dest_dim_block: c % 3,
+                }).collect(),
+            }),
+            7 => ToWorker::InstallLists(InstallLists {
+                epoch,
+                shard,
+                dim_block: 0,
+                pieces: vec![sample_piece(shard, n, width, ip)],
+            }),
+            _ => ToWorker::EvictEpoch { epoch },
+        };
+        roundtrip_msg(msg, from, delay)?;
+    }
+
+    /// Every `ToClient` variant survives the full frame path.
+    #[test]
+    fn to_client_variants_roundtrip_through_frames(
+        tag in 0usize..4,
+        epoch in 0u64..1_000,
+        shard in 0u32..64,
+        n in 0usize..16,
+        from in 0u64..8,
+        delay in 0u64..1_000_000,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let msg = match tag {
+            0 => ToClient::LoadAck { shard, dim_block: shard % 4 },
+            1 => ToClient::Result(QueryResult {
+                query_id: seed,
+                shard,
+                ids: (0..n as u64).collect(),
+                scores: (0..n).map(|i| i as f32 * 0.5 - 2.0).collect(),
+                candidates_seen: seed % 10_000,
+            }),
+            2 => ToClient::Stats(StatsReport {
+                slice_in: (0..n as u64).collect(),
+                slice_pruned: (0..n as u64).map(|x| x / 2).collect(),
+                scanned_point_dims: seed,
+                memory_bytes: seed / 3,
+            }),
+            _ => ToClient::EpochReady { epoch },
+        };
+        roundtrip_msg(msg, from, delay)?;
+    }
+
+    /// Control frames (`Ping`/`Pong`/`Shutdown`) and arbitrary opaque
+    /// payloads also round-trip.
+    #[test]
+    fn control_frames_and_raw_payloads_roundtrip(
+        token in proptest::num::u64::ANY,
+        from in 0u64..8,
+        body in proptest::collection::vec(proptest::num::u8::ANY, 0..256),
+    ) {
+        for frame in [
+            Frame::Ping { token },
+            Frame::Pong { from: from as usize, token },
+            Frame::Shutdown,
+        ] {
+            let mut wire = BytesMut::new();
+            encode_frame(&frame, &mut wire);
+            let mut buf = wire.freeze();
+            let got = decode_frame(&mut buf)
+                .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?
+                .ok_or_else(|| TestCaseError::Fail("incomplete".into()))?;
+            prop_assert_eq!(got, frame);
+        }
+        roundtrip_payload(Bytes::from(body), from, token % 1_000)?;
+    }
+
+    /// Any strict prefix of an encoded frame decodes as "incomplete" and
+    /// consumes nothing — the stream reader can always wait for more bytes.
+    #[test]
+    fn truncated_frames_report_incomplete(
+        body in proptest::collection::vec(proptest::num::u8::ANY, 0..128),
+        from in 0u64..8,
+        cut_seed in proptest::num::u64::ANY,
+    ) {
+        let frame = Frame::User {
+            from: from as usize,
+            payload: Bytes::from(body),
+            injected_delay_ns: 0,
+        };
+        let mut wire = BytesMut::new();
+        encode_frame(&frame, &mut wire);
+        let full = wire.freeze();
+        prop_assume!(full.len() > 1);
+        let cut = (cut_seed % (full.len() as u64 - 1)) as usize + 1; // 1..len
+        let mut prefix = full.slice(..cut);
+        let before = prefix.remaining();
+        match decode_frame(&mut prefix) {
+            Ok(None) => prop_assert_eq!(prefix.remaining(), before, "incomplete decode consumed bytes"),
+            Ok(Some(f)) => return Err(TestCaseError::Fail(format!(
+                "truncated frame ({cut}/{} bytes) decoded as {f:?}", full.len()
+            ))),
+            Err(e) => return Err(TestCaseError::Fail(format!("truncated frame errored: {e}"))),
+        }
+    }
+
+    /// A header declaring a body beyond the cap is rejected outright, no
+    /// matter how many bytes follow — a corrupt peer cannot make the
+    /// reader allocate unboundedly.
+    #[test]
+    fn oversized_frames_are_rejected(
+        excess in 1u64..1_000_000,
+        tail in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+    ) {
+        let declared = (MAX_FRAME_BYTES as u64 + excess).min(u32::MAX as u64) as u32;
+        let mut wire = BytesMut::new();
+        wire.put_u32_le(declared);
+        wire.extend_from_slice(&tail);
+        let mut buf = wire.freeze();
+        prop_assert!(
+            decode_frame(&mut buf).is_err(),
+            "declared body of {declared} bytes must be rejected"
+        );
+    }
+}

@@ -75,6 +75,53 @@ fn concurrent_sessions_are_bit_identical_to_serialized_runs() {
 }
 
 #[test]
+fn concurrent_sessions_over_tcp_match_inproc_bits() {
+    let d = clustered(3_000, 24, 42);
+    let build = |transport: TransportKind| {
+        let config = HarmonyConfig::builder()
+            .n_machines(4)
+            .nlist(16)
+            .seed(7)
+            .balanced_load(false)
+            .transport(transport)
+            .build()
+            .unwrap();
+        HarmonyEngine::build(config, &d.base).unwrap()
+    };
+    let opts = SearchOptions::new(10).with_nprobe(4);
+    let batches: Vec<VectorStore> = (0..4)
+        .map(|t| {
+            let rows: Vec<usize> = (0..32).map(|i| (t * 131 + i * 17) % d.base.len()).collect();
+            d.base.gather(&rows)
+        })
+        .collect();
+
+    // Reference bits from a serialized run on the in-process fabric.
+    let inproc = build(TransportKind::InProc);
+    let serial: Vec<_> = batches
+        .iter()
+        .map(|b| inproc.search_batch(b, &opts).unwrap().results)
+        .collect();
+    inproc.shutdown().unwrap();
+
+    // Four concurrent sessions multiplexed over real loopback sockets must
+    // reproduce them exactly: the cost model sits above the transport, so
+    // the fabric may not perturb a single bit.
+    let tcp = build(TransportKind::tcp());
+    let concurrent: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .iter()
+            .map(|b| s.spawn(|| tcp.search_batch(b, &opts).unwrap().results))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, (se, co)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_bit_identical(se, co, &format!("tcp thread {t}"));
+    }
+    tcp.shutdown().unwrap();
+}
+
+#[test]
 fn concurrent_sessions_discharge_outstanding_load_to_zero() {
     let d = clustered(2_000, 16, 11);
     // Non-pipelined dispatch keeps several shard visits of one query in
