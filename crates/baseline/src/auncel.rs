@@ -167,6 +167,7 @@ impl AuncelEngine {
                         cluster: c,
                         ids,
                         flat,
+                        segs: vec![],
                         block_norms_sq: vec![],
                         total_norms_sq: vec![],
                     }
@@ -181,6 +182,7 @@ impl AuncelEngine {
                 total_dim_blocks: 1,
                 metric: metric_tag::encode(Metric::L2),
                 pruning: true,
+                repr: 0,
                 lists,
             };
             cluster.send(machine, ToWorker::Load(load).to_bytes())?;

@@ -31,6 +31,7 @@ fn carry(survivors: usize) -> Carry {
         partials: (0..survivors).map(|i| i as f32).collect(),
         visited_norms_sq: vec![],
         q_visited_norm_sq: 0.0,
+        quant_eps: 0.0,
     }
 }
 

@@ -1,12 +1,20 @@
 //! Criterion: distance kernels — scalar vs dispatched (AVX2 when present),
-//! full-width vs dimension-block partials.
+//! f32 vs SQ8 int8 codes, full-width vs dimension-block partials.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use harmony_index::distance::{ip, ip_scalar, l2_sq, l2_sq_scalar, DimRange};
+use harmony_index::distance::{
+    ip, ip_scalar, ip_u8, ip_u8_scalar, l2_sq, l2_sq_scalar, l2_sq_u8, l2_sq_u8_scalar, DimRange,
+};
 
 fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
     let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
     let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+    (a, b)
+}
+
+fn codes(dim: usize) -> (Vec<u8>, Vec<u8>) {
+    let a: Vec<u8> = (0..dim).map(|i| (i * 37 % 256) as u8).collect();
+    let b: Vec<u8> = (0..dim).map(|i| (i * 11 % 256) as u8).collect();
     (a, b)
 }
 
@@ -26,6 +34,21 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ip_scalar", dim), &dim, |bench, _| {
             bench.iter(|| ip_scalar(black_box(&a), black_box(&b)))
         });
+        // SQ8 stage-1 kernels on the same widths: the quantized scan's cost
+        // per row relative to exact f32 is the two-stage speedup ceiling.
+        let (qa, qb) = codes(dim);
+        group.bench_with_input(BenchmarkId::new("l2_u8_dispatch", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq_u8(black_box(&qa), black_box(&qb)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_u8_scalar", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq_u8_scalar(black_box(&qa), black_box(&qb)))
+        });
+        group.bench_with_input(BenchmarkId::new("ip_u8_dispatch", dim), &dim, |bench, _| {
+            bench.iter(|| ip_u8(black_box(&qa), black_box(&qb)))
+        });
+        group.bench_with_input(BenchmarkId::new("ip_u8_scalar", dim), &dim, |bench, _| {
+            bench.iter(|| ip_u8_scalar(black_box(&qa), black_box(&qb)))
+        });
     }
     // Partial over a quarter block vs full width: the per-call overhead
     // visible at thin blocks motivates Harmony's per-worker batching.
@@ -36,6 +59,15 @@ fn bench_kernels(c: &mut Criterion) {
             l2_sq(
                 black_box(&a[quarter.start..quarter.end]),
                 black_box(&b[quarter.start..quarter.end]),
+            )
+        })
+    });
+    let (qa, qb) = codes(128);
+    group.bench_function("l2_u8_quarter_block", |bench| {
+        bench.iter(|| {
+            l2_sq_u8(
+                black_box(&qa[quarter.start..quarter.end]),
+                black_box(&qb[quarter.start..quarter.end]),
             )
         })
     });

@@ -7,8 +7,9 @@
 //! is the fastest distributed mode. Recall is swept via `nprobe`.
 
 use harmony_baseline::FaissLikeEngine;
+use harmony_bench::report::Json;
 use harmony_bench::runner::{
-    build_harmony, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, truth_for,
+    build_harmony_repr, measure_faiss, measure_harmony, nlist_for_clamped, take_queries, truth_for,
     BENCH_SEED,
 };
 use harmony_bench::{report, BenchArgs, Table};
@@ -33,12 +34,16 @@ fn main() {
     let k = 10;
 
     let mut table = Table::new(
-        "Fig. 6 — QPS vs recall (4 workers vs 1-node Faiss; billion-scale analogs run separately via --workers 16)",
+        format!(
+            "Fig. 6 — QPS vs recall, repr {} (4 workers vs 1-node Faiss; billion-scale analogs run separately via --workers 16)",
+            args.repr_name()
+        ),
         &[
             "dataset", "nprobe", "recall", "faiss QPS", "harmony QPS", "vector QPS",
             "dimension QPS", "harmony speedup",
         ],
     );
+    let mut json_rows: Vec<Json> = Vec::new();
 
     for &analog in datasets {
         let dataset = analog.generate(args.scale);
@@ -54,9 +59,27 @@ fn main() {
 
         let faiss =
             FaissLikeEngine::build(nlist, Metric::L2, BENCH_SEED, &dataset.base).expect("faiss");
-        let harmony = build_harmony(&dataset, EngineMode::Harmony, args.workers, nlist);
-        let vector = build_harmony(&dataset, EngineMode::HarmonyVector, args.workers, nlist);
-        let dimension = build_harmony(&dataset, EngineMode::HarmonyDimension, args.workers, nlist);
+        let harmony = build_harmony_repr(
+            &dataset,
+            EngineMode::Harmony,
+            args.workers,
+            nlist,
+            args.repr,
+        );
+        let vector = build_harmony_repr(
+            &dataset,
+            EngineMode::HarmonyVector,
+            args.workers,
+            nlist,
+            args.repr,
+        );
+        let dimension = build_harmony_repr(
+            &dataset,
+            EngineMode::HarmonyDimension,
+            args.workers,
+            nlist,
+            args.repr,
+        );
 
         let sweep: Vec<usize> = if args.quick {
             vec![2, 8, nlist / 2]
@@ -83,10 +106,29 @@ fn main() {
                 report::num(d.qps, 1),
                 format!("{:.2}x", if f_qps > 0.0 { h.qps / f_qps } else { 0.0 }),
             ]);
+            json_rows.push(
+                Json::obj()
+                    .field("dataset", Json::Str(analog.name().to_string()))
+                    .field("nprobe", Json::Int(nprobe as u64))
+                    .field("faiss_recall", Json::Num(recall))
+                    .field("harmony_recall", Json::Num(h.recall.unwrap_or(0.0)))
+                    .field("faiss_qps", Json::Num(f_qps))
+                    .field("harmony_qps", Json::Num(h.qps))
+                    .field("vector_qps", Json::Num(v.qps))
+                    .field("dimension_qps", Json::Num(d.qps)),
+            );
         }
         harmony.shutdown().expect("shutdown");
         vector.shutdown().expect("shutdown");
         dimension.shutdown().expect("shutdown");
     }
-    table.emit(&args.out_dir, "fig6_qps_recall");
+    let name = args.out_name("fig6_qps_recall");
+    table.emit(&args.out_dir, &name);
+    let summary = Json::obj()
+        .field("bench", Json::Str("fig6_qps_recall".into()))
+        .field("repr", Json::Str(args.repr_name().into()))
+        .field("k", Json::Int(k as u64))
+        .field("workers", Json::Int(args.workers as u64))
+        .field("rows", Json::Arr(json_rows));
+    report::emit_bench_json(&args.out_dir, &name, &summary);
 }

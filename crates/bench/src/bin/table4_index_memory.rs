@@ -3,13 +3,28 @@
 //! Paper shape: each distributed node holds ≈ ¼ of the single-node Faiss
 //! index (4 workers, no replication); dimension-including plans add ≈ 2 %
 //! bookkeeping overhead.
+//!
+//! With `--repr sq8` the block payloads are scalar-quantized; the extra
+//! "block reduction" column reports f32 block bytes ÷ sq8 block bytes from
+//! a paired f32 build of the same Harmony-mode engine (target ≥ 3×).
 
 use harmony_baseline::FaissLikeEngine;
-use harmony_bench::runner::{build_harmony, nlist_for_clamped, take_queries, BENCH_SEED};
+use harmony_bench::report::Json;
+use harmony_bench::runner::{build_harmony_repr, nlist_for_clamped, take_queries, BENCH_SEED};
 use harmony_bench::{report, BenchArgs, Table};
-use harmony_core::{EngineMode, SearchOptions};
-use harmony_data::DatasetAnalog;
-use harmony_index::Metric;
+use harmony_core::{EngineMode, EngineStats, HarmonyEngine, SearchOptions};
+use harmony_data::{Dataset, DatasetAnalog};
+use harmony_index::{BlockRepr, Metric};
+
+/// Warms every worker with one tiny batch (so all report stats), then
+/// collects cluster-wide stats.
+fn warm_stats(engine: &HarmonyEngine, dataset: &Dataset) -> EngineStats {
+    let queries = take_queries(&dataset.queries, 4);
+    let _ = engine
+        .search_batch(&queries, &SearchOptions::new(1).with_nprobe(1))
+        .expect("warmup");
+    engine.collect_stats().expect("stats")
+}
 
 fn main() {
     let args = BenchArgs::parse();
@@ -18,14 +33,19 @@ fn main() {
     } else {
         &DatasetAnalog::SMALL
     };
+    let sq8 = matches!(args.repr, BlockRepr::Sq8);
 
     let mut table = Table::new(
-        "Table 4 — index memory (per-node max for distributed; paper: each node ≈ 1/4 of Faiss, dim overhead ≈ +2 %)",
+        format!(
+            "Table 4 — index memory, repr {} (per-node max for distributed; paper: each node ≈ 1/4 of Faiss, dim overhead ≈ +2 %)",
+            args.repr_name()
+        ),
         &[
             "dataset", "faiss", "vector/node", "harmony/node", "dimension/node",
-            "node/faiss ratio",
+            "node/faiss ratio", "block bytes", "block reduction",
         ],
     );
+    let mut json_rows: Vec<Json> = Vec::new();
 
     for &analog in datasets {
         let dataset = analog.generate(args.scale);
@@ -37,21 +57,39 @@ fn main() {
         let faiss_bytes = faiss.memory_bytes() as u64;
 
         let mut per_node = Vec::new();
+        let mut block_bytes = 0u64;
         for mode in [
             EngineMode::HarmonyVector,
             EngineMode::Harmony,
             EngineMode::HarmonyDimension,
         ] {
-            let engine = build_harmony(&dataset, mode, args.workers, nlist);
-            // One tiny batch so every worker has loaded and can report.
-            let queries = take_queries(&dataset.queries, 4);
-            let _ = engine
-                .search_batch(&queries, &SearchOptions::new(1).with_nprobe(1))
-                .expect("warmup");
-            let stats = engine.collect_stats().expect("stats");
+            let engine = build_harmony_repr(&dataset, mode, args.workers, nlist, args.repr);
+            let stats = warm_stats(&engine, &dataset);
             per_node.push(stats.max_worker_memory_bytes());
+            if matches!(mode, EngineMode::Harmony) {
+                block_bytes = stats.f32_block_bytes + stats.sq8_block_bytes;
+            }
             engine.shutdown().expect("shutdown");
         }
+
+        // Under sq8 a paired f32 build of the Harmony-mode engine anchors
+        // the compression ratio; under f32 the ratio is 1 by definition.
+        let f32_block_bytes = if sq8 {
+            let engine = build_harmony_repr(
+                &dataset,
+                EngineMode::Harmony,
+                args.workers,
+                nlist,
+                BlockRepr::F32,
+            );
+            let stats = warm_stats(&engine, &dataset);
+            engine.shutdown().expect("shutdown");
+            stats.f32_block_bytes
+        } else {
+            block_bytes
+        };
+        let reduction = f32_block_bytes as f64 / block_bytes.max(1) as f64;
+
         let ratio = per_node[1] as f64 / faiss_bytes.max(1) as f64;
         table.row(vec![
             analog.name().to_string(),
@@ -60,7 +98,28 @@ fn main() {
             report::mib(per_node[1]),
             report::mib(per_node[2]),
             report::num(ratio, 3),
+            report::mib(block_bytes),
+            format!("{reduction:.2}x"),
         ]);
+        json_rows.push(
+            Json::obj()
+                .field("dataset", Json::Str(analog.name().to_string()))
+                .field("faiss_bytes", Json::Int(faiss_bytes))
+                .field("vector_node_bytes", Json::Int(per_node[0]))
+                .field("harmony_node_bytes", Json::Int(per_node[1]))
+                .field("dimension_node_bytes", Json::Int(per_node[2]))
+                .field("node_over_faiss", Json::Num(ratio))
+                .field("block_bytes", Json::Int(block_bytes))
+                .field("f32_block_bytes", Json::Int(f32_block_bytes))
+                .field("block_reduction", Json::Num(reduction)),
+        );
     }
-    table.emit(&args.out_dir, "table4_index_memory");
+    let name = args.out_name("table4_index_memory");
+    table.emit(&args.out_dir, &name);
+    let summary = Json::obj()
+        .field("bench", Json::Str("table4_index_memory".into()))
+        .field("repr", Json::Str(args.repr_name().into()))
+        .field("workers", Json::Int(args.workers as u64))
+        .field("rows", Json::Arr(json_rows));
+    report::emit_bench_json(&args.out_dir, &name, &summary);
 }

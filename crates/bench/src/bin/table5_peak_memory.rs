@@ -6,7 +6,8 @@
 //! allocator from `harmony-cluster`, process-wide (client + workers),
 //! windowed per engine run.
 
-use harmony_bench::runner::{build_harmony, nlist_for_clamped, take_queries};
+use harmony_bench::report::Json;
+use harmony_bench::runner::{build_harmony_repr, nlist_for_clamped, take_queries};
 use harmony_bench::{report, BenchArgs, Table};
 use harmony_cluster::mem;
 use harmony_core::{EngineMode, SearchOptions};
@@ -25,9 +26,13 @@ fn main() {
     let k = 10;
 
     let mut table = Table::new(
-        "Table 5 — peak query-time memory (process-wide; paper: vector < Harmony < dimension, gap shrinks with dims)",
+        format!(
+            "Table 5 — peak query-time memory, repr {} (process-wide; paper: vector < Harmony < dimension, gap shrinks with dims)",
+            args.repr_name()
+        ),
         &["dataset", "vector peak", "harmony peak", "dimension peak"],
     );
+    let mut json_rows: Vec<Json> = Vec::new();
 
     for &analog in datasets {
         let dataset = analog.generate(args.scale);
@@ -42,7 +47,7 @@ fn main() {
             EngineMode::Harmony,
             EngineMode::HarmonyDimension,
         ] {
-            let engine = build_harmony(&dataset, mode, args.workers, nlist);
+            let engine = build_harmony_repr(&dataset, mode, args.workers, nlist, args.repr);
             mem::reset_peak();
             let base = mem::current_bytes();
             let _ = engine.search_batch(&queries, &opts).expect("search");
@@ -56,7 +61,21 @@ fn main() {
             report::mib(peaks[1]),
             report::mib(peaks[2]),
         ]);
+        json_rows.push(
+            Json::obj()
+                .field("dataset", Json::Str(analog.name().to_string()))
+                .field("vector_peak_bytes", Json::Int(peaks[0]))
+                .field("harmony_peak_bytes", Json::Int(peaks[1]))
+                .field("dimension_peak_bytes", Json::Int(peaks[2])),
+        );
     }
-    table.emit(&args.out_dir, "table5_peak_memory");
+    let name = args.out_name("table5_peak_memory");
+    table.emit(&args.out_dir, &name);
+    let summary = Json::obj()
+        .field("bench", Json::Str("table5_peak_memory".into()))
+        .field("repr", Json::Str(args.repr_name().into()))
+        .field("workers", Json::Int(args.workers as u64))
+        .field("rows", Json::Arr(json_rows));
+    report::emit_bench_json(&args.out_dir, &name, &summary);
     assert!(mem::is_active(), "tracking allocator must be installed");
 }

@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 use harmony_cluster::TransportKind;
+use harmony_index::BlockRepr;
 
 /// Common benchmark knobs.
 #[derive(Debug, Clone)]
@@ -19,6 +20,8 @@ pub struct BenchArgs {
     pub out_dir: PathBuf,
     /// Cluster fabric: in-process channels or real loopback TCP.
     pub transport: TransportKind,
+    /// Block representation: exact f32 or SQ8 two-stage.
+    pub repr: BlockRepr,
 }
 
 impl Default for BenchArgs {
@@ -34,6 +37,7 @@ impl Default for BenchArgs {
             quick: false,
             out_dir: PathBuf::from("bench_results"),
             transport: TransportKind::InProc,
+            repr: BlockRepr::F32,
         }
     }
 }
@@ -69,10 +73,17 @@ impl BenchArgs {
                         other => panic!("bad --transport {other} (expected inproc|tcp)"),
                     }
                 }
+                "--repr" => {
+                    out.repr = match take("--repr").as_str() {
+                        "f32" => BlockRepr::F32,
+                        "sq8" => BlockRepr::Sq8,
+                        other => panic!("bad --repr {other} (expected f32|sq8)"),
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale f] [--queries n] [--workers n] [--out-dir d] \
-                         [--transport inproc|tcp] [--quick]"
+                         [--transport inproc|tcp] [--repr f32|sq8] [--quick]"
                     );
                     std::process::exit(0);
                 }
@@ -83,6 +94,24 @@ impl BenchArgs {
         assert!(out.queries > 0, "--queries must be positive");
         assert!(out.workers > 0, "--workers must be positive");
         out
+    }
+
+    /// Lowercase name of the selected block representation.
+    pub fn repr_name(&self) -> &'static str {
+        match self.repr {
+            BlockRepr::F32 => "f32",
+            BlockRepr::Sq8 => "sq8",
+        }
+    }
+
+    /// Artifact name for the selected representation: the f32 baseline keeps
+    /// the bare `base` name, sq8 runs get a `_sq8` suffix so both sets of
+    /// CSV/JSON outputs can coexist in one `--out-dir`.
+    pub fn out_name(&self, base: &str) -> String {
+        match self.repr {
+            BlockRepr::F32 => base.to_string(),
+            BlockRepr::Sq8 => format!("{base}_sq8"),
+        }
     }
 
     /// Queries clamped for quick mode.
@@ -158,5 +187,25 @@ mod tests {
     #[should_panic(expected = "bad --transport")]
     fn bad_transport_panics() {
         parse(&["--transport", "carrier-pigeon"]);
+    }
+
+    #[test]
+    fn repr_flag_selects_representation() {
+        assert!(matches!(parse(&[]).repr, BlockRepr::F32));
+        assert!(matches!(parse(&["--repr", "f32"]).repr, BlockRepr::F32));
+        assert!(matches!(parse(&["--repr", "sq8"]).repr, BlockRepr::Sq8));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --repr")]
+    fn bad_repr_panics() {
+        parse(&["--repr", "fp16"]);
+    }
+
+    #[test]
+    fn out_name_suffixes_sq8_only() {
+        assert_eq!(parse(&[]).out_name("fig6"), "fig6");
+        assert_eq!(parse(&["--repr", "sq8"]).out_name("fig6"), "fig6_sq8");
+        assert_eq!(parse(&["--repr", "sq8"]).repr_name(), "sq8");
     }
 }

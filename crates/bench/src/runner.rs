@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use harmony_core::{BatchResult, EngineMode, HarmonyConfig, HarmonyEngine, SearchOptions};
 use harmony_data::{ground_truth, recall_at_k, Dataset};
-use harmony_index::{Metric, Neighbor, VectorStore};
+use harmony_index::{BlockRepr, Metric, Neighbor, VectorStore};
 
 /// Training seed shared by every engine in the harness.
 pub const BENCH_SEED: u64 = 0xBE7C_11ED;
@@ -44,12 +44,28 @@ pub fn build_harmony(
     workers: usize,
     nlist: usize,
 ) -> HarmonyEngine {
+    build_harmony_repr(dataset, mode, workers, nlist, BlockRepr::F32)
+}
+
+/// Builds a Harmony engine with an explicit block representation (the
+/// `--repr` axis of the SQ8 experiments).
+///
+/// # Panics
+/// Panics on build failure.
+pub fn build_harmony_repr(
+    dataset: &Dataset,
+    mode: EngineMode,
+    workers: usize,
+    nlist: usize,
+    repr: BlockRepr,
+) -> HarmonyEngine {
     let config = HarmonyConfig::builder()
         .n_machines(workers)
         .nlist(nlist)
         .metric(Metric::L2)
         .mode(mode)
         .seed(BENCH_SEED)
+        .repr(repr)
         .build()
         .expect("valid config");
     HarmonyEngine::build(config, &dataset.base).expect("engine build")

@@ -28,6 +28,8 @@ static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
 static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static TRANSPORT_BUFFERED: AtomicUsize = AtomicUsize::new(0);
+static F32_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static SQ8_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 /// A [`GlobalAlloc`] wrapper around the system allocator that tracks live
 /// and peak heap usage.
@@ -121,6 +123,40 @@ pub(crate) fn transport_buffer_sub(n: usize) {
     TRANSPORT_BUFFERED.fetch_sub(n, Ordering::Relaxed);
 }
 
+/// Resident block payload bytes stored in exact f32 form across every live
+/// worker in the process (vector coordinates only; ids and norm tables are
+/// excluded). Maintained by the worker layer; works without installing the
+/// tracking allocator.
+pub fn f32_block_bytes() -> usize {
+    F32_BLOCK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resident block payload bytes stored in SQ8-quantized form (codes +
+/// per-row code sums + segment headers) across every live worker.
+pub fn sq8_block_bytes() -> usize {
+    SQ8_BLOCK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Accounts `n` bytes of f32 block payload coming resident.
+pub fn f32_block_add(n: usize) {
+    F32_BLOCK_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` bytes of f32 block payload being dropped.
+pub fn f32_block_sub(n: usize) {
+    F32_BLOCK_BYTES.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` bytes of SQ8 block payload coming resident.
+pub fn sq8_block_add(n: usize) {
+    SQ8_BLOCK_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` bytes of SQ8 block payload being dropped.
+pub fn sq8_block_sub(n: usize) {
+    SQ8_BLOCK_BYTES.fetch_sub(n, Ordering::Relaxed);
+}
+
 /// Formats a byte count using binary units ("3.21 GiB").
 pub fn format_bytes(bytes: usize) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
@@ -175,6 +211,19 @@ mod tests {
         assert_eq!(format_bytes(2048), "2.00 KiB");
         assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
         assert!(format_bytes(5 * 1024 * 1024 * 1024).contains("GiB"));
+    }
+
+    #[test]
+    fn repr_gauges_balance() {
+        let (f0, s0) = (f32_block_bytes(), sq8_block_bytes());
+        f32_block_add(4096);
+        sq8_block_add(1024);
+        assert_eq!(f32_block_bytes(), f0 + 4096);
+        assert_eq!(sq8_block_bytes(), s0 + 1024);
+        f32_block_sub(4096);
+        sq8_block_sub(1024);
+        assert_eq!(f32_block_bytes(), f0);
+        assert_eq!(sq8_block_bytes(), s0);
     }
 
     #[test]

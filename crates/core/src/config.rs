@@ -14,7 +14,7 @@
 //! execution", "+Pruning").
 
 use harmony_cluster::{DelayMode, NetworkModel, TransportKind};
-use harmony_index::Metric;
+use harmony_index::{BlockRepr, Metric};
 
 use crate::error::CoreError;
 use crate::partition::PartitionPlan;
@@ -181,6 +181,14 @@ pub struct HarmonyConfig {
     /// Which fabric carries cluster frames (in-process channels or real
     /// loopback TCP). The cost model charges identically over either.
     pub transport: TransportKind,
+    /// Block storage representation: exact `f32` rows or SQ8-quantized
+    /// segments scanned in two stages (quantized stage-1, exact re-rank).
+    pub repr: BlockRepr,
+    /// Under [`BlockRepr::Sq8`], stage 1 collects `k × rerank_scale`
+    /// survivors per query before the exact f32 re-rank trims them back to
+    /// `k`. Larger values recover more recall at more re-rank work; ignored
+    /// under [`BlockRepr::F32`]. Must be ≥ 1.
+    pub rerank_scale: usize,
 }
 
 impl HarmonyConfig {
@@ -208,6 +216,9 @@ impl HarmonyConfig {
         }
         if self.max_inflight == 0 {
             return Err(CoreError::Config("max_inflight must be > 0".into()));
+        }
+        if self.rerank_scale == 0 {
+            return Err(CoreError::Config("rerank_scale must be >= 1".into()));
         }
         self.replan.validate()?;
         if let Some(plan) = self.plan_override {
@@ -260,6 +271,8 @@ impl Default for HarmonyConfigBuilder {
                 max_inflight: 64,
                 replan: ReplanConfig::default(),
                 transport: TransportKind::InProc,
+                repr: BlockRepr::F32,
+                rerank_scale: 4,
             },
         }
     }
@@ -336,6 +349,14 @@ impl HarmonyConfigBuilder {
         /// Transport fabric for cluster frames.
         transport: TransportKind
     );
+    builder_setter!(
+        /// Block storage representation (f32 or SQ8 two-stage).
+        repr: BlockRepr
+    );
+    builder_setter!(
+        /// Stage-1 survivor multiplier for SQ8 re-ranking.
+        rerank_scale: usize
+    );
 
     /// Forces a specific partition plan (diagnostics / ablations).
     pub fn plan(mut self, plan: PartitionPlan) -> Self {
@@ -399,7 +420,21 @@ mod tests {
         assert_eq!(c.n_machines, 4);
         assert!(c.pruning && c.pipeline && c.balanced_load);
         assert_eq!(c.mode, EngineMode::Harmony);
+        assert_eq!(c.repr, BlockRepr::F32);
+        assert_eq!(c.rerank_scale, 4);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn repr_and_rerank_scale_are_configurable_and_validated() {
+        let c = HarmonyConfig::builder()
+            .repr(BlockRepr::Sq8)
+            .rerank_scale(8)
+            .build()
+            .unwrap();
+        assert_eq!(c.repr, BlockRepr::Sq8);
+        assert_eq!(c.rerank_scale, 8);
+        assert!(HarmonyConfig::builder().rerank_scale(0).build().is_err());
     }
 
     #[test]

@@ -53,7 +53,9 @@ use harmony_cluster::{
 };
 use harmony_index::distance::ip;
 use harmony_index::kmeans::nearest_centroids;
-use harmony_index::{DimRange, KMeans, KMeansConfig, Metric, Neighbor, TopK, VectorStore};
+use harmony_index::{
+    BlockRepr, DimRange, KMeans, KMeansConfig, Metric, Neighbor, Sq8Segment, TopK, VectorStore,
+};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -62,8 +64,8 @@ use crate::config::{EngineMode, HarmonyConfig, SearchOptions};
 use crate::cost::{weights_from, CostModel, WorkloadProfile};
 use crate::error::CoreError;
 use crate::messages::{
-    metric_tag, BeginEpoch, ClusterBlock, LoadBlock, MigrateOut, QueryChunk, QueryResult, ToClient,
-    ToWorker, TransferSpec,
+    metric_tag, repr_tag, BeginEpoch, ClusterBlock, LoadBlock, MigrateOut, QueryChunk, QueryResult,
+    ToClient, ToWorker, TransferSpec,
 };
 use crate::partition::{PartitionPlan, ShardAssignment};
 use crate::pruning::SliceStats;
@@ -90,6 +92,11 @@ pub struct HarmonyEngine {
     prewarm_store: VectorStore,
     /// Rows of `prewarm_store` per cluster.
     prewarm_rows: Vec<Vec<usize>>,
+    /// Exact base copy for the SQ8 second stage: stage-1 quantized scans
+    /// over-collect `k × rerank_scale` survivors, then the client re-scores
+    /// them here in full f32 before trimming to `k`. `None` under f32 (no
+    /// second stage needed).
+    rerank: Option<RerankStore>,
     build_stats: BuildStats,
     /// Calibrated cost model reused by the replanning supervisor.
     model: CostModel,
@@ -369,6 +376,13 @@ struct VisitCharge {
     per_machine: Vec<(NodeId, f64)>,
 }
 
+/// Client-side exact vectors for the SQ8 re-rank stage.
+struct RerankStore {
+    store: VectorStore,
+    /// External id → row of `store`.
+    by_id: HashMap<u64, usize>,
+}
+
 impl HarmonyEngine {
     /// Builds the distributed index over `base` and starts the workers.
     ///
@@ -468,6 +482,7 @@ impl HarmonyEngine {
         .map_err(CoreError::Cluster)?;
 
         let is_ip = !matches!(metric, Metric::L2);
+        let sq8 = matches!(config.repr, BlockRepr::Sq8);
         let mut expected_acks = 0usize;
         for (s, clusters) in routing.shard_clusters.iter().enumerate() {
             for (b, range) in routing.dim_ranges.iter().enumerate() {
@@ -490,10 +505,21 @@ impl HarmonyEngine {
                                 total_norms_sq.push(ip(full, full));
                             }
                         }
+                        // Under SQ8 only codes travel and reside; norm
+                        // tables stay exact (they are computed from the
+                        // original slices above, before quantization).
+                        let segs = if sq8 && !flat.is_empty() {
+                            let seg = Sq8Segment::quantize(&flat, range.len(), range.start as u64);
+                            flat = Vec::new();
+                            vec![seg]
+                        } else {
+                            Vec::new()
+                        };
                         ClusterBlock {
                             cluster: c,
                             ids,
                             flat,
+                            segs,
                             block_norms_sq,
                             total_norms_sq,
                         }
@@ -508,6 +534,7 @@ impl HarmonyEngine {
                     total_dim_blocks: plan.dim_blocks as u32,
                     metric: metric_tag::encode(metric),
                     pruning: config.pruning,
+                    repr: repr_tag::encode(config.repr),
                     lists,
                 };
                 cluster.send(machine, ToWorker::Load(load).to_bytes())?;
@@ -550,6 +577,18 @@ impl HarmonyEngine {
             }
         }
 
+        // SQ8 keeps an exact client-side copy of the base for the second
+        // (re-rank) stage; f32 results are already exact and skip it.
+        let rerank = if sq8 {
+            let by_id = (0..base.len()).map(|r| (base.id(r), r)).collect();
+            Some(RerankStore {
+                store: base.clone(),
+                by_id,
+            })
+        } else {
+            None
+        };
+
         // Search metrics must not include the build traffic.
         cluster.reset_metrics();
 
@@ -585,6 +624,7 @@ impl HarmonyEngine {
             list_sizes,
             prewarm_store,
             prewarm_rows,
+            rerank,
             build_stats: BuildStats {
                 train,
                 add,
@@ -849,11 +889,48 @@ impl HarmonyEngine {
                 active.insert(qid, state);
             } else if state.in_flight == 0 {
                 let state = active.remove(&result.query_id).expect("state exists");
-                results[state.row] = state.topk.into_sorted();
+                let row = state.row;
+                results[row] = self.finalize_results(queries.row(row), state.topk, opts.k);
                 completed += 1;
             }
         }
         Ok(())
+    }
+
+    /// Stage-1 collection size: `k × rerank_scale` under SQ8 (the extra
+    /// survivors feed the exact re-rank stage), plain `k` otherwise.
+    fn effective_k(&self, k: usize) -> usize {
+        if self.rerank.is_some() {
+            k.saturating_mul(self.config.rerank_scale.max(1))
+        } else {
+            k
+        }
+    }
+
+    /// Finishes one query. Under SQ8 every stage-1 survivor is re-scored
+    /// exactly against the retained base copy and the list is trimmed to
+    /// `k` (prewarm entries re-score idempotently — they were exact
+    /// already). Under f32 the heap is already exact and returns as-is.
+    fn finalize_results(&self, query: &[f32], topk: TopK, k: usize) -> Vec<Neighbor> {
+        let Some(rerank) = &self.rerank else {
+            return topk.into_sorted();
+        };
+        let survivors = topk.into_sorted();
+        let mut exact = TopK::new(k);
+        for n in &survivors {
+            let score = match rerank.by_id.get(&n.id) {
+                Some(&row) => self.metric.score(query, rerank.store.row(row)),
+                // Unknown id (defensive): keep the stage-1 score.
+                None => n.score,
+            };
+            exact.push(n.id, score);
+        }
+        // The re-rank is real client-side compute: bill it at the modeled
+        // scan rates like the centroid and prewarm stages.
+        self.shared
+            .cluster
+            .charge_client_compute((survivors.len() * self.dim) as u64, survivors.len() as u64);
+        exact.into_sorted()
     }
 
     /// Subtracts one visit's per-machine estimates from the shared tracker.
@@ -890,7 +967,8 @@ impl HarmonyEngine {
         // Prewarm (Algorithm 1 lines 1-5): seed the heap from client-side
         // samples of the probed lists. The budget is capped so prewarming
         // stays a cheap threshold seed — nearest probes sampled first.
-        let mut topk = TopK::new(opts.k);
+        // Under SQ8 the heap over-collects for the exact re-rank stage.
+        let mut topk = TopK::new(self.effective_k(opts.k));
         let mut prewarm_ids = HashSet::new();
         let budget = (4 * opts.k).max(16);
         'prewarm: for &c in &probes {
@@ -1047,7 +1125,7 @@ impl HarmonyEngine {
                 query_id: qid,
                 epoch: routing.epoch,
                 shard,
-                k: opts.k as u32,
+                k: self.effective_k(opts.k) as u32,
                 threshold,
                 clusters: clusters.clone(),
                 dims: query[range.start..range.end].to_vec(),
@@ -1318,6 +1396,7 @@ impl HarmonyEngine {
     /// and cost nothing on the fabric.
     fn migration_volume(&self, cur: &RoutingEpoch, next: &RoutingEpoch) -> (u64, u64, u64) {
         let is_ip = !matches!(self.metric, Metric::L2);
+        let sq8 = self.rerank.is_some();
         let mut bytes = 0u64;
         let mut pieces = 0u64;
         let mut groups: HashSet<(NodeId, u64, u32, u32)> = HashSet::new();
@@ -1331,9 +1410,16 @@ impl HarmonyEngine {
                 .copied()
                 .unwrap_or(0) as u64;
             let width = t.dim_end - t.dim_start;
-            // Header + ids + row-major coordinates (+ norm tables under
-            // inner-product metrics) — mirrors the ListPiece wire layout.
-            let mut piece = 44 + rows * (8 + width * 4);
+            // Header + ids + payload (+ norm tables under inner-product
+            // metrics) — mirrors the ListPiece wire layout. SQ8 ships one
+            // byte per coordinate plus a 4-byte code sum per row and a
+            // fixed segment header instead of 4-byte floats.
+            let mut piece = 44 + rows * 8;
+            piece += if sq8 {
+                40 + rows * (width + 4)
+            } else {
+                rows * width * 4
+            };
             if is_ip {
                 piece += rows * 8;
             }
@@ -1508,7 +1594,7 @@ impl HarmonyEngine {
         let mut stats = EngineStats {
             slices: SliceStats::new(self.plan().dim_blocks),
             worker_memory_bytes: vec![0; workers],
-            scanned_point_dims: 0,
+            ..EngineStats::default()
         };
         let deadline = Instant::now() + Duration::from_secs(30);
         let mut received = 0;
@@ -1528,6 +1614,8 @@ impl HarmonyEngine {
                     stats.slices.merge_report(&r.slice_in, &r.slice_pruned);
                     stats.worker_memory_bytes[from] = r.memory_bytes;
                     stats.scanned_point_dims += r.scanned_point_dims;
+                    stats.f32_block_bytes += r.f32_block_bytes;
+                    stats.sq8_block_bytes += r.sq8_block_bytes;
                     received += 1;
                 }
                 // A late EpochReady from an aborted migration is harmless.
@@ -1786,6 +1874,71 @@ mod tests {
         let dm = engine_with(EngineMode::HarmonyDimension, &d.base);
         assert_eq!(dm.plan(), PartitionPlan::pure_dimension(4));
         dm.shutdown().unwrap();
+    }
+
+    /// SQ8 two-stage search must reproduce the f32 engine's results on
+    /// well-separated data, report the promised memory reduction, and
+    /// never exceed its exact-re-rank contract (all returned scores are
+    /// exact, so they must match f32's bit for bit per id).
+    #[test]
+    fn sq8_two_stage_matches_f32_results() {
+        // 64 dims so even a 4-way dimension plan keeps blocks ≥16 wide —
+        // below that the fixed 4-byte per-row code sums eat the ≥3×
+        // byte-reduction margin.
+        let d = dataset(2_000, 64);
+        let build = |repr| {
+            let config = HarmonyConfig::builder()
+                .n_machines(4)
+                .nlist(16)
+                .seed(7)
+                .repr(repr)
+                .build()
+                .unwrap();
+            HarmonyEngine::build(config, &d.base).unwrap()
+        };
+        let exact = build(harmony_index::BlockRepr::F32);
+        let quant = build(harmony_index::BlockRepr::Sq8);
+        let opts = SearchOptions::new(10).with_nprobe(8);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for qi in 0..20 {
+            let q = d.queries.row(qi);
+            let want = exact.search(q, &opts).unwrap().neighbors;
+            let got = quant.search(q, &opts).unwrap().neighbors;
+            let want_ids: HashSet<u64> = want.iter().map(|n| n.id).collect();
+            total += want.len();
+            for n in &got {
+                if want_ids.contains(&n.id) {
+                    hits += 1;
+                    // Re-ranked scores are exact f32 — they differ from the
+                    // pipeline's distributed partial sums only by float
+                    // association, never by quantization error.
+                    let w = want.iter().find(|m| m.id == n.id).unwrap();
+                    assert!(
+                        (n.score - w.score).abs() <= 1e-4 * w.score.abs().max(1.0),
+                        "id {}: sq8 {} vs f32 {}",
+                        n.id,
+                        n.score,
+                        w.score
+                    );
+                }
+            }
+        }
+        let recall = hits as f64 / total.max(1) as f64;
+        assert!(recall >= 0.99, "sq8 recall vs f32 = {recall}");
+
+        let fs = exact.collect_stats().unwrap();
+        let qs = quant.collect_stats().unwrap();
+        assert_eq!(fs.sq8_block_bytes, 0);
+        assert_eq!(qs.f32_block_bytes, 0);
+        assert!(
+            fs.f32_block_bytes as f64 >= 3.0 * qs.sq8_block_bytes as f64,
+            "sq8 must shrink block bytes ≥3×: f32 {} vs sq8 {}",
+            fs.f32_block_bytes,
+            qs.sq8_block_bytes
+        );
+        exact.shutdown().unwrap();
+        quant.shutdown().unwrap();
     }
 
     #[test]

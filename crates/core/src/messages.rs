@@ -16,16 +16,61 @@
 
 use bytes::{Bytes, BytesMut};
 use harmony_cluster::{CodecError, Wire};
+use harmony_index::Sq8Segment;
+
+/// Encodes SQ8 segments field-by-field. `Sq8Segment` lives in
+/// `harmony-index` and `Wire` in `harmony-cluster`, so the orphan rule
+/// forbids an `impl Wire for Sq8Segment` here; these free helpers keep the
+/// wire layout (count + per-segment header + codes + sums) in one place.
+fn encode_segs(segs: &[Sq8Segment], buf: &mut BytesMut) {
+    (segs.len() as u64).encode(buf);
+    for s in segs {
+        s.dim_start.encode(buf);
+        s.dim_end.encode(buf);
+        s.min.encode(buf);
+        s.scale.encode(buf);
+        s.codes.encode(buf);
+        s.code_sums.encode(buf);
+    }
+}
+
+fn decode_segs(buf: &mut Bytes) -> Result<Vec<Sq8Segment>, CodecError> {
+    let len = usize::decode(buf)?;
+    if len > buf.len() {
+        return Err(CodecError::Invalid(format!(
+            "declared {len} segments but only {} bytes remain",
+            buf.len()
+        )));
+    }
+    let mut segs = Vec::with_capacity(len);
+    for _ in 0..len {
+        segs.push(Sq8Segment {
+            dim_start: u64::decode(buf)?,
+            dim_end: u64::decode(buf)?,
+            min: f32::decode(buf)?,
+            scale: f32::decode(buf)?,
+            codes: Vec::decode(buf)?,
+            code_sums: Vec::decode(buf)?,
+        });
+    }
+    Ok(segs)
+}
 
 /// One inverted list restricted to one dimension block.
+///
+/// Exactly one of `flat` (f32 representation) and `segs` (SQ8) is
+/// populated; the block's [`LoadBlock::repr`] tag says which.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterBlock {
     /// IVF list (cluster) id.
     pub cluster: u32,
     /// Member vector ids.
     pub ids: Vec<u64>,
-    /// Row-major member vectors, `block_dims` wide.
+    /// Row-major member vectors, `block_dims` wide (f32 representation;
+    /// empty under SQ8).
     pub flat: Vec<f32>,
+    /// SQ8-quantized dimension-slice segments (empty under f32).
+    pub segs: Vec<Sq8Segment>,
     /// Per-member squared norm of *this* block's coordinates (inner-product
     /// pruning only; empty under L2).
     pub block_norms_sq: Vec<f32>,
@@ -39,6 +84,7 @@ impl Wire for ClusterBlock {
         self.cluster.encode(buf);
         self.ids.encode(buf);
         self.flat.encode(buf);
+        encode_segs(&self.segs, buf);
         self.block_norms_sq.encode(buf);
         self.total_norms_sq.encode(buf);
     }
@@ -48,6 +94,7 @@ impl Wire for ClusterBlock {
             cluster: u32::decode(buf)?,
             ids: Vec::decode(buf)?,
             flat: Vec::decode(buf)?,
+            segs: decode_segs(buf)?,
             block_norms_sq: Vec::decode(buf)?,
             total_norms_sq: Vec::decode(buf)?,
         })
@@ -71,6 +118,8 @@ pub struct LoadBlock {
     pub total_dim_blocks: u32,
     /// Metric tag (0 = L2, 1 = IP, 2 = cosine).
     pub metric: u8,
+    /// Block representation tag (0 = f32, 1 = SQ8); see [`repr_tag`].
+    pub repr: u8,
     /// Whether early-stop pruning is enabled on this deployment.
     pub pruning: bool,
     /// The inverted lists assigned to this block.
@@ -86,6 +135,7 @@ impl Wire for LoadBlock {
         self.dim_end.encode(buf);
         self.total_dim_blocks.encode(buf);
         self.metric.encode(buf);
+        self.repr.encode(buf);
         self.pruning.encode(buf);
         self.lists.encode(buf);
     }
@@ -99,6 +149,7 @@ impl Wire for LoadBlock {
             dim_end: u64::decode(buf)?,
             total_dim_blocks: u32::decode(buf)?,
             metric: u8::decode(buf)?,
+            repr: u8::decode(buf)?,
             pruning: bool::decode(buf)?,
             lists: Vec::decode(buf)?,
         })
@@ -196,6 +247,12 @@ pub struct Carry {
     /// Accumulated visited squared norm of the query (inner-product; 0
     /// under L2).
     pub q_visited_norm_sq: f32,
+    /// Accumulated quantization-error slack for SQ8 pipelines (0 under
+    /// f32): per hop, the *maximum* over the scanned lists of that hop's
+    /// error term, summed along the pipeline. Receivers widen their prune
+    /// bounds by this before comparing quantized partials against the
+    /// exact-domain threshold.
+    pub quant_eps: f32,
 }
 
 impl Wire for Carry {
@@ -209,6 +266,7 @@ impl Wire for Carry {
         self.partials.encode(buf);
         self.visited_norms_sq.encode(buf);
         self.q_visited_norm_sq.encode(buf);
+        self.quant_eps.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
@@ -222,6 +280,7 @@ impl Wire for Carry {
             partials: Vec::decode(buf)?,
             visited_norms_sq: Vec::decode(buf)?,
             q_visited_norm_sq: f32::decode(buf)?,
+            quant_eps: f32::decode(buf)?,
         })
     }
 }
@@ -282,8 +341,13 @@ pub struct ListPiece {
     pub dim_end: u64,
     /// Member vector ids (identical across the cluster's pieces).
     pub ids: Vec<u64>,
-    /// Row-major member coordinates, `dim_end - dim_start` wide.
+    /// Row-major member coordinates, `dim_end - dim_start` wide (f32
+    /// representation; empty under SQ8).
     pub flat: Vec<f32>,
+    /// SQ8 segments column-sliced to `[dim_start, dim_end)` (empty under
+    /// f32). Each segment keeps its source block's `min`/`scale` verbatim,
+    /// so reassembled blocks are bit-identical to never-migrated ones.
+    pub segs: Vec<Sq8Segment>,
     /// Per-member squared norm over *this piece's* dimensions
     /// (inner-product metrics only; empty under L2). The destination sums
     /// these across pieces to rebuild its block norms.
@@ -299,6 +363,7 @@ impl Wire for ListPiece {
         self.dim_end.encode(buf);
         self.ids.encode(buf);
         self.flat.encode(buf);
+        encode_segs(&self.segs, buf);
         self.piece_norms_sq.encode(buf);
         self.total_norms_sq.encode(buf);
     }
@@ -310,6 +375,7 @@ impl Wire for ListPiece {
             dim_end: u64::decode(buf)?,
             ids: Vec::decode(buf)?,
             flat: Vec::decode(buf)?,
+            segs: decode_segs(buf)?,
             piece_norms_sq: Vec::decode(buf)?,
             total_norms_sq: Vec::decode(buf)?,
         })
@@ -479,6 +545,12 @@ pub struct StatsReport {
     pub scanned_point_dims: u64,
     /// Heap bytes used by this worker's block storage.
     pub memory_bytes: u64,
+    /// Resident block payload bytes held in f32 form (vector coordinates
+    /// only, ids excluded).
+    pub f32_block_bytes: u64,
+    /// Resident block payload bytes held in SQ8 form (codes + per-row code
+    /// sums + segment headers, ids excluded).
+    pub sq8_block_bytes: u64,
 }
 
 impl Wire for StatsReport {
@@ -487,6 +559,8 @@ impl Wire for StatsReport {
         self.slice_pruned.encode(buf);
         self.scanned_point_dims.encode(buf);
         self.memory_bytes.encode(buf);
+        self.f32_block_bytes.encode(buf);
+        self.sq8_block_bytes.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
@@ -495,6 +569,8 @@ impl Wire for StatsReport {
             slice_pruned: Vec::decode(buf)?,
             scanned_point_dims: u64::decode(buf)?,
             memory_bytes: u64::decode(buf)?,
+            f32_block_bytes: u64::decode(buf)?,
+            sq8_block_bytes: u64::decode(buf)?,
         })
     }
 }
@@ -669,6 +745,33 @@ pub mod metric_tag {
     }
 }
 
+/// Block-representation tags shared by [`LoadBlock::repr`].
+pub mod repr_tag {
+    use harmony_index::BlockRepr;
+
+    /// Encodes a block representation as its wire tag.
+    pub fn encode(repr: BlockRepr) -> u8 {
+        match repr {
+            BlockRepr::F32 => 0,
+            BlockRepr::Sq8 => 1,
+        }
+    }
+
+    /// Decodes a wire tag back to a block representation.
+    ///
+    /// # Errors
+    /// [`harmony_cluster::CodecError::Invalid`] for unknown tags.
+    pub fn decode(tag: u8) -> Result<BlockRepr, harmony_cluster::CodecError> {
+        match tag {
+            0 => Ok(BlockRepr::F32),
+            1 => Ok(BlockRepr::Sq8),
+            t => Err(harmony_cluster::CodecError::Invalid(format!(
+                "bad repr tag {t}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +802,7 @@ mod tests {
             cluster: 7,
             ids: vec![1, 2, 3],
             flat: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            segs: vec![],
             block_norms_sq: vec![1.0, 2.0, 3.0],
             total_norms_sq: vec![4.0, 5.0, 6.0],
         });
@@ -710,6 +814,7 @@ mod tests {
             dim_end: 64,
             total_dim_blocks: 4,
             metric: 0,
+            repr: 0,
             pruning: true,
             lists: vec![],
         });
@@ -724,6 +829,7 @@ mod tests {
             partials: vec![0.25, 0.75],
             visited_norms_sq: vec![],
             q_visited_norm_sq: 0.0,
+            quant_eps: 0.0,
         });
         roundtrip(QueryResult {
             query_id: 42,
@@ -737,7 +843,83 @@ mod tests {
             slice_pruned: vec![0, 40, 15],
             scanned_point_dims: 123_456,
             memory_bytes: 1 << 20,
+            f32_block_bytes: 1 << 19,
+            sq8_block_bytes: 1 << 17,
         });
+    }
+
+    #[test]
+    fn sq8_payloads_roundtrip() {
+        let flat: Vec<f32> = (0..12).map(|i| i as f32 * 0.75 - 2.0).collect();
+        let seg = Sq8Segment::quantize(&flat, 4, 8);
+        assert!(!seg.codes.is_empty());
+        roundtrip(ClusterBlock {
+            cluster: 3,
+            ids: vec![10, 11, 12],
+            flat: vec![],
+            segs: vec![seg.clone()],
+            block_norms_sq: vec![],
+            total_norms_sq: vec![],
+        });
+        roundtrip(ToWorker::Load(LoadBlock {
+            epoch: 2,
+            shard: 0,
+            dim_block: 1,
+            dim_start: 8,
+            dim_end: 12,
+            total_dim_blocks: 2,
+            metric: 0,
+            repr: 1,
+            pruning: true,
+            lists: vec![ClusterBlock {
+                cluster: 3,
+                ids: vec![10, 11, 12],
+                flat: vec![],
+                segs: vec![seg.clone()],
+                block_norms_sq: vec![],
+                total_norms_sq: vec![],
+            }],
+        }));
+        let half = seg.slice_dims(8, 10);
+        roundtrip(ToWorker::InstallLists(InstallLists {
+            epoch: 2,
+            shard: 0,
+            dim_block: 0,
+            pieces: vec![ListPiece {
+                cluster: 3,
+                dim_start: 8,
+                dim_end: 10,
+                ids: vec![10, 11, 12],
+                flat: vec![],
+                segs: vec![half],
+                piece_norms_sq: vec![],
+                total_norms_sq: vec![],
+            }],
+        }));
+        let mut c = Carry {
+            query_id: 9,
+            epoch: 2,
+            shard: 0,
+            threshold: 4.5,
+            next_position: 1,
+            indices: vec![0, 2],
+            partials: vec![1.25, 0.5],
+            visited_norms_sq: vec![],
+            q_visited_norm_sq: 0.0,
+            quant_eps: 0.0,
+        };
+        c.quant_eps = 0.125;
+        roundtrip(c);
+    }
+
+    #[test]
+    fn hostile_segment_count_rejected() {
+        let mut evil = BytesMut::new();
+        7u32.encode(&mut evil); // cluster
+        Vec::<u64>::new().encode(&mut evil); // ids
+        Vec::<f32>::new().encode(&mut evil); // flat
+        u64::MAX.encode(&mut evil); // declared segment count, no payload
+        assert!(ClusterBlock::from_bytes(evil.freeze()).is_err());
     }
 
     #[test]
@@ -748,6 +930,7 @@ mod tests {
             dim_end: 12,
             ids: vec![7, 9],
             flat: vec![0.1; 8],
+            segs: vec![],
             piece_norms_sq: vec![1.0, 2.0],
             total_norms_sq: vec![3.0, 4.0],
         };
@@ -819,6 +1002,15 @@ mod tests {
             assert_eq!(metric_tag::decode(metric_tag::encode(m)).unwrap(), m);
         }
         assert!(metric_tag::decode(9).is_err());
+    }
+
+    #[test]
+    fn repr_tags_roundtrip() {
+        use harmony_index::BlockRepr;
+        for r in [BlockRepr::F32, BlockRepr::Sq8] {
+            assert_eq!(repr_tag::decode(repr_tag::encode(r)).unwrap(), r);
+        }
+        assert!(repr_tag::decode(7).is_err());
     }
 
     #[test]

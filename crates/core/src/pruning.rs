@@ -23,6 +23,31 @@
 //! is compared against `τ` — see [`PruneRule::should_prune_cosine`]. This
 //! keeps worker-side partials comparable with the client-side prewarm
 //! scores ([`Metric::score`]) even for unnormalized inputs.
+//!
+//! ## Quantized (SQ8) partials
+//!
+//! When blocks are stored SQ8-quantized, the stage-1 partials are computed
+//! over *dequantized* coordinates, so they differ from the exact partials by
+//! a bounded perturbation. Comparing a quantized partial against an
+//! exact-domain threshold `τ` (the client's prewarm threshold and the final
+//! re-ranked scores are exact) therefore requires *widening* the prune test
+//! by the accumulated quantization error, or exact survivors could be
+//! dropped:
+//!
+//! * **L2** — with `ε = ε_q + ε_p` (query- and point-side row error bounds
+//!   accumulated additively along the pipeline),
+//!   `‖q−p‖ ≥ ‖dq(q)−dq(p)‖ − ε`, so prune iff
+//!   `(√partial − ε)₊² > τ` ([`PruneRule::should_prune_quantized`]).
+//! * **IP / cosine** — the dequantized dot product differs from the exact
+//!   one by at most `ε_q·max‖p‖ + (‖q‖+ε_q)·ε_p` per block; that slack is
+//!   subtracted from the admissible bound (cosine: before normalization,
+//!   [`PruneRule::should_prune_cosine_quantized`]).
+//!
+//! Comparisons *within* the quantized domain (a worker-local top-k built
+//! from quantized scores, compared against quantized scores) need no
+//! widening — both sides carry the same perturbation. The widening is only
+//! for mixed-domain tests, and `quant_eps = 0` reduces every quantized rule
+//! to its exact counterpart.
 
 use harmony_index::Metric;
 
@@ -109,6 +134,80 @@ impl PruneRule {
         let denom = (q_total_sq.max(0.0) * p_total_sq.max(0.0)).sqrt();
         let bound = if denom > 0.0 {
             (partial - best_remaining) / denom
+        } else {
+            0.0
+        };
+        bound > threshold
+    }
+
+    /// [`Self::should_prune`] widened by accumulated quantization error, for
+    /// SQ8 stage-1 partials compared against an exact-domain threshold.
+    ///
+    /// * Under L2, `quant_eps` is an upper bound on
+    ///   `‖q − dq(q)‖ + ‖p − dq(p)‖` over the visited dimensions, so by the
+    ///   triangle inequality the exact distance satisfies
+    ///   `‖q−p‖ ≥ √partial − quant_eps` and the admissible squared lower
+    ///   bound is `max(0, √partial − quant_eps)²`.
+    /// * Under IP/cosine, `quant_eps` is an upper bound on the absolute dot
+    ///   product error over the visited dimensions and is subtracted from
+    ///   the optimistic completion directly.
+    ///
+    /// `quant_eps <= 0` delegates to the exact rule unchanged.
+    #[inline]
+    pub fn should_prune_quantized(
+        &self,
+        partial: f32,
+        threshold: f32,
+        q_rest_sq: f32,
+        p_rest_sq: f32,
+        quant_eps: f32,
+    ) -> bool {
+        if quant_eps <= 0.0 {
+            return self.should_prune(partial, threshold, q_rest_sq, p_rest_sq);
+        }
+        if !self.enabled || threshold == f32::INFINITY {
+            return false;
+        }
+        match self.metric {
+            Metric::L2 => {
+                let lower = (partial.max(0.0).sqrt() - quant_eps).max(0.0);
+                lower * lower > threshold
+            }
+            Metric::InnerProduct | Metric::Cosine => {
+                let best_remaining = (q_rest_sq.max(0.0) * p_rest_sq.max(0.0)).sqrt();
+                partial - best_remaining - quant_eps > threshold
+            }
+        }
+    }
+
+    /// [`Self::should_prune_cosine`] widened by accumulated quantization
+    /// error: the raw-dot-product slack `quant_eps` is subtracted from the
+    /// numerator *before* normalization, since the error lives in the
+    /// unnormalized dot-product space.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn should_prune_cosine_quantized(
+        &self,
+        partial: f32,
+        threshold: f32,
+        q_rest_sq: f32,
+        p_rest_sq: f32,
+        q_total_sq: f32,
+        p_total_sq: f32,
+        quant_eps: f32,
+    ) -> bool {
+        if quant_eps <= 0.0 {
+            return self.should_prune_cosine(
+                partial, threshold, q_rest_sq, p_rest_sq, q_total_sq, p_total_sq,
+            );
+        }
+        if !self.enabled || threshold == f32::INFINITY {
+            return false;
+        }
+        let best_remaining = (q_rest_sq.max(0.0) * p_rest_sq.max(0.0)).sqrt();
+        let denom = (q_total_sq.max(0.0) * p_total_sq.max(0.0)).sqrt();
+        let bound = if denom > 0.0 {
+            (partial - best_remaining - quant_eps) / denom
         } else {
             0.0
         };
@@ -291,6 +390,74 @@ mod tests {
         let off = PruneRule::new(Metric::Cosine, false);
         assert!(!off.should_prune_cosine(1e9, -1.0, 0.0, 0.0, 1.0, 1.0));
         assert!(!rule.should_prune_cosine(1e9, f32::INFINITY, 0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn quantized_l2_rule_is_widened_and_admissible() {
+        let rule = PruneRule::new(Metric::L2, true);
+        // Exact partial 9.0 (distance 3) with eps 0.5: lower bound is
+        // (3 - 0.5)^2 = 6.25 — prune only past that.
+        assert!(!rule.should_prune_quantized(9.0, 6.25, 0.0, 0.0, 0.5));
+        assert!(rule.should_prune_quantized(9.0, 6.2, 0.0, 0.0, 0.5));
+        // The exact rule would have pruned at tau = 8.0; the widened one
+        // keeps the candidate because quantization might explain the gap.
+        assert!(rule.should_prune(9.0, 8.0, 0.0, 0.0));
+        assert!(!rule.should_prune_quantized(9.0, 8.0, 0.0, 0.0, 0.5));
+        // eps = 0 degenerates to the exact rule.
+        assert!(rule.should_prune_quantized(9.0, 8.0, 0.0, 0.0, 0.0));
+        // Simulated quantized measurement of a true distance: the true
+        // score must never be pruned by its own threshold when the
+        // perturbation stays within eps.
+        let true_dist_sq = 4.0f32;
+        let eps = 0.25f32;
+        for k in 0..20 {
+            let noise = eps * (k as f32 / 19.0 * 2.0 - 1.0);
+            let measured = (true_dist_sq.sqrt() + noise).powi(2);
+            assert!(
+                !rule.should_prune_quantized(measured, true_dist_sq, 0.0, 0.0, eps),
+                "noise {noise} pruned the true score"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_ip_and_cosine_rules_subtract_slack() {
+        let ip = PruneRule::new(Metric::InnerProduct, true);
+        // Exact rule prunes at partial - best_remaining > tau; the widened
+        // rule gives quantization the benefit of the doubt.
+        assert!(ip.should_prune(-2.0, -3.5, 0.01, 0.01));
+        assert!(!ip.should_prune_quantized(-2.0, -3.5, 0.01, 0.01, 2.0));
+        assert!(ip.should_prune_quantized(-2.0, -3.5, 0.01, 0.01, 0.5));
+        assert!(!ip.should_prune_quantized(-2.0, f32::INFINITY, 0.0, 0.0, 0.5));
+
+        let cos = PruneRule::new(Metric::Cosine, true);
+        let (q_rest_sq, p_rest_sq, q_total_sq, p_total_sq) = (1.0, 1.0, 4.0, 4.0);
+        let partial = -1.0f32;
+        let exact_bound = (partial - 1.0) / 4.0; // -0.5
+        assert!(cos.should_prune_cosine(
+            partial,
+            exact_bound - 1e-3,
+            q_rest_sq,
+            p_rest_sq,
+            q_total_sq,
+            p_total_sq
+        ));
+        // Slack 1.0 in dot space moves the bound to -0.75.
+        assert!(!cos.should_prune_cosine_quantized(
+            partial,
+            exact_bound - 1e-3,
+            q_rest_sq,
+            p_rest_sq,
+            q_total_sq,
+            p_total_sq,
+            1.0
+        ));
+        assert!(cos.should_prune_cosine_quantized(
+            partial, -0.76, q_rest_sq, p_rest_sq, q_total_sq, p_total_sq, 1.0
+        ));
+        // Zero-norm candidates still score 0.
+        assert!(cos.should_prune_cosine_quantized(0.0, -0.5, 0.0, 0.0, 1.0, 0.0, 1.0));
+        assert!(!cos.should_prune_cosine_quantized(0.0, 0.5, 0.0, 0.0, 1.0, 0.0, 1.0));
     }
 
     #[test]

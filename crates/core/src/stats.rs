@@ -265,6 +265,10 @@ pub struct EngineStats {
     pub worker_memory_bytes: Vec<u64>,
     /// Total point-dimension products scanned across workers.
     pub scanned_point_dims: u64,
+    /// Block payload bytes resident in exact f32 form across workers.
+    pub f32_block_bytes: u64,
+    /// Block payload bytes resident in SQ8-quantized form across workers.
+    pub sq8_block_bytes: u64,
 }
 
 impl EngineStats {

@@ -38,37 +38,62 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use harmony_cluster::{NodeCtx, NodeHandler, NodeId, Wire, CLIENT};
+use harmony_cluster::{mem, NodeCtx, NodeHandler, NodeId, Wire, CLIENT};
 use harmony_index::distance::{ip, l2_sq};
-use harmony_index::{Metric, TopK};
+use harmony_index::quant::{self, Sq8BlockQuery};
+use harmony_index::{BlockRepr, Metric, Sq8Segment, TopK};
 
 use crate::messages::{
-    metric_tag, BeginEpoch, Carry, InstallLists, ListPiece, LoadBlock, MigrateOut, QueryChunk,
-    QueryResult, StatsReport, ToClient, ToWorker,
+    metric_tag, repr_tag, BeginEpoch, Carry, InstallLists, ListPiece, LoadBlock, MigrateOut,
+    QueryChunk, QueryResult, StatsReport, ToClient, ToWorker,
 };
 use crate::pruning::PruneRule;
+
+/// The vector payload of one list block, in its resident representation.
+enum BlockData {
+    /// Exact row-major `f32` rows.
+    F32 { flat: Vec<f32> },
+    /// SQ8-quantized dimension-slice segments, sorted by `dim_start`.
+    Sq8 { segs: Vec<Sq8Segment> },
+}
 
 /// One inverted list restricted to this worker's dimension block.
 struct ListBlock {
     ids: Vec<u64>,
-    /// Row-major, `width` floats per member.
-    flat: Vec<f32>,
+    data: BlockData,
     block_norms_sq: Vec<f32>,
     total_norms_sq: Vec<f32>,
+    /// Max of `block_norms_sq` (0 when empty) — the `max‖p‖²` term of the
+    /// SQ8 inner-product prune-slack widening.
+    max_block_norm_sq: f32,
     width: usize,
 }
 
 impl ListBlock {
-    fn row(&self, i: usize) -> &[f32] {
-        &self.flat[i * self.width..(i + 1) * self.width]
+    fn rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Resident payload bytes split by representation: `(f32, sq8)`.
+    fn payload_bytes(&self) -> (usize, usize) {
+        match &self.data {
+            BlockData::F32 { flat } => (flat.capacity() * 4, 0),
+            BlockData::Sq8 { segs } => (0, quant::segs_memory_bytes(segs)),
+        }
     }
 
     fn memory_bytes(&self) -> usize {
+        let (f, s) = self.payload_bytes();
         self.ids.capacity() * 8
-            + self.flat.capacity() * 4
+            + f
+            + s
             + self.block_norms_sq.capacity() * 4
             + self.total_norms_sq.capacity() * 4
     }
+}
+
+fn max_norm(norms: &[f32]) -> f32 {
+    norms.iter().fold(0.0f32, |a, &b| a.max(b))
 }
 
 /// Storage for one grid block `V_s D_b`.
@@ -87,6 +112,28 @@ impl BlockStore {
             .map(ListBlock::memory_bytes)
             .sum::<usize>()
     }
+
+    /// Resident payload bytes split by representation: `(f32, sq8)`.
+    fn payload_bytes(&self) -> (usize, usize) {
+        self.lists.values().fold((0, 0), |(f, s), l| {
+            let (lf, ls) = l.payload_bytes();
+            (f + lf, s + ls)
+        })
+    }
+}
+
+/// Accounts a block store's payload into the process-wide per-repr gauges.
+fn gauge_add(store: &BlockStore) {
+    let (f, s) = store.payload_bytes();
+    mem::f32_block_add(f);
+    mem::sq8_block_add(s);
+}
+
+/// Removes a block store's payload from the per-repr gauges.
+fn gauge_sub(store: &BlockStore) {
+    let (f, s) = store.payload_bytes();
+    mem::f32_block_sub(f);
+    mem::sq8_block_sub(s);
 }
 
 /// All grid blocks this machine hosts under one routing epoch.
@@ -112,8 +159,13 @@ struct InstallAssembly {
 /// One cluster being reassembled from dimension sub-range pieces.
 struct ClusterAssembly {
     ids: Vec<u64>,
-    /// Row-major, `width` floats per member; columns filled as pieces land.
+    /// Row-major, `width` floats per member; columns filled as pieces land
+    /// (f32 pieces only; empty under SQ8).
     flat: Vec<f32>,
+    /// SQ8 segments collected from pieces; sorted by `dim_start` at
+    /// activation so the assembled order is canonical regardless of piece
+    /// arrival order.
+    segs: Vec<Sq8Segment>,
     block_norms_sq: Vec<f32>,
     total_norms_sq: Vec<f32>,
     width: usize,
@@ -154,6 +206,87 @@ fn scorer_for(metric: Metric) -> fn(&[f32], &[f32]) -> f32 {
     match metric {
         Metric::L2 => l2_sq,
         Metric::InnerProduct | Metric::Cosine => neg_ip,
+    }
+}
+
+/// Per-(query, list) scan state, prepared once per list so the row loop
+/// stays branch-cheap. The f32 path keeps the hoisted scorer; the SQ8 path
+/// carries the query quantized against the list's segments plus this hop's
+/// prune-widening term `eps` (distance-space under L2, dot-space under
+/// IP/cosine — see the `pruning` module docs).
+enum PreparedQuery<'a> {
+    F32 {
+        flat: &'a [f32],
+        scorer: fn(&[f32], &[f32]) -> f32,
+    },
+    Sq8 {
+        segs: &'a [Sq8Segment],
+        bq: Sq8BlockQuery,
+        /// Negate the dot product for lower-is-better similarity metrics.
+        neg: bool,
+    },
+}
+
+impl<'a> PreparedQuery<'a> {
+    /// Prepares a query against one list and returns the pair
+    /// `(prepared, eps)` where `eps` widens this hop's prune bounds
+    /// (0 for exact f32 lists).
+    fn prepare(
+        metric: Metric,
+        list: &'a ListBlock,
+        dims: &[f32],
+        block_dim_start: u64,
+        q_block_norm_sq: f32,
+    ) -> (Self, f32) {
+        match &list.data {
+            BlockData::F32 { flat } => (
+                PreparedQuery::F32 {
+                    flat,
+                    scorer: scorer_for(metric),
+                },
+                0.0,
+            ),
+            BlockData::Sq8 { segs } => {
+                let bq = quant::prepare_block_query(segs, dims, block_dim_start);
+                let eps = match metric {
+                    // Triangle inequality: ‖q−p‖ ≥ ‖dq(q)−dq(p)‖ − (E_q+E_p).
+                    Metric::L2 => bq.err + bq.data_err,
+                    // |q·p − dq(q)·dq(p)| ≤ E_q·‖p‖ + (‖q‖+E_q)·E_p. The
+                    // stored block norm may itself be a dequantized lower
+                    // bound after a migration, so pad it by 2·E_p to keep
+                    // the slack an upper bound on the true ‖p‖ term.
+                    Metric::InnerProduct | Metric::Cosine => {
+                        let p_norm = list.max_block_norm_sq.max(0.0).sqrt() + 2.0 * bq.data_err;
+                        bq.err * p_norm + (q_block_norm_sq.max(0.0).sqrt() + bq.err) * bq.data_err
+                    }
+                };
+                (
+                    PreparedQuery::Sq8 {
+                        segs,
+                        bq,
+                        neg: !matches!(metric, Metric::L2),
+                    },
+                    eps,
+                )
+            }
+        }
+    }
+
+    /// Stage-1 partial score of `row` (quantized under SQ8, exact for f32).
+    #[inline]
+    fn score(&self, dims: &[f32], width: usize, row: usize) -> f32 {
+        match self {
+            PreparedQuery::F32 { flat, scorer } => {
+                scorer(dims, &flat[row * width..(row + 1) * width])
+            }
+            PreparedQuery::Sq8 { segs, bq, neg } => {
+                if *neg {
+                    -quant::ip_dot_row(segs, bq, row)
+                } else {
+                    quant::l2_partial_row(segs, bq, row)
+                }
+            }
+        }
     }
 }
 
@@ -223,6 +356,7 @@ impl HarmonyWorker {
 
     fn handle_load(&mut self, ctx: &NodeCtx, load: LoadBlock) {
         let metric = metric_tag::decode(load.metric).unwrap_or(Metric::L2);
+        let repr = repr_tag::decode(load.repr).unwrap_or(BlockRepr::F32);
         self.metric = metric;
         self.rule = PruneRule::new(metric, load.pruning);
         let total_dim_blocks = load.total_dim_blocks.max(1) as usize;
@@ -231,13 +365,19 @@ impl HarmonyWorker {
         let width = (load.dim_end - load.dim_start) as usize;
         let mut lists = HashMap::with_capacity(load.lists.len());
         for cb in load.lists {
+            let data = match repr {
+                BlockRepr::F32 => BlockData::F32 { flat: cb.flat },
+                BlockRepr::Sq8 => BlockData::Sq8 { segs: cb.segs },
+            };
+            let max_block_norm_sq = max_norm(&cb.block_norms_sq);
             lists.insert(
                 cb.cluster,
                 ListBlock {
                     ids: cb.ids,
-                    flat: cb.flat,
+                    data,
                     block_norms_sq: cb.block_norms_sq,
                     total_norms_sq: cb.total_norms_sq,
+                    max_block_norm_sq,
                     width,
                 },
             );
@@ -249,14 +389,15 @@ impl HarmonyWorker {
             blocks: HashMap::new(),
         });
         store.total_dim_blocks = total_dim_blocks;
-        store.blocks.insert(
-            shard,
-            BlockStore {
-                dim_start: load.dim_start,
-                dim_end: load.dim_end,
-                lists,
-            },
-        );
+        let block = BlockStore {
+            dim_start: load.dim_start,
+            dim_end: load.dim_end,
+            lists,
+        };
+        gauge_add(&block);
+        if let Some(old) = store.blocks.insert(shard, block) {
+            gauge_sub(&old);
+        }
         let ack = ToClient::LoadAck { shard, dim_block }.to_bytes();
         let _ = ctx.send(CLIENT, ack);
     }
@@ -317,29 +458,53 @@ impl HarmonyWorker {
         let mut pruned = 0u64;
         let mut scanned = 0u64;
 
-        let scorer = scorer_for(self.metric);
+        let mut hop_eps = 0f32;
         {
             let mut enum_index = 0u32;
             for cluster in &chunk.clusters {
                 let Some(list) = block.lists.get(cluster) else {
                     continue;
                 };
-                for (i, row) in list.flat.chunks_exact(list.width.max(1)).enumerate() {
+                let (pq, eps_list) = PreparedQuery::prepare(
+                    self.metric,
+                    list,
+                    &chunk.dims,
+                    block.dim_start,
+                    q_block_norm_sq,
+                );
+                hop_eps = hop_eps.max(eps_list);
+                for i in 0..list.rows() {
                     let index = enum_index;
                     enum_index += 1;
                     seen += 1;
                     scanned += list.width as u64;
-                    let partial = scorer(&chunk.dims, row);
+                    let partial = pq.score(&chunk.dims, list.width, i);
                     if single_hop {
                         // Partials are full scores (cosine normalizes by the
-                        // full norms here); keep the best k.
+                        // full norms here); keep the best k. The top-k
+                        // threshold comparison is same-domain (quantized vs
+                        // quantized under SQ8) and needs no widening; the
+                        // client threshold is exact-domain and does.
                         let score = if is_cos {
                             cos_normalize(partial, chunk.q_total_norm_sq, list.total_norms_sq[i])
                         } else {
                             partial
                         };
-                        let local_tau = threshold.min(topk.threshold());
-                        if rule.enabled() && score > local_tau {
+                        let local_prune = score > topk.threshold();
+                        let global_prune = if is_cos {
+                            rule.should_prune_cosine_quantized(
+                                partial,
+                                threshold,
+                                0.0,
+                                0.0,
+                                chunk.q_total_norm_sq,
+                                list.total_norms_sq[i],
+                                eps_list,
+                            )
+                        } else {
+                            rule.should_prune_quantized(score, threshold, 0.0, 0.0, eps_list)
+                        };
+                        if rule.enabled() && (local_prune || global_prune) {
                             pruned += 1;
                             continue;
                         }
@@ -355,16 +520,17 @@ impl HarmonyWorker {
                         (0.0, 0.0)
                     };
                     let prune = if is_cos {
-                        rule.should_prune_cosine(
+                        rule.should_prune_cosine_quantized(
                             partial,
                             threshold,
                             q_rest,
                             p_rest,
                             chunk.q_total_norm_sq,
                             list.total_norms_sq[i],
+                            eps_list,
                         )
                     } else {
-                        rule.should_prune(partial, threshold, q_rest, p_rest)
+                        rule.should_prune_quantized(partial, threshold, q_rest, p_rest, eps_list)
                     };
                     if prune {
                         pruned += 1;
@@ -403,6 +569,7 @@ impl HarmonyWorker {
                 partials,
                 visited_norms_sq,
                 q_visited_norm_sq: q_block_norm_sq,
+                quant_eps: hop_eps,
             };
             let next = chunk.order[1] as NodeId;
             let _ = ctx.send(next, ToWorker::Carry(carry).to_bytes());
@@ -443,7 +610,7 @@ impl HarmonyWorker {
         // scan itself.
         let mut topk = TopK::new(chunk.k.max(1) as usize);
 
-        let scorer = scorer_for(self.metric);
+        let mut hop_eps = 0f32;
         {
             // Merge-walk the canonical enumeration (clusters in chunk order,
             // members in list order) against the ascending survivor indices.
@@ -454,6 +621,9 @@ impl HarmonyWorker {
                     continue;
                 };
                 let list_len = list.ids.len() as u32;
+                // Prepared lazily: lists with no surviving candidates never
+                // pay the SQ8 query-quantization cost.
+                let mut prepared: Option<(PreparedQuery, f32)> = None;
                 while cursor < carry.indices.len() {
                     let index = carry.indices[cursor];
                     if index >= base + list_len {
@@ -461,7 +631,21 @@ impl HarmonyWorker {
                     }
                     let row = (index - base) as usize;
                     scanned += list.width as u64;
-                    let partial = carry.partials[cursor] + scorer(&chunk.dims, list.row(row));
+                    let (pq, eps_list) = prepared.get_or_insert_with(|| {
+                        PreparedQuery::prepare(
+                            self.metric,
+                            list,
+                            &chunk.dims,
+                            block.dim_start,
+                            q_block_norm_sq,
+                        )
+                    });
+                    let eps_list = *eps_list;
+                    hop_eps = hop_eps.max(eps_list);
+                    // Widen prune bounds by everything accumulated so far:
+                    // previous hops' carry plus this list's contribution.
+                    let eps_acc = carry.quant_eps + eps_list;
+                    let partial = carry.partials[cursor] + pq.score(&chunk.dims, list.width, row);
                     let (q_rest, p_rest, p_visited) = if is_ip {
                         let p_visited = carry.visited_norms_sq[cursor] + list.block_norms_sq[row];
                         (
@@ -475,30 +659,45 @@ impl HarmonyWorker {
                     if is_last {
                         // Full score now known (cosine normalizes by the
                         // full norms); keep only entries beating both the
-                        // global threshold and the local top-k.
+                        // local top-k (same-domain, no widening) and the
+                        // exact-domain client threshold (widened).
                         let score = if is_cos {
                             cos_normalize(partial, chunk.q_total_norm_sq, list.total_norms_sq[row])
                         } else {
                             partial
                         };
-                        let local_tau = threshold.min(topk.threshold());
-                        if rule.enabled() && score > local_tau {
+                        let local_prune = score > topk.threshold();
+                        let global_prune = if is_cos {
+                            rule.should_prune_cosine_quantized(
+                                partial,
+                                threshold,
+                                0.0,
+                                0.0,
+                                chunk.q_total_norm_sq,
+                                list.total_norms_sq[row],
+                                eps_acc,
+                            )
+                        } else {
+                            rule.should_prune_quantized(score, threshold, 0.0, 0.0, eps_acc)
+                        };
+                        if rule.enabled() && (local_prune || global_prune) {
                             pruned += 1;
                         } else {
                             topk.push(list.ids[row], score);
                         }
                     } else {
                         let prune = if is_cos {
-                            rule.should_prune_cosine(
+                            rule.should_prune_cosine_quantized(
                                 partial,
                                 threshold,
                                 q_rest,
                                 p_rest,
                                 chunk.q_total_norm_sq,
                                 list.total_norms_sq[row],
+                                eps_acc,
                             )
                         } else {
-                            rule.should_prune(partial, threshold, q_rest, p_rest)
+                            rule.should_prune_quantized(partial, threshold, q_rest, p_rest, eps_acc)
                         };
                         if prune {
                             pruned += 1;
@@ -551,6 +750,7 @@ impl HarmonyWorker {
                 partials,
                 visited_norms_sq,
                 q_visited_norm_sq: q_visited,
+                quant_eps: carry.quant_eps + hop_eps,
             };
             let _ = ctx.send(next, ToWorker::Carry(out).to_bytes());
         }
@@ -634,12 +834,20 @@ impl HarmonyWorker {
         let width = (assembly.dim_end - assembly.dim_start) as usize;
         for piece in msg.pieces {
             let rows = piece.ids.len();
+            // SQ8 pieces carry segments instead of flat columns; the f32
+            // column buffer is never allocated for them.
+            let sq8_piece = !piece.segs.is_empty();
             let entry = assembly
                 .clusters
                 .entry(piece.cluster)
                 .or_insert_with(|| ClusterAssembly {
                     ids: piece.ids.clone(),
-                    flat: vec![0.0; rows * width],
+                    flat: if sq8_piece {
+                        Vec::new()
+                    } else {
+                        vec![0.0; rows * width]
+                    },
+                    segs: Vec::new(),
                     block_norms_sq: Vec::new(),
                     total_norms_sq: Vec::new(),
                     width,
@@ -650,22 +858,29 @@ impl HarmonyWorker {
             // rows; conversely a late empty piece only bumps the counter.
             if entry.ids.is_empty() && !piece.ids.is_empty() {
                 entry.ids = piece.ids.clone();
-                entry.flat = vec![0.0; rows * width];
+                entry.flat = if sq8_piece {
+                    Vec::new()
+                } else {
+                    vec![0.0; rows * width]
+                };
+                entry.segs = Vec::new();
                 entry.block_norms_sq = Vec::new();
                 entry.total_norms_sq = Vec::new();
             }
             if entry.ids.len() == rows && rows > 0 {
                 let offset = piece.dim_start.saturating_sub(assembly.dim_start) as usize;
                 let piece_width = (piece.dim_end - piece.dim_start) as usize;
-                if offset + piece_width <= width {
+                if offset + piece_width > width {
+                    debug_assert!(false, "piece range escapes the announced block");
+                } else if sq8_piece {
+                    entry.segs.extend(piece.segs);
+                } else {
                     for row in 0..rows {
                         let dst = row * width + offset;
                         let src = row * piece_width;
                         entry.flat[dst..dst + piece_width]
                             .copy_from_slice(&piece.flat[src..src + piece_width]);
                     }
-                } else {
-                    debug_assert!(false, "piece range escapes the announced block");
                 }
                 // Piece norms partition the block range: sum them per member.
                 if !piece.piece_norms_sq.is_empty() {
@@ -702,14 +917,25 @@ impl HarmonyWorker {
         let lists: HashMap<u32, ListBlock> = assembly
             .clusters
             .into_iter()
-            .map(|(cluster, c)| {
+            .map(|(cluster, mut c)| {
+                let data = if c.segs.is_empty() {
+                    BlockData::F32 { flat: c.flat }
+                } else {
+                    // Canonical segment order regardless of which source's
+                    // pieces landed first, so assembled blocks are
+                    // bit-identical across transports.
+                    c.segs.sort_by_key(|s| s.dim_start);
+                    BlockData::Sq8 { segs: c.segs }
+                };
+                let max_block_norm_sq = max_norm(&c.block_norms_sq);
                 (
                     cluster,
                     ListBlock {
                         ids: c.ids,
-                        flat: c.flat,
+                        data,
                         block_norms_sq: c.block_norms_sq,
                         total_norms_sq: c.total_norms_sq,
+                        max_block_norm_sq,
                         width: c.width,
                     },
                 )
@@ -720,14 +946,15 @@ impl HarmonyWorker {
             blocks: HashMap::new(),
         });
         store.total_dim_blocks = total_dim_blocks;
-        store.blocks.insert(
-            assembly.shard,
-            BlockStore {
-                dim_start: assembly.dim_start,
-                dim_end: assembly.dim_end,
-                lists,
-            },
-        );
+        let block = BlockStore {
+            dim_start: assembly.dim_start,
+            dim_end: assembly.dim_end,
+            lists,
+        };
+        gauge_add(&block);
+        if let Some(old) = store.blocks.insert(assembly.shard, block) {
+            gauge_sub(&old);
+        }
         // Migrations are serialized and epoch numbers never reused, so any
         // assembly or orphan pieces of an *older* epoch belong to an
         // aborted attempt and can never activate — drop them.
@@ -760,14 +987,50 @@ impl HarmonyWorker {
             let piece = match list {
                 Some((list, offset)) => {
                     let rows = list.ids.len();
-                    let mut flat = Vec::with_capacity(rows * piece_width);
+                    let mut flat = Vec::new();
+                    let mut segs = Vec::new();
                     let mut piece_norms_sq = Vec::new();
-                    for row in 0..rows {
-                        let r = list.row(row);
-                        let slice = &r[offset..offset + piece_width];
-                        flat.extend_from_slice(slice);
-                        if is_ip {
-                            piece_norms_sq.push(ip(slice, slice));
+                    match &list.data {
+                        BlockData::F32 { flat: src } => {
+                            flat.reserve(rows * piece_width);
+                            for row in 0..rows {
+                                let r = &src[row * list.width..(row + 1) * list.width];
+                                let slice = &r[offset..offset + piece_width];
+                                flat.extend_from_slice(slice);
+                                if is_ip {
+                                    piece_norms_sq.push(ip(slice, slice));
+                                }
+                            }
+                        }
+                        BlockData::Sq8 { segs: src } => {
+                            // Slice the requested dimension range out of each
+                            // overlapping segment. `slice_dims` keeps min and
+                            // scale verbatim, so codes survive any number of
+                            // migrations bit-identically.
+                            for seg in src {
+                                let lo = seg.dim_start.max(t.dim_start);
+                                let hi = seg.dim_end.min(t.dim_end);
+                                if lo < hi {
+                                    segs.push(seg.slice_dims(lo, hi));
+                                }
+                            }
+                            if is_ip {
+                                // Piece norms must stay admissible (the last
+                                // hop uses `total − Σ visited` as an upper
+                                // bound on unseen mass), so ship a lower
+                                // bound: dequantized norm minus the per-row
+                                // reconstruction error, clamped at zero.
+                                for row in 0..rows {
+                                    let mut norm_sq = 0.0f64;
+                                    let mut err = 0.0f64;
+                                    for seg in &segs {
+                                        norm_sq += seg.dequant_row_norm_sq(row);
+                                        err += f64::from(seg.row_error_bound());
+                                    }
+                                    let lower = (norm_sq.sqrt() - err).max(0.0);
+                                    piece_norms_sq.push((lower * lower) as f32);
+                                }
+                            }
                         }
                     }
                     ListPiece {
@@ -776,6 +1039,7 @@ impl HarmonyWorker {
                         dim_end: t.dim_end,
                         ids: list.ids.clone(),
                         flat,
+                        segs,
                         piece_norms_sq,
                         total_norms_sq: list.total_norms_sq.clone(),
                     }
@@ -789,6 +1053,7 @@ impl HarmonyWorker {
                     dim_end: t.dim_end,
                     ids: Vec::new(),
                     flat: Vec::new(),
+                    segs: Vec::new(),
                     piece_norms_sq: Vec::new(),
                     total_norms_sq: Vec::new(),
                 },
@@ -819,13 +1084,24 @@ impl HarmonyWorker {
     /// Drops a retired epoch's storage (and any half-finished assembly),
     /// and raises the watermark so stragglers for it are never re-stashed.
     fn handle_evict(&mut self, epoch: u64) {
-        self.epochs.remove(&epoch);
+        if let Some(store) = self.epochs.remove(&epoch) {
+            for block in store.blocks.values() {
+                gauge_sub(block);
+            }
+        }
         self.installs.remove(&epoch);
         self.orphan_pieces.remove(&epoch);
         self.evicted_watermark = Some(self.evicted_watermark.map_or(epoch, |w| w.max(epoch)));
     }
 
     fn stats_report(&self) -> StatsReport {
+        let (f32_bytes, sq8_bytes) = self.epochs.values().flat_map(|e| e.blocks.values()).fold(
+            (0usize, 0usize),
+            |(f, s), b| {
+                let (bf, bs) = b.payload_bytes();
+                (f + bf, s + bs)
+            },
+        );
         StatsReport {
             slice_in: self.slice_in.clone(),
             slice_pruned: self.slice_pruned.clone(),
@@ -836,6 +1112,8 @@ impl HarmonyWorker {
                 .flat_map(|e| e.blocks.values())
                 .map(BlockStore::memory_bytes)
                 .sum::<usize>() as u64,
+            f32_block_bytes: f32_bytes as u64,
+            sq8_block_bytes: sq8_bytes as u64,
         }
     }
 
@@ -843,6 +1121,19 @@ impl HarmonyWorker {
         self.slice_in = vec![0; self.slice_positions];
         self.slice_pruned = vec![0; self.slice_positions];
         self.scanned_point_dims = 0;
+    }
+}
+
+impl Drop for HarmonyWorker {
+    /// Releases this worker's contribution to the process-wide per-repr
+    /// byte gauges, so short-lived clusters (tests, benches) don't leak
+    /// resident-byte accounting into later measurements.
+    fn drop(&mut self) {
+        for store in self.epochs.values() {
+            for block in store.blocks.values() {
+                gauge_sub(block);
+            }
+        }
     }
 }
 
@@ -892,6 +1183,7 @@ mod tests {
             total_dim_blocks: 1,
             metric: 0,
             pruning,
+            repr: 0,
             lists: vec![ClusterBlockFixture::simple()],
         }
     }
@@ -904,6 +1196,7 @@ mod tests {
                 ids: vec![100, 200, 300],
                 // Vectors (1,0), (0,1), (5,5).
                 flat: vec![1.0, 0.0, 0.0, 1.0, 5.0, 5.0],
+                segs: vec![],
                 block_norms_sq: vec![],
                 total_norms_sq: vec![],
             }
@@ -1015,10 +1308,12 @@ mod tests {
                 total_dim_blocks: 2,
                 metric: 0,
                 pruning: true,
+                repr: 0,
                 lists: vec![crate::messages::ClusterBlock {
                     cluster: 0,
                     ids: ids.clone(),
                     flat,
+                    segs: vec![],
                     block_norms_sq: vec![],
                     total_norms_sq: vec![],
                 }],
@@ -1065,10 +1360,12 @@ mod tests {
             total_dim_blocks: 2,
             metric: 0,
             pruning: true,
+            repr: 0,
             lists: vec![crate::messages::ClusterBlock {
                 cluster: 0,
                 ids: vec![1],
                 flat: vec![3.0],
+                segs: vec![],
                 block_norms_sq: vec![],
                 total_norms_sq: vec![],
             }],
@@ -1086,6 +1383,7 @@ mod tests {
             partials: vec![4.0],
             visited_norms_sq: vec![],
             q_visited_norm_sq: 0.0,
+            quant_eps: 0.0,
         };
         cluster.send(0, ToWorker::Carry(carry).to_bytes()).unwrap();
         // Now the chunk (position 1 of a 2-hop order [9, 0] — final hop).
@@ -1123,10 +1421,12 @@ mod tests {
             total_dim_blocks: 1,
             metric: 2, // cosine
             pruning: true,
+            repr: 0,
             lists: vec![crate::messages::ClusterBlock {
                 cluster: 0,
                 ids: vec![100, 200, 300],
                 flat: base.iter().flatten().copied().collect(),
+                segs: vec![],
                 block_norms_sq: base.iter().map(|v| ip(v, v)).collect(),
                 total_norms_sq: base.iter().map(|v| ip(v, v)).collect(),
             }],
@@ -1184,10 +1484,12 @@ mod tests {
                 total_dim_blocks: 2,
                 metric: 2, // cosine
                 pruning: true,
+                repr: 0,
                 lists: vec![crate::messages::ClusterBlock {
                     cluster: 0,
                     ids: ids.clone(),
                     flat,
+                    segs: vec![],
                     block_norms_sq: base
                         .iter()
                         .map(|v| ip(&v[range.clone()], &v[range.clone()]))
@@ -1272,6 +1574,124 @@ mod tests {
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
         assert!(r.ids.is_empty());
+        cluster.shutdown().unwrap();
+    }
+
+    /// SQ8 block, single hop: stage-1 quantized distances must rank the
+    /// same ids as exact f32 (well-separated vectors), stats must report
+    /// the bytes under the sq8 gauge, and eviction must release them.
+    #[test]
+    fn sq8_block_scans_and_accounts_bytes() {
+        let mut cluster = one_worker_cluster();
+        let flat = vec![1.0f32, 0.0, 0.0, 1.0, 5.0, 5.0];
+        let load = LoadBlock {
+            epoch: 0,
+            shard: 0,
+            dim_block: 0,
+            dim_start: 0,
+            dim_end: 2,
+            total_dim_blocks: 1,
+            metric: 0,
+            pruning: true,
+            repr: 1,
+            lists: vec![crate::messages::ClusterBlock {
+                cluster: 0,
+                ids: vec![100, 200, 300],
+                flat: vec![],
+                segs: vec![Sq8Segment::quantize(&flat, 2, 0)],
+                block_norms_sq: vec![],
+                total_norms_sq: vec![],
+            }],
+        };
+        cluster.send(0, ToWorker::Load(load).to_bytes()).unwrap();
+        drain_ack(&mut cluster);
+
+        cluster.send(0, ToWorker::GetStats.to_bytes()).unwrap();
+        let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        match ToClient::from_bytes(payload).unwrap() {
+            ToClient::Stats(s) => {
+                assert_eq!(s.f32_block_bytes, 0);
+                assert!(s.sq8_block_bytes > 0, "sq8 payload must be accounted");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let chunk = QueryChunk {
+            query_id: 21,
+            epoch: 0,
+            shard: 0,
+            k: 2,
+            threshold: f32::INFINITY,
+            clusters: vec![0],
+            dims: vec![1.0, 0.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        // Exact distances are 0, 2, 41: quantization error (range 5, step
+        // ~0.02) cannot reorder them.
+        assert_eq!(r.ids, vec![100, 200]);
+        assert!((r.scores[0] - 0.0).abs() < 0.1, "got {}", r.scores[0]);
+        assert!((r.scores[1] - 2.0).abs() < 0.2, "got {}", r.scores[1]);
+
+        cluster
+            .send(0, ToWorker::EvictEpoch { epoch: 0 }.to_bytes())
+            .unwrap();
+        cluster.send(0, ToWorker::GetStats.to_bytes()).unwrap();
+        let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        match ToClient::from_bytes(payload).unwrap() {
+            ToClient::Stats(s) => assert_eq!(s.sq8_block_bytes, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        cluster.shutdown().unwrap();
+    }
+
+    /// A widened threshold prune under SQ8 must never drop the true best:
+    /// τ sits between id 100's exact distance (0) and the others.
+    #[test]
+    fn sq8_threshold_prune_keeps_true_best() {
+        let mut cluster = one_worker_cluster();
+        let flat = vec![1.0f32, 0.0, 0.0, 1.0, 5.0, 5.0];
+        let load = LoadBlock {
+            epoch: 0,
+            shard: 0,
+            dim_block: 0,
+            dim_start: 0,
+            dim_end: 2,
+            total_dim_blocks: 1,
+            metric: 0,
+            pruning: true,
+            repr: 1,
+            lists: vec![crate::messages::ClusterBlock {
+                cluster: 0,
+                ids: vec![100, 200, 300],
+                flat: vec![],
+                segs: vec![Sq8Segment::quantize(&flat, 2, 0)],
+                block_norms_sq: vec![],
+                total_norms_sq: vec![],
+            }],
+        };
+        cluster.send(0, ToWorker::Load(load).to_bytes()).unwrap();
+        drain_ack(&mut cluster);
+
+        let chunk = QueryChunk {
+            query_id: 22,
+            epoch: 0,
+            shard: 0,
+            k: 3,
+            threshold: 1.0,
+            clusters: vec![0],
+            dims: vec![1.0, 0.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+        };
+        cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
+        let r = recv_result(&mut cluster);
+        assert!(r.ids.contains(&100), "true best pruned: {:?}", r.ids);
+        assert!(!r.ids.contains(&300), "far point must still prune");
         cluster.shutdown().unwrap();
     }
 

@@ -53,6 +53,21 @@ impl Metric {
     /// L2 partials are sums of squares (non-negative terms); inner-product
     /// partials may be negative and need the Cauchy–Schwarz residual bound
     /// implemented in `harmony-core::pruning`.
+    ///
+    /// **Quantized (SQ8) caveat:** monotonicity holds only *within* one
+    /// score domain. SQ8 stage-1 partials accumulate over dequantized
+    /// approximations, so they are monotone against other quantized scores
+    /// but **not** against exact-domain thresholds (a prewarm `τ` or a
+    /// cross-shard threshold computed from f32 arithmetic): the quantized
+    /// partial may overshoot the exact score by up to the per-slice
+    /// quantization error. Before early-stopping against an exact-domain
+    /// threshold the prune bound must be widened by the accumulated error —
+    /// `‖q−p‖ ≥ ‖dq(q)−dq(p)‖ − E_q − E_p` under L2, an additive dot-product
+    /// slack under IP/cosine — as implemented by
+    /// `harmony-core::pruning::PruneRule::{should_prune_quantized,
+    /// should_prune_cosine_quantized}`. Pruning then stays
+    /// exact-over-quantized: it never discards a candidate whose exact
+    /// score could still beat the threshold.
     #[inline]
     pub fn monotone_partials(self) -> bool {
         matches!(self, Metric::L2)
@@ -188,6 +203,64 @@ pub fn ip_scalar(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// Squared L2 distance between equal-length u8 code slices, scalar
+/// implementation (4-way unrolled, mirroring [`l2_sq_scalar`]).
+///
+/// The `u32` accumulator is exact for widths up to 2¹⁶ (the per-term
+/// maximum is 255² and 255² · 2¹⁶ < 2³²).
+#[inline]
+pub fn l2_sq_u8_scalar(a: &[u8], b: &[u8]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() <= 1 << 16, "u32 accumulator caps widths at 2^16");
+    let mut acc0 = 0u32;
+    let mut acc1 = 0u32;
+    let mut acc2 = 0u32;
+    let mut acc3 = 0u32;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] as i32 - b[j] as i32;
+        let d1 = a[j + 1] as i32 - b[j + 1] as i32;
+        let d2 = a[j + 2] as i32 - b[j + 2] as i32;
+        let d3 = a[j + 3] as i32 - b[j + 3] as i32;
+        acc0 += (d0 * d0) as u32;
+        acc1 += (d1 * d1) as u32;
+        acc2 += (d2 * d2) as u32;
+        acc3 += (d3 * d3) as u32;
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..a.len() {
+        let d = a[j] as i32 - b[j] as i32;
+        acc += (d * d) as u32;
+    }
+    acc
+}
+
+/// Dot product between equal-length u8 code slices, scalar implementation
+/// (4-way unrolled, mirroring [`ip_scalar`]). Exact for widths up to 2¹⁶.
+#[inline]
+pub fn ip_u8_scalar(a: &[u8], b: &[u8]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() <= 1 << 16, "u32 accumulator caps widths at 2^16");
+    let mut acc0 = 0u32;
+    let mut acc1 = 0u32;
+    let mut acc2 = 0u32;
+    let mut acc3 = 0u32;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] as u32 * b[j] as u32;
+        acc1 += a[j + 1] as u32 * b[j + 1] as u32;
+        acc2 += a[j + 2] as u32 * b[j + 2] as u32;
+        acc3 += a[j + 3] as u32 * b[j + 3] as u32;
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..a.len() {
+        acc += a[j] as u32 * b[j] as u32;
+    }
+    acc
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 kernels, selected at runtime.
 // ---------------------------------------------------------------------------
@@ -241,6 +314,77 @@ mod avx2 {
             sum += a[j] * b[j];
         }
         sum
+    }
+
+    /// Squared L2 distance over u8 codes using AVX2 integer arithmetic:
+    /// 16 codes per iteration are zero-extended to i16 lanes
+    /// (`cvtepu8_epi16`), differenced (range −255..255 fits i16), and
+    /// pair-wise squared-and-summed into i32 lanes (`madd_epi16`; products
+    /// are at most 255² so no saturation is possible).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn l2_sq_u8(a: &[u8], b: &[u8]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let pa = _mm_loadu_si128(a.as_ptr().add(i * 16) as *const __m128i);
+            let pb = _mm_loadu_si128(b.as_ptr().add(i * 16) as *const __m128i);
+            let wa = _mm256_cvtepu8_epi16(pa);
+            let wb = _mm256_cvtepu8_epi16(pb);
+            let d = _mm256_sub_epi16(wa, wb);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+        }
+        let mut sum = horizontal_sum_epi32(acc);
+        for j in chunks * 16..n {
+            let d = a[j] as i32 - b[j] as i32;
+            sum += (d * d) as u32;
+        }
+        sum
+    }
+
+    /// Dot product over u8 codes using AVX2 integer arithmetic (same
+    /// zero-extend + `madd_epi16` scheme as [`l2_sq_u8`]).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ip_u8(a: &[u8], b: &[u8]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let pa = _mm_loadu_si128(a.as_ptr().add(i * 16) as *const __m128i);
+            let pb = _mm_loadu_si128(b.as_ptr().add(i * 16) as *const __m128i);
+            let wa = _mm256_cvtepu8_epi16(pa);
+            let wb = _mm256_cvtepu8_epi16(pb);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+        }
+        let mut sum = horizontal_sum_epi32(acc);
+        for j in chunks * 16..n {
+            sum += a[j] as u32 * b[j] as u32;
+        }
+        sum
+    }
+
+    /// Sums the eight i32 lanes. Lanes are non-negative and bounded by
+    /// 2·255²·(width/16), so for widths ≤ 2¹⁶ both the 128-bit lane adds
+    /// and the final u32 total are exact.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn horizontal_sum_epi32(v: __m256i) -> u32 {
+        let hi = _mm256_extracti128_si256(v, 1);
+        let lo = _mm256_castsi256_si128(v);
+        let s = _mm_add_epi32(lo, hi);
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, s);
+        lanes
+            .iter()
+            .fold(0u32, |acc, &x| acc.wrapping_add(x as u32))
     }
 
     #[inline]
@@ -298,6 +442,34 @@ pub fn ip(a: &[f32], b: &[f32]) -> f32 {
         }
     }
     ip_scalar(a, b)
+}
+
+/// Squared L2 distance between equal-length u8 code slices (SQ8 stage-1
+/// scans). Dispatches to AVX2 when available, scalar otherwise; both paths
+/// are exact integer arithmetic, so they agree bit-for-bit.
+#[inline]
+pub fn l2_sq_u8(a: &[u8], b: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: availability checked above.
+            return unsafe { avx2::l2_sq_u8(a, b) };
+        }
+    }
+    l2_sq_u8_scalar(a, b)
+}
+
+/// Dot product between equal-length u8 code slices (SQ8 stage-1 scans).
+#[inline]
+pub fn ip_u8(a: &[u8], b: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: availability checked above.
+            return unsafe { avx2::ip_u8(a, b) };
+        }
+    }
+    ip_u8_scalar(a, b)
 }
 
 /// True cosine similarity (handles unnormalized inputs; zero vectors map
@@ -459,6 +631,61 @@ mod tests {
         assert!((out[0] - 1.0).abs() < EPS);
         assert!((out[1] - 4.0).abs() < EPS);
         assert!((out[2] - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn u8_kernels_match_naive() {
+        let a: Vec<u8> = (0..37).map(|i| (i * 7 % 256) as u8).collect();
+        let b: Vec<u8> = (0..37).map(|i| (i * 13 % 256) as u8).collect();
+        let naive_ip: u32 = a.iter().zip(&b).map(|(&x, &y)| x as u32 * y as u32).sum();
+        let naive_l2: u32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let d = x as i32 - y as i32;
+                (d * d) as u32
+            })
+            .sum();
+        assert_eq!(ip_u8(&a, &b), naive_ip);
+        assert_eq!(ip_u8_scalar(&a, &b), naive_ip);
+        assert_eq!(l2_sq_u8(&a, &b), naive_l2);
+        assert_eq!(l2_sq_u8_scalar(&a, &b), naive_l2);
+        assert_eq!(ip_u8(&[], &[]), 0);
+        assert_eq!(l2_sq_u8(&[], &[]), 0);
+    }
+
+    #[test]
+    fn u8_kernels_handle_extremes_without_overflow() {
+        // All-255 vs all-0 at a realistic width exercises the maximum
+        // per-term magnitude on both kernels.
+        let a = vec![255u8; 4096];
+        let b = vec![0u8; 4096];
+        assert_eq!(l2_sq_u8(&a, &b), 255 * 255 * 4096);
+        assert_eq!(ip_u8(&a, &a), 255 * 255 * 4096);
+        assert_eq!(ip_u8(&a, &b), 0);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_u8_matches_scalar_exactly_when_available() {
+        if !(is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")) {
+            return;
+        }
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for len in [1usize, 15, 16, 17, 31, 64, 100, 1024] {
+            let a: Vec<u8> = (0..len)
+                .map(|_| rng.random_range(0u16..256) as u8)
+                .collect();
+            let b: Vec<u8> = (0..len)
+                .map(|_| rng.random_range(0u16..256) as u8)
+                .collect();
+            // SAFETY: feature checked above. Integer kernels must agree
+            // bit-for-bit, not just within tolerance.
+            let (av_l2, av_ip) = unsafe { (avx2::l2_sq_u8(&a, &b), avx2::ip_u8(&a, &b)) };
+            assert_eq!(av_l2, l2_sq_u8_scalar(&a, &b), "l2_u8 len={len}");
+            assert_eq!(av_ip, ip_u8_scalar(&a, &b), "ip_u8 len={len}");
+        }
     }
 
     #[cfg(target_arch = "x86_64")]

@@ -27,6 +27,7 @@ pub mod flat;
 pub mod ivf;
 pub mod kmeans;
 pub mod persist;
+pub mod quant;
 pub mod topk;
 pub mod vector;
 
@@ -35,5 +36,6 @@ pub use error::IndexError;
 pub use flat::FlatIndex;
 pub use ivf::{IvfIndex, IvfParams};
 pub use kmeans::{KMeans, KMeansConfig};
+pub use quant::{BlockRepr, Sq8BlockQuery, Sq8Query, Sq8Segment};
 pub use topk::{Neighbor, TopK};
 pub use vector::{VectorId, VectorStore};

@@ -1,0 +1,636 @@
+//! Pluggable block representations: SQ8 scalar quantization (§ "two-stage
+//! scan" refactor).
+//!
+//! Harmony's grid blocks historically stored raw `f32` rows. This module
+//! adds the second representation, **SQ8**: each dimension-slice of a block
+//! is quantized to one byte per coordinate with an affine per-slice code
+//! `v ≈ min + scale · c`, `c ∈ [0, 255]`, where `min`/`scale` are computed
+//! over *all* rows × dimensions of the slice. Stage-1 scans run entirely
+//! over the codes via the integer kernels in [`crate::distance`]; a small
+//! survivor set (`top-k × rerank_scale`) is then re-ranked with exact f32
+//! arithmetic.
+//!
+//! The contract a representation must satisfy (see DESIGN.md "BlockRepr"):
+//!
+//! 1. **Scan** — produce a deterministic lower-is-better partial score per
+//!    row per dimension slice ([`Sq8Segment::l2_partial`],
+//!    [`Sq8Segment::ip_dot`]).
+//! 2. **Error bound** — advertise a per-coordinate round-trip bound
+//!    ([`Sq8Segment::coord_error_bound`]) so prune bounds can be widened to
+//!    stay exact-over-quantized (`harmony-core::pruning`).
+//! 3. **Memory accounting** — report resident payload bytes
+//!    ([`Sq8Segment::memory_bytes`]).
+//! 4. **Wire codec** — survive migration bit-identically: a dimension
+//!    sub-range slice ([`Sq8Segment::slice_dims`]) inherits `min`/`scale`
+//!    *verbatim* and recomputes only integer sums, so re-assembled blocks
+//!    score exactly like freshly sliced ones.
+
+use crate::distance::{ip_u8, l2_sq_u8};
+
+/// Which in-memory representation a grid block uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockRepr {
+    /// Raw row-major `f32` coordinates (the original representation).
+    #[default]
+    F32,
+    /// Per-dimension-slice affine scalar quantization to one byte per
+    /// coordinate, scanned in two stages (quantized stage-1 → exact f32
+    /// re-rank of the survivor set).
+    Sq8,
+}
+
+impl BlockRepr {
+    /// Name used in CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockRepr::F32 => "f32",
+            BlockRepr::Sq8 => "sq8",
+        }
+    }
+
+    /// Parses a CLI name (`"f32"` / `"sq8"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(BlockRepr::F32),
+            "sq8" => Some(BlockRepr::Sq8),
+            _ => None,
+        }
+    }
+
+    /// `true` when stage-1 scans run over quantized codes and prune bounds
+    /// must be widened by the quantization error.
+    pub fn is_quantized(self) -> bool {
+        matches!(self, BlockRepr::Sq8)
+    }
+}
+
+impl std::fmt::Display for BlockRepr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One self-contained SQ8-quantized dimension slice of a list block.
+///
+/// A freshly built block holds exactly one segment spanning its whole
+/// dimension range; migration slices segments column-wise and destinations
+/// simply concatenate the received segments (sorted by `dim_start`) — no
+/// re-quantization ever happens after build, which is what makes results
+/// bit-identical across transports and across a live migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq8Segment {
+    /// Absolute first dimension (inclusive) this segment covers.
+    pub dim_start: u64,
+    /// Absolute one-past-last dimension.
+    pub dim_end: u64,
+    /// Affine offset: `v ≈ min + scale · code`.
+    pub min: f32,
+    /// Affine step `(max − min) / 255`; `0` for constant slices, in which
+    /// case every code is 0 and dequantization is exact.
+    pub scale: f32,
+    /// Row-major codes, `dim_end − dim_start` wide per row.
+    pub codes: Vec<u8>,
+    /// Per-row sum of codes (the inner-product affine cross term).
+    pub code_sums: Vec<u32>,
+}
+
+impl Sq8Segment {
+    /// Number of dimensions per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        (self.dim_end - self.dim_start) as usize
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.codes.len().checked_div(self.width()).unwrap_or(0)
+    }
+
+    /// Quantizes a row-major `f32` slice (`width` coordinates per row)
+    /// covering absolute dimensions `[dim_start, dim_start + width)`.
+    ///
+    /// `min`/`max` are taken over every entry, so no data coordinate is
+    /// clamped and the round-trip error is bounded by
+    /// [`Self::coord_error_bound`]. Inputs must be finite.
+    pub fn quantize(flat: &[f32], width: usize, dim_start: u64) -> Self {
+        debug_assert!(width == 0 || flat.len().is_multiple_of(width));
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in flat {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if flat.is_empty() {
+            min = 0.0;
+            max = 0.0;
+        }
+        // f64 keeps the step finite even for ranges that overflow f32
+        // (e.g. min = -MAX, max = +MAX).
+        let scale = ((max as f64 - min as f64) / 255.0) as f32;
+        let codes: Vec<u8> = flat
+            .iter()
+            .map(|&v| {
+                if scale > 0.0 {
+                    ((v as f64 - min as f64) / scale as f64)
+                        .round()
+                        .clamp(0.0, 255.0) as u8
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let rows = flat.len().checked_div(width).unwrap_or(0);
+        let code_sums = (0..rows)
+            .map(|r| {
+                codes[r * width..(r + 1) * width]
+                    .iter()
+                    .map(|&c| c as u32)
+                    .sum()
+            })
+            .collect();
+        Self {
+            dim_start,
+            dim_end: dim_start + width as u64,
+            min,
+            scale,
+            codes,
+            code_sums,
+        }
+    }
+
+    /// The codes of one row.
+    #[inline]
+    pub fn row_codes(&self, row: usize) -> &[u8] {
+        let w = self.width();
+        &self.codes[row * w..(row + 1) * w]
+    }
+
+    /// Dequantizes one code back to its `f32` approximation. Computed in
+    /// f64 so extreme `min`/`scale` pairs stay finite.
+    #[inline]
+    pub fn dequant(&self, code: u8) -> f32 {
+        (self.min as f64 + self.scale as f64 * code as f64) as f32
+    }
+
+    /// Advertised per-coordinate round-trip bound for *data* (not query)
+    /// coordinates: the rounding half-step plus slack for the f32 rounding
+    /// of `scale` and the dequantization arithmetic. Query coordinates may
+    /// clamp; their error is measured exactly by [`Self::quantize_query`].
+    #[inline]
+    pub fn coord_error_bound(&self) -> f32 {
+        0.5 * self.scale + (self.min.abs() + 255.0 * self.scale) * f32::EPSILON * 4.0
+    }
+
+    /// Row-vector L2 error bound `‖p − dq(p)‖ ≤ coord_bound · √width`.
+    #[inline]
+    pub fn row_error_bound(&self) -> f32 {
+        self.coord_error_bound() * (self.width() as f32).sqrt()
+    }
+
+    /// Quantizes a query slice against this segment's affine code. Query
+    /// values outside `[min, max]` clamp; the *exact* residual
+    /// `‖q − dq(qc)‖²` is returned so prune-bound widening never has to
+    /// assume anything about the query.
+    pub fn quantize_query(&self, q: &[f32]) -> Sq8Query {
+        debug_assert_eq!(q.len(), self.width());
+        let mut codes = Vec::with_capacity(q.len());
+        let mut code_sum = 0u32;
+        let mut err_sq = 0f64;
+        for &v in q {
+            let c = if self.scale > 0.0 {
+                ((v as f64 - self.min as f64) / self.scale as f64)
+                    .round()
+                    .clamp(0.0, 255.0) as u8
+            } else {
+                0
+            };
+            codes.push(c);
+            code_sum += c as u32;
+            let d = v as f64 - self.dequant(c) as f64;
+            err_sq += d * d;
+        }
+        Sq8Query {
+            codes,
+            code_sum,
+            err_sq: err_sq as f32,
+        }
+    }
+
+    /// Stage-1 L2 partial of `row` against a quantized query:
+    /// `‖dq(q) − dq(p)‖² = scale² · Σ (qc − pc)²` (integer kernel).
+    #[inline]
+    pub fn l2_partial(&self, qq: &Sq8Query, row: usize) -> f32 {
+        self.scale * self.scale * l2_sq_u8(&qq.codes, self.row_codes(row)) as f32
+    }
+
+    /// Stage-1 dot product of `row` against a quantized query:
+    /// `dq(q) · dq(p) = w·min² + min·scale·(Σqc + Σpc) + scale²·(qc·pc)`.
+    #[inline]
+    pub fn ip_dot(&self, qq: &Sq8Query, row: usize) -> f32 {
+        let w = self.width() as f32;
+        let cross = (qq.code_sum + self.code_sums[row]) as f32;
+        let int_dot = ip_u8(&qq.codes, self.row_codes(row)) as f32;
+        w * self.min * self.min + self.min * self.scale * cross + self.scale * self.scale * int_dot
+    }
+
+    /// Squared L2 norm of the dequantized `row` (migration norm rebuild).
+    pub fn dequant_row_norm_sq(&self, row: usize) -> f64 {
+        self.row_codes(row)
+            .iter()
+            .map(|&c| {
+                let v = self.dequant(c) as f64;
+                v * v
+            })
+            .sum()
+    }
+
+    /// Column-slices the segment to absolute dimensions `[start, end)`
+    /// (must lie within the segment). `min`/`scale` are inherited
+    /// **verbatim** and only the integer sums are recomputed, so scoring a
+    /// sliced-and-reassembled block is bit-identical to scoring the
+    /// original.
+    ///
+    /// # Panics
+    /// Panics when the range is not contained in the segment.
+    pub fn slice_dims(&self, start: u64, end: u64) -> Sq8Segment {
+        assert!(
+            self.dim_start <= start && start <= end && end <= self.dim_end,
+            "slice {start}..{end} outside segment {}..{}",
+            self.dim_start,
+            self.dim_end
+        );
+        let w = self.width();
+        let off = (start - self.dim_start) as usize;
+        let sw = (end - start) as usize;
+        let rows = self.rows();
+        let mut codes = Vec::with_capacity(rows * sw);
+        for r in 0..rows {
+            codes.extend_from_slice(&self.codes[r * w + off..r * w + off + sw]);
+        }
+        let code_sums = (0..rows)
+            .map(|r| codes[r * sw..(r + 1) * sw].iter().map(|&c| c as u32).sum())
+            .collect();
+        Sq8Segment {
+            dim_start: start,
+            dim_end: end,
+            min: self.min,
+            scale: self.scale,
+            codes,
+            code_sums,
+        }
+    }
+
+    /// Resident payload bytes of this segment (codes + sums + header).
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.capacity() + self.code_sums.capacity() * 4 + 24
+    }
+}
+
+/// A query slice quantized against one [`Sq8Segment`]'s affine code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq8Query {
+    /// Quantized (clamped) query codes, segment-width wide.
+    pub codes: Vec<u8>,
+    /// Sum of the query codes (inner-product cross term).
+    pub code_sum: u32,
+    /// Exact `‖q − dq(qc)‖²` over this segment — the query side of the
+    /// prune-bound widening.
+    pub err_sq: f32,
+}
+
+/// A query prepared against every segment of one SQ8 list block, plus the
+/// error terms that widen the prune bounds for that list.
+#[derive(Debug, Clone)]
+pub struct Sq8BlockQuery {
+    /// Per-segment quantized queries, parallel to the block's segments.
+    pub per_seg: Vec<Sq8Query>,
+    /// Query-side error `E_q = √(Σ_seg ‖q_seg − dq(qc_seg)‖²)` — exact.
+    pub err: f32,
+    /// Data-side error bound `E_p = √(Σ_seg row_error_bound²)`.
+    pub data_err: f32,
+}
+
+/// Quantizes `qdims` (the query coordinates of the block, starting at
+/// absolute dimension `block_dim_start`) against each segment of a list.
+pub fn prepare_block_query(
+    segs: &[Sq8Segment],
+    qdims: &[f32],
+    block_dim_start: u64,
+) -> Sq8BlockQuery {
+    let mut per_seg = Vec::with_capacity(segs.len());
+    let mut err_sq = 0f32;
+    let mut data_err_sq = 0f32;
+    for seg in segs {
+        let rel = (seg.dim_start - block_dim_start) as usize;
+        let qq = seg.quantize_query(&qdims[rel..rel + seg.width()]);
+        err_sq += qq.err_sq;
+        let e = seg.row_error_bound();
+        data_err_sq += e * e;
+        per_seg.push(qq);
+    }
+    Sq8BlockQuery {
+        per_seg,
+        err: err_sq.sqrt(),
+        data_err: data_err_sq.sqrt(),
+    }
+}
+
+/// Stage-1 L2 partial of `row` across every segment of a block.
+#[inline]
+pub fn l2_partial_row(segs: &[Sq8Segment], bq: &Sq8BlockQuery, row: usize) -> f32 {
+    segs.iter()
+        .zip(&bq.per_seg)
+        .map(|(s, q)| s.l2_partial(q, row))
+        .sum()
+}
+
+/// Stage-1 dot product of `row` across every segment of a block.
+#[inline]
+pub fn ip_dot_row(segs: &[Sq8Segment], bq: &Sq8BlockQuery, row: usize) -> f32 {
+    segs.iter()
+        .zip(&bq.per_seg)
+        .map(|(s, q)| s.ip_dot(q, row))
+        .sum()
+}
+
+/// Total resident payload bytes of a block's segments.
+pub fn segs_memory_bytes(segs: &[Sq8Segment]) -> usize {
+    segs.iter().map(Sq8Segment::memory_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg_from(values: &[f32], width: usize) -> Sq8Segment {
+        Sq8Segment::quantize(values, width, 0)
+    }
+
+    #[test]
+    fn repr_names_roundtrip() {
+        for r in [BlockRepr::F32, BlockRepr::Sq8] {
+            assert_eq!(BlockRepr::parse(r.name()), Some(r));
+        }
+        assert_eq!(BlockRepr::parse("pq4"), None);
+        assert!(BlockRepr::Sq8.is_quantized());
+        assert!(!BlockRepr::F32.is_quantized());
+        assert_eq!(BlockRepr::default(), BlockRepr::F32);
+    }
+
+    #[test]
+    fn constant_slice_dequantizes_exactly() {
+        let s = seg_from(&[3.25; 12], 4);
+        assert_eq!(s.scale, 0.0);
+        assert!(s.codes.iter().all(|&c| c == 0));
+        for r in 0..3 {
+            for &c in s.row_codes(r) {
+                assert_eq!(s.dequant(c), 3.25);
+            }
+        }
+        assert_eq!(s.coord_error_bound(), 3.25 * f32::EPSILON * 4.0);
+    }
+
+    #[test]
+    fn round_trip_error_within_bound_basic() {
+        let vals: Vec<f32> = (0..64)
+            .map(|i| (i as f32 * 0.7).sin() * 5.0 - 2.0)
+            .collect();
+        let s = seg_from(&vals, 8);
+        let bound = s.coord_error_bound();
+        for (i, &v) in vals.iter().enumerate() {
+            let back = s.dequant(s.codes[i]);
+            assert!(
+                (v - back).abs() <= bound,
+                "coord {i}: |{v} - {back}| > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_partial_matches_dequantized_distance() {
+        let vals: Vec<f32> = (0..32).map(|i| (i as f32 * 1.3).cos() * 3.0).collect();
+        let s = seg_from(&vals, 8);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.41).sin()).collect();
+        let qq = s.quantize_query(&q);
+        for row in 0..4 {
+            let got = s.l2_partial(&qq, row);
+            let want: f32 = (0..8)
+                .map(|j| {
+                    let d = s.dequant(qq.codes[j]) - s.dequant(s.row_codes(row)[j]);
+                    d * d
+                })
+                .sum();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-4 + 1e-5,
+                "row {row}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn ip_dot_matches_dequantized_dot() {
+        let vals: Vec<f32> = (0..32)
+            .map(|i| (i as f32 * 0.9).sin() * 2.0 - 0.5)
+            .collect();
+        let s = seg_from(&vals, 8);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.23).cos() * 1.5).collect();
+        let qq = s.quantize_query(&q);
+        for row in 0..4 {
+            let got = s.ip_dot(&qq, row);
+            let want: f32 = (0..8)
+                .map(|j| s.dequant(qq.codes[j]) * s.dequant(s.row_codes(row)[j]))
+                .sum();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-3 + 1e-3,
+                "row {row}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_error_is_exact_even_when_clamped() {
+        // Query far outside the data range clamps to code 255.
+        let s = seg_from(&[0.0, 1.0, 2.0, 3.0], 4);
+        let q = [10.0f32, -5.0, 1.5, 2.0];
+        let qq = s.quantize_query(&q);
+        assert_eq!(qq.codes[0], 255);
+        assert_eq!(qq.codes[1], 0);
+        let want: f32 = (0..4)
+            .map(|j| {
+                let d = q[j] - s.dequant(qq.codes[j]);
+                d * d
+            })
+            .sum();
+        assert!((qq.err_sq - want).abs() <= want * 1e-5);
+    }
+
+    #[test]
+    fn slice_inherits_affine_code_verbatim() {
+        let vals: Vec<f32> = (0..40).map(|i| (i as f32 * 0.37).sin() * 4.0).collect();
+        let s = Sq8Segment::quantize(&vals, 10, 16);
+        let left = s.slice_dims(16, 20);
+        let right = s.slice_dims(20, 26);
+        assert_eq!(left.min, s.min);
+        assert_eq!(left.scale.to_bits(), s.scale.to_bits());
+        assert_eq!(right.scale.to_bits(), s.scale.to_bits());
+        // Codes are column-copies: integer kernels over the concatenation
+        // match the original exactly.
+        for r in 0..4 {
+            let mut rebuilt: Vec<u8> = left.row_codes(r).to_vec();
+            rebuilt.extend_from_slice(right.row_codes(r));
+            assert_eq!(rebuilt, s.row_codes(r));
+            assert_eq!(
+                left.code_sums[r] + right.code_sums[r],
+                s.code_sums[r],
+                "sums must decompose"
+            );
+        }
+    }
+
+    #[test]
+    fn block_query_scoring_decomposes_over_segments() {
+        let vals: Vec<f32> = (0..48).map(|i| (i as f32 * 0.61).cos() * 2.0).collect();
+        let s = Sq8Segment::quantize(&vals, 12, 0);
+        let split = [s.slice_dims(0, 5), s.slice_dims(5, 12)];
+        let q: Vec<f32> = (0..12).map(|i| (i as f32 * 0.17).sin()).collect();
+        let whole = prepare_block_query(std::slice::from_ref(&s), &q, 0);
+        let parts = prepare_block_query(&split, &q, 0);
+        for row in 0..4 {
+            // Integer kernels decompose exactly; the f32 scale² product
+            // reassociates, so compare with a small tolerance.
+            let a = l2_partial_row(std::slice::from_ref(&s), &whole, row);
+            let b = l2_partial_row(&split, &parts, row);
+            assert!((a - b).abs() <= a.abs() * 1e-5 + 1e-6, "{a} vs {b}");
+            let a = ip_dot_row(std::slice::from_ref(&s), &whole, row);
+            let b = ip_dot_row(&split, &parts, row);
+            assert!((a - b).abs() <= a.abs() * 1e-4 + 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn memory_is_about_one_byte_per_coordinate() {
+        let vals = vec![0.5f32; 128 * 32];
+        let s = Sq8Segment::quantize(&vals, 32, 0);
+        let f32_bytes = vals.len() * 4;
+        let sq8_bytes = s.memory_bytes();
+        assert!(
+            (f32_bytes as f64 / sq8_bytes as f64) >= 3.0,
+            "expected >=3x reduction, got {f32_bytes}/{sq8_bytes}"
+        );
+    }
+
+    #[test]
+    fn empty_block_quantizes_to_empty_segment() {
+        let s = Sq8Segment::quantize(&[], 4, 8);
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.scale, 0.0);
+        let qq = s.quantize_query(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(qq.codes.len(), 4);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Maps a plain `[-1, 1)` sample vector into one of several
+        /// adversarial regimes: ordinary magnitudes, tiny scales, huge
+        /// scales (ranges that overflow f32 subtraction), constant slices,
+        /// and all-negative mins.
+        fn adversarialize(base: &[f32], mode: usize) -> Vec<f32> {
+            match mode {
+                0 => base.iter().map(|v| v * 1e3).collect(),
+                1 => base.iter().map(|v| v * 1e-30).collect(),
+                2 => base.iter().map(|v| v * 3.0e38).collect(),
+                3 => vec![base[0] * 1e2 - 7.25; base.len()],
+                _ => base.iter().map(|v| v.abs() * -1e4 - 1.0).collect(),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            /// Round-trip error stays within the advertised bound for
+            /// adversarial ranges: constant slices, tiny/huge scales,
+            /// negative mins.
+            #[test]
+            fn round_trip_error_within_advertised_bound(
+                base in proptest::collection::vec(-1.0f32..1.0f32, 1..96),
+                mode in 0usize..5,
+                width in 1usize..9,
+            ) {
+                let vals = adversarialize(&base, mode);
+                let rows = vals.len() / width;
+                let flat = &vals[..rows * width];
+                let s = Sq8Segment::quantize(flat, width, 0);
+                prop_assert!(s.scale.is_finite() && s.scale >= 0.0);
+                let bound = s.coord_error_bound() as f64;
+                for (i, &v) in flat.iter().enumerate() {
+                    let back = s.dequant(s.codes[i]) as f64;
+                    let err = (v as f64 - back).abs();
+                    prop_assert!(
+                        err <= bound,
+                        "coord {i}: err {err} > bound {bound} (min {} scale {})",
+                        s.min, s.scale
+                    );
+                }
+            }
+
+            /// Slicing a segment anywhere preserves codes column-for-column
+            /// and decomposes the integer sums exactly.
+            #[test]
+            fn slices_preserve_codes_and_sums(
+                vals in proptest::collection::vec(-50.0f32..50.0f32, 8..64),
+                width in 2usize..8,
+                cut_seed in proptest::num::u64::ANY,
+            ) {
+                let rows = vals.len() / width;
+                prop_assume!(rows > 0);
+                let flat = &vals[..rows * width];
+                let s = Sq8Segment::quantize(flat, width, 4);
+                let cut = 4 + 1 + (cut_seed % (width as u64 - 1));
+                let a = s.slice_dims(4, cut);
+                let b = s.slice_dims(cut, 4 + width as u64);
+                for r in 0..rows {
+                    let mut rebuilt = a.row_codes(r).to_vec();
+                    rebuilt.extend_from_slice(b.row_codes(r));
+                    prop_assert_eq!(rebuilt, s.row_codes(r).to_vec());
+                    prop_assert_eq!(a.code_sums[r] + b.code_sums[r], s.code_sums[r]);
+                }
+            }
+
+            /// The L2 stage-1 partial lower-bounds the exact distance once
+            /// widened by the measured query error plus the advertised data
+            /// error: `‖q−p‖ ≥ ‖dq(q)−dq(p)‖ − E_q − E_p`.
+            #[test]
+            fn widened_quantized_distance_lower_bounds_exact(
+                vals in proptest::collection::vec(-20.0f32..20.0f32, 8..64),
+                q in proptest::collection::vec(-25.0f32..25.0f32, 8..9),
+            ) {
+                let width = 8;
+                let rows = vals.len() / width;
+                prop_assume!(rows > 0);
+                let flat = &vals[..rows * width];
+                let s = Sq8Segment::quantize(flat, width, 0);
+                let bq = prepare_block_query(std::slice::from_ref(&s), &q, 0);
+                for row in 0..rows {
+                    let exact: f32 = (0..width)
+                        .map(|j| {
+                            let d = q[j] - flat[row * width + j];
+                            d * d
+                        })
+                        .sum();
+                    let quant = l2_partial_row(std::slice::from_ref(&s), &bq, row);
+                    let eps = bq.err + bq.data_err;
+                    let lower = (quant.max(0.0).sqrt() - eps).max(0.0);
+                    prop_assert!(
+                        lower * lower <= exact * (1.0 + 1e-4) + 1e-5,
+                        "row {row}: widened bound {} exceeds exact {exact}",
+                        lower * lower
+                    );
+                }
+            }
+        }
+    }
+}

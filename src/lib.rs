@@ -59,6 +59,6 @@ pub mod prelude {
     };
     pub use harmony_data::{DatasetAnalog, SyntheticSpec, Workload, WorkloadSpec};
     pub use harmony_index::{
-        DimRange, FlatIndex, IvfIndex, IvfParams, Metric, Neighbor, TopK, VectorStore,
+        BlockRepr, DimRange, FlatIndex, IvfIndex, IvfParams, Metric, Neighbor, TopK, VectorStore,
     };
 }

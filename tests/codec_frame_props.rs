@@ -12,6 +12,7 @@ use harmony::core::messages::{
     BeginEpoch, Carry, ClusterBlock, InstallLists, ListPiece, LoadBlock, MigrateOut, QueryChunk,
     QueryResult, StatsReport, ToClient, ToWorker, TransferSpec,
 };
+use harmony::index::Sq8Segment;
 use proptest::prelude::*;
 
 /// Pushes `payload` through the complete frame path and asserts identity.
@@ -50,23 +51,51 @@ fn roundtrip_msg<T: Wire + PartialEq + std::fmt::Debug>(
     Ok(())
 }
 
-fn sample_block(cluster: u32, n: usize, width: usize, ip: bool) -> ClusterBlock {
+/// One quantized segment covering `[dim_start, dim_start + width)` for `n`
+/// rows (what an SQ8 block or migration piece carries instead of `flat`).
+fn sample_segs(n: usize, width: usize, dim_start: u64) -> Vec<Sq8Segment> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let flat: Vec<f32> = (0..n * width).map(|i| i as f32 * 0.375 - 3.0).collect();
+    vec![Sq8Segment::quantize(&flat, width, dim_start)]
+}
+
+fn sample_block(cluster: u32, n: usize, width: usize, ip: bool, sq8: bool) -> ClusterBlock {
     ClusterBlock {
         cluster,
         ids: (0..n as u64).map(|i| i * 3 + 1).collect(),
-        flat: (0..n * width).map(|i| i as f32 * 0.25 - 1.0).collect(),
+        flat: if sq8 {
+            Vec::new()
+        } else {
+            (0..n * width).map(|i| i as f32 * 0.25 - 1.0).collect()
+        },
+        segs: if sq8 {
+            sample_segs(n, width, 0)
+        } else {
+            Vec::new()
+        },
         block_norms_sq: if ip { vec![1.5; n] } else { Vec::new() },
         total_norms_sq: if ip { vec![4.0; n] } else { Vec::new() },
     }
 }
 
-fn sample_piece(cluster: u32, n: usize, width: usize, ip: bool) -> ListPiece {
+fn sample_piece(cluster: u32, n: usize, width: usize, ip: bool, sq8: bool) -> ListPiece {
     ListPiece {
         cluster,
         dim_start: 8,
         dim_end: 8 + width as u64,
         ids: (0..n as u64).map(|i| i * 7).collect(),
-        flat: (0..n * width).map(|i| -(i as f32) * 0.5).collect(),
+        flat: if sq8 {
+            Vec::new()
+        } else {
+            (0..n * width).map(|i| -(i as f32) * 0.5).collect()
+        },
+        segs: if sq8 {
+            sample_segs(n, width, 8)
+        } else {
+            Vec::new()
+        },
         piece_norms_sq: if ip { vec![0.75; n] } else { Vec::new() },
         total_norms_sq: if ip { vec![2.25; n] } else { Vec::new() },
     }
@@ -84,6 +113,7 @@ proptest! {
         n in 0usize..12,
         width in 1usize..8,
         ip in proptest::bool::ANY,
+        sq8 in proptest::bool::ANY,
         from in 0u64..8,
         delay in 0u64..1_000_000,
         seed in proptest::num::u64::ANY,
@@ -98,7 +128,8 @@ proptest! {
                 total_dim_blocks: 4,
                 metric: (seed % 3) as u8,
                 pruning: ip,
-                lists: vec![sample_block(shard, n, width, ip)],
+                repr: sq8 as u8,
+                lists: vec![sample_block(shard, n, width, ip, sq8)],
             }),
             1 => ToWorker::Chunk(QueryChunk {
                 query_id: seed,
@@ -122,6 +153,7 @@ proptest! {
                 partials: (0..n).map(|i| i as f32).collect(),
                 visited_norms_sq: if ip { vec![1.0; n] } else { Vec::new() },
                 q_visited_norm_sq: if ip { 0.25 } else { 0.0 },
+                quant_eps: if sq8 { 0.0625 } else { 0.0 },
             }),
             3 => ToWorker::GetStats,
             4 => ToWorker::ResetStats,
@@ -151,7 +183,7 @@ proptest! {
                 epoch,
                 shard,
                 dim_block: 0,
-                pieces: vec![sample_piece(shard, n, width, ip)],
+                pieces: vec![sample_piece(shard, n, width, ip, sq8)],
             }),
             _ => ToWorker::EvictEpoch { epoch },
         };
@@ -183,6 +215,8 @@ proptest! {
                 slice_pruned: (0..n as u64).map(|x| x / 2).collect(),
                 scanned_point_dims: seed,
                 memory_bytes: seed / 3,
+                f32_block_bytes: seed / 5,
+                sq8_block_bytes: seed / 7,
             }),
             _ => ToClient::EpochReady { epoch },
         };

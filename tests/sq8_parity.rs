@@ -1,0 +1,107 @@
+//! SQ8 two-stage search parity: the quantized stage-1 scan plus exact f32
+//! re-rank must recover ≥ 0.99 of the exact pipeline's recall@10 — on both
+//! the in-process and the real loopback TCP fabric, and again after a live
+//! migration has resliced every quantized block onto a new layout.
+
+use harmony::core::PartitionPlan;
+use harmony::prelude::*;
+
+const WORKERS: usize = 4;
+const QUERIES: usize = 64;
+const K: usize = 10;
+
+fn dataset() -> harmony::data::Dataset {
+    // dim 64 keeps every dimension block ≥ 16 wide under a 4-way plan, the
+    // regime the SQ8 byte-reduction target assumes.
+    SyntheticSpec::clustered(2_000, 64, 8)
+        .with_seed(97)
+        .generate()
+}
+
+fn build_engine(
+    d: &harmony::data::Dataset,
+    transport: TransportKind,
+    repr: BlockRepr,
+) -> HarmonyEngine {
+    let config = HarmonyConfig::builder()
+        .n_machines(WORKERS)
+        .nlist(32)
+        .seed(7)
+        .balanced_load(false)
+        .transport(transport)
+        .repr(repr)
+        .build()
+        .unwrap();
+    HarmonyEngine::build(config, &d.base).unwrap()
+}
+
+fn queries(d: &harmony::data::Dataset) -> VectorStore {
+    let rows: Vec<usize> = (0..QUERIES).map(|i| (i * 31) % d.base.len()).collect();
+    d.base.gather(&rows)
+}
+
+/// Fraction of the f32 pipeline's top-k ids the sq8 pipeline recovers,
+/// averaged over the batch.
+fn recall_vs(f32_results: &[Vec<Neighbor>], sq8_results: &[Vec<Neighbor>]) -> f64 {
+    assert_eq!(f32_results.len(), sq8_results.len());
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (fr, qr) in f32_results.iter().zip(sq8_results) {
+        total += fr.len();
+        for n in fr {
+            if qr.iter().any(|m| m.id == n.id) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+/// Runs both representations through one transport, pre- and post-
+/// migration, and checks sq8 recall against the exact pipeline each time.
+fn check_transport(transport: TransportKind, label: &str) {
+    let d = dataset();
+    let q = queries(&d);
+    let opts = SearchOptions::new(K).with_nprobe(8);
+
+    let exact = build_engine(&d, transport.clone(), BlockRepr::F32);
+    let quant = build_engine(&d, transport, BlockRepr::Sq8);
+
+    let f_pre = exact.search_batch(&q, &opts).unwrap().results;
+    let q_pre = quant.search_batch(&q, &opts).unwrap().results;
+    let r_pre = recall_vs(&f_pre, &q_pre);
+    assert!(
+        r_pre >= 0.99,
+        "{label}: pre-migration sq8 recall@{K} {r_pre:.4} < 0.99"
+    );
+
+    // Live-migrate both engines to a pure dimension layout: sq8 blocks are
+    // sliced segment-wise in transit and reassembled on the new owners.
+    for engine in [&exact, &quant] {
+        let report = engine
+            .migrate_to(PartitionPlan::pure_dimension(WORKERS))
+            .expect("live migration");
+        assert_eq!(report.to_plan.dim_blocks, WORKERS);
+    }
+
+    let f_post = exact.search_batch(&q, &opts).unwrap().results;
+    let q_post = quant.search_batch(&q, &opts).unwrap().results;
+    let r_post = recall_vs(&f_post, &q_post);
+    assert!(
+        r_post >= 0.99,
+        "{label}: post-migration sq8 recall@{K} {r_post:.4} < 0.99"
+    );
+
+    exact.shutdown().unwrap();
+    quant.shutdown().unwrap();
+}
+
+#[test]
+fn sq8_recall_matches_f32_inproc() {
+    check_transport(TransportKind::InProc, "inproc");
+}
+
+#[test]
+fn sq8_recall_matches_f32_tcp() {
+    check_transport(TransportKind::tcp(), "tcp");
+}

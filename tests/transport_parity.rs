@@ -22,7 +22,11 @@ fn dataset() -> harmony::data::Dataset {
         .generate()
 }
 
-fn build_engine(d: &harmony::data::Dataset, transport: TransportKind) -> HarmonyEngine {
+fn build_engine(
+    d: &harmony::data::Dataset,
+    transport: TransportKind,
+    repr: BlockRepr,
+) -> HarmonyEngine {
     // balanced_load(false) keeps packing and dimension-block rotation
     // row-deterministic, so float summation order — and therefore result
     // bits — depends only on the layout, never on scheduling.
@@ -32,6 +36,7 @@ fn build_engine(d: &harmony::data::Dataset, transport: TransportKind) -> Harmony
         .seed(7)
         .balanced_load(false)
         .transport(transport)
+        .repr(repr)
         .build()
         .unwrap();
     HarmonyEngine::build(config, &d.base).unwrap()
@@ -52,9 +57,12 @@ fn session_batches(d: &harmony::data::Dataset) -> Vec<VectorStore> {
 /// before the migration, the same four sessions querying *while* a live
 /// migration to pure dimension partitioning is in flight, and the same
 /// four sessions again on the settled post-migration layout.
-fn run_scenario(transport: TransportKind) -> (Vec<SessionResults>, Vec<SessionResults>) {
+fn run_scenario(
+    transport: TransportKind,
+    repr: BlockRepr,
+) -> (Vec<SessionResults>, Vec<SessionResults>) {
     let d = dataset();
-    let engine = build_engine(&d, transport);
+    let engine = build_engine(&d, transport, repr);
     let batches = session_batches(&d);
     let opts = SearchOptions::new(10).with_nprobe(8);
 
@@ -158,8 +166,8 @@ fn assert_bit_identical(a: &[SessionResults], b: &[SessionResults], phase: &str)
 
 #[test]
 fn tcp_and_inproc_transports_yield_bit_identical_topk() {
-    let (pre_inproc, post_inproc) = run_scenario(TransportKind::InProc);
-    let (pre_tcp, post_tcp) = run_scenario(TransportKind::tcp());
+    let (pre_inproc, post_inproc) = run_scenario(TransportKind::InProc, BlockRepr::F32);
+    let (pre_tcp, post_tcp) = run_scenario(TransportKind::tcp(), BlockRepr::F32);
 
     assert_bit_identical(&pre_inproc, &pre_tcp, "pre-migration");
     assert_bit_identical(&post_inproc, &post_tcp, "post-migration");
@@ -174,4 +182,18 @@ fn tcp_and_inproc_transports_yield_bit_identical_topk() {
         Vec::<u32>::new(),
         "pre-phase produced empty results"
     );
+}
+
+/// Same contract under the SQ8 representation: quantized blocks travel the
+/// TCP fabric (and the migration pipeline slices them segment-wise), so
+/// bit-identical top-k across transports proves the int8 codes, per-segment
+/// affine parameters, and carried quantization-error bounds all survive
+/// framing and live migration byte-for-byte.
+#[test]
+fn tcp_and_inproc_transports_yield_bit_identical_topk_sq8() {
+    let (pre_inproc, post_inproc) = run_scenario(TransportKind::InProc, BlockRepr::Sq8);
+    let (pre_tcp, post_tcp) = run_scenario(TransportKind::tcp(), BlockRepr::Sq8);
+
+    assert_bit_identical(&pre_inproc, &pre_tcp, "sq8 pre-migration");
+    assert_bit_identical(&post_inproc, &post_tcp, "sq8 post-migration");
 }
