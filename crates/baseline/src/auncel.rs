@@ -298,6 +298,7 @@ impl AuncelEngine {
                     q_total_norm_sq: 0.0,
                     order: vec![machine as u64],
                     position: 0,
+                    delta_seq: 0,
                 };
                 inner
                     .cluster

@@ -17,6 +17,7 @@ fn chunk(dims: usize) -> QueryChunk {
         q_total_norm_sq: 1.0,
         order: vec![0, 1, 2, 3],
         position: 0,
+        delta_seq: 0,
     }
 }
 

@@ -1,0 +1,306 @@
+//! Ingest churn — the mutable-shard lifecycle under load: QPS and
+//! recall@10 before any churn, with pending deltas and tombstones (fresh
+//! rows served from the exact-f32 delta scan), *during* a live
+//! compaction hammered by 4 concurrent sessions, and after the folded
+//! epoch settles.
+//!
+//! Recall in the churned phases is scored against exact ground truth over
+//! the *live* logical set (base − deleted + fresh), so the delta scan and
+//! tombstone suppression are graded on what the index should actually
+//! contain. Fresh-data recall is reported separately: every live fresh
+//! vector's self-query must rank it first — 1.0 by construction.
+//!
+//! `--assert-churn` turns the run into a smoke check: it exits non-zero
+//! unless fresh-data recall is 1.0, the compaction folded rows and
+//! dropped tombstones, and no mid-compaction batch lost or duplicated
+//! results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use harmony_bench::report::{emit_bench_json, percentile, Json};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{HarmonyConfig, HarmonyEngine, SearchOptions};
+use harmony_data::ground_truth::{ground_truth, recall_at_k};
+use harmony_data::SyntheticSpec;
+use harmony_index::{Metric, VectorStore};
+
+const SEED: u64 = 0x00C4_0A11;
+const FRESH_BASE_ID: u64 = 1_000_000;
+
+/// A fresh vector absent from the base set: a base row with an
+/// index-dependent nudge, unique per `i`.
+fn fresh_vector(base: &VectorStore, i: usize) -> Vec<f32> {
+    base.row((i * 131) % base.len())
+        .iter()
+        .enumerate()
+        .map(|(j, &x)| x + 0.05 + 0.01 * ((i + j) % 7) as f32)
+        .collect()
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let assert_churn = raw.iter().any(|a| a == "--assert-churn");
+    raw.retain(|a| a != "--assert-churn");
+    let args = BenchArgs::parse_from(raw.into_iter());
+
+    let n = if args.quick { 12_000 } else { 48_000 };
+    let dim = if args.quick { 32 } else { 64 };
+    let nlist = 32;
+    let fresh_n = if args.quick { 64 } else { 256 };
+    let delete_n = fresh_n / 2;
+    let dataset = SyntheticSpec::clustered(n, dim, 8).with_seed(21).generate();
+    eprintln!(
+        "[churn] {} x {}d, nlist {nlist}, +{fresh_n} upserts, -{delete_n} deletes, repr {:?}",
+        n, dim, args.repr
+    );
+
+    let config = HarmonyConfig::builder()
+        .n_machines(args.workers)
+        .nlist(nlist)
+        .seed(SEED)
+        .transport(args.transport.clone())
+        .repr(args.repr)
+        .build()
+        .expect("valid config");
+    let engine = HarmonyEngine::build(config, &dataset.base).expect("engine build");
+
+    let queries: VectorStore = {
+        let take: Vec<usize> =
+            (0..args.effective_queries().max(64).min(dataset.queries.len())).collect();
+        dataset.queries.gather(&take)
+    };
+    let opts = SearchOptions::new(10).with_nprobe(8);
+
+    let mut table = Table::new(
+        "Ingest churn — QPS and recall@10 across the delta/tombstone/compaction lifecycle",
+        &[
+            "phase",
+            "epoch",
+            "QPS",
+            "recall@10",
+            "pending deltas",
+            "tombstones",
+        ],
+    );
+    let phase_row = |table: &mut Table, phase: &str, engine: &HarmonyEngine, qps: f64, rec: f64| {
+        table.row(vec![
+            phase.to_string(),
+            engine.current_epoch().to_string(),
+            report::num(qps, 1),
+            report::num(rec, 4),
+            engine.pending_deltas().to_string(),
+            engine.tombstone_count().to_string(),
+        ]);
+    };
+
+    // Phase 1 — pristine index, truth over the base set.
+    let truth_base = ground_truth(&dataset.base, &queries, 10, Metric::L2);
+    let before = engine.search_batch(&queries, &opts).expect("before batch");
+    let before_qps = before.qps_modeled();
+    let before_recall = recall_at_k(&truth_base, &before.results, 10);
+    phase_row(
+        &mut table,
+        "before churn",
+        &engine,
+        before_qps,
+        before_recall,
+    );
+
+    // Churn: fresh upserts and soft deletes.
+    for i in 0..fresh_n {
+        engine
+            .upsert(FRESH_BASE_ID + i as u64, &fresh_vector(&dataset.base, i))
+            .expect("upsert");
+    }
+    let mut deleted: Vec<u64> = Vec::new();
+    for i in 0..delete_n {
+        let id = (i * 149 + 3) as u64 % dataset.base.len() as u64;
+        if engine.delete(id).expect("delete") {
+            deleted.push(id);
+        }
+    }
+
+    // Exact truth over the live logical set: base − deleted + fresh.
+    let live: VectorStore = {
+        let mut s = VectorStore::with_capacity(dim, dataset.base.len() + fresh_n);
+        for r in 0..dataset.base.len() {
+            let id = dataset.base.id(r);
+            if !deleted.contains(&id) {
+                s.push(id, dataset.base.row(r)).expect("dims");
+            }
+        }
+        for i in 0..fresh_n {
+            s.push(FRESH_BASE_ID + i as u64, &fresh_vector(&dataset.base, i))
+                .expect("dims");
+        }
+        s
+    };
+    let truth_live = ground_truth(&live, &queries, 10, Metric::L2);
+
+    // Phase 2 — pending deltas: fresh rows come from the exact delta scan.
+    let churned = engine.search_batch(&queries, &opts).expect("churned batch");
+    let churned_qps = churned.qps_modeled();
+    let churned_recall = recall_at_k(&truth_live, &churned.results, 10);
+    phase_row(
+        &mut table,
+        "churned (pre-compaction)",
+        &engine,
+        churned_qps,
+        churned_recall,
+    );
+
+    // Fresh-data recall: every live fresh vector's self-query ranks it
+    // first, at full k, straight off the delta lists.
+    let fresh_queries: VectorStore = {
+        let mut s = VectorStore::with_capacity(dim, fresh_n);
+        for i in 0..fresh_n {
+            s.push(i as u64, &fresh_vector(&dataset.base, i))
+                .expect("dims");
+        }
+        s
+    };
+    let fresh_out = engine
+        .search_batch(&fresh_queries, &opts)
+        .expect("fresh batch");
+    let fresh_hits = fresh_out
+        .results
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| r.first().map(|n| n.id) == Some(FRESH_BASE_ID + *i as u64))
+        .count();
+    let fresh_recall = fresh_hits as f64 / fresh_n as f64;
+    eprintln!("[churn] fresh-data recall (self-query top-1): {fresh_recall:.4}");
+
+    // Phase 3 — live compaction under 4 concurrent sessions.
+    let stop = AtomicBool::new(false);
+    let (creport, live_served, mut live_lat_ms, live_qps_sum, live_batches) =
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..4usize {
+                let engine = &engine;
+                let opts = &opts;
+                let stop = &stop;
+                let rows: Vec<usize> = (0..32)
+                    .map(|i| (t * 977 + i * 31) % queries.len())
+                    .collect();
+                let batch = queries.gather(&rows);
+                handles.push(s.spawn(move || {
+                    let mut served = 0usize;
+                    let mut lats = Vec::new();
+                    let mut qps_sum = 0.0f64;
+                    let mut batches = 0usize;
+                    while !stop.load(Ordering::Relaxed) || served == 0 {
+                        let r0 = Instant::now();
+                        let out = engine.search_batch(&batch, opts).expect("live batch");
+                        lats.push(r0.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(out.results.len(), batch.len(), "lost results");
+                        for r in &out.results {
+                            let mut ids: Vec<u64> = r.iter().map(|n| n.id).collect();
+                            ids.sort_unstable();
+                            ids.dedup();
+                            assert_eq!(ids.len(), r.len(), "duplicated results");
+                        }
+                        qps_sum += out.qps_modeled();
+                        batches += 1;
+                        served += out.results.len();
+                    }
+                    (served, lats, qps_sum, batches)
+                }));
+            }
+            let creport = engine.compact().expect("live compaction");
+            stop.store(true, Ordering::Relaxed);
+            let mut served = 0usize;
+            let mut lats = Vec::new();
+            let mut qps_sum = 0.0f64;
+            let mut batches = 0usize;
+            for h in handles {
+                let (sv, l, q, b) = h.join().expect("session");
+                served += sv;
+                lats.extend(l);
+                qps_sum += q;
+                batches += b;
+            }
+            eprintln!("[churn] {served} live queries served across the compaction, none lost");
+            (creport, served, lats, qps_sum, batches)
+        });
+    let during_qps = if live_batches > 0 {
+        live_qps_sum / live_batches as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[churn] compaction epoch {}: folded {} rows, dropped {} tombstones",
+        creport.epoch, creport.folded_rows, creport.dropped_tombstones
+    );
+    phase_row(
+        &mut table,
+        "during compaction",
+        &engine,
+        during_qps,
+        f64::NAN,
+    );
+
+    // Phase 4 — settled post-compaction layout; same live truth.
+    let after = engine.search_batch(&queries, &opts).expect("after batch");
+    let after_qps = after.qps_modeled();
+    let after_recall = recall_at_k(&truth_live, &after.results, 10);
+    phase_row(
+        &mut table,
+        "after compaction",
+        &engine,
+        after_qps,
+        after_recall,
+    );
+
+    table.emit(&args.out_dir, "churn");
+    let summary = Json::obj()
+        .field("bench", Json::Str("churn".into()))
+        .field("transport", Json::Str(args.transport.label().into()))
+        .field("repr", Json::Str(format!("{:?}", args.repr).to_lowercase()))
+        .field("workers", Json::Int(args.workers as u64))
+        .field("fresh_upserts", Json::Int(fresh_n as u64))
+        .field("deletes", Json::Int(deleted.len() as u64))
+        .field("fresh_recall_top1", Json::Num(fresh_recall))
+        .field("before_qps", Json::Num(before_qps))
+        .field("before_recall_at10", Json::Num(before_recall))
+        .field("churned_qps", Json::Num(churned_qps))
+        .field("churned_recall_at10", Json::Num(churned_recall))
+        .field("during_compaction_qps", Json::Num(during_qps))
+        .field("after_qps", Json::Num(after_qps))
+        .field("after_recall_at10", Json::Num(after_recall))
+        .field(
+            "compaction",
+            Json::obj()
+                .field("epoch", Json::Int(creport.epoch))
+                .field("folded_rows", Json::Int(creport.folded_rows as u64))
+                .field(
+                    "dropped_tombstones",
+                    Json::Int(creport.dropped_tombstones as u64),
+                )
+                .field("queries_served", Json::Int(live_served as u64))
+                .field("p50_ms", Json::Num(percentile(&mut live_lat_ms, 50.0)))
+                .field("p99_ms", Json::Num(percentile(&mut live_lat_ms, 99.0))),
+        );
+    emit_bench_json(&args.out_dir, "churn", &summary);
+
+    if assert_churn {
+        assert!(
+            (fresh_recall - 1.0).abs() < f64::EPSILON,
+            "--assert-churn: fresh-data recall {fresh_recall} must be 1.0"
+        );
+        assert!(
+            creport.folded_rows > 0 && creport.dropped_tombstones > 0,
+            "--assert-churn: compaction must fold rows and drop tombstones"
+        );
+        assert!(
+            after_recall >= churned_recall - 0.02,
+            "--assert-churn: post-compaction recall {after_recall:.4} regressed vs churned {churned_recall:.4}"
+        );
+        eprintln!(
+            "[churn] OK: fresh recall 1.0, {} rows folded, recall {:.4} -> {:.4}",
+            creport.folded_rows, churned_recall, after_recall
+        );
+    }
+    engine.shutdown().expect("shutdown");
+}

@@ -30,6 +30,8 @@ static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static TRANSPORT_BUFFERED: AtomicUsize = AtomicUsize::new(0);
 static F32_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
 static SQ8_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static DELTA_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TOMBSTONE_ENTRIES: AtomicUsize = AtomicUsize::new(0);
 
 /// A [`GlobalAlloc`] wrapper around the system allocator that tracks live
 /// and peak heap usage.
@@ -157,6 +159,37 @@ pub fn sq8_block_sub(n: usize) {
     SQ8_BLOCK_BYTES.fetch_sub(n, Ordering::Relaxed);
 }
 
+/// Resident delta-list payload bytes (freshly upserted rows held in exact
+/// f32 form awaiting compaction) across every live worker.
+pub fn delta_block_bytes() -> usize {
+    DELTA_BLOCK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Accounts `n` bytes of delta-list payload coming resident.
+pub fn delta_block_add(n: usize) {
+    DELTA_BLOCK_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` bytes of delta-list payload being dropped.
+pub fn delta_block_sub(n: usize) {
+    DELTA_BLOCK_BYTES.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// Tombstoned ids currently held across every live worker epoch.
+pub fn tombstone_entries() -> usize {
+    TOMBSTONE_ENTRIES.load(Ordering::Relaxed)
+}
+
+/// Accounts `n` ids entering worker tombstone sets.
+pub fn tombstone_add(n: usize) {
+    TOMBSTONE_ENTRIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` ids leaving worker tombstone sets (compaction or evict).
+pub fn tombstone_sub(n: usize) {
+    TOMBSTONE_ENTRIES.fetch_sub(n, Ordering::Relaxed);
+}
+
 /// Formats a byte count using binary units ("3.21 GiB").
 pub fn format_bytes(bytes: usize) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
@@ -224,6 +257,19 @@ mod tests {
         sq8_block_sub(1024);
         assert_eq!(f32_block_bytes(), f0);
         assert_eq!(sq8_block_bytes(), s0);
+    }
+
+    #[test]
+    fn ingest_gauges_balance() {
+        let (d0, t0) = (delta_block_bytes(), tombstone_entries());
+        delta_block_add(2048);
+        tombstone_add(7);
+        assert_eq!(delta_block_bytes(), d0 + 2048);
+        assert_eq!(tombstone_entries(), t0 + 7);
+        delta_block_sub(2048);
+        tombstone_sub(7);
+        assert_eq!(delta_block_bytes(), d0);
+        assert_eq!(tombstone_entries(), t0);
     }
 
     #[test]

@@ -189,6 +189,10 @@ pub struct HarmonyConfig {
     /// `k`. Larger values recover more recall at more re-rank work; ignored
     /// under [`BlockRepr::F32`]. Must be ≥ 1.
     pub rerank_scale: usize,
+    /// Auto-compaction threshold: fold pending delta rows into their home
+    /// IVF lists once this many upserts accumulate (0 = manual
+    /// [`crate::HarmonyEngine::compact`] calls only).
+    pub compact_after: usize,
 }
 
 impl HarmonyConfig {
@@ -273,6 +277,7 @@ impl Default for HarmonyConfigBuilder {
                 transport: TransportKind::InProc,
                 repr: BlockRepr::F32,
                 rerank_scale: 4,
+                compact_after: 0,
             },
         }
     }
@@ -356,6 +361,10 @@ impl HarmonyConfigBuilder {
     builder_setter!(
         /// Stage-1 survivor multiplier for SQ8 re-ranking.
         rerank_scale: usize
+    );
+    builder_setter!(
+        /// Auto-compaction threshold in pending upserts (0 = manual).
+        compact_after: usize
     );
 
     /// Forces a specific partition plan (diagnostics / ablations).

@@ -64,8 +64,8 @@ use crate::config::{EngineMode, HarmonyConfig, SearchOptions};
 use crate::cost::{weights_from, CostModel, WorkloadProfile};
 use crate::error::CoreError;
 use crate::messages::{
-    metric_tag, repr_tag, BeginEpoch, ClusterBlock, LoadBlock, MigrateOut, QueryChunk, QueryResult,
-    ToClient, ToWorker, TransferSpec,
+    metric_tag, repr_tag, BeginEpoch, ClusterBlock, DeleteIds, DeltaUpsert, InstallLists,
+    ListPiece, LoadBlock, MigrateOut, QueryChunk, QueryResult, ToClient, ToWorker, TransferSpec,
 };
 use crate::partition::{PartitionPlan, ShardAssignment};
 use crate::pruning::SliceStats;
@@ -87,19 +87,32 @@ pub struct HarmonyEngine {
     metric: Metric,
     dim: usize,
     centroids: VectorStore,
-    list_sizes: Vec<usize>,
+    /// Current list sizes per cluster; rewritten by compaction.
+    list_sizes: RwLock<Vec<usize>>,
     /// Full-dimension samples kept client-side for threshold prewarming.
     prewarm_store: VectorStore,
     /// Rows of `prewarm_store` per cluster.
     prewarm_rows: Vec<Vec<usize>>,
-    /// Exact base copy for the SQ8 second stage: stage-1 quantized scans
-    /// over-collect `k × rerank_scale` survivors, then the client re-scores
-    /// them here in full f32 before trimming to `k`. `None` under f32 (no
-    /// second stage needed).
-    rerank: Option<RerankStore>,
+    /// Exact full-dimension copy of every live vector, `by_id` pointing at
+    /// the newest row per external id. Source of truth for compaction
+    /// (lists are recut from it) and, under SQ8, for the exact re-rank
+    /// stage: stage-1 quantized scans over-collect `k × rerank_scale`
+    /// survivors, then the client re-scores them here in full f32 before
+    /// trimming to `k`.
+    base: RwLock<BaseStore>,
+    /// Whether blocks are SQ8-quantized (two-stage search with re-rank).
+    sq8: bool,
+    /// Mutable-shard ingest bookkeeping (upserts, deletes, compaction).
+    ingest: Mutex<IngestState>,
+    /// Ingest watermark visible to searches: queries admitted with
+    /// watermark `w` scan exactly the delta rows with `seq < w`. Advanced
+    /// only *after* an ingest op's sends complete, so FIFO transport
+    /// ordering guarantees every selected row precedes the query's chunks.
+    published_seq: AtomicU64,
+    /// Lock-free snapshot of the ingest state consulted on the search path
+    /// (dead-set filtering, forced delta visits, prewarm overrides).
+    ingest_snap: RwLock<Arc<IngestSnapshot>>,
     build_stats: BuildStats,
-    /// Calibrated cost model reused by the replanning supervisor.
-    model: CostModel,
     shared: Arc<EngineShared>,
     sessions: Arc<SessionTable>,
     /// Control-plane replies (acks, stats) demultiplexed by the router.
@@ -180,6 +193,10 @@ struct SupervisorState {
     /// only this list holds an Arc (`strong_count == 1`), the epoch's
     /// storage is evicted from the workers.
     retired: Vec<Arc<RoutingEpoch>>,
+    /// Cost model with the compute rate recalibrated from observed worker
+    /// wall time (`StatsReport::compute_ns`); seeds from the build-time
+    /// microbenchmark and EWMA-blends each observation window.
+    tuned: CostModel,
 }
 
 /// What one supervisor tick decided.
@@ -368,6 +385,10 @@ struct QueryState {
     /// Routing generation captured at admission: every visit of this query
     /// executes against this layout, even if the engine switches mid-query.
     routing: Arc<RoutingEpoch>,
+    /// Ingest watermark captured at admission, stamped on every chunk of
+    /// the query so all machines of a shard row scan the identical prefix
+    /// of delta rows.
+    delta_seq: u64,
 }
 
 /// The per-machine load estimates charged for one shard visit.
@@ -376,11 +397,69 @@ struct VisitCharge {
     per_machine: Vec<(NodeId, f64)>,
 }
 
-/// Client-side exact vectors for the SQ8 re-rank stage.
-struct RerankStore {
+/// Client-side exact vectors: compaction source and SQ8 re-rank store.
+/// Upserts append rows and repoint `by_id`; superseded rows linger until
+/// the store is rebuilt but are unreachable through the id map.
+struct BaseStore {
     store: VectorStore,
-    /// External id → row of `store`.
+    /// External id → newest row of `store`.
     by_id: HashMap<u64, usize>,
+}
+
+/// One not-yet-compacted upsert (client-side record of a delta row).
+struct PendingDelta {
+    id: u64,
+    /// Home cluster chosen at upsert time (nearest centroid).
+    cluster: u32,
+    seq: u64,
+}
+
+/// Client-side ingest bookkeeping, serialized under one mutex.
+struct IngestState {
+    /// Next ingest sequence number to assign (starts at 1; 0 means "no
+    /// ingest has ever happened" on the wire).
+    next_seq: u64,
+    /// Upserts not yet folded into IVF lists, in sequence order.
+    pending: Vec<PendingDelta>,
+    /// Every live tombstone: id → newest delete sequence. Covers both
+    /// user deletes and the supersede-tombstones written by re-upserts.
+    /// Cleared by compaction (the recut lists contain no stale copies).
+    tombstones: HashMap<u64, u64>,
+    /// Ids deleted and not re-upserted since: the authoritative dead-set
+    /// filtered out of every result. Subset of `tombstones`.
+    deleted: HashMap<u64, u64>,
+    /// Member ids per cluster of the currently installed lists; rewritten
+    /// by compaction. Mirrors what the workers hold.
+    members: Vec<Vec<u64>>,
+    /// Every id ever upserted or deleted. Prewarm samples of these ids are
+    /// permanently skipped: the prewarm store still holds their build-time
+    /// vectors, which may be stale or dead.
+    overridden: HashSet<u64>,
+}
+
+/// Immutable ingest snapshot read lock-free-ish on the search path.
+#[derive(Default)]
+struct IngestSnapshot {
+    /// Ids deleted and not re-upserted since (id → delete seq).
+    deleted: HashMap<u64, u64>,
+    /// Clusters with pending delta rows (drives forced shard visits).
+    pending_clusters: HashSet<u32>,
+    /// Ids whose prewarm samples must be skipped (ever upserted/deleted).
+    overridden: HashSet<u64>,
+}
+
+/// Accounting of one executed compaction.
+#[derive(Debug, Clone)]
+pub struct CompactionReport {
+    /// Epoch the compacted lists were installed under (unchanged when the
+    /// compaction was a no-op).
+    pub epoch: u64,
+    /// Delta rows folded into their home IVF lists.
+    pub folded_rows: usize,
+    /// Tombstoned ids dropped from the lists.
+    pub dropped_tombstones: usize,
+    /// `true` when nothing was pending and no epoch was published.
+    pub noop: bool,
 }
 
 impl HarmonyEngine {
@@ -577,17 +656,17 @@ impl HarmonyEngine {
             }
         }
 
-        // SQ8 keeps an exact client-side copy of the base for the second
-        // (re-rank) stage; f32 results are already exact and skip it.
-        let rerank = if sq8 {
-            let by_id = (0..base.len()).map(|r| (base.id(r), r)).collect();
-            Some(RerankStore {
-                store: base.clone(),
-                by_id,
-            })
-        } else {
-            None
+        // Exact client-side copy of the base: compaction recuts IVF lists
+        // from it, and under SQ8 it doubles as the re-rank store.
+        let by_id = (0..base.len()).map(|r| (base.id(r), r)).collect();
+        let base_store = BaseStore {
+            store: base.clone(),
+            by_id,
         };
+        let members: Vec<Vec<u64>> = list_rows
+            .iter()
+            .map(|rows| rows.iter().map(|&r| base.id(r)).collect())
+            .collect();
 
         // Search metrics must not include the build traffic.
         cluster.reset_metrics();
@@ -616,15 +695,27 @@ impl HarmonyEngine {
 
         let check_every = config.replan.check_every;
         let ewma = ProbeEwma::new(nlist, config.replan.ewma_alpha);
+        let tuned = model.clone();
         Ok(Self {
             config,
             metric,
             dim,
             centroids: km.centroids,
-            list_sizes,
+            list_sizes: RwLock::new(list_sizes),
             prewarm_store,
             prewarm_rows,
-            rerank,
+            base: RwLock::new(base_store),
+            sq8,
+            ingest: Mutex::new(IngestState {
+                next_seq: 1,
+                pending: Vec::new(),
+                tombstones: HashMap::new(),
+                deleted: HashMap::new(),
+                members,
+                overridden: HashSet::new(),
+            }),
+            published_seq: AtomicU64::new(0),
+            ingest_snap: RwLock::new(Arc::new(IngestSnapshot::default())),
             build_stats: BuildStats {
                 train,
                 add,
@@ -633,7 +724,6 @@ impl HarmonyEngine {
                 plan_cost,
                 bytes_shipped,
             },
-            model,
             shared,
             sessions,
             control: Mutex::new(control_rx),
@@ -643,6 +733,7 @@ impl HarmonyEngine {
                 next_check: check_every.max(1),
                 next_epoch: 1,
                 retired: Vec::new(),
+                tuned,
             }),
             router_stop,
             router: Some(router),
@@ -675,9 +766,20 @@ impl HarmonyEngine {
         &self.build_stats
     }
 
-    /// Inverted-list sizes (cluster load profile).
-    pub fn list_sizes(&self) -> &[usize] {
-        &self.list_sizes
+    /// Inverted-list sizes (cluster load profile; reflects the last
+    /// compaction).
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.list_sizes.read().clone()
+    }
+
+    /// Upserted rows not yet folded into IVF lists.
+    pub fn pending_deltas(&self) -> usize {
+        self.ingest.lock().pending.len()
+    }
+
+    /// Ids currently soft-deleted (tombstoned, awaiting compaction).
+    pub fn tombstone_count(&self) -> usize {
+        self.ingest.lock().deleted.len()
     }
 
     /// Trained centroids (client-side copy).
@@ -900,36 +1002,52 @@ impl HarmonyEngine {
     /// Stage-1 collection size: `k × rerank_scale` under SQ8 (the extra
     /// survivors feed the exact re-rank stage), plain `k` otherwise.
     fn effective_k(&self, k: usize) -> usize {
-        if self.rerank.is_some() {
+        if self.sq8 {
             k.saturating_mul(self.config.rerank_scale.max(1))
         } else {
             k
         }
     }
 
-    /// Finishes one query. Under SQ8 every stage-1 survivor is re-scored
-    /// exactly against the retained base copy and the list is trimmed to
-    /// `k` (prewarm entries re-score idempotently — they were exact
-    /// already). Under f32 the heap is already exact and returns as-is.
+    /// Finishes one query. Deleted ids are filtered against the current
+    /// dead-set first — the worker-side tombstones are best-effort, this
+    /// filter is the guarantee. Under SQ8 every surviving stage-1 candidate
+    /// is then re-scored exactly against the retained base copy and the
+    /// list is trimmed to `k` (prewarm entries re-score idempotently —
+    /// they were exact already). Under f32 the heap is already exact.
     fn finalize_results(&self, query: &[f32], topk: TopK, k: usize) -> Vec<Neighbor> {
-        let Some(rerank) = &self.rerank else {
-            return topk.into_sorted();
-        };
+        let snap = Arc::clone(&self.ingest_snap.read());
+        if !self.sq8 {
+            let sorted = topk.into_sorted();
+            if snap.deleted.is_empty() {
+                return sorted;
+            }
+            return sorted
+                .into_iter()
+                .filter(|n| !snap.deleted.contains_key(&n.id))
+                .collect();
+        }
         let survivors = topk.into_sorted();
+        let base = self.base.read();
         let mut exact = TopK::new(k);
+        let mut reranked = 0usize;
         for n in &survivors {
-            let score = match rerank.by_id.get(&n.id) {
-                Some(&row) => self.metric.score(query, rerank.store.row(row)),
+            if snap.deleted.contains_key(&n.id) {
+                continue;
+            }
+            let score = match base.by_id.get(&n.id) {
+                Some(&row) => self.metric.score(query, base.store.row(row)),
                 // Unknown id (defensive): keep the stage-1 score.
                 None => n.score,
             };
             exact.push(n.id, score);
+            reranked += 1;
         }
         // The re-rank is real client-side compute: bill it at the modeled
         // scan rates like the centroid and prewarm stages.
         self.shared
             .cluster
-            .charge_client_compute((survivors.len() * self.dim) as u64, survivors.len() as u64);
+            .charge_client_compute((reranked * self.dim) as u64, reranked as u64);
         exact.into_sorted()
     }
 
@@ -960,6 +1078,10 @@ impl HarmonyEngine {
         // a concurrent plan switch must never split one query across
         // layouts.
         let routing = Arc::clone(&self.shared.routing.read());
+        // Ingest watermark and snapshot for this query: rows with
+        // `seq < delta_seq` are visible, the dead-set is filtered out.
+        let delta_seq = self.published_seq.load(Ordering::Acquire);
+        let snap = Arc::clone(&self.ingest_snap.read());
         let probes = nearest_centroids(query, &self.centroids, opts.nprobe);
         // Feed the observed-workload counters driving the plan supervisor.
         self.shared.probes.record(&probes, opts.k);
@@ -977,6 +1099,11 @@ impl HarmonyEngine {
                     break 'prewarm;
                 }
                 let id = self.prewarm_store.id(sample_row);
+                // Prewarm samples are build-time copies: skip any id that
+                // was upserted or deleted since (the sample is stale).
+                if snap.overridden.contains(&id) {
+                    continue;
+                }
                 let score = self.metric.score(query, self.prewarm_store.row(sample_row));
                 if prewarm_ids.insert(id) {
                     topk.push(id, score);
@@ -1003,6 +1130,24 @@ impl HarmonyEngine {
             });
             by_shard.get_mut(&s).expect("just inserted").push(c);
         }
+        // Fresh-data recall is 1.0 by construction: every shard holding
+        // pending delta rows gets a (possibly cluster-less) forced visit,
+        // and its workers scan the full delta prefix below the watermark.
+        if delta_seq > 0 {
+            let mut delta_shards: Vec<u32> = snap
+                .pending_clusters
+                .iter()
+                .filter_map(|&c| routing.assignment.cluster_to_shard.get(c as usize).copied())
+                .collect();
+            delta_shards.sort_unstable();
+            delta_shards.dedup();
+            for s in delta_shards {
+                by_shard.entry(s).or_insert_with(|| {
+                    visit_order.push(s);
+                    Vec::new()
+                });
+            }
+        }
         let mut pending_visits: Vec<(u32, Vec<u32>)> = visit_order
             .into_iter()
             .map(|s| (s, by_shard.remove(&s).expect("grouped")))
@@ -1022,6 +1167,7 @@ impl HarmonyEngine {
             charged: Vec::new(),
             row,
             routing,
+            delta_seq,
         };
         if let Err(e) = self.dispatch_next(qid, query, opts, &mut state) {
             // The query never reaches `active`: release whatever this
@@ -1072,7 +1218,13 @@ impl HarmonyEngine {
         let q_total_norm_sq = if is_ip { ip(query, query) } else { 0.0 };
 
         // Estimate the candidate volume of this visit for load accounting.
-        let candidates: usize = clusters.iter().map(|&c| self.list_sizes[c as usize]).sum();
+        let candidates: usize = {
+            let sizes = self.list_sizes.read();
+            clusters
+                .iter()
+                .map(|&c| sizes.get(c as usize).copied().unwrap_or(0))
+                .sum()
+        };
 
         // Pipeline order over dimension blocks (§4.3 Load Balancing):
         // balanced mode sends the most-loaded machine's block last, where
@@ -1132,6 +1284,7 @@ impl HarmonyEngine {
                 q_total_norm_sq,
                 order: order.clone(),
                 position: pos as u32,
+                delta_seq: state.delta_seq,
             };
             self.shared
                 .cluster
@@ -1139,6 +1292,374 @@ impl HarmonyEngine {
         }
         state.in_flight += 1;
         Ok(())
+    }
+
+    // --- Mutable-shard ingestion -------------------------------------
+
+    /// Inserts or replaces one vector. The row lands in the home shard's
+    /// in-memory delta list on every machine of that shard's row and is
+    /// scanned exactly (full f32, no quantization) by every subsequent
+    /// query, so recall on fresh data is 1.0 by construction. Replacing a
+    /// live id first tombstones its stale copies; the new row's higher
+    /// sequence keeps it visible.
+    ///
+    /// Returns the row's ingest sequence number.
+    ///
+    /// # Errors
+    /// Dimension mismatches or transport failures.
+    pub fn upsert(&self, id: u64, vector: &[f32]) -> Result<u64, CoreError> {
+        if vector.len() != self.dim {
+            return Err(CoreError::Index(
+                harmony_index::IndexError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: vector.len(),
+                },
+            ));
+        }
+        let seq;
+        {
+            let mut ing = self.ingest.lock();
+            let routing = Arc::clone(&self.shared.routing.read());
+            // Supersede any live copy first: a tombstone below the new
+            // row's sequence suppresses stale list/delta rows everywhere
+            // while the re-upsert itself stays visible.
+            let known = self.base.read().by_id.contains_key(&id)
+                || ing.tombstones.contains_key(&id)
+                || ing.pending.iter().any(|p| p.id == id);
+            if known {
+                let del_seq = ing.next_seq;
+                ing.next_seq += 1;
+                let del = DeleteIds {
+                    epoch: u64::MAX,
+                    ids: vec![id],
+                    seq: del_seq,
+                };
+                for m in 0..self.config.n_machines {
+                    self.shared
+                        .cluster
+                        .send(m, ToWorker::DeleteIds(del.clone()).to_bytes())?;
+                }
+                ing.tombstones.insert(id, del_seq);
+            }
+            seq = ing.next_seq;
+            ing.next_seq += 1;
+            let cluster = *nearest_centroids(vector, &self.centroids, 1)
+                .first()
+                .expect("at least one centroid");
+            {
+                let mut base = self.base.write();
+                let row = base.store.len();
+                base.store.push(id, vector).map_err(CoreError::Index)?;
+                base.by_id.insert(id, row);
+            }
+            ing.pending.push(PendingDelta { id, cluster, seq });
+            ing.deleted.remove(&id);
+            ing.overridden.insert(id);
+            let shard = routing
+                .assignment
+                .cluster_to_shard
+                .get(cluster as usize)
+                .copied()
+                .unwrap_or(0);
+            let is_ip = !matches!(self.metric, Metric::L2);
+            let total_norm_sq = if is_ip { ip(vector, vector) } else { 0.0 };
+            for (b, range) in routing.dim_ranges.iter().enumerate() {
+                let machine = routing.plan.machine_of(shard as usize, b);
+                let slice = &vector[range.start..range.end];
+                let msg = DeltaUpsert {
+                    epoch: routing.epoch,
+                    shard,
+                    dim_start: range.start as u64,
+                    dim_end: range.end as u64,
+                    ids: vec![id],
+                    seqs: vec![seq],
+                    flat: slice.to_vec(),
+                    block_norms_sq: if is_ip {
+                        vec![ip(slice, slice)]
+                    } else {
+                        Vec::new()
+                    },
+                    total_norms_sq: if is_ip {
+                        vec![total_norm_sq]
+                    } else {
+                        Vec::new()
+                    },
+                };
+                self.shared
+                    .cluster
+                    .send(machine, ToWorker::UpsertDelta(msg).to_bytes())?;
+            }
+            // Publish only after every send: FIFO transport ordering then
+            // guarantees any chunk stamped with this watermark arrives
+            // after the rows it selects.
+            self.published_seq.store(ing.next_seq, Ordering::Release);
+            self.refresh_ingest_snapshot(&ing);
+        }
+        self.maybe_auto_compact()?;
+        Ok(seq)
+    }
+
+    /// Soft-deletes one id. The stored rows stay in place; a tombstone
+    /// suppresses them at result emission on the workers, and the client
+    /// dead-set guarantees the id never appears in results even before the
+    /// tombstone broadcast lands. Returns `false` when the id was not live.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn delete(&self, id: u64) -> Result<bool, CoreError> {
+        let mut ing = self.ingest.lock();
+        let live = (self.base.read().by_id.contains_key(&id)
+            || ing.pending.iter().any(|p| p.id == id))
+            && !ing.deleted.contains_key(&id);
+        if !live {
+            return Ok(false);
+        }
+        let seq = ing.next_seq;
+        ing.next_seq += 1;
+        let msg = DeleteIds {
+            epoch: u64::MAX,
+            ids: vec![id],
+            seq,
+        };
+        for m in 0..self.config.n_machines {
+            self.shared
+                .cluster
+                .send(m, ToWorker::DeleteIds(msg.clone()).to_bytes())?;
+        }
+        ing.tombstones.insert(id, seq);
+        ing.deleted.insert(id, seq);
+        ing.overridden.insert(id);
+        self.published_seq.store(ing.next_seq, Ordering::Release);
+        self.refresh_ingest_snapshot(&ing);
+        Ok(true)
+    }
+
+    /// Folds every pending delta row into its home IVF list and drops
+    /// tombstoned rows, publishing the result as a new epoch through the
+    /// same `BeginEpoch → InstallLists → EpochReady → swap` handshake as
+    /// live migration — searches in flight keep their old epoch and stay
+    /// bit-consistent; new admissions see only the compacted lists. Under
+    /// SQ8 the recut lists are re-quantized client-side. A no-op (nothing
+    /// pending, nothing deleted) publishes no epoch.
+    ///
+    /// # Errors
+    /// Transport failures or a handshake timeout (the incumbent epoch
+    /// stays in force).
+    pub fn compact(&self) -> Result<CompactionReport, CoreError> {
+        let mut sup = self.supervisor.lock();
+        self.gc_retired(&mut sup);
+        let mut ing = self.ingest.lock();
+        if ing.pending.is_empty() && ing.deleted.is_empty() && ing.tombstones.is_empty() {
+            return Ok(CompactionReport {
+                epoch: self.shared.routing.read().epoch,
+                folded_rows: 0,
+                dropped_tombstones: 0,
+                noop: true,
+            });
+        }
+        let cur = Arc::clone(&self.shared.routing.read());
+        // Epoch numbers are shared with migration and never reused.
+        let epoch = sup.next_epoch;
+        sup.next_epoch += 1;
+
+        // Newest pending upsert per id; ids deleted after their last
+        // upsert drop out entirely (a delete always outsequences the
+        // upserts it follows).
+        let mut latest: HashMap<u64, (u32, u64)> = HashMap::new();
+        for p in &ing.pending {
+            if ing.deleted.contains_key(&p.id) {
+                continue;
+            }
+            let e = latest.entry(p.id).or_insert((p.cluster, p.seq));
+            if p.seq >= e.1 {
+                *e = (p.cluster, p.seq);
+            }
+        }
+        let folded_rows = latest.len();
+        let dropped_tombstones = ing.deleted.len();
+
+        // Recut membership: old members minus deleted/re-homed ids, plus
+        // each surviving pending id at its new home. Additions are sorted
+        // by sequence so list order is deterministic.
+        let mut members: Vec<Vec<u64>> = ing
+            .members
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .copied()
+                    .filter(|id| !ing.deleted.contains_key(id) && !latest.contains_key(id))
+                    .collect()
+            })
+            .collect();
+        let mut additions: Vec<(u64, u32, u64)> = latest
+            .iter()
+            .map(|(&id, &(cluster, seq))| (id, cluster, seq))
+            .collect();
+        additions.sort_unstable_by_key(|&(_, _, seq)| seq);
+        for (id, cluster, _) in additions {
+            members[cluster as usize].push(id);
+        }
+
+        let machines = self.config.n_machines;
+        let is_ip = !matches!(self.metric, Metric::L2);
+        let base = self.base.read();
+        let control = self.control.lock();
+        let sends = (|| -> Result<(), CoreError> {
+            for (s, clusters) in cur.shard_clusters.iter().enumerate() {
+                for (b, range) in cur.dim_ranges.iter().enumerate() {
+                    let machine = cur.plan.machine_of(s, b);
+                    let begin = BeginEpoch {
+                        epoch,
+                        shard: s as u32,
+                        dim_block: b as u32,
+                        dim_start: range.start as u64,
+                        dim_end: range.end as u64,
+                        total_dim_blocks: cur.plan.dim_blocks as u32,
+                        expected_pieces: clusters.len() as u64,
+                    };
+                    self.shared
+                        .cluster
+                        .send(machine, ToWorker::BeginEpoch(begin).to_bytes())?;
+                    let pieces: Vec<ListPiece> = clusters
+                        .iter()
+                        .map(|&c| {
+                            let ids = &members[c as usize];
+                            let mut flat = Vec::with_capacity(ids.len() * range.len());
+                            let mut piece_norms_sq = Vec::new();
+                            let mut total_norms_sq = Vec::new();
+                            for &id in ids {
+                                let row = base.by_id[&id];
+                                let slice = base.store.row_range(row, *range);
+                                flat.extend_from_slice(slice);
+                                if is_ip {
+                                    piece_norms_sq.push(ip(slice, slice));
+                                    let full = base.store.row(row);
+                                    total_norms_sq.push(ip(full, full));
+                                }
+                            }
+                            // Norm tables stay exact: computed from the f32
+                            // slices above, before any re-quantization.
+                            let segs = if self.sq8 && !flat.is_empty() {
+                                let seg =
+                                    Sq8Segment::quantize(&flat, range.len(), range.start as u64);
+                                flat = Vec::new();
+                                vec![seg]
+                            } else {
+                                Vec::new()
+                            };
+                            ListPiece {
+                                cluster: c,
+                                dim_start: range.start as u64,
+                                dim_end: range.end as u64,
+                                ids: ids.clone(),
+                                flat,
+                                segs,
+                                piece_norms_sq,
+                                total_norms_sq,
+                            }
+                        })
+                        .collect();
+                    let msg = InstallLists {
+                        epoch,
+                        shard: s as u32,
+                        dim_block: b as u32,
+                        pieces,
+                    };
+                    self.shared
+                        .cluster
+                        .send(machine, ToWorker::InstallLists(msg).to_bytes())?;
+                }
+            }
+            Ok(())
+        })();
+        drop(base);
+        if let Err(e) = sends {
+            drop(control);
+            self.abort_epoch(epoch);
+            return Err(e);
+        }
+
+        // Await one activation ack per machine (the migration handshake).
+        let deadline = Instant::now() + MIGRATION_HANDSHAKE_TIMEOUT;
+        let mut ready = vec![false; machines];
+        let mut count = 0usize;
+        while count < machines {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                drop(control);
+                self.abort_epoch(epoch);
+                return Err(CoreError::Cluster(ClusterError::Timeout));
+            }
+            match control.recv_timeout(remaining) {
+                Ok((from, ToClient::EpochReady { epoch: e })) if e == epoch => {
+                    if from < machines && !std::mem::replace(&mut ready[from], true) {
+                        count += 1;
+                    }
+                }
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    drop(control);
+                    self.abort_epoch(epoch);
+                    return Err(CoreError::Cluster(ClusterError::Timeout));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::Cluster(ClusterError::ShutDown))
+                }
+            }
+        }
+        drop(control);
+
+        // Swap admissions onto the compacted epoch; the old one retires
+        // until its in-flight queries drain, exactly like a migration.
+        let next = Arc::new(RoutingEpoch::new(
+            epoch,
+            cur.plan,
+            cur.assignment.clone(),
+            self.dim,
+        )?);
+        drop(cur);
+        {
+            let mut routing = self.shared.routing.write();
+            sup.retired.push(Arc::clone(&routing));
+            *routing = next;
+        }
+        *self.list_sizes.write() = members.iter().map(Vec::len).collect();
+        ing.members = members;
+        ing.pending.clear();
+        ing.tombstones.clear();
+        ing.deleted.clear();
+        self.refresh_ingest_snapshot(&ing);
+        Ok(CompactionReport {
+            epoch,
+            folded_rows,
+            dropped_tombstones,
+            noop: false,
+        })
+    }
+
+    /// Auto-compaction hook: folds deltas once `compact_after` upserts are
+    /// pending (0 disables; manual [`HarmonyEngine::compact`] calls only).
+    fn maybe_auto_compact(&self) -> Result<(), CoreError> {
+        let after = self.config.compact_after;
+        if after == 0 {
+            return Ok(());
+        }
+        let due = self.ingest.lock().pending.len() >= after;
+        if due {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Publishes a fresh immutable snapshot of the ingest state for the
+    /// search path. Called with the ingest lock held.
+    fn refresh_ingest_snapshot(&self, ing: &IngestState) {
+        let snap = IngestSnapshot {
+            deleted: ing.deleted.clone(),
+            pending_clusters: ing.pending.iter().map(|p| p.cluster).collect(),
+            overridden: ing.overridden.clone(),
+        };
+        *self.ingest_snap.write() = Arc::new(snap);
     }
 
     // --- Adaptive replanning -----------------------------------------
@@ -1182,7 +1703,12 @@ impl HarmonyEngine {
                 self.dim
             )));
         }
-        let weights: Vec<u64> = self.list_sizes.iter().map(|&s| s as u64 + 1).collect();
+        let weights: Vec<u64> = self
+            .list_sizes
+            .read()
+            .iter()
+            .map(|&s| s as u64 + 1)
+            .collect();
         let cur = Arc::clone(&self.shared.routing.read());
         let assignment = if plan == cur.plan {
             ShardAssignment::rebalance(&cur.assignment, &weights, plan.vec_shards, 1.0)
@@ -1247,17 +1773,29 @@ impl HarmonyEngine {
         let smoothed_counts = sup.ewma.counts();
         let smoothed_queries = sup.ewma.queries().max(1);
         let profile = WorkloadProfile::observed(
-            self.list_sizes.clone(),
+            self.list_sizes.read().clone(),
             &smoothed_counts,
             self.dim,
             smoothed_queries as usize,
             nprobe,
             k,
         )?;
+        // Recalibrate the modeled compute rate from observed worker wall
+        // time: the build-time microbenchmark drifts from the real scan
+        // cost once quantized kernels and delta scans mix (PR-3 leftover).
+        if let Ok(ws) = self.collect_stats() {
+            if ws.scanned_point_dims > 0 && ws.compute_ns > 0 {
+                let observed =
+                    (ws.compute_ns as f64 / ws.scanned_point_dims as f64).clamp(0.02, 10.0);
+                let alpha = 0.5;
+                sup.tuned.comp_ns_per_point_dim =
+                    alpha * observed + (1.0 - alpha) * sup.tuned.comp_ns_per_point_dim;
+            }
+        }
         let weights = weights_from(&profile);
         let cur = Arc::clone(&self.shared.routing.read());
-        let stay_ns = self
-            .model
+        let stay_ns = sup
+            .tuned
             .plan_cost_with_assignment(cur.plan, &profile, &cur.assignment)
             .total_ns;
 
@@ -1281,13 +1819,13 @@ impl HarmonyEngine {
             if plan == cur.plan && assignment.cluster_to_shard == cur.assignment.cluster_to_shard {
                 continue; // identical to the incumbent, already priced
             }
-            let cost = self
-                .model
+            let cost = sup
+                .tuned
                 .plan_cost_with_assignment(plan, &profile, &assignment)
                 .total_ns;
             let next = RoutingEpoch::new(cur.epoch + 1, plan, assignment, self.dim)?;
             let (bytes, msgs, _) = self.migration_volume(&cur, &next);
-            let migration_ns = self.model.migration_ns(bytes, msgs);
+            let migration_ns = sup.tuned.migration_ns(bytes, msgs);
             let score = cost + migration_ns / replan.amortize_windows;
             if best.as_ref().is_none_or(|b| score < b.2) {
                 best = Some((next.plan, next.assignment, score, cost));
@@ -1342,7 +1880,7 @@ impl HarmonyEngine {
         next: &RoutingEpoch,
         mut visit: impl FnMut(NodeId, TransferSpec),
     ) {
-        for c in 0..self.list_sizes.len() {
+        for c in 0..self.list_sizes.read().len() {
             let s_old = cur.assignment.cluster_to_shard.get(c).copied().unwrap_or(0) as usize;
             let s_old = s_old.min(cur.plan.vec_shards - 1);
             let s_new = next
@@ -1396,7 +1934,8 @@ impl HarmonyEngine {
     /// and cost nothing on the fabric.
     fn migration_volume(&self, cur: &RoutingEpoch, next: &RoutingEpoch) -> (u64, u64, u64) {
         let is_ip = !matches!(self.metric, Metric::L2);
-        let sq8 = self.rerank.is_some();
+        let sq8 = self.sq8;
+        let sizes = self.list_sizes.read().clone();
         let mut bytes = 0u64;
         let mut pieces = 0u64;
         let mut groups: HashSet<(NodeId, u64, u32, u32)> = HashSet::new();
@@ -1404,11 +1943,7 @@ impl HarmonyEngine {
             if src as u64 == t.dest {
                 return;
             }
-            let rows = self
-                .list_sizes
-                .get(t.cluster as usize)
-                .copied()
-                .unwrap_or(0) as u64;
+            let rows = sizes.get(t.cluster as usize).copied().unwrap_or(0) as u64;
             let width = t.dim_end - t.dim_start;
             // Header + ids + payload (+ norm tables under inner-product
             // metrics) — mirrors the ListPiece wire layout. SQ8 ships one
@@ -1541,6 +2076,18 @@ impl HarmonyEngine {
         }
         drop(control);
 
+        // The migration shipped only the epoch's *list* storage; rows still
+        // sitting in delta lists — and the tombstones suppressing their
+        // stale copies — live outside it. Re-home both onto the new epoch,
+        // holding the ingest lock across the routing swap so no concurrent
+        // ingest op can slip between re-ship and swap.
+        let ingest = self.ingest.lock();
+        if let Err(e) = self.reship_ingest(&ingest, &next) {
+            drop(ingest);
+            self.abort_epoch(epoch);
+            return Err(e);
+        }
+
         // Atomically route new admissions to the new epoch. In-flight
         // queries hold Arcs of the old epoch; it retires until they drain.
         let report = MigrationReport {
@@ -1551,7 +2098,7 @@ impl HarmonyEngine {
             clusters_moved,
             network_pieces,
             modeled_bytes,
-            migration_ns: self.model.migration_ns(modeled_bytes, msgs),
+            migration_ns: sup.tuned.migration_ns(modeled_bytes, msgs),
             stay_ns: 0.0,
             projected_ns: 0.0,
         };
@@ -1561,7 +2108,90 @@ impl HarmonyEngine {
             sup.retired.push(Arc::clone(&routing));
             *routing = next;
         }
+        drop(ingest);
         Ok(report)
+    }
+
+    /// Replays the live ingest state (tombstones + newest pending row per
+    /// id) into a freshly activated epoch. Rows ship in sequence order per
+    /// destination so the worker-side delta lists stay seq-sorted; older
+    /// pending copies of a re-upserted id are covered by its supersede
+    /// tombstone and need not travel.
+    fn reship_ingest(&self, ing: &IngestState, next: &RoutingEpoch) -> Result<(), CoreError> {
+        if ing.tombstones.is_empty() && ing.pending.is_empty() {
+            return Ok(());
+        }
+        let epoch = next.epoch;
+        let machines = self.config.n_machines;
+        let mut tombs: Vec<(u64, u64)> = ing.tombstones.iter().map(|(&id, &s)| (id, s)).collect();
+        tombs.sort_unstable_by_key(|&(_, seq)| seq);
+        for (id, seq) in tombs {
+            let msg = DeleteIds {
+                epoch,
+                ids: vec![id],
+                seq,
+            };
+            for m in 0..machines {
+                self.shared
+                    .cluster
+                    .send(m, ToWorker::DeleteIds(msg.clone()).to_bytes())?;
+            }
+        }
+        let mut latest: HashMap<u64, (u32, u64)> = HashMap::new();
+        for p in &ing.pending {
+            let e = latest.entry(p.id).or_insert((p.cluster, p.seq));
+            if p.seq >= e.1 {
+                *e = (p.cluster, p.seq);
+            }
+        }
+        let mut rows: Vec<(u64, u32, u64)> = latest
+            .into_iter()
+            .map(|(id, (cluster, seq))| (id, cluster, seq))
+            .collect();
+        rows.sort_unstable_by_key(|&(_, _, seq)| seq);
+        let base = self.base.read();
+        let is_ip = !matches!(self.metric, Metric::L2);
+        for (id, cluster, seq) in rows {
+            let Some(&row) = base.by_id.get(&id) else {
+                debug_assert!(false, "pending delta row missing from the base store");
+                continue;
+            };
+            let vector = base.store.row(row);
+            let shard = next
+                .assignment
+                .cluster_to_shard
+                .get(cluster as usize)
+                .copied()
+                .unwrap_or(0);
+            let total_norm_sq = if is_ip { ip(vector, vector) } else { 0.0 };
+            for (b, range) in next.dim_ranges.iter().enumerate() {
+                let machine = next.plan.machine_of(shard as usize, b);
+                let slice = &vector[range.start..range.end];
+                let msg = DeltaUpsert {
+                    epoch,
+                    shard,
+                    dim_start: range.start as u64,
+                    dim_end: range.end as u64,
+                    ids: vec![id],
+                    seqs: vec![seq],
+                    flat: slice.to_vec(),
+                    block_norms_sq: if is_ip {
+                        vec![ip(slice, slice)]
+                    } else {
+                        Vec::new()
+                    },
+                    total_norms_sq: if is_ip {
+                        vec![total_norm_sq]
+                    } else {
+                        Vec::new()
+                    },
+                };
+                self.shared
+                    .cluster
+                    .send(machine, ToWorker::UpsertDelta(msg).to_bytes())?;
+            }
+        }
+        Ok(())
     }
 
     /// Best-effort cleanup of a half-installed epoch after a failed
@@ -1616,6 +2246,10 @@ impl HarmonyEngine {
                     stats.scanned_point_dims += r.scanned_point_dims;
                     stats.f32_block_bytes += r.f32_block_bytes;
                     stats.sq8_block_bytes += r.sq8_block_bytes;
+                    stats.compute_ns += r.compute_ns;
+                    stats.delta_block_bytes += r.delta_bytes;
+                    stats.delta_rows += r.delta_rows;
+                    stats.tombstone_entries += r.tombstone_entries;
                     received += 1;
                 }
                 // A late EpochReady from an aborted migration is harmless.

@@ -34,7 +34,9 @@ pub mod worker;
 
 pub use config::{EngineMode, HarmonyConfig, HarmonyConfigBuilder, ReplanConfig, SearchOptions};
 pub use cost::{CostModel, PlanCost, WorkloadProfile};
-pub use engine::{HarmonyEngine, MigrationReport, ReplanOutcome, RoutingEpoch, SingleResult};
+pub use engine::{
+    CompactionReport, HarmonyEngine, MigrationReport, ReplanOutcome, RoutingEpoch, SingleResult,
+};
 pub use error::CoreError;
 pub use partition::{PartitionPlan, ShardAssignment};
 pub use pruning::{PruneRule, SliceStats};

@@ -183,6 +183,13 @@ pub struct QueryChunk {
     pub order: Vec<u64>,
     /// This machine's position in `order`.
     pub position: u32,
+    /// Delta watermark captured at admission: every machine of the shard
+    /// row scans exactly the delta rows with `seq < delta_seq`, so the
+    /// pipeline's canonical enumeration stays identical across machines
+    /// even while new upserts race in. Transports deliver FIFO per
+    /// destination, so a chunk stamped `w` always arrives after every
+    /// [`DeltaUpsert`] it covers.
+    pub delta_seq: u64,
 }
 
 impl Wire for QueryChunk {
@@ -197,6 +204,7 @@ impl Wire for QueryChunk {
         self.q_total_norm_sq.encode(buf);
         self.order.encode(buf);
         self.position.encode(buf);
+        self.delta_seq.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
@@ -211,6 +219,7 @@ impl Wire for QueryChunk {
             q_total_norm_sq: f32::decode(buf)?,
             order: Vec::decode(buf)?,
             position: u32::decode(buf)?,
+            delta_seq: u64::decode(buf)?,
         })
     }
 }
@@ -534,6 +543,99 @@ impl Wire for InstallLists {
     }
 }
 
+/// Client → every machine of a shard row: freshly upserted rows for that
+/// machine's dimension slice, appended to the shard's in-memory delta list.
+///
+/// Delta rows are stored and scanned as exact f32 regardless of the
+/// deployment's block representation, so recall on fresh data is 1.0 by
+/// construction. Rows carry ingest sequence numbers; queries scan only rows
+/// below their admission watermark ([`QueryChunk::delta_seq`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaUpsert {
+    /// Epoch whose delta storage the rows append to.
+    pub epoch: u64,
+    /// Home shard of the upserted vectors.
+    pub shard: u32,
+    /// Absolute dimension range `[start, end)` of this machine's slice.
+    pub dim_start: u64,
+    /// End of the dimension range.
+    pub dim_end: u64,
+    /// Upserted vector ids.
+    pub ids: Vec<u64>,
+    /// Ingest sequence numbers, parallel to `ids`.
+    pub seqs: Vec<u64>,
+    /// Row-major coordinates, `dim_end - dim_start` wide per row.
+    pub flat: Vec<f32>,
+    /// Per-row squared norm of this slice's coordinates (inner-product
+    /// metrics only; empty under L2).
+    pub block_norms_sq: Vec<f32>,
+    /// Per-row squared norm of the full vector (inner-product only).
+    pub total_norms_sq: Vec<f32>,
+}
+
+impl Wire for DeltaUpsert {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.shard.encode(buf);
+        self.dim_start.encode(buf);
+        self.dim_end.encode(buf);
+        self.ids.encode(buf);
+        self.seqs.encode(buf);
+        self.flat.encode(buf);
+        self.block_norms_sq.encode(buf);
+        self.total_norms_sq.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            epoch: u64::decode(buf)?,
+            shard: u32::decode(buf)?,
+            dim_start: u64::decode(buf)?,
+            dim_end: u64::decode(buf)?,
+            ids: Vec::decode(buf)?,
+            seqs: Vec::decode(buf)?,
+            flat: Vec::decode(buf)?,
+            block_norms_sq: Vec::decode(buf)?,
+            total_norms_sq: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// Client → all machines: soft-delete these ids at sequence `seq`.
+///
+/// Workers record the ids in the target epoch's tombstone set; stored rows
+/// are suppressed at result-emission time, never removed (positional
+/// enumeration must stay identical across a shard row). The client keeps
+/// its own authoritative dead set, so worker-side tombstones are a
+/// best-effort early filter rather than the correctness mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteIds {
+    /// Epoch whose tombstone set records the delete, or [`u64::MAX`] to
+    /// apply to every live epoch on the machine.
+    pub epoch: u64,
+    /// Ids to tombstone.
+    pub ids: Vec<u64>,
+    /// Ingest sequence number of the delete: delta rows upserted at or
+    /// after this stay visible (re-upsert after delete).
+    pub seq: u64,
+}
+
+impl Wire for DeleteIds {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.ids.encode(buf);
+        self.seq.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            epoch: u64::decode(buf)?,
+            ids: Vec::decode(buf)?,
+            seq: u64::decode(buf)?,
+        })
+    }
+}
+
 /// Per-worker pruning and load counters.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReport {
@@ -551,6 +653,17 @@ pub struct StatsReport {
     /// Resident block payload bytes held in SQ8 form (codes + per-row code
     /// sums + segment headers, ids excluded).
     pub sq8_block_bytes: u64,
+    /// Wall nanoseconds this worker spent in candidate scan loops since the
+    /// last reset — the numerator of the observed compute rate the
+    /// supervisor feeds back into the cost model.
+    pub compute_ns: u64,
+    /// Resident delta-list payload bytes (exact f32 rows awaiting
+    /// compaction).
+    pub delta_bytes: u64,
+    /// Delta rows currently held across live epochs.
+    pub delta_rows: u64,
+    /// Tombstoned ids currently held across live epochs.
+    pub tombstone_entries: u64,
 }
 
 impl Wire for StatsReport {
@@ -561,6 +674,10 @@ impl Wire for StatsReport {
         self.memory_bytes.encode(buf);
         self.f32_block_bytes.encode(buf);
         self.sq8_block_bytes.encode(buf);
+        self.compute_ns.encode(buf);
+        self.delta_bytes.encode(buf);
+        self.delta_rows.encode(buf);
+        self.tombstone_entries.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
@@ -571,6 +688,10 @@ impl Wire for StatsReport {
             memory_bytes: u64::decode(buf)?,
             f32_block_bytes: u64::decode(buf)?,
             sq8_block_bytes: u64::decode(buf)?,
+            compute_ns: u64::decode(buf)?,
+            delta_bytes: u64::decode(buf)?,
+            delta_rows: u64::decode(buf)?,
+            tombstone_entries: u64::decode(buf)?,
         })
     }
 }
@@ -599,6 +720,10 @@ pub enum ToWorker {
         /// The retired epoch.
         epoch: u64,
     },
+    /// Append freshly upserted rows to a shard's delta list.
+    UpsertDelta(DeltaUpsert),
+    /// Tombstone ids for soft deletion.
+    DeleteIds(DeleteIds),
 }
 
 impl Wire for ToWorker {
@@ -634,6 +759,14 @@ impl Wire for ToWorker {
                 8u8.encode(buf);
                 epoch.encode(buf);
             }
+            ToWorker::UpsertDelta(m) => {
+                9u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::DeleteIds(m) => {
+                10u8.encode(buf);
+                m.encode(buf);
+            }
         }
     }
 
@@ -650,6 +783,8 @@ impl Wire for ToWorker {
             8 => Ok(ToWorker::EvictEpoch {
                 epoch: u64::decode(buf)?,
             }),
+            9 => Ok(ToWorker::UpsertDelta(DeltaUpsert::decode(buf)?)),
+            10 => Ok(ToWorker::DeleteIds(DeleteIds::decode(buf)?)),
             t => Err(CodecError::Invalid(format!("bad ToWorker tag {t}"))),
         }
     }
@@ -793,6 +928,7 @@ mod tests {
             q_total_norm_sq: 5.25,
             order: vec![3, 4, 5],
             position: 1,
+            delta_seq: 6,
         }
     }
 
@@ -845,7 +981,47 @@ mod tests {
             memory_bytes: 1 << 20,
             f32_block_bytes: 1 << 19,
             sq8_block_bytes: 1 << 17,
+            compute_ns: 987_654_321,
+            delta_bytes: 4096,
+            delta_rows: 32,
+            tombstone_entries: 5,
         });
+    }
+
+    #[test]
+    fn ingest_messages_roundtrip() {
+        roundtrip(DeltaUpsert {
+            epoch: 4,
+            shard: 2,
+            dim_start: 8,
+            dim_end: 12,
+            ids: vec![900, 901],
+            seqs: vec![17, 18],
+            flat: vec![0.5; 8],
+            block_norms_sq: vec![1.0, 2.0],
+            total_norms_sq: vec![3.0, 4.0],
+        });
+        roundtrip(ToWorker::UpsertDelta(DeltaUpsert {
+            epoch: 0,
+            shard: 0,
+            dim_start: 0,
+            dim_end: 2,
+            ids: vec![1],
+            seqs: vec![0],
+            flat: vec![-1.5, 2.5],
+            block_norms_sq: vec![],
+            total_norms_sq: vec![],
+        }));
+        roundtrip(DeleteIds {
+            epoch: u64::MAX,
+            ids: vec![7, 8, 9],
+            seq: 42,
+        });
+        roundtrip(ToWorker::DeleteIds(DeleteIds {
+            epoch: 3,
+            ids: vec![],
+            seq: 0,
+        }));
     }
 
     #[test]
@@ -990,7 +1166,7 @@ mod tests {
 
     #[test]
     fn bad_tags_rejected() {
-        let raw = Bytes::from_static(&[9]);
+        let raw = Bytes::from_static(&[99]);
         assert!(ToWorker::from_bytes(raw.clone()).is_err());
         assert!(ToClient::from_bytes(raw).is_err());
     }

@@ -269,6 +269,16 @@ pub struct EngineStats {
     pub f32_block_bytes: u64,
     /// Block payload bytes resident in SQ8-quantized form across workers.
     pub sq8_block_bytes: u64,
+    /// Observed wall nanoseconds workers spent in scan kernels (feeds the
+    /// supervisor's compute-rate recalibration).
+    pub compute_ns: u64,
+    /// Delta-list payload bytes resident across workers.
+    pub delta_block_bytes: u64,
+    /// Delta rows resident across workers (counted once per machine
+    /// holding a slice of the row).
+    pub delta_rows: u64,
+    /// Tombstoned ids held across worker epochs.
+    pub tombstone_entries: u64,
 }
 
 impl EngineStats {

@@ -36,16 +36,17 @@
 //! the last in-flight query of that epoch has drained.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use bytes::Bytes;
 use harmony_cluster::{mem, NodeCtx, NodeHandler, NodeId, Wire, CLIENT};
 use harmony_index::distance::{ip, l2_sq};
 use harmony_index::quant::{self, Sq8BlockQuery};
-use harmony_index::{BlockRepr, Metric, Sq8Segment, TopK};
+use harmony_index::{BlockRepr, DeltaList, Metric, Sq8Segment, TombstoneSet, TopK};
 
 use crate::messages::{
-    metric_tag, repr_tag, BeginEpoch, Carry, InstallLists, ListPiece, LoadBlock, MigrateOut,
-    QueryChunk, QueryResult, StatsReport, ToClient, ToWorker,
+    metric_tag, repr_tag, BeginEpoch, Carry, DeleteIds, DeltaUpsert, InstallLists, ListPiece,
+    LoadBlock, MigrateOut, QueryChunk, QueryResult, StatsReport, ToClient, ToWorker,
 };
 use crate::pruning::PruneRule;
 
@@ -142,6 +143,30 @@ struct EpochStore {
     total_dim_blocks: usize,
     /// shard → block storage.
     blocks: HashMap<u32, BlockStore>,
+    /// shard → freshly upserted rows (this machine's dimension slice),
+    /// appended in ingest-sequence order and scanned exactly after the
+    /// probed lists. Folded away when a compaction publishes the next
+    /// epoch.
+    deltas: HashMap<u32, DeltaList>,
+    /// Soft-deleted ids. Consulted only at result emission; stored rows are
+    /// never removed, so the canonical candidate enumeration stays
+    /// identical across every machine of a shard row.
+    tombstones: TombstoneSet,
+}
+
+impl EpochStore {
+    fn new(total_dim_blocks: usize) -> Self {
+        Self {
+            total_dim_blocks,
+            blocks: HashMap::new(),
+            deltas: HashMap::new(),
+            tombstones: TombstoneSet::new(),
+        }
+    }
+
+    fn delta_bytes(&self) -> usize {
+        self.deltas.values().map(DeltaList::memory_bytes).sum()
+    }
 }
 
 /// A new epoch's grid block while its migrated pieces stream in.
@@ -315,6 +340,9 @@ pub struct HarmonyWorker {
     slice_in: Vec<u64>,
     slice_pruned: Vec<u64>,
     scanned_point_dims: u64,
+    /// Wall nanoseconds spent in candidate scan loops (observed compute,
+    /// fed back into the client's cost-model recalibration).
+    compute_ns: u64,
 }
 
 impl Default for HarmonyWorker {
@@ -339,6 +367,7 @@ impl HarmonyWorker {
             slice_in: vec![0],
             slice_pruned: vec![0],
             scanned_point_dims: 0,
+            compute_ns: 0,
         }
     }
 
@@ -384,10 +413,10 @@ impl HarmonyWorker {
         }
         let shard = load.shard;
         let dim_block = load.dim_block;
-        let store = self.epochs.entry(load.epoch).or_insert_with(|| EpochStore {
-            total_dim_blocks,
-            blocks: HashMap::new(),
-        });
+        let store = self
+            .epochs
+            .entry(load.epoch)
+            .or_insert_with(|| EpochStore::new(total_dim_blocks));
         store.total_dim_blocks = total_dim_blocks;
         let block = BlockStore {
             dim_start: load.dim_start,
@@ -400,6 +429,58 @@ impl HarmonyWorker {
         }
         let ack = ToClient::LoadAck { shard, dim_block }.to_bytes();
         let _ = ctx.send(CLIENT, ack);
+    }
+
+    /// Appends freshly upserted rows to the target epoch's delta list for
+    /// their home shard. Rows arrive in ingest-sequence order (FIFO from
+    /// the client), so the list stays sorted by `seq` and a query's
+    /// watermark selects a stable prefix on every machine of the row.
+    fn handle_upsert_delta(&mut self, msg: DeltaUpsert) {
+        if self.evicted_watermark.is_some_and(|w| msg.epoch <= w) {
+            return; // straggler for an evicted epoch
+        }
+        let width = (msg.dim_end - msg.dim_start) as usize;
+        let store = self
+            .epochs
+            .entry(msg.epoch)
+            .or_insert_with(|| EpochStore::new(1));
+        let delta = store
+            .deltas
+            .entry(msg.shard)
+            .or_insert_with(|| DeltaList::new(width));
+        debug_assert_eq!(delta.width(), width, "delta slice width changed mid-epoch");
+        let is_ip = !matches!(self.metric, Metric::L2);
+        let before = delta.memory_bytes();
+        for (i, (&id, &seq)) in msg.ids.iter().zip(&msg.seqs).enumerate() {
+            let row = &msg.flat[i * width..(i + 1) * width];
+            let (bn, tn) = if is_ip {
+                (msg.block_norms_sq[i], msg.total_norms_sq[i])
+            } else {
+                (0.0, 0.0)
+            };
+            delta.push(id, seq, row, bn, tn);
+        }
+        mem::delta_block_add(delta.memory_bytes() - before);
+    }
+
+    /// Records soft deletes in the target epoch's tombstone set (or every
+    /// live epoch's for the [`u64::MAX`] sentinel). Stored rows are left in
+    /// place; suppression happens at result emission.
+    fn handle_delete_ids(&mut self, msg: DeleteIds) {
+        let apply = |store: &mut EpochStore| {
+            let before = store.tombstones.len();
+            for &id in &msg.ids {
+                store.tombstones.insert(id, msg.seq);
+            }
+            mem::tombstone_add(store.tombstones.len() - before);
+        };
+        if msg.epoch == u64::MAX {
+            for store in self.epochs.values_mut() {
+                apply(store);
+            }
+        } else if let Some(store) = self.epochs.get_mut(&msg.epoch) {
+            apply(store);
+        }
     }
 
     fn handle_chunk(&mut self, ctx: &NodeCtx, chunk: QueryChunk) {
@@ -424,19 +505,26 @@ impl HarmonyWorker {
         }
     }
 
-    /// Position 0: enumerate candidates from the probed lists and compute
-    /// the first partials.
+    /// Position 0: enumerate candidates from the probed lists (plus the
+    /// shard's delta rows below the watermark) and compute the first
+    /// partials.
     fn start_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk) {
-        let Some(block) = self
-            .epochs
-            .get(&chunk.epoch)
-            .and_then(|e| e.blocks.get(&chunk.shard))
-        else {
-            // Block never loaded (or epoch already evicted): answer emptily
-            // so the client can finish.
+        let Some(store) = self.epochs.get(&chunk.epoch) else {
+            // Epoch never loaded (or already evicted): answer emptily so
+            // the client can finish.
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         };
+        let block = store.blocks.get(&chunk.shard);
+        let delta = store
+            .deltas
+            .get(&chunk.shard)
+            .filter(|_| chunk.delta_seq > 0);
+        let tombstones = &store.tombstones;
+        if block.is_none() && delta.is_none() {
+            self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
+            return;
+        }
         let is_ip = !matches!(self.metric, Metric::L2);
         let is_cos = matches!(self.metric, Metric::Cosine);
         let q_block_norm_sq = if is_ip {
@@ -458,9 +546,10 @@ impl HarmonyWorker {
         let mut pruned = 0u64;
         let mut scanned = 0u64;
 
+        let scan_start = Instant::now();
         let mut hop_eps = 0f32;
-        {
-            let mut enum_index = 0u32;
+        let mut enum_index = 0u32;
+        if let Some(block) = block {
             for cluster in &chunk.clusters {
                 let Some(list) = block.lists.get(cluster) else {
                     continue;
@@ -508,6 +597,11 @@ impl HarmonyWorker {
                             pruned += 1;
                             continue;
                         }
+                        // Soft deletes suppress at emission only, so the
+                        // enumeration itself is untouched.
+                        if tombstones.suppresses_list_row(list.ids[i]) {
+                            continue;
+                        }
                         topk.push(list.ids[i], score);
                         continue;
                     }
@@ -544,6 +638,85 @@ impl HarmonyWorker {
                 }
             }
         }
+        // Exact delta scan: rows below the admission watermark, in append
+        // (= sequence) order, enumerated after every probed list so carried
+        // indices stay canonical across the shard row. Delta partials are
+        // exact f32, so their prune slack is zero even under SQ8.
+        if let Some(delta) = delta {
+            let scorer = scorer_for(self.metric);
+            let width = delta.width();
+            for i in 0..delta.len() {
+                if delta.seq(i) >= chunk.delta_seq {
+                    break; // sorted by seq: the rest is past the watermark
+                }
+                let index = enum_index;
+                enum_index += 1;
+                seen += 1;
+                scanned += width as u64;
+                let partial = scorer(&chunk.dims, delta.row(i));
+                if single_hop {
+                    let score = if is_cos {
+                        cos_normalize(partial, chunk.q_total_norm_sq, delta.total_norm_sq(i))
+                    } else {
+                        partial
+                    };
+                    let local_prune = score > topk.threshold();
+                    let global_prune = if is_cos {
+                        rule.should_prune_cosine_quantized(
+                            partial,
+                            threshold,
+                            0.0,
+                            0.0,
+                            chunk.q_total_norm_sq,
+                            delta.total_norm_sq(i),
+                            0.0,
+                        )
+                    } else {
+                        rule.should_prune_quantized(score, threshold, 0.0, 0.0, 0.0)
+                    };
+                    if rule.enabled() && (local_prune || global_prune) {
+                        pruned += 1;
+                        continue;
+                    }
+                    if tombstones.suppresses_delta_row(delta.id(i), delta.seq(i)) {
+                        continue;
+                    }
+                    topk.push(delta.id(i), score);
+                    continue;
+                }
+                let (q_rest, p_rest) = if is_ip {
+                    (
+                        chunk.q_total_norm_sq - q_block_norm_sq,
+                        delta.total_norm_sq(i) - delta.block_norm_sq(i),
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                let prune = if is_cos {
+                    rule.should_prune_cosine_quantized(
+                        partial,
+                        threshold,
+                        q_rest,
+                        p_rest,
+                        chunk.q_total_norm_sq,
+                        delta.total_norm_sq(i),
+                        0.0,
+                    )
+                } else {
+                    rule.should_prune_quantized(partial, threshold, q_rest, p_rest, 0.0)
+                };
+                if prune {
+                    pruned += 1;
+                    continue;
+                }
+                indices.push(index);
+                partials.push(partial);
+                if is_ip {
+                    visited_norms_sq.push(delta.block_norm_sq(i));
+                }
+            }
+        }
+        self.compute_ns += scan_start.elapsed().as_nanos() as u64;
         // Modeled compute charge: deterministic, host-independent.
         ctx.charge_compute(scanned, seen);
 
@@ -580,14 +753,20 @@ impl HarmonyWorker {
     fn continue_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk, carry: Carry) {
         let position = chunk.position as usize;
         let is_last = position + 1 >= chunk.order.len();
-        let Some(block) = self
-            .epochs
-            .get(&chunk.epoch)
-            .and_then(|e| e.blocks.get(&chunk.shard))
-        else {
+        let Some(store) = self.epochs.get(&chunk.epoch) else {
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         };
+        let block = store.blocks.get(&chunk.shard);
+        let delta = store
+            .deltas
+            .get(&chunk.shard)
+            .filter(|_| chunk.delta_seq > 0);
+        let tombstones = &store.tombstones;
+        if block.is_none() && delta.is_none() {
+            self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
+            return;
+        }
         let is_ip = !matches!(self.metric, Metric::L2);
         let is_cos = matches!(self.metric, Metric::Cosine);
         let q_block_norm_sq = if is_ip {
@@ -610,118 +789,221 @@ impl HarmonyWorker {
         // scan itself.
         let mut topk = TopK::new(chunk.k.max(1) as usize);
 
+        let scan_start = Instant::now();
         let mut hop_eps = 0f32;
         {
             // Merge-walk the canonical enumeration (clusters in chunk order,
-            // members in list order) against the ascending survivor indices.
+            // members in list order, then the delta region) against the
+            // ascending survivor indices.
             let mut cursor = 0usize; // position in carry.indices
             let mut base = 0u32; // enumeration index of current list's row 0
-            'clusters: for cluster in &chunk.clusters {
-                let Some(list) = block.lists.get(cluster) else {
-                    continue;
-                };
-                let list_len = list.ids.len() as u32;
-                // Prepared lazily: lists with no surviving candidates never
-                // pay the SQ8 query-quantization cost.
-                let mut prepared: Option<(PreparedQuery, f32)> = None;
-                while cursor < carry.indices.len() {
-                    let index = carry.indices[cursor];
-                    if index >= base + list_len {
-                        break; // survivor lives in a later list
-                    }
-                    let row = (index - base) as usize;
-                    scanned += list.width as u64;
-                    let (pq, eps_list) = prepared.get_or_insert_with(|| {
-                        PreparedQuery::prepare(
-                            self.metric,
-                            list,
-                            &chunk.dims,
-                            block.dim_start,
-                            q_block_norm_sq,
-                        )
-                    });
-                    let eps_list = *eps_list;
-                    hop_eps = hop_eps.max(eps_list);
-                    // Widen prune bounds by everything accumulated so far:
-                    // previous hops' carry plus this list's contribution.
-                    let eps_acc = carry.quant_eps + eps_list;
-                    let partial = carry.partials[cursor] + pq.score(&chunk.dims, list.width, row);
-                    let (q_rest, p_rest, p_visited) = if is_ip {
-                        let p_visited = carry.visited_norms_sq[cursor] + list.block_norms_sq[row];
-                        (
-                            chunk.q_total_norm_sq - q_visited,
-                            list.total_norms_sq[row] - p_visited,
-                            p_visited,
-                        )
-                    } else {
-                        (0.0, 0.0, 0.0)
+            if let Some(block) = block {
+                'clusters: for cluster in &chunk.clusters {
+                    let Some(list) = block.lists.get(cluster) else {
+                        continue;
                     };
-                    if is_last {
-                        // Full score now known (cosine normalizes by the
-                        // full norms); keep only entries beating both the
-                        // local top-k (same-domain, no widening) and the
-                        // exact-domain client threshold (widened).
-                        let score = if is_cos {
-                            cos_normalize(partial, chunk.q_total_norm_sq, list.total_norms_sq[row])
-                        } else {
-                            partial
-                        };
-                        let local_prune = score > topk.threshold();
-                        let global_prune = if is_cos {
-                            rule.should_prune_cosine_quantized(
-                                partial,
-                                threshold,
-                                0.0,
-                                0.0,
-                                chunk.q_total_norm_sq,
-                                list.total_norms_sq[row],
-                                eps_acc,
-                            )
-                        } else {
-                            rule.should_prune_quantized(score, threshold, 0.0, 0.0, eps_acc)
-                        };
-                        if rule.enabled() && (local_prune || global_prune) {
-                            pruned += 1;
-                        } else {
-                            topk.push(list.ids[row], score);
+                    let list_len = list.ids.len() as u32;
+                    // Prepared lazily: lists with no surviving candidates never
+                    // pay the SQ8 query-quantization cost.
+                    let mut prepared: Option<(PreparedQuery, f32)> = None;
+                    while cursor < carry.indices.len() {
+                        let index = carry.indices[cursor];
+                        if index >= base + list_len {
+                            break; // survivor lives in a later list
                         }
-                    } else {
-                        let prune = if is_cos {
-                            rule.should_prune_cosine_quantized(
-                                partial,
-                                threshold,
-                                q_rest,
-                                p_rest,
-                                chunk.q_total_norm_sq,
-                                list.total_norms_sq[row],
-                                eps_acc,
+                        let row = (index - base) as usize;
+                        scanned += list.width as u64;
+                        let (pq, eps_list) = prepared.get_or_insert_with(|| {
+                            PreparedQuery::prepare(
+                                self.metric,
+                                list,
+                                &chunk.dims,
+                                block.dim_start,
+                                q_block_norm_sq,
+                            )
+                        });
+                        let eps_list = *eps_list;
+                        hop_eps = hop_eps.max(eps_list);
+                        // Widen prune bounds by everything accumulated so far:
+                        // previous hops' carry plus this list's contribution.
+                        let eps_acc = carry.quant_eps + eps_list;
+                        let partial =
+                            carry.partials[cursor] + pq.score(&chunk.dims, list.width, row);
+                        let (q_rest, p_rest, p_visited) = if is_ip {
+                            let p_visited =
+                                carry.visited_norms_sq[cursor] + list.block_norms_sq[row];
+                            (
+                                chunk.q_total_norm_sq - q_visited,
+                                list.total_norms_sq[row] - p_visited,
+                                p_visited,
                             )
                         } else {
-                            rule.should_prune_quantized(partial, threshold, q_rest, p_rest, eps_acc)
+                            (0.0, 0.0, 0.0)
                         };
-                        if prune {
-                            pruned += 1;
+                        if is_last {
+                            // Full score now known (cosine normalizes by the
+                            // full norms); keep only entries beating both the
+                            // local top-k (same-domain, no widening) and the
+                            // exact-domain client threshold (widened).
+                            let score = if is_cos {
+                                cos_normalize(
+                                    partial,
+                                    chunk.q_total_norm_sq,
+                                    list.total_norms_sq[row],
+                                )
+                            } else {
+                                partial
+                            };
+                            let local_prune = score > topk.threshold();
+                            let global_prune = if is_cos {
+                                rule.should_prune_cosine_quantized(
+                                    partial,
+                                    threshold,
+                                    0.0,
+                                    0.0,
+                                    chunk.q_total_norm_sq,
+                                    list.total_norms_sq[row],
+                                    eps_acc,
+                                )
+                            } else {
+                                rule.should_prune_quantized(score, threshold, 0.0, 0.0, eps_acc)
+                            };
+                            if rule.enabled() && (local_prune || global_prune) {
+                                pruned += 1;
+                            } else if !tombstones.suppresses_list_row(list.ids[row]) {
+                                topk.push(list.ids[row], score);
+                            }
                         } else {
-                            indices.push(index);
-                            partials.push(partial);
-                            if is_ip {
-                                visited_norms_sq.push(p_visited);
+                            let prune = if is_cos {
+                                rule.should_prune_cosine_quantized(
+                                    partial,
+                                    threshold,
+                                    q_rest,
+                                    p_rest,
+                                    chunk.q_total_norm_sq,
+                                    list.total_norms_sq[row],
+                                    eps_acc,
+                                )
+                            } else {
+                                rule.should_prune_quantized(
+                                    partial, threshold, q_rest, p_rest, eps_acc,
+                                )
+                            };
+                            if prune {
+                                pruned += 1;
+                            } else {
+                                indices.push(index);
+                                partials.push(partial);
+                                if is_ip {
+                                    visited_norms_sq.push(p_visited);
+                                }
                             }
                         }
+                        cursor += 1;
+                        if cursor == carry.indices.len() {
+                            break 'clusters;
+                        }
                     }
-                    cursor += 1;
-                    if cursor == carry.indices.len() {
-                        break 'clusters;
+                    base += list_len;
+                }
+            }
+            // Surviving indices past every probed list address the delta
+            // region: row `index - base` of the shard's delta list, whose
+            // append order is identical on every machine of the row.
+            if cursor < carry.indices.len() {
+                if let Some(delta) = delta {
+                    let scorer = scorer_for(self.metric);
+                    let width = delta.width();
+                    while cursor < carry.indices.len() {
+                        let index = carry.indices[cursor];
+                        let row = (index - base) as usize;
+                        if row >= delta.len() {
+                            break;
+                        }
+                        scanned += width as u64;
+                        // Delta contributions are exact: the accumulated
+                        // slack is whatever earlier hops carried, unchanged.
+                        let eps_acc = carry.quant_eps;
+                        let partial = carry.partials[cursor] + scorer(&chunk.dims, delta.row(row));
+                        let (q_rest, p_rest, p_visited) = if is_ip {
+                            let p_visited =
+                                carry.visited_norms_sq[cursor] + delta.block_norm_sq(row);
+                            (
+                                chunk.q_total_norm_sq - q_visited,
+                                delta.total_norm_sq(row) - p_visited,
+                                p_visited,
+                            )
+                        } else {
+                            (0.0, 0.0, 0.0)
+                        };
+                        if is_last {
+                            let score = if is_cos {
+                                cos_normalize(
+                                    partial,
+                                    chunk.q_total_norm_sq,
+                                    delta.total_norm_sq(row),
+                                )
+                            } else {
+                                partial
+                            };
+                            let local_prune = score > topk.threshold();
+                            let global_prune = if is_cos {
+                                rule.should_prune_cosine_quantized(
+                                    partial,
+                                    threshold,
+                                    0.0,
+                                    0.0,
+                                    chunk.q_total_norm_sq,
+                                    delta.total_norm_sq(row),
+                                    eps_acc,
+                                )
+                            } else {
+                                rule.should_prune_quantized(score, threshold, 0.0, 0.0, eps_acc)
+                            };
+                            if rule.enabled() && (local_prune || global_prune) {
+                                pruned += 1;
+                            } else if !tombstones
+                                .suppresses_delta_row(delta.id(row), delta.seq(row))
+                            {
+                                topk.push(delta.id(row), score);
+                            }
+                        } else {
+                            let prune = if is_cos {
+                                rule.should_prune_cosine_quantized(
+                                    partial,
+                                    threshold,
+                                    q_rest,
+                                    p_rest,
+                                    chunk.q_total_norm_sq,
+                                    delta.total_norm_sq(row),
+                                    eps_acc,
+                                )
+                            } else {
+                                rule.should_prune_quantized(
+                                    partial, threshold, q_rest, p_rest, eps_acc,
+                                )
+                            };
+                            if prune {
+                                pruned += 1;
+                            } else {
+                                indices.push(index);
+                                partials.push(partial);
+                                if is_ip {
+                                    visited_norms_sq.push(p_visited);
+                                }
+                            }
+                        }
+                        cursor += 1;
                     }
                 }
-                base += list_len;
+                debug_assert_eq!(
+                    cursor,
+                    carry.indices.len(),
+                    "carried indices extend past the canonical enumeration"
+                );
             }
-            debug_assert_eq!(
-                cursor,
-                carry.indices.len(),
-                "carried indices extend past the canonical enumeration"
-            );
         }
+        self.compute_ns += scan_start.elapsed().as_nanos() as u64;
         ctx.charge_compute(scanned, seen);
 
         if position < self.slice_in.len() {
@@ -941,10 +1223,10 @@ impl HarmonyWorker {
                 )
             })
             .collect();
-        let store = self.epochs.entry(epoch).or_insert_with(|| EpochStore {
-            total_dim_blocks,
-            blocks: HashMap::new(),
-        });
+        let store = self
+            .epochs
+            .entry(epoch)
+            .or_insert_with(|| EpochStore::new(total_dim_blocks));
         store.total_dim_blocks = total_dim_blocks;
         let block = BlockStore {
             dim_start: assembly.dim_start,
@@ -1088,6 +1370,8 @@ impl HarmonyWorker {
             for block in store.blocks.values() {
                 gauge_sub(block);
             }
+            mem::delta_block_sub(store.delta_bytes());
+            mem::tombstone_sub(store.tombstones.len());
         }
         self.installs.remove(&epoch);
         self.orphan_pieces.remove(&epoch);
@@ -1102,6 +1386,14 @@ impl HarmonyWorker {
                 (f + bf, s + bs)
             },
         );
+        let delta_bytes: usize = self.epochs.values().map(EpochStore::delta_bytes).sum();
+        let delta_rows: usize = self
+            .epochs
+            .values()
+            .flat_map(|e| e.deltas.values())
+            .map(DeltaList::len)
+            .sum();
+        let tombstone_entries: usize = self.epochs.values().map(|e| e.tombstones.len()).sum();
         StatsReport {
             slice_in: self.slice_in.clone(),
             slice_pruned: self.slice_pruned.clone(),
@@ -1111,9 +1403,14 @@ impl HarmonyWorker {
                 .values()
                 .flat_map(|e| e.blocks.values())
                 .map(BlockStore::memory_bytes)
-                .sum::<usize>() as u64,
+                .sum::<usize>() as u64
+                + delta_bytes as u64,
             f32_block_bytes: f32_bytes as u64,
             sq8_block_bytes: sq8_bytes as u64,
+            compute_ns: self.compute_ns,
+            delta_bytes: delta_bytes as u64,
+            delta_rows: delta_rows as u64,
+            tombstone_entries: tombstone_entries as u64,
         }
     }
 
@@ -1121,6 +1418,7 @@ impl HarmonyWorker {
         self.slice_in = vec![0; self.slice_positions];
         self.slice_pruned = vec![0; self.slice_positions];
         self.scanned_point_dims = 0;
+        self.compute_ns = 0;
     }
 }
 
@@ -1133,6 +1431,8 @@ impl Drop for HarmonyWorker {
             for block in store.blocks.values() {
                 gauge_sub(block);
             }
+            mem::delta_block_sub(store.delta_bytes());
+            mem::tombstone_sub(store.tombstones.len());
         }
     }
 }
@@ -1158,6 +1458,8 @@ impl NodeHandler for HarmonyWorker {
             ToWorker::MigrateOut(m) => self.handle_migrate_out(ctx, m),
             ToWorker::InstallLists(m) => self.handle_install(ctx, m),
             ToWorker::EvictEpoch { epoch } => self.handle_evict(epoch),
+            ToWorker::UpsertDelta(m) => self.handle_upsert_delta(m),
+            ToWorker::DeleteIds(m) => self.handle_delete_ids(m),
         }
     }
 }
@@ -1240,6 +1542,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1269,6 +1572,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1336,6 +1640,7 @@ mod tests {
                 q_total_norm_sq: 0.0,
                 order: vec![0, 1],
                 position,
+                delta_seq: 0,
             };
             cluster.send(w, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         }
@@ -1398,6 +1703,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![9, 0],
             position: 1,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1446,6 +1752,7 @@ mod tests {
             q_total_norm_sq: ip(&query, &query),
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1514,6 +1821,7 @@ mod tests {
                 q_total_norm_sq: ip(&query, &query),
                 order: vec![0, 1],
                 position,
+                delta_seq: 0,
             };
             cluster.send(w, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         }
@@ -1548,6 +1856,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1570,6 +1879,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1627,6 +1937,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1687,6 +1998,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let r = recv_result(&mut cluster);
@@ -1713,6 +2025,7 @@ mod tests {
             q_total_norm_sq: 0.0,
             order: vec![0],
             position: 0,
+            delta_seq: 0,
         };
         cluster.send(0, ToWorker::Chunk(chunk).to_bytes()).unwrap();
         let _ = recv_result(&mut cluster);

@@ -14,6 +14,8 @@
 //! * [`kmeans`] — seeded k-means++ / Lloyd clustering shared by every engine
 //!   in the evaluation (the paper mandates identical clustering across all
 //!   compared systems, §6.1),
+//! * [`delta`] — append-only delta lists and tombstone sets backing the
+//!   mutable-shard ingestion path,
 //! * [`flat`] — an exact brute-force index used for ground truth,
 //! * [`ivf`] — the IVF-Flat cluster-based index that Harmony partitions and
 //!   distributes.
@@ -21,6 +23,7 @@
 //! All randomized entry points take explicit seeds; given the same seed the
 //! results are deterministic across runs and thread counts.
 
+pub mod delta;
 pub mod distance;
 pub mod error;
 pub mod flat;
@@ -31,6 +34,7 @@ pub mod quant;
 pub mod topk;
 pub mod vector;
 
+pub use delta::{DeltaList, TombstoneSet};
 pub use distance::{DimRange, Metric};
 pub use error::IndexError;
 pub use flat::FlatIndex;

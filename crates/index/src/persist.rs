@@ -28,6 +28,9 @@ use crate::vector::VectorStore;
 const MAGIC: &[u8; 4] = b"HIVF";
 const VERSION: u32 = 1;
 
+const DELTA_MAGIC: &[u8; 4] = b"HDLT";
+const DELTA_VERSION: u32 = 1;
+
 /// Errors from index persistence.
 #[derive(Debug)]
 pub enum PersistError {
@@ -256,6 +259,158 @@ pub fn load_ivf(path: impl AsRef<Path>) -> Result<IvfIndex, PersistError> {
     Ok(IvfIndex::from_parts(metric, centroids, lists))
 }
 
+/// One pending (not yet compacted) upsert in a [`DeltaLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRecord {
+    /// Vector id.
+    pub id: u64,
+    /// Home IVF list the row will fold into at compaction.
+    pub cluster: u32,
+    /// Ingest sequence number the row was upserted at.
+    pub seq: u64,
+    /// Full (unsliced) vector coordinates.
+    pub vector: Vec<f32>,
+}
+
+/// Crash-consistency checkpoint of the ingest state *between* compactions:
+/// the sequence watermark, the tombstone set, and every pending delta row.
+///
+/// The base index is persisted separately via [`save_ivf`]; replaying a
+/// delta log on top of the matching base reconstructs the exact logical
+/// state (live set and vector values) at checkpoint time, so a crash
+/// mid-compaction loses nothing — the next process reloads the *old* base
+/// plus the log and redoes the fold.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaLog {
+    /// Next unused ingest sequence number.
+    pub next_seq: u64,
+    /// Vector dimensionality (validated against the base on replay).
+    pub dim: u64,
+    /// Tombstoned ids with their delete sequence numbers.
+    pub tombstones: Vec<(u64, u64)>,
+    /// Pending delta rows in upsert order.
+    pub pending: Vec<DeltaRecord>,
+}
+
+/// Writes `log` to `path` atomically (tmp file + rename), with the same
+/// FNV-1a-64 integrity trailer as the index format.
+///
+/// # Errors
+/// [`PersistError::Io`] on filesystem failure.
+pub fn save_delta_log(log: &DeltaLog, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = HashingWriter {
+            inner: BufWriter::new(File::create(&tmp)?),
+            hash: Fnv1a::new(),
+        };
+        w.write_bytes(DELTA_MAGIC)?;
+        w.write_u32(DELTA_VERSION)?;
+        w.write_u64(log.next_seq)?;
+        w.write_u64(log.dim)?;
+        w.write_u64(log.tombstones.len() as u64)?;
+        w.write_u64(log.pending.len() as u64)?;
+        for &(id, seq) in &log.tombstones {
+            w.write_u64(id)?;
+            w.write_u64(seq)?;
+        }
+        for rec in &log.pending {
+            w.write_u64(rec.id)?;
+            w.write_u32(rec.cluster)?;
+            w.write_u64(rec.seq)?;
+            w.write_f32s(&rec.vector)?;
+        }
+        let checksum = w.hash.0;
+        w.inner.write_all(&checksum.to_le_bytes())?;
+        w.inner.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a delta log from `path`, validating structure and checksum.
+///
+/// # Errors
+/// [`PersistError`] on IO failure, malformed structure, version mismatch,
+/// or checksum mismatch — a torn or truncated checkpoint can never replay
+/// as a silently-wrong ingest state.
+pub fn load_delta_log(path: impl AsRef<Path>) -> Result<DeltaLog, PersistError> {
+    let mut r = HashingReader {
+        inner: BufReader::new(File::open(path)?),
+        hash: Fnv1a::new(),
+    };
+    let mut magic = [0u8; 4];
+    r.read_exact_hashed(&mut magic)?;
+    if &magic != DELTA_MAGIC {
+        return Err(PersistError::Format(
+            "bad magic; not a Harmony delta log".into(),
+        ));
+    }
+    let version = r.read_u32()?;
+    if version != DELTA_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported delta-log version {version} (expected {DELTA_VERSION})"
+        )));
+    }
+    let next_seq = r.read_u64()?;
+    let dim = r.read_u64()?;
+    let n_tomb = r.read_u64()? as usize;
+    let n_pending = r.read_u64()? as usize;
+    if dim == 0 || dim > 1 << 20 || n_tomb > 1 << 32 || n_pending > 1 << 32 {
+        return Err(PersistError::Format(format!(
+            "implausible shape: dim {dim}, {n_tomb} tombstones, {n_pending} pending"
+        )));
+    }
+    let mut tombstones = Vec::with_capacity(n_tomb);
+    for _ in 0..n_tomb {
+        let id = r.read_u64()?;
+        let seq = r.read_u64()?;
+        tombstones.push((id, seq));
+    }
+    let mut pending = Vec::with_capacity(n_pending);
+    for _ in 0..n_pending {
+        let id = r.read_u64()?;
+        let cluster = r.read_u32()?;
+        let seq = r.read_u64()?;
+        if seq >= next_seq {
+            return Err(PersistError::Format(format!(
+                "pending row seq {seq} at or past the watermark {next_seq}"
+            )));
+        }
+        let vector = r.read_f32s(dim as usize)?;
+        pending.push(DeltaRecord {
+            id,
+            cluster,
+            seq,
+            vector,
+        });
+    }
+    let computed = r.hash.0;
+    let mut trailer = [0u8; 8];
+    r.inner
+        .read_exact(&mut trailer)
+        .map_err(|_| PersistError::Format("missing checksum trailer".into()))?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != computed {
+        return Err(PersistError::Format(format!(
+            "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    let mut extra = [0u8; 1];
+    match r.inner.read(&mut extra) {
+        Ok(0) => {}
+        Ok(_) => return Err(PersistError::Format("trailing bytes after checksum".into())),
+        Err(e) => return Err(PersistError::Io(e)),
+    }
+    Ok(DeltaLog {
+        next_seq,
+        dim,
+        tombstones,
+        pending,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +519,108 @@ mod tests {
             load_ivf("/nonexistent/harmony.hivf"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    fn sample_delta_log() -> DeltaLog {
+        DeltaLog {
+            next_seq: 9,
+            dim: 4,
+            tombstones: vec![(100, 3), (250, 7)],
+            pending: vec![
+                DeltaRecord {
+                    id: 500,
+                    cluster: 2,
+                    seq: 5,
+                    vector: vec![0.5, -1.0, 2.0, 0.25],
+                },
+                DeltaRecord {
+                    id: 501,
+                    cluster: 0,
+                    seq: 8,
+                    vector: vec![1.0, 1.0, -3.0, 4.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn delta_log_roundtrips() {
+        let path = temp_path("delta-roundtrip");
+        let log = sample_delta_log();
+        save_delta_log(&log, &path).unwrap();
+        assert_eq!(load_delta_log(&path).unwrap(), log);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_log_save_is_atomic() {
+        // A previous intact log must survive an interrupted rewrite: the
+        // writer only renames over the target after the tmp file is
+        // complete, so a crash leaves either the old or the new log.
+        let path = temp_path("delta-atomic");
+        let log = sample_delta_log();
+        save_delta_log(&log, &path).unwrap();
+        // Simulate a torn in-progress rewrite beside the intact primary.
+        std::fs::write(path.with_extension("tmp"), b"HDLT\x01\x00\x00").unwrap();
+        assert_eq!(load_delta_log(&path).unwrap(), log);
+        std::fs::remove_file(path.with_extension("tmp")).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_log_truncation_detected() {
+        let path = temp_path("delta-trunc");
+        save_delta_log(&sample_delta_log(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(matches!(
+            load_delta_log(&path),
+            Err(PersistError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_log_corruption_detected() {
+        let path = temp_path("delta-corrupt");
+        save_delta_log(&sample_delta_log(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_delta_log(&path) {
+            Err(PersistError::Format(msg)) => assert!(
+                msg.contains("checksum")
+                    || msg.contains("implausible")
+                    || msg.contains("watermark"),
+                "unexpected message: {msg}"
+            ),
+            other => panic!("corruption not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_log_wrong_magic_rejected() {
+        let path = temp_path("delta-magic");
+        std::fs::write(&path, b"HIVF0000000000000000").unwrap();
+        match load_delta_log(&path) {
+            Err(PersistError::Format(msg)) => assert!(msg.contains("magic")),
+            other => panic!("bad magic not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_log_seq_past_watermark_rejected() {
+        let path = temp_path("delta-watermark");
+        let mut log = sample_delta_log();
+        log.pending[1].seq = log.next_seq; // not yet issued — inconsistent
+        save_delta_log(&log, &path).unwrap();
+        match load_delta_log(&path) {
+            Err(PersistError::Format(msg)) => assert!(msg.contains("watermark")),
+            other => panic!("inconsistent watermark not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

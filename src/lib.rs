@@ -54,8 +54,8 @@ pub mod prelude {
         ClusterConfig, CommMode, DelayMode, NetworkModel, TcpOptions, TransportKind,
     };
     pub use harmony_core::{
-        EngineMode, HarmonyConfig, HarmonyEngine, MigrationReport, PartitionPlan, ReplanConfig,
-        ReplanOutcome, SearchOptions,
+        CompactionReport, EngineMode, HarmonyConfig, HarmonyEngine, MigrationReport, PartitionPlan,
+        ReplanConfig, ReplanOutcome, SearchOptions,
     };
     pub use harmony_data::{DatasetAnalog, SyntheticSpec, Workload, WorkloadSpec};
     pub use harmony_index::{

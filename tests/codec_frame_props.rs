@@ -9,8 +9,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use harmony::cluster::codec::Wire;
 use harmony::cluster::{decode_frame, encode_frame, Frame, MAX_FRAME_BYTES};
 use harmony::core::messages::{
-    BeginEpoch, Carry, ClusterBlock, InstallLists, ListPiece, LoadBlock, MigrateOut, QueryChunk,
-    QueryResult, StatsReport, ToClient, ToWorker, TransferSpec,
+    BeginEpoch, Carry, ClusterBlock, DeleteIds, DeltaUpsert, InstallLists, ListPiece, LoadBlock,
+    MigrateOut, QueryChunk, QueryResult, StatsReport, ToClient, ToWorker, TransferSpec,
 };
 use harmony::index::Sq8Segment;
 use proptest::prelude::*;
@@ -107,7 +107,7 @@ proptest! {
     /// Every `ToWorker` variant survives the full frame path.
     #[test]
     fn to_worker_variants_roundtrip_through_frames(
-        tag in 0usize..9,
+        tag in 0usize..11,
         epoch in 0u64..1_000,
         shard in 0u32..64,
         n in 0usize..12,
@@ -142,6 +142,7 @@ proptest! {
                 q_total_norm_sq: 2.0,
                 order: (0..4u64).collect(),
                 position: shard % 4,
+                delta_seq: seed % 1_000,
             }),
             2 => ToWorker::Carry(Carry {
                 query_id: seed,
@@ -185,7 +186,23 @@ proptest! {
                 dim_block: 0,
                 pieces: vec![sample_piece(shard, n, width, ip, sq8)],
             }),
-            _ => ToWorker::EvictEpoch { epoch },
+            8 => ToWorker::EvictEpoch { epoch },
+            9 => ToWorker::UpsertDelta(DeltaUpsert {
+                epoch,
+                shard,
+                dim_start: 0,
+                dim_end: width as u64,
+                ids: (0..n as u64).map(|i| i * 5 + 2).collect(),
+                seqs: (0..n as u64).map(|i| seed % 1_000 + i).collect(),
+                flat: (0..n * width).map(|i| i as f32 * 0.125 - 2.0).collect(),
+                block_norms_sq: if ip { vec![0.5; n] } else { Vec::new() },
+                total_norms_sq: if ip { vec![1.75; n] } else { Vec::new() },
+            }),
+            _ => ToWorker::DeleteIds(DeleteIds {
+                epoch: if ip { u64::MAX } else { epoch },
+                ids: (0..n as u64).map(|i| i * 11).collect(),
+                seq: seed % 10_000,
+            }),
         };
         roundtrip_msg(msg, from, delay)?;
     }
@@ -217,6 +234,10 @@ proptest! {
                 memory_bytes: seed / 3,
                 f32_block_bytes: seed / 5,
                 sq8_block_bytes: seed / 7,
+                compute_ns: seed / 11,
+                delta_bytes: seed / 13,
+                delta_rows: seed % 100,
+                tombstone_entries: seed % 50,
             }),
             _ => ToClient::EpochReady { epoch },
         };
