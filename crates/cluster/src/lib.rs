@@ -24,6 +24,11 @@
 //! The substrate is payload-agnostic: `harmony-core` layers its typed RPC on
 //! top of [`bytes::Bytes`] payloads.
 
+// New unsafe code must state its obligations: each unsafe operation inside
+// an `unsafe fn` needs its own block (and a `// SAFETY:` comment, enforced
+// by harmony-lint).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cluster;
 pub mod codec;
 pub mod error;

@@ -40,7 +40,8 @@ pub struct TrackingAllocator;
 // SAFETY: delegates all allocation to `System`, only adding counter updates.
 unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let ptr = System.alloc(layout);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
+        let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
             on_alloc(layout.size());
         }
@@ -48,12 +49,14 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
+        unsafe { System.dealloc(ptr, layout) };
         on_dealloc(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let new_ptr = System.realloc(ptr, layout, new_size);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
         if !new_ptr.is_null() {
             on_dealloc(layout.size());
             on_alloc(new_size);

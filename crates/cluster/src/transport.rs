@@ -451,7 +451,9 @@ impl SendQueue {
     /// Enqueues `frame`, waiting up to `wait` for space.
     fn push(&self, frame: Frame, wait: Duration) -> Result<(), PushError> {
         let deadline = Instant::now() + wait;
-        let mut state = self.state.lock().expect("send queue poisoned");
+        // Poisoning recovery: QueueState mutations are plain arithmetic and
+        // queue ops that stay consistent even if a holder panicked mid-way.
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if state.closed {
                 return Err(PushError::Closed);
@@ -471,7 +473,7 @@ impl SendQueue {
             let (guard, _) = self
                 .not_full
                 .wait_timeout(state, remaining)
-                .expect("send queue poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             state = guard;
         }
     }
@@ -482,7 +484,7 @@ impl SendQueue {
     /// `Err(())` once the queue is closed *and* empty.
     fn pop(&self, wait: Duration) -> Result<Option<Frame>, ()> {
         let deadline = Instant::now() + wait;
-        let mut state = self.state.lock().expect("send queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(frame) = state.frames.pop_front() {
                 let len = 4 + frame.encoded_len();
@@ -501,13 +503,13 @@ impl SendQueue {
             let (guard, _) = self
                 .not_empty
                 .wait_timeout(state, remaining)
-                .expect("send queue poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             state = guard;
         }
     }
 
     fn close(&self) {
-        let mut state = self.state.lock().expect("send queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.closed = true;
         mem::transport_buffer_sub(state.bytes);
         state.bytes = 0;
@@ -517,7 +519,7 @@ impl SendQueue {
     }
 
     fn buffered_bytes(&self) -> usize {
-        self.state.lock().expect("send queue poisoned").bytes
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).bytes
     }
 }
 

@@ -651,7 +651,7 @@ impl HarmonyEngine {
                     prewarm_rows[c].push(prewarm_store.len());
                     prewarm_store
                         .push(base.id(pick), base.row(pick))
-                        .expect("dims match");
+                        .map_err(CoreError::Index)?;
                 }
             }
         }
@@ -691,7 +691,7 @@ impl HarmonyEngine {
                 let stop = Arc::clone(&router_stop);
                 move || run_router(receiver, sessions, control_tx, stop)
             })
-            .expect("spawn client router thread");
+            .map_err(|e| CoreError::Runtime(format!("spawn client router thread: {e}")))?;
 
         let check_every = config.replan.check_every;
         let ewma = ProbeEwma::new(nlist, config.replan.ewma_alpha);
@@ -981,7 +981,11 @@ impl HarmonyEngine {
             // Stage the next visit (pipeline mode) or finish.
             if state.in_flight == 0 && !state.pending_visits.is_empty() {
                 let qid = result.query_id;
-                let mut state = active.remove(&qid).expect("state exists");
+                // Presence was proven by the `get_mut` above; a defensive
+                // skip beats a panic on the router thread.
+                let Some(mut state) = active.remove(&qid) else {
+                    continue;
+                };
                 if let Err(e) = self.dispatch_next(qid, queries.row(state.row), opts, &mut state) {
                     // The state is outside `active` here: discharge its
                     // load estimates before surfacing the error.
@@ -990,7 +994,9 @@ impl HarmonyEngine {
                 }
                 active.insert(qid, state);
             } else if state.in_flight == 0 {
-                let state = active.remove(&result.query_id).expect("state exists");
+                let Some(state) = active.remove(&result.query_id) else {
+                    continue;
+                };
                 let row = state.row;
                 results[row] = self.finalize_results(queries.row(row), state.topk, opts.k);
                 completed += 1;
@@ -1124,11 +1130,13 @@ impl HarmonyEngine {
         let mut by_shard: HashMap<u32, Vec<u32>> = HashMap::new();
         for &c in &probes {
             let s = routing.assignment.cluster_to_shard[c as usize];
-            by_shard.entry(s).or_insert_with(|| {
-                visit_order.push(s);
-                Vec::new()
-            });
-            by_shard.get_mut(&s).expect("just inserted").push(c);
+            by_shard
+                .entry(s)
+                .or_insert_with(|| {
+                    visit_order.push(s);
+                    Vec::new()
+                })
+                .push(c);
         }
         // Fresh-data recall is 1.0 by construction: every shard holding
         // pending delta rows gets a (possibly cluster-less) forced visit,
@@ -1150,7 +1158,7 @@ impl HarmonyEngine {
         }
         let mut pending_visits: Vec<(u32, Vec<u32>)> = visit_order
             .into_iter()
-            .map(|s| (s, by_shard.remove(&s).expect("grouped")))
+            .map(|s| (s, by_shard.remove(&s).unwrap_or_default()))
             .collect();
         // Dispatch order: nearest shard first; reverse so pop() yields it.
         pending_visits.reverse();
@@ -1345,7 +1353,7 @@ impl HarmonyEngine {
             ing.next_seq += 1;
             let cluster = *nearest_centroids(vector, &self.centroids, 1)
                 .first()
-                .expect("at least one centroid");
+                .ok_or_else(|| CoreError::Runtime("engine has no centroids".into()))?;
             {
                 let mut base = self.base.write();
                 let row = base.store.len();

@@ -18,6 +18,9 @@ pub enum CoreError {
     Codec(CodecError),
     /// A worker replied with something the protocol does not allow here.
     Protocol(String),
+    /// A runtime resource failure outside the other categories (thread
+    /// spawn, missing engine state).
+    Runtime(String),
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +31,7 @@ impl fmt::Display for CoreError {
             CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
             CoreError::Codec(e) => write!(f, "codec error: {e}"),
             CoreError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CoreError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }

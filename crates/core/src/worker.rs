@@ -1186,14 +1186,16 @@ impl HarmonyWorker {
 
     /// Activates an epoch whose assembly is complete and acks the client.
     fn try_activate_epoch(&mut self, ctx: &NodeCtx, epoch: u64) {
-        let done = self
+        let complete = self
             .installs
             .get(&epoch)
             .is_some_and(|a| a.received >= a.expected_pieces);
-        if !done {
+        if !complete {
             return;
         }
-        let assembly = self.installs.remove(&epoch).expect("checked above");
+        let Some(assembly) = self.installs.remove(&epoch) else {
+            return;
+        };
         let total_dim_blocks = assembly.total_dim_blocks.max(1) as usize;
         self.ensure_slice_positions(total_dim_blocks);
         let lists: HashMap<u32, ListBlock> = assembly

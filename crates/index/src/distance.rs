@@ -281,12 +281,18 @@ mod avx2 {
         let mut acc = _mm256_setzero_ps();
         let chunks = n / 8;
         for i in 0..chunks {
-            let pa = _mm256_loadu_ps(a.as_ptr().add(i * 8));
-            let pb = _mm256_loadu_ps(b.as_ptr().add(i * 8));
+            // SAFETY: i < n / 8, so both 8-lane loads end at i*8+8 <= n.
+            let (pa, pb) = unsafe {
+                (
+                    _mm256_loadu_ps(a.as_ptr().add(i * 8)),
+                    _mm256_loadu_ps(b.as_ptr().add(i * 8)),
+                )
+            };
             let d = _mm256_sub_ps(pa, pb);
             acc = _mm256_fmadd_ps(d, d, acc);
         }
-        let mut sum = horizontal_sum(acc);
+        // SAFETY: callee requires the same target features as self.
+        let mut sum = unsafe { horizontal_sum(acc) };
         for j in chunks * 8..n {
             let d = a[j] - b[j];
             sum += d * d;
@@ -305,11 +311,17 @@ mod avx2 {
         let mut acc = _mm256_setzero_ps();
         let chunks = n / 8;
         for i in 0..chunks {
-            let pa = _mm256_loadu_ps(a.as_ptr().add(i * 8));
-            let pb = _mm256_loadu_ps(b.as_ptr().add(i * 8));
+            // SAFETY: i < n / 8, so both 8-lane loads end at i*8+8 <= n.
+            let (pa, pb) = unsafe {
+                (
+                    _mm256_loadu_ps(a.as_ptr().add(i * 8)),
+                    _mm256_loadu_ps(b.as_ptr().add(i * 8)),
+                )
+            };
             acc = _mm256_fmadd_ps(pa, pb, acc);
         }
-        let mut sum = horizontal_sum(acc);
+        // SAFETY: callee requires the same target features as self.
+        let mut sum = unsafe { horizontal_sum(acc) };
         for j in chunks * 8..n {
             sum += a[j] * b[j];
         }
@@ -331,14 +343,20 @@ mod avx2 {
         let mut acc = _mm256_setzero_si256();
         let chunks = n / 16;
         for i in 0..chunks {
-            let pa = _mm_loadu_si128(a.as_ptr().add(i * 16) as *const __m128i);
-            let pb = _mm_loadu_si128(b.as_ptr().add(i * 16) as *const __m128i);
+            // SAFETY: i < n / 16, so both 16-byte loads end at i*16+16 <= n.
+            let (pa, pb) = unsafe {
+                (
+                    _mm_loadu_si128(a.as_ptr().add(i * 16) as *const __m128i),
+                    _mm_loadu_si128(b.as_ptr().add(i * 16) as *const __m128i),
+                )
+            };
             let wa = _mm256_cvtepu8_epi16(pa);
             let wb = _mm256_cvtepu8_epi16(pb);
             let d = _mm256_sub_epi16(wa, wb);
             acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
         }
-        let mut sum = horizontal_sum_epi32(acc);
+        // SAFETY: callee requires the same target features as self.
+        let mut sum = unsafe { horizontal_sum_epi32(acc) };
         for j in chunks * 16..n {
             let d = a[j] as i32 - b[j] as i32;
             sum += (d * d) as u32;
@@ -358,13 +376,19 @@ mod avx2 {
         let mut acc = _mm256_setzero_si256();
         let chunks = n / 16;
         for i in 0..chunks {
-            let pa = _mm_loadu_si128(a.as_ptr().add(i * 16) as *const __m128i);
-            let pb = _mm_loadu_si128(b.as_ptr().add(i * 16) as *const __m128i);
+            // SAFETY: i < n / 16, so both 16-byte loads end at i*16+16 <= n.
+            let (pa, pb) = unsafe {
+                (
+                    _mm_loadu_si128(a.as_ptr().add(i * 16) as *const __m128i),
+                    _mm_loadu_si128(b.as_ptr().add(i * 16) as *const __m128i),
+                )
+            };
             let wa = _mm256_cvtepu8_epi16(pa);
             let wb = _mm256_cvtepu8_epi16(pb);
             acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
         }
-        let mut sum = horizontal_sum_epi32(acc);
+        // SAFETY: callee requires the same target features as self.
+        let mut sum = unsafe { horizontal_sum_epi32(acc) };
         for j in chunks * 16..n {
             sum += a[j] as u32 * b[j] as u32;
         }
@@ -374,6 +398,9 @@ mod avx2 {
     /// Sums the eight i32 lanes. Lanes are non-negative and bounded by
     /// 2·255²·(width/16), so for widths ≤ 2¹⁶ both the 128-bit lane adds
     /// and the final u32 total are exact.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2`.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn horizontal_sum_epi32(v: __m256i) -> u32 {
@@ -381,12 +408,17 @@ mod avx2 {
         let lo = _mm256_castsi256_si128(v);
         let s = _mm_add_epi32(lo, hi);
         let mut lanes = [0i32; 4];
-        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, s);
+        // SAFETY: `lanes` is a 16-byte local array, valid for a 128-bit store.
+        unsafe { _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, s) };
         lanes
             .iter()
             .fold(0u32, |acc, &x| acc.wrapping_add(x as u32))
     }
 
+    /// Sums the eight f32 lanes via extract/shuffle reduction.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2`.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn horizontal_sum(v: __m256) -> f32 {

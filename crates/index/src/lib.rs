@@ -23,6 +23,11 @@
 //! All randomized entry points take explicit seeds; given the same seed the
 //! results are deterministic across runs and thread counts.
 
+// New unsafe code must state its obligations: each unsafe operation inside
+// an `unsafe fn` needs its own block (and a `// SAFETY:` comment, enforced
+// by harmony-lint).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod delta;
 pub mod distance;
 pub mod error;

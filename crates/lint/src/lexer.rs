@@ -1,0 +1,338 @@
+//! A minimal comment- and string-aware Rust lexer.
+//!
+//! The build environment has no crates.io access, so `syn` is not an
+//! option (the same vendored-stand-in constraint as PR 1). The rules in
+//! this crate only need a token stream that
+//!
+//! * never confuses comment or string contents with code (`"unsafe"` in a
+//!   string must not trigger the unsafe audit),
+//! * keeps comments *as tokens* (the `// SAFETY:` audit reads them), and
+//! * records the 1-based source line of every token.
+//!
+//! Anything fancier — full expression grammar, type resolution — is out of
+//! scope by design: the rules operate on token patterns plus brace-depth
+//! tracking, which is exactly as much parsing as hand-maintained invariants
+//! need.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer/float/char/byte literal (text preserved verbatim).
+    Literal,
+    /// String literal (contents preserved, quotes included).
+    Str,
+    /// Single punctuation character.
+    Punct,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+    /// Line or block comment, text preserved verbatim.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: Kind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// `true` for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token vector. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: the lint
+/// must degrade gracefully on code mid-edit.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    // Advances `line` for every newline in b[from..to).
+    fn count_lines(b: &[char], from: usize, to: usize, line: &mut u32) {
+        *line += b[from..to].iter().filter(|&&c| c == '\n').count() as u32;
+    }
+
+    while i < n {
+        let c = b[i];
+        let start_line = line;
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::Comment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            count_lines(&b, start, i, &mut line);
+            out.push(Tok {
+                kind: Kind::Comment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# with any # count.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                while k < n && b[k] == '#' {
+                    k += 1;
+                }
+                k < n && b[k] == '"'
+            } else {
+                false
+            }
+        } {
+            let start = i;
+            if b[i] == 'b' {
+                i += 1;
+            }
+            i += 1; // r
+            let mut hashes = 0;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if b[i] == '"' {
+                    let mut k = i + 1;
+                    let mut seen = 0;
+                    while k < n && b[k] == '#' && seen < hashes {
+                        k += 1;
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        i = k;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            count_lines(&b, start, i, &mut line);
+            out.push(Tok {
+                kind: Kind::Str,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Ordinary / byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start = i;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            let end = i.min(n);
+            count_lines(&b, start, end, &mut line);
+            out.push(Tok {
+                kind: Kind::Str,
+                text: b[start..end].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let mut k = i + 1;
+                while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                    k += 1;
+                }
+                if k >= n || b[k] != '\'' {
+                    out.push(Tok {
+                        kind: Kind::Lifetime,
+                        text: b[i..k].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            // Char literal, possibly escaped.
+            let start = i;
+            i += 1;
+            if i < n && b[i] == '\\' {
+                i += 2;
+                // \u{...}
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+            } else if i < n {
+                i += 1;
+            }
+            if i < n && b[i] == '\'' {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::Literal,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::Ident,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Numeric literal (suffixes like `0u8`, `1_000`, `1.5e3` included).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            out.push(Tok {
+                kind: Kind::Literal,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Single punctuation character.
+        out.push(Tok {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds(r#"let x = "unsafe { }"; // unsafe trailing"#);
+        assert!(toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Ident)
+            .all(|(_, t)| t != "unsafe"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Comment).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Str).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* a /* b */ c */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (Kind::Ident, "fn".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"r#"has "quotes" and // not a comment"# after"##);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, Kind::Str);
+        assert_eq!(toks[1], (Kind::Ident, "after".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str 'x' '\\n'");
+        assert_eq!(toks[1].0, Kind::Lifetime);
+        assert_eq!(toks[1].1, "'a");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Literal && t == "'x'"));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let toks = lex("/* one\ntwo */\nfn f() {}\n\"a\nb\"\nlast");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+        let last = toks.iter().find(|t| t.is_ident("last")).unwrap();
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn numeric_suffixes_stay_one_token() {
+        let toks = kinds("0u8.encode(buf)");
+        assert_eq!(toks[0], (Kind::Literal, "0u8".to_string()));
+        assert_eq!(toks[1], (Kind::Punct, ".".to_string()));
+    }
+}

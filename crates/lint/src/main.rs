@@ -1,0 +1,106 @@
+//! `harmony-lint` CLI.
+//!
+//! ```text
+//! harmony-lint [--root DIR] [--fix-allowlist]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config error. Findings print
+//! one per line as `file:line  RULE_ID  message` so CI logs and editors
+//! can jump straight to them.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut fix_allowlist = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory"),
+            },
+            "--fix-allowlist" => fix_allowlist = true,
+            "--help" | "-h" => {
+                println!(
+                    "harmony-lint [--root DIR] [--fix-allowlist]\n\
+                     Static analysis for the Harmony workspace; see DESIGN.md §7."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(harmony_lint::default_root);
+
+    if fix_allowlist {
+        return bootstrap(&root);
+    }
+
+    match harmony_lint::run(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "harmony-lint: {} file(s), {} finding(s), {} allowlisted",
+                report.files,
+                report.findings.len(),
+                report.suppressed
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("harmony-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--fix-allowlist`: rewrite `lint.allow` so it covers every current
+/// finding, with placeholder justifications the author must edit.
+fn bootstrap(root: &std::path::Path) -> ExitCode {
+    let cfg = match harmony_lint::config::load(&root.join("lint.toml")) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("harmony-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut al =
+        match harmony_lint::allowlist::Allowlist::load(&root.join("lint.allow"), "lint.allow") {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("harmony-lint: error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    match harmony_lint::run_with(root, &cfg, &mut al) {
+        Ok(report) => {
+            let text = al.bootstrap(&report.findings);
+            if let Err(e) = std::fs::write(root.join("lint.allow"), text) {
+                eprintln!("harmony-lint: error: cannot write lint.allow: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "harmony-lint: wrote lint.allow covering {} finding(s); edit the EDIT: placeholders",
+                report.findings.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("harmony-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("harmony-lint: {msg}\nusage: harmony-lint [--root DIR] [--fix-allowlist]");
+    ExitCode::from(2)
+}

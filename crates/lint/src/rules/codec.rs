@@ -1,0 +1,519 @@
+//! Codec exhaustiveness (`HL-CODEC-*`).
+//!
+//! For every enum in the configured codec files that has an `impl Wire`,
+//! each variant must appear in the `encode` match, in the `decode` tag
+//! dispatch, and in the codec property test, with discriminant tags that
+//! are unique, dense (`0..n` — a gap silently shifts the meaning of wire
+//! bytes across versions), and identical between encode and decode. For
+//! structs with an `impl Wire`, every named field must be referenced in
+//! both `encode` and `decode` — a field missing from one side is a frame
+//! that decodes shifted.
+
+use crate::findings::{Finding, Rule};
+use crate::index::{matching, FileIndex, FnInfo};
+use crate::lexer::{Kind, Tok};
+
+/// Enum definition: name plus variants with their declaration lines.
+struct EnumDef {
+    name: String,
+    variants: Vec<(String, u32)>,
+}
+
+/// Struct definition with named fields.
+struct StructDef {
+    name: String,
+    fields: Vec<(String, u32)>,
+}
+
+/// Runs the codec family. `files` are the indexed codec files;
+/// `test_file` is the indexed property test (`None` if missing — that is
+/// itself reported by the driver).
+pub fn check(files: &[&FileIndex], test_file: Option<&FileIndex>, out: &mut Vec<Finding>) {
+    for fi in files {
+        let enums = enum_defs(fi);
+        let structs = struct_defs(fi);
+        for im in &fi.impls {
+            if im.trait_name != "Wire" || im.in_test {
+                continue;
+            }
+            let encode = impl_fn(fi, im.start, im.end, "encode");
+            let decode = impl_fn(fi, im.start, im.end, "decode");
+            if let Some(e) = enums.iter().find(|e| e.name == im.type_name) {
+                check_enum(fi, e, encode, decode, test_file, out);
+            } else if let Some(s) = structs.iter().find(|s| s.name == im.type_name) {
+                check_struct(fi, s, encode, decode, out);
+            }
+            // Impls over types not defined here (macro targets, std
+            // containers) have no variant/field list to audit.
+        }
+    }
+}
+
+fn check_enum(
+    fi: &FileIndex,
+    e: &EnumDef,
+    encode: Option<&FnInfo>,
+    decode: Option<&FnInfo>,
+    test_file: Option<&FileIndex>,
+    out: &mut Vec<Finding>,
+) {
+    let mut enc_tags: Vec<(String, u32, Option<u64>)> = Vec::new();
+    for (variant, vline) in &e.variants {
+        // encode coverage + tag.
+        let enc = encode.and_then(|f| arm_in(fi, f, &e.name, variant));
+        match enc {
+            None => out.push(Finding::new(
+                Rule::CodecEncode,
+                fi.path.clone(),
+                *vline,
+                "encode",
+                format!(
+                    "variant `{}::{}` missing from `encode` match",
+                    e.name, variant
+                ),
+            )),
+            Some(at) => {
+                let tag = encode.and_then(|f| enc_tag(fi, f, &e.name, at));
+                enc_tags.push((variant.clone(), *vline, tag));
+            }
+        }
+        // decode coverage + tag.
+        let dec = decode.and_then(|f| arm_in(fi, f, &e.name, variant));
+        match dec {
+            None => out.push(Finding::new(
+                Rule::CodecDecode,
+                fi.path.clone(),
+                *vline,
+                "decode",
+                format!(
+                    "variant `{}::{}` missing from `decode` tag dispatch",
+                    e.name, variant
+                ),
+            )),
+            Some(at) => {
+                let dtag = dec_tag(fi, at);
+                if let (Some((_, _, Some(et))), Some(dt)) =
+                    (enc_tags.iter().find(|(v, _, _)| v == variant), dtag)
+                {
+                    if *et != dt {
+                        out.push(Finding::new(
+                            Rule::CodecTagMismatch,
+                            fi.path.clone(),
+                            *vline,
+                            "decode",
+                            format!(
+                                "variant `{}::{}` encodes tag {et} but decodes tag {dt}",
+                                e.name, variant
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Property-test coverage.
+        if let Some(tf) = test_file {
+            if !mentions(tf, &e.name, variant) {
+                out.push(Finding::new(
+                    Rule::CodecTest,
+                    fi.path.clone(),
+                    *vline,
+                    "-",
+                    format!(
+                        "variant `{}::{}` never exercised by {}",
+                        e.name, variant, tf.path
+                    ),
+                ));
+            }
+        }
+    }
+    // Tag uniqueness and density over the encode side.
+    let mut tags: Vec<(u64, &str, u32)> = enc_tags
+        .iter()
+        .filter_map(|(v, l, t)| t.map(|t| (t, v.as_str(), *l)))
+        .collect();
+    tags.sort_unstable();
+    for w in tags.windows(2) {
+        if w[0].0 == w[1].0 {
+            out.push(Finding::new(
+                Rule::CodecTagDup,
+                fi.path.clone(),
+                w[1].2,
+                "encode",
+                format!(
+                    "variants `{}::{}` and `{}::{}` both encode tag {}",
+                    e.name, w[0].1, e.name, w[1].1, w[0].0
+                ),
+            ));
+        }
+    }
+    if tags.len() == e.variants.len() {
+        for (i, (t, v, l)) in tags.iter().enumerate() {
+            if *t != i as u64 {
+                out.push(Finding::new(
+                    Rule::CodecTagGap,
+                    fi.path.clone(),
+                    *l,
+                    "encode",
+                    format!(
+                        "tags of `{}` are not dense: expected {i} next, `{}::{v}` encodes {t}",
+                        e.name, e.name
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+fn check_struct(
+    fi: &FileIndex,
+    s: &StructDef,
+    encode: Option<&FnInfo>,
+    decode: Option<&FnInfo>,
+    out: &mut Vec<Finding>,
+) {
+    for (field, fline) in &s.fields {
+        for (f, which) in [(encode, "encode"), (decode, "decode")] {
+            let Some(f) = f else { continue };
+            let body = &fi.toks[f.body_start..f.end.min(fi.toks.len())];
+            if !body.iter().any(|t| t.is_ident(field)) {
+                out.push(Finding::new(
+                    Rule::CodecField,
+                    fi.path.clone(),
+                    *fline,
+                    which,
+                    format!("field `{}.{}` never referenced in `{which}`", s.name, field),
+                ));
+            }
+        }
+    }
+}
+
+/// Finds the fn named `name` whose definition lies inside `[start, end)`.
+fn impl_fn<'a>(fi: &'a FileIndex, start: usize, end: usize, name: &str) -> Option<&'a FnInfo> {
+    fi.fns
+        .iter()
+        .find(|f| f.name == name && f.start >= start && f.end <= end)
+}
+
+/// Token index of `Qualifier::Variant` inside `f`'s body, where the
+/// qualifier is the enum name or `Self`. Returns the variant-token index.
+fn arm_in(fi: &FileIndex, f: &FnInfo, enum_name: &str, variant: &str) -> Option<usize> {
+    let toks = &fi.toks;
+    let end = f.end.min(toks.len());
+    (f.body_start..end).find(|&i| {
+        i >= 3
+            && toks[i].is_ident(variant)
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && (toks[i - 3].is_ident(enum_name) || toks[i - 3].is_ident("Self"))
+    })
+}
+
+/// Discriminant written by the encode arm starting at variant token `at`:
+/// the first `<n>u8` literal before the next arm pattern.
+fn enc_tag(fi: &FileIndex, f: &FnInfo, enum_name: &str, at: usize) -> Option<u64> {
+    let toks = &fi.toks;
+    let end = f.end.min(toks.len());
+    let mut i = at + 1;
+    while i < end {
+        let t = &toks[i];
+        // Next arm pattern → this arm never wrote a tag.
+        if t.kind == Kind::Ident
+            && (t.text == enum_name || t.text == "Self")
+            && i + 2 < end
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+        {
+            return None;
+        }
+        if t.kind == Kind::Literal && t.text.ends_with("u8") {
+            return parse_num(&t.text);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Discriminant matched by the decode arm containing variant token `at`:
+/// the literal immediately before the nearest preceding `=>`.
+fn dec_tag(fi: &FileIndex, at: usize) -> Option<u64> {
+    let toks = &fi.toks;
+    let mut i = at;
+    while i >= 2 {
+        if toks[i].is_punct('>') && toks[i - 1].is_punct('=') {
+            let before = &toks[i - 2];
+            if before.kind == Kind::Literal {
+                return parse_num(&before.text);
+            }
+            return None;
+        }
+        i -= 1;
+    }
+    None
+}
+
+fn parse_num(text: &str) -> Option<u64> {
+    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// `true` when the test file mentions `Enum::Variant`.
+fn mentions(tf: &FileIndex, enum_name: &str, variant: &str) -> bool {
+    let toks = &tf.toks;
+    (0..toks.len()).any(|i| {
+        i >= 3
+            && toks[i].is_ident(variant)
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident(enum_name)
+    })
+}
+
+/// Parses `enum Name { ... }` definitions with their variant names.
+fn enum_defs(fi: &FileIndex) -> Vec<EnumDef> {
+    let toks = &fi.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if toks[i].is_ident("enum")
+            && i + 2 < n
+            && toks[i + 1].kind == Kind::Ident
+            && !fi.in_test(i)
+        {
+            // Skip generics between the name and `{`.
+            let mut j = i + 2;
+            while j < n && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < n && toks[j].is_punct('{') {
+                let close = matching(toks, j, "{", "}");
+                out.push(EnumDef {
+                    name: toks[i + 1].text.clone(),
+                    variants: variant_names(toks, j, close),
+                });
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Variant names at depth 1 of an enum body: the first ident of each
+/// comma-separated entry, with attributes and payloads skipped wholesale.
+fn variant_names(toks: &[Tok], open: usize, close: usize) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut expect = true;
+    let mut i = open + 1;
+    while i < close && i < toks.len() {
+        let t = &toks[i];
+        if t.kind == Kind::Comment {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('#') && i + 1 < close && toks[i + 1].is_punct('[') {
+            i = matching(toks, i + 1, "[", "]") + 1;
+            continue;
+        }
+        if expect && t.kind == Kind::Ident {
+            out.push((t.text.clone(), t.line));
+            expect = false;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('(') {
+            i = matching(toks, i, "(", ")") + 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            i = matching(toks, i, "{", "}") + 1;
+            continue;
+        }
+        if t.is_punct(',') {
+            expect = true;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses `struct Name { field: Ty, ... }` definitions (named fields only).
+fn struct_defs(fi: &FileIndex) -> Vec<StructDef> {
+    let toks = &fi.toks;
+    let n = toks.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if toks[i].is_ident("struct")
+            && i + 2 < n
+            && toks[i + 1].kind == Kind::Ident
+            && !fi.in_test(i)
+        {
+            let mut j = i + 2;
+            while j < n
+                && !toks[j].is_punct('{')
+                && !toks[j].is_punct(';')
+                && !toks[j].is_punct('(')
+            {
+                j += 1;
+            }
+            if j < n && toks[j].is_punct('{') {
+                let close = matching(toks, j, "{", "}");
+                let mut fields = Vec::new();
+                let mut depth = 0i32;
+                for k in j..=close.min(n - 1) {
+                    let t = &toks[k];
+                    if t.kind == Kind::Punct {
+                        match t.text.as_str() {
+                            "{" | "(" | "[" | "<" => depth += 1,
+                            "}" | ")" | "]" => depth -= 1,
+                            ">" if k > 0 && !toks[k - 1].is_punct('-') => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    // `field:` at depth 1, not `::`.
+                    if depth == 1
+                        && t.kind == Kind::Ident
+                        && t.text != "pub"
+                        && k < close
+                        && toks[k + 1].is_punct(':')
+                        && !(k + 1 < close && toks[k + 2].is_punct(':'))
+                        && !(k > 0 && toks[k - 1].is_punct(':'))
+                    {
+                        fields.push((t.text.clone(), t.line));
+                    }
+                }
+                out.push(StructDef {
+                    name: toks[i + 1].text.clone(),
+                    fields,
+                });
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const GOOD: &str = r#"
+pub enum Msg { A(u8), B, C { x: u32 } }
+impl Wire for Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Msg::A(v) => { 0u8.encode(buf); v.encode(buf); }
+            Msg::B => 1u8.encode(buf),
+            Msg::C { x } => { 2u8.encode(buf); x.encode(buf); }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(Msg::A(u8::decode(buf)?)),
+            1 => Ok(Msg::B),
+            2 => Ok(Msg::C { x: u32::decode(buf)? }),
+            t => Err(CodecError::bad(t)),
+        }
+    }
+}
+"#;
+
+    const TEST_SRC: &str = "fn roundtrip() { let _ = [Msg::A(1), Msg::B, Msg::C { x: 2 }]; }";
+
+    fn run(src: &str, test_src: Option<&str>) -> Vec<Finding> {
+        let fi = FileIndex::build("codec.rs".into(), lex(src));
+        let tf = test_src.map(|s| FileIndex::build("props.rs".into(), lex(s)));
+        let mut out = Vec::new();
+        check(&[&fi], tf.as_ref(), &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_codec_passes() {
+        assert!(run(GOOD, Some(TEST_SRC)).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_fires() {
+        let bad = GOOD.replace("1 => Ok(Msg::B),", "");
+        let out = run(&bad, Some(TEST_SRC));
+        assert!(out
+            .iter()
+            .any(|f| f.rule == Rule::CodecDecode && f.message.contains("Msg::B")));
+        // Dropping an arm also orphans its tag; density still holds.
+        assert!(!out.iter().any(|f| f.rule == Rule::CodecTagGap));
+    }
+
+    #[test]
+    fn missing_encode_arm_fires() {
+        let bad = GOOD.replace("Msg::B => 1u8.encode(buf),", "");
+        let out = run(&bad, Some(TEST_SRC));
+        assert!(out
+            .iter()
+            .any(|f| f.rule == Rule::CodecEncode && f.message.contains("Msg::B")));
+    }
+
+    #[test]
+    fn duplicate_tag_fires() {
+        let bad = GOOD.replace("Msg::B => 1u8.encode(buf),", "Msg::B => 0u8.encode(buf),");
+        let out = run(&bad, Some(TEST_SRC));
+        assert!(out.iter().any(|f| f.rule == Rule::CodecTagDup));
+    }
+
+    #[test]
+    fn tag_gap_fires() {
+        let bad = GOOD
+            .replace("Msg::B => 1u8.encode(buf),", "Msg::B => 7u8.encode(buf),")
+            .replace("1 => Ok(Msg::B),", "7 => Ok(Msg::B),");
+        let out = run(&bad, Some(TEST_SRC));
+        assert!(out.iter().any(|f| f.rule == Rule::CodecTagGap));
+    }
+
+    #[test]
+    fn encode_decode_tag_mismatch_fires() {
+        let bad = GOOD.replace("1 => Ok(Msg::B),", "3 => Ok(Msg::B),");
+        let out = run(&bad, Some(TEST_SRC));
+        assert!(out.iter().any(|f| f.rule == Rule::CodecTagMismatch));
+    }
+
+    #[test]
+    fn missing_test_mention_fires() {
+        let out = run(
+            GOOD,
+            Some("fn roundtrip() { let _ = [Msg::A(1), Msg::B]; }"),
+        );
+        assert!(out
+            .iter()
+            .any(|f| f.rule == Rule::CodecTest && f.message.contains("Msg::C")));
+    }
+
+    #[test]
+    fn struct_field_missing_from_decode_fires() {
+        let src = r#"
+pub struct Frame { pub seq: u64, pub len: u32 }
+impl Wire for Frame {
+    fn encode(&self, buf: &mut Vec<u8>) { self.seq.encode(buf); self.len.encode(buf); }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let seq = u64::decode(buf)?;
+        Ok(Frame { seq, len: 0 })
+    }
+}
+"#;
+        assert!(run(src, None).is_empty());
+        let bad = src.replace(
+            "Ok(Frame { seq, len: 0 })",
+            "Ok(Frame { seq, ..Default::default() })",
+        );
+        let out = run(&bad, None);
+        assert!(out
+            .iter()
+            .any(|f| f.rule == Rule::CodecField && f.message.contains("Frame.len")));
+    }
+}

@@ -1,0 +1,294 @@
+//! Lock-ordering analysis (`HL-LOCK-ORDER`, `HL-LOCK-UNKNOWN`).
+//!
+//! `lint.toml` declares, per file, the order in which that file's named
+//! locks must be acquired. For every non-test function the rule walks the
+//! body linearly, simulating the held-lock set:
+//!
+//! * an acquisition is `receiver.lock()` / `.read()` / `.write()` with
+//!   empty parens (io `read(&mut buf)` / `write(&buf)` take arguments and
+//!   are ignored), where `receiver` is the identifier before the final dot;
+//! * a guard is *held* only when the statement is `let g = <acq>;`, with
+//!   `.expect(..)` / `.unwrap()` / `.unwrap_or_else(..)` allowed in the
+//!   chain — anything else (a field access, a call argument) makes the
+//!   guard a temporary that dies at the end of the statement;
+//! * held guards are released by `drop(g)` or by leaving the enclosing
+//!   brace scope.
+//!
+//! Acquiring a declared lock while holding one that the order places
+//! after it (or the same lock twice) is `HL-LOCK-ORDER`. Acquiring an
+//! undeclared lock while a declared one is held is `HL-LOCK-UNKNOWN`:
+//! new lock edges must be added to the declared order before they ship.
+//! The walk is linear (no control-flow graph), so a `drop` inside one
+//! branch releases for the remainder of the function — this trades false
+//! negatives for zero control-flow false positives.
+
+use crate::config::LockOrder;
+use crate::findings::{Finding, Rule};
+use crate::index::FileIndex;
+use crate::lexer::Kind;
+
+#[derive(Debug)]
+struct Held {
+    name: String,
+    var: String,
+    depth: i32,
+    line: u32,
+}
+
+/// Runs the lock-order family over one file with its declared order.
+pub fn check(fi: &FileIndex, order: &LockOrder, out: &mut Vec<Finding>) {
+    for f in &fi.fns {
+        if f.in_test || f.body_start >= f.end {
+            continue;
+        }
+        walk_fn(
+            fi,
+            order,
+            f.body_start,
+            f.end.min(fi.toks.len()),
+            &f.name,
+            out,
+        );
+    }
+}
+
+fn walk_fn(
+    fi: &FileIndex,
+    order: &LockOrder,
+    body_start: usize,
+    end: usize,
+    fn_name: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &fi.toks;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = body_start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    held.retain(|h| h.depth <= depth);
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        // drop(var) releases.
+        if t.is_ident("drop")
+            && i + 3 < end
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].kind == Kind::Ident
+            && toks[i + 3].is_punct(')')
+        {
+            let var = &toks[i + 2].text;
+            if let Some(pos) = held.iter().rposition(|h| h.var == *var) {
+                held.remove(pos);
+            }
+            i += 4;
+            continue;
+        }
+        // receiver.lock()/.read()/.write() with empty parens.
+        let acq = t.kind == Kind::Ident
+            && i + 4 < end
+            && toks[i + 1].is_punct('.')
+            && matches!(toks[i + 2].text.as_str(), "lock" | "read" | "write")
+            && toks[i + 2].kind == Kind::Ident
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_punct(')');
+        if !acq {
+            i += 1;
+            continue;
+        }
+        let recv = t.text.clone();
+        let line = t.line;
+        let new_idx = order.order.iter().position(|l| *l == recv);
+        match new_idx {
+            Some(ni) => {
+                for h in &held {
+                    let hi = order
+                        .order
+                        .iter()
+                        .position(|l| *l == h.name)
+                        .unwrap_or(usize::MAX);
+                    if hi >= ni {
+                        out.push(Finding::new(
+                            Rule::LockOrder,
+                            fi.path.clone(),
+                            line,
+                            fn_name,
+                            format!(
+                                "acquires `{recv}` while holding `{}` (acquired line {}); declared order requires `{recv}` first",
+                                h.name, h.line
+                            ),
+                        ));
+                    }
+                }
+            }
+            None => {
+                if !held.is_empty() {
+                    out.push(Finding::new(
+                        Rule::LockUnknown,
+                        fi.path.clone(),
+                        line,
+                        fn_name,
+                        format!(
+                            "acquires undeclared lock `{recv}` while holding `{}`; add it to the lock order in lint.toml",
+                            held.last().map(|h| h.name.as_str()).unwrap_or("?")
+                        ),
+                    ));
+                }
+            }
+        }
+        // Guard-preserving suffix chain, then `;` + let-binding → held.
+        let mut j = i + 5;
+        loop {
+            if j + 1 < end
+                && toks[j].is_punct('.')
+                && matches!(
+                    toks[j + 1].text.as_str(),
+                    "expect" | "unwrap" | "unwrap_or_else"
+                )
+                && j + 2 < end
+                && toks[j + 2].is_punct('(')
+            {
+                j = crate::index::matching(toks, j + 2, "(", ")") + 1;
+                continue;
+            }
+            break;
+        }
+        let ends_stmt = j < end && toks[j].is_punct(';');
+        if ends_stmt {
+            if let Some(var) = let_binding(fi, i) {
+                if new_idx.is_some() {
+                    held.push(Held {
+                        name: recv,
+                        var,
+                        depth,
+                        line,
+                    });
+                }
+            }
+        }
+        i += 5;
+    }
+}
+
+/// When the acquisition chain starting near token `i` belongs to a
+/// `let [mut] NAME = ...` statement, returns `NAME`.
+fn let_binding(fi: &FileIndex, i: usize) -> Option<String> {
+    let toks = &fi.toks;
+    // Walk back over the receiver chain: idents, `.`, `&`, `*`, `(`.
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        let chainlike = t.kind == Kind::Ident && !t.is_ident("let") && !t.is_ident("mut")
+            || t.kind == Kind::Punct && matches!(t.text.as_str(), "." | "&" | "*" | "(");
+        if chainlike {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j == 0 || !toks[j - 1].is_punct('=') {
+        return None;
+    }
+    // `let NAME =` or `let mut NAME =`.
+    let name_at = j.checked_sub(2)?;
+    if toks[name_at].kind != Kind::Ident {
+        return None;
+    }
+    let before = name_at.checked_sub(1)?;
+    let is_let = toks[before].is_ident("let")
+        || (toks[before].is_ident("mut") && before > 0 && toks[before - 1].is_ident("let"));
+    is_let.then(|| toks[name_at].text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, order: &[&str]) -> Vec<Finding> {
+        let fi = FileIndex::build("f.rs".into(), lex(src));
+        let lo = LockOrder {
+            file: "f.rs".into(),
+            order: order.iter().map(|s| s.to_string()).collect(),
+        };
+        let mut out = Vec::new();
+        check(&fi, &lo, &mut out);
+        out
+    }
+
+    const ORDER: &[&str] = &["supervisor", "ingest", "control"];
+
+    #[test]
+    fn in_order_acquisition_passes() {
+        let src = "fn f(&self) {\n  let sup = self.supervisor.lock();\n  let ing = self.ingest.lock();\n  let ctl = self.control.lock();\n}";
+        assert!(run(src, ORDER).is_empty());
+    }
+
+    #[test]
+    fn inversion_fires() {
+        let src =
+            "fn f(&self) {\n  let ctl = self.control.lock();\n  let ing = self.ingest.lock();\n}";
+        let out = run(src, ORDER);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::LockOrder);
+        assert_eq!(out[0].func, "f");
+        assert!(out[0].message.contains("`ingest`"));
+    }
+
+    #[test]
+    fn drop_releases_before_reacquire() {
+        let src = "fn f(&self) {\n  let ctl = self.control.lock();\n  drop(ctl);\n  let ing = self.ingest.lock();\n}";
+        assert!(run(src, ORDER).is_empty());
+    }
+
+    #[test]
+    fn brace_exit_releases() {
+        let src = "fn f(&self) {\n  {\n    let ctl = self.control.lock();\n  }\n  let ing = self.ingest.lock();\n}";
+        assert!(run(src, ORDER).is_empty());
+    }
+
+    #[test]
+    fn temporaries_do_not_hold() {
+        // The bool binds, not the guard: released at statement end.
+        let src = "fn f(&self) {\n  let due = self.control.lock().pending;\n  let ing = self.ingest.lock();\n}";
+        assert!(run(src, ORDER).is_empty());
+    }
+
+    #[test]
+    fn expect_chain_still_binds_the_guard() {
+        let src = "fn f(&self) {\n  let ctl = self.control.lock().expect(\"poisoned\");\n  let ing = self.ingest.lock();\n}";
+        let out = run(src, ORDER);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn reacquiring_same_lock_fires() {
+        let src = "fn f(&self) {\n  let a = self.ingest.lock();\n  let b = self.ingest.lock();\n}";
+        let out = run(src, ORDER);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`ingest`"));
+    }
+
+    #[test]
+    fn undeclared_lock_under_held_lock_fires() {
+        let src =
+            "fn f(&self) {\n  let ing = self.ingest.lock();\n  let m = self.mystery.lock();\n}";
+        let out = run(src, ORDER);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::LockUnknown);
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_a_lock() {
+        let src = "fn f(&self) {\n  let ing = self.ingest.lock();\n  self.stream.write(&buf);\n}";
+        assert!(run(src, ORDER).is_empty());
+    }
+}

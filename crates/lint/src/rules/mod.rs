@@ -1,0 +1,6 @@
+//! The four rule families.
+
+pub mod codec;
+pub mod forbid;
+pub mod locks;
+pub mod unsafe_audit;

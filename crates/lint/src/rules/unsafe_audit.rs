@@ -1,0 +1,311 @@
+//! Unsafe audit (`HL-UNSAFE-*`).
+//!
+//! * `HL-UNSAFE-COMMENT` — every `unsafe` block, `unsafe fn`, and
+//!   `unsafe impl` must carry an adjacent `SAFETY` comment: either in the
+//!   contiguous run of tokens between the statement boundary and the
+//!   `unsafe` keyword (which covers `// SAFETY:` lines above the item,
+//!   doc `# Safety` sections, and attributes in between), or as the first
+//!   token inside the block.
+//! * `HL-UNSAFE-GUARD` — a `#[target_feature]` function may only be
+//!   called from (a) another `#[target_feature]` function, or (b) a
+//!   function whose body checks `is_x86_feature_detected!` directly or
+//!   via one level of indirection (a helper like `avx2_available()` whose
+//!   body performs the check). Calling one on a CPU without the feature
+//!   is immediate UB, so the guard must be visible in the caller.
+
+use crate::findings::{Finding, Rule};
+use crate::index::FileIndex;
+use crate::lexer::Kind;
+
+/// Runs the unsafe family over one file.
+pub fn check(fi: &FileIndex, out: &mut Vec<Finding>) {
+    check_safety_comments(fi, out);
+    check_target_feature_guards(fi, out);
+}
+
+fn check_safety_comments(fi: &FileIndex, out: &mut Vec<Finding>) {
+    let toks = &fi.toks;
+    let n = toks.len();
+    for i in 0..n {
+        if !toks[i].is_ident("unsafe") {
+            continue;
+        }
+        // Classify what this `unsafe` introduces.
+        let next = toks[i + 1..]
+            .iter()
+            .position(|t| t.kind != Kind::Comment)
+            .map(|k| i + 1 + k);
+        let what = match next {
+            Some(j) if toks[j].is_punct('{') => "block",
+            Some(j) if toks[j].is_ident("impl") || toks[j].is_ident("trait") => "impl",
+            Some(j) if toks[j].is_ident("fn") || toks[j].is_ident("extern") => {
+                // `unsafe fn name` is an item; `unsafe fn(..)` is a
+                // pointer type; `unsafe extern "C" fn name` has the
+                // keyword a couple of tokens later.
+                let fpos = (j..(j + 4).min(n)).find(|&k| toks[k].is_ident("fn"));
+                match fpos {
+                    Some(f) if toks.get(f + 1).is_some_and(|t| t.kind == Kind::Ident) => "fn",
+                    _ => continue,
+                }
+            }
+            _ => continue,
+        };
+        if has_adjacent_safety(fi, i) {
+            continue;
+        }
+        let func = fi
+            .enclosing_fn(i)
+            .map(|f| f.name.clone())
+            .unwrap_or_default();
+        out.push(Finding::new(
+            Rule::UnsafeComment,
+            fi.path.clone(),
+            toks[i].line,
+            func,
+            format!("`unsafe` {what} without an adjacent `// SAFETY:` comment"),
+        ));
+    }
+}
+
+/// `true` when a SAFETY comment sits between the previous statement
+/// boundary and the `unsafe` token at `i`, or directly inside the block.
+fn has_adjacent_safety(fi: &FileIndex, i: usize) -> bool {
+    let toks = &fi.toks;
+    // Backward over the current statement / item header.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.kind == Kind::Comment {
+            if is_safety(&t.text) {
+                return true;
+            }
+            continue;
+        }
+        if t.kind == Kind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+    }
+    // Forward: first token inside `unsafe { ... }`.
+    let mut k = i + 1;
+    while k < toks.len() && !toks[k].is_punct('{') {
+        if toks[k].is_punct(';') || toks[k].is_punct('}') {
+            return false;
+        }
+        k += 1;
+    }
+    toks.get(k + 1)
+        .is_some_and(|t| t.kind == Kind::Comment && is_safety(&t.text))
+}
+
+fn is_safety(comment: &str) -> bool {
+    let lower = comment.to_ascii_lowercase();
+    lower.contains("safety")
+}
+
+fn check_target_feature_guards(fi: &FileIndex, out: &mut Vec<Finding>) {
+    let targets: Vec<usize> = (0..fi.fns.len())
+        .filter(|&k| {
+            fi.fns[k]
+                .attrs
+                .iter()
+                .any(|a| a.starts_with("target_feature"))
+        })
+        .collect();
+    if targets.is_empty() {
+        return;
+    }
+    // Functions that perform the CPU check directly.
+    let checkers: Vec<String> = fi
+        .fns
+        .iter()
+        .filter(|f| body_has_ident(fi, f.body_start, f.end, "is_x86_feature_detected"))
+        .map(|f| f.name.clone())
+        .collect();
+    let toks = &fi.toks;
+    let n = toks.len();
+    for &tk in &targets {
+        let target = &fi.fns[tk];
+        for i in 0..n {
+            if !toks[i].is_ident(&target.name)
+                || i + 1 >= n
+                || !toks[i + 1].is_punct('(')
+                || (i > 0 && toks[i - 1].is_ident("fn"))
+            {
+                continue;
+            }
+            // Qualification: `module::name(...)` must name the target's
+            // module; a bare `name(...)` must be in the same module.
+            let caller = match fi.enclosing_fn(i) {
+                Some(c) => c,
+                None => continue,
+            };
+            let qualified = i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].kind == Kind::Ident;
+            let matches_target = if qualified {
+                target
+                    .module
+                    .last()
+                    .is_some_and(|m| toks[i - 3].is_ident(m))
+            } else {
+                caller.module == target.module
+            };
+            if !matches_target || caller.start == target.start {
+                continue;
+            }
+            // Target-feature callers inherit the caller's guarantee.
+            if caller.attrs.iter().any(|a| a.starts_with("target_feature")) {
+                continue;
+            }
+            let guarded =
+                body_has_ident(fi, caller.body_start, caller.end, "is_x86_feature_detected")
+                    || checkers
+                        .iter()
+                        .any(|c| body_calls(fi, caller.body_start, caller.end, c));
+            if !guarded {
+                out.push(Finding::new(
+                    Rule::UnsafeGuard,
+                    fi.path.clone(),
+                    toks[i].line,
+                    caller.name.clone(),
+                    format!(
+                        "`{}` calls `#[target_feature]` fn `{}` without a CPU feature check",
+                        caller.name,
+                        target.qualified()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn body_has_ident(fi: &FileIndex, from: usize, to: usize, ident: &str) -> bool {
+    fi.toks[from.min(fi.toks.len())..to.min(fi.toks.len())]
+        .iter()
+        .any(|t| t.is_ident(ident))
+}
+
+fn body_calls(fi: &FileIndex, from: usize, to: usize, name: &str) -> bool {
+    let toks = &fi.toks;
+    let to = to.min(toks.len());
+    (from.min(to)..to).any(|i| toks[i].is_ident(name) && i + 1 < to && toks[i + 1].is_punct('('))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let fi = FileIndex::build("f.rs".into(), lex(src));
+        let mut out = Vec::new();
+        check(&fi, &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_block_without_comment_fires() {
+        let out = run("fn f(p: *const u8) -> u8 { unsafe { *p } }");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::UnsafeComment);
+        assert_eq!(out[0].func, "f");
+    }
+
+    #[test]
+    fn preceding_safety_comment_passes() {
+        assert!(run(
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for reads.\n    unsafe { *p }\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_let_statement_passes() {
+        assert!(run(
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid.\n    let v = unsafe { *p };\n    v\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn safety_comment_inside_block_passes() {
+        assert!(run(
+            "fn f(p: *const u8) -> u8 {\n    unsafe {\n        // SAFETY: p is valid.\n        *p\n    }\n}"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_with_doc_safety_section_passes() {
+        assert!(run(
+            "/// Reads a byte.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn f(p: *const u8) -> u8 { *p }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_impl_requires_comment() {
+        let out = run("unsafe impl Send for Foo {}");
+        assert_eq!(out.len(), 1);
+        assert!(run("// SAFETY: Foo owns its data.\nunsafe impl Send for Foo {}").is_empty());
+    }
+
+    #[test]
+    fn target_feature_call_without_guard_fires() {
+        let src = r#"
+mod simd {
+    // SAFETY: caller must check avx2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kern(a: &[f32]) -> f32 { 0.0 }
+}
+pub fn dispatch(a: &[f32]) -> f32 {
+    // SAFETY: availability checked... except it is not.
+    unsafe { simd::kern(a) }
+}
+"#;
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::UnsafeGuard);
+        assert_eq!(out[0].func, "dispatch");
+    }
+
+    #[test]
+    fn guard_via_helper_indirection_passes() {
+        let src = r#"
+mod simd {
+    // SAFETY: caller must check avx2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kern(a: &[f32]) -> f32 { 0.0 }
+}
+fn avx2_available() -> bool { is_x86_feature_detected!("avx2") }
+pub fn dispatch(a: &[f32]) -> f32 {
+    if avx2_available() {
+        // SAFETY: availability checked above.
+        return unsafe { simd::kern(a) };
+    }
+    0.0
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn target_feature_sibling_calls_inherit() {
+        let src = r#"
+mod simd {
+    // SAFETY: caller must check avx2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn outer(a: &[f32]) -> f32 {
+        // SAFETY: same feature set as self.
+        unsafe { inner(a) }
+    }
+    // SAFETY: caller must check avx2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn inner(a: &[f32]) -> f32 { 0.0 }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+}

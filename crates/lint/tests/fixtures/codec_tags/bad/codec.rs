@@ -1,0 +1,29 @@
+pub enum Msg {
+    A(u8),
+    B,
+    C(u32),
+}
+
+impl Wire for Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Msg::A(v) => {
+                0u8.encode(buf);
+                v.encode(buf);
+            }
+            Msg::B => 0u8.encode(buf),
+            Msg::C(x) => {
+                2u8.encode(buf);
+                x.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        match u8::decode(buf)? {
+            0 => Ok(Msg::A(u8::decode(buf)?)),
+            0 => Ok(Msg::B),
+            2 => Ok(Msg::C(u32::decode(buf)?)),
+            t => Err(CodecError::bad(t)),
+        }
+    }
+}

@@ -1,0 +1,3 @@
+fn roundtrip() {
+    let cases = [Msg::A(7), Msg::B, Msg::C(9)];
+}

@@ -1,0 +1,3 @@
+pub fn handle(msg: Option<u8>) -> u8 {
+    msg.unwrap()
+}

@@ -1,0 +1,8 @@
+impl Engine {
+    fn compact(&self) {
+        let ctl = self.control.lock();
+        let ing = self.ingest.lock();
+        drop(ing);
+        drop(ctl);
+    }
+}

@@ -1,0 +1,8 @@
+impl Engine {
+    fn compact(&self) {
+        let ing = self.ingest.lock();
+        let ctl = self.control.lock();
+        drop(ctl);
+        drop(ing);
+    }
+}

@@ -1,0 +1,13 @@
+mod avx2 {
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kern(a: &[f32]) -> f32 {
+        a[0]
+    }
+}
+
+pub fn dispatch(a: &[f32]) -> f32 {
+    // SAFETY: trust me.
+    unsafe { avx2::kern(a) }
+}

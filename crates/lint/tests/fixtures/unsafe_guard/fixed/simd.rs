@@ -1,0 +1,16 @@
+mod avx2 {
+    /// # Safety
+    /// Caller must ensure the CPU supports `avx2`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn kern(a: &[f32]) -> f32 {
+        a[0]
+    }
+}
+
+pub fn dispatch(a: &[f32]) -> f32 {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: availability checked above.
+        return unsafe { avx2::kern(a) };
+    }
+    a[0]
+}
