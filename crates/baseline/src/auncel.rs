@@ -174,6 +174,7 @@ impl AuncelEngine {
                 })
                 .collect();
             let load = LoadBlock {
+                ns: 0,
                 epoch: 0,
                 shard: machine as u32,
                 dim_block: 0,
@@ -288,6 +289,7 @@ impl AuncelEngine {
             let expected = by_machine.len();
             for (machine, clusters) in by_machine {
                 let chunk = QueryChunk {
+                    ns: 0,
                     query_id: qid,
                     epoch: 0,
                     shard: machine as u32,

@@ -7,6 +7,7 @@ use harmony_core::messages::{Carry, QueryChunk, ToWorker};
 
 fn chunk(dims: usize) -> QueryChunk {
     QueryChunk {
+        ns: 0,
         query_id: 42,
         epoch: 0,
         shard: 1,
@@ -23,6 +24,7 @@ fn chunk(dims: usize) -> QueryChunk {
 
 fn carry(survivors: usize) -> Carry {
     Carry {
+        ns: 0,
         query_id: 42,
         epoch: 0,
         shard: 1,

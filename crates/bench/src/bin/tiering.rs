@@ -1,0 +1,192 @@
+//! Multi-tenant tiering — the memory/recall trade of hot/warm/cold
+//! namespaces: a 16-namespace corpus in which exactly one tenant is hot
+//! and the other 15 are demoted to cold (disk-resident, demand-faulted
+//! through the worker block cache). The hot tenant's QPS and recall@10
+//! must be unchanged by its neighbors' demotion, while the cluster's
+//! RAM-resident block bytes collapse to a fraction of the all-hot
+//! footprint.
+//!
+//! `--assert-tiering` turns the run into a smoke check: it exits non-zero
+//! unless the tiered resident bytes are ≤ 25% of the all-hot resident
+//! bytes, the hot tenant's recall@10 is unchanged, and cold tenants still
+//! answer their queries exactly.
+
+use harmony_bench::report::{emit_bench_json, Json};
+use harmony_bench::{report, BenchArgs, Table};
+use harmony_core::{HarmonyConfig, HarmonyEngine, NamespaceConfig, SearchOptions, Temperature};
+use harmony_data::ground_truth::{ground_truth, recall_at_k};
+use harmony_data::SyntheticSpec;
+use harmony_index::{Metric, VectorStore};
+
+const SEED: u64 = 0x71E2_0001;
+const TENANTS: usize = 16;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let assert_tiering = raw.iter().any(|a| a == "--assert-tiering");
+    raw.retain(|a| a != "--assert-tiering");
+    let args = BenchArgs::parse_from(raw.into_iter());
+
+    let per_tenant = if args.quick { 2_000 } else { 8_000 };
+    let dim = if args.quick { 32 } else { 64 };
+    let nlist = 16;
+    eprintln!(
+        "[tiering] {TENANTS} tenants x {per_tenant} x {dim}d, nlist {nlist}, repr {:?}",
+        args.repr
+    );
+
+    // Tenant 0 lives in the default namespace (the engine's build corpus);
+    // tenants 1..16 are created over the running cluster.
+    let tenant_data: Vec<harmony_data::Dataset> = (0..TENANTS)
+        .map(|t| {
+            SyntheticSpec::clustered(per_tenant, dim, 8)
+                .with_seed(400 + t as u64)
+                .generate()
+        })
+        .collect();
+    let config = HarmonyConfig::builder()
+        .n_machines(args.workers)
+        .nlist(nlist)
+        .seed(SEED)
+        .transport(args.transport.clone())
+        .repr(args.repr)
+        .build()
+        .expect("valid config");
+    let engine = HarmonyEngine::build(config, &tenant_data[0].base).expect("engine build");
+    let mut ns_ids = vec![0u16];
+    for t in tenant_data.iter().skip(1) {
+        let ns = engine
+            .create_namespace(
+                &NamespaceConfig::default()
+                    .with_nlist(nlist)
+                    .with_repr(args.repr),
+                &t.base,
+            )
+            .expect("tenant namespace");
+        ns_ids.push(ns);
+    }
+
+    let opts = SearchOptions::new(10).with_nprobe(8);
+    let n_queries = args
+        .effective_queries()
+        .max(64)
+        .min(tenant_data[0].queries.len());
+    let hot_queries: VectorStore = tenant_data[0]
+        .queries
+        .gather(&(0..n_queries).collect::<Vec<_>>());
+    let truth = ground_truth(&tenant_data[0].base, &hot_queries, 10, Metric::L2);
+
+    // Phase 1 — every tenant hot: the baseline footprint and recall.
+    let before = engine
+        .search_batch(&hot_queries, &opts)
+        .expect("all-hot batch");
+    let hot_qps = before.qps_modeled();
+    let hot_recall = recall_at_k(&truth, &before.results, 10);
+    let stats = engine.collect_stats().expect("all-hot stats");
+    let all_hot_resident = stats.f32_block_bytes + stats.sq8_block_bytes + stats.cache_block_bytes;
+
+    // Phase 2 — demote all but tenant 0 to cold.
+    for &ns in &ns_ids[1..] {
+        engine
+            .set_namespace_tier(ns, Temperature::Cold)
+            .expect("demote tenant");
+    }
+    let stats = engine.collect_stats().expect("tiered stats");
+    let tiered_resident = stats.f32_block_bytes + stats.sq8_block_bytes + stats.cache_block_bytes;
+    let spilled = stats.spilled_block_bytes;
+    let resident_frac = tiered_resident as f64 / all_hot_resident.max(1) as f64;
+
+    // The hot tenant is untouched by its neighbors' demotion.
+    let after = engine
+        .search_batch(&hot_queries, &opts)
+        .expect("tiered batch");
+    let tiered_qps = after.qps_modeled();
+    let tiered_recall = recall_at_k(&truth, &after.results, 10);
+
+    // Cold tenants still answer exactly, faulting blocks on demand.
+    let mut cold_self_hits = 0usize;
+    let mut cold_self_total = 0usize;
+    for (t, &ns) in ns_ids.iter().enumerate().skip(1) {
+        for row in (0..per_tenant).step_by(per_tenant / 4) {
+            let got = engine
+                .search_ns(ns, tenant_data[t].base.row(row), &opts)
+                .expect("cold self-query")
+                .neighbors;
+            cold_self_total += 1;
+            if got.first().map(|n| n.id) == Some(tenant_data[t].base.id(row)) {
+                cold_self_hits += 1;
+            }
+        }
+    }
+    let cold_self_recall = cold_self_hits as f64 / cold_self_total.max(1) as f64;
+
+    let mut table = Table::new(
+        "Multi-tenant tiering — 16 tenants, 1 hot: resident footprint vs hot-tenant quality",
+        &[
+            "phase",
+            "resident MiB",
+            "spilled MiB",
+            "hot QPS",
+            "hot recall@10",
+        ],
+    );
+    table.row(vec![
+        "all hot".into(),
+        report::num(all_hot_resident as f64 / (1 << 20) as f64, 1),
+        report::num(0.0, 1),
+        report::num(hot_qps, 1),
+        report::num(hot_recall, 4),
+    ]);
+    table.row(vec![
+        "1 hot / 15 cold".into(),
+        report::num(tiered_resident as f64 / (1 << 20) as f64, 1),
+        report::num(spilled as f64 / (1 << 20) as f64, 1),
+        report::num(tiered_qps, 1),
+        report::num(tiered_recall, 4),
+    ]);
+    table.emit(&args.out_dir, "tiering");
+    eprintln!(
+        "[tiering] resident {tiered_resident} / {all_hot_resident} bytes \
+         ({:.1}% of all-hot), cold self-recall {cold_self_recall:.4}",
+        resident_frac * 100.0
+    );
+
+    let summary = Json::obj()
+        .field("bench", Json::Str("tiering".into()))
+        .field("transport", Json::Str(args.transport.label().into()))
+        .field("repr", Json::Str(format!("{:?}", args.repr).to_lowercase()))
+        .field("workers", Json::Int(args.workers as u64))
+        .field("tenants", Json::Int(TENANTS as u64))
+        .field("vectors_per_tenant", Json::Int(per_tenant as u64))
+        .field("all_hot_resident_bytes", Json::Int(all_hot_resident))
+        .field("tiered_resident_bytes", Json::Int(tiered_resident))
+        .field("spilled_bytes", Json::Int(spilled))
+        .field("resident_fraction", Json::Num(resident_frac))
+        .field("hot_qps_all_hot", Json::Num(hot_qps))
+        .field("hot_qps_tiered", Json::Num(tiered_qps))
+        .field("hot_recall_at10_all_hot", Json::Num(hot_recall))
+        .field("hot_recall_at10_tiered", Json::Num(tiered_recall))
+        .field("cold_self_recall_top1", Json::Num(cold_self_recall));
+    emit_bench_json(&args.out_dir, "tiering", &summary);
+
+    if assert_tiering {
+        assert!(
+            resident_frac <= 0.25,
+            "--assert-tiering: tiered resident bytes must be ≤ 25% of all-hot, got {:.1}%",
+            resident_frac * 100.0
+        );
+        assert!(
+            (tiered_recall - hot_recall).abs() < f64::EPSILON,
+            "--assert-tiering: hot-tenant recall changed ({hot_recall:.4} → {tiered_recall:.4})"
+        );
+        assert!(
+            (cold_self_recall - 1.0).abs() < f64::EPSILON,
+            "--assert-tiering: cold tenants must answer self-queries exactly, got {cold_self_recall:.4}"
+        );
+        assert!(
+            spilled > 0,
+            "--assert-tiering: cold tenants must spill to disk"
+        );
+        eprintln!("[tiering] assertions passed");
+    }
+}

@@ -32,6 +32,8 @@ static F32_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
 static SQ8_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
 static DELTA_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
 static TOMBSTONE_ENTRIES: AtomicUsize = AtomicUsize::new(0);
+static CACHE_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static SPILLED_BLOCK_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 /// A [`GlobalAlloc`] wrapper around the system allocator that tracks live
 /// and peak heap usage.
@@ -193,6 +195,43 @@ pub fn tombstone_sub(n: usize) {
     TOMBSTONE_ENTRIES.fetch_sub(n, Ordering::Relaxed);
 }
 
+/// Resident block payload bytes held by warm-tier block caches (spilled
+/// blocks faulted back and retained under the cache's byte budget) across
+/// every live worker. A subset of the per-representation gauges above:
+/// cached bytes are still counted in `f32_block_bytes`/`sq8_block_bytes`,
+/// this gauge tells how many of them are evictable.
+pub fn cache_block_bytes() -> usize {
+    CACHE_BLOCK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Accounts `n` bytes of spilled block payload faulting into a cache.
+pub fn cache_block_add(n: usize) {
+    CACHE_BLOCK_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` bytes of cached block payload being evicted or pinned.
+pub fn cache_block_sub(n: usize) {
+    CACHE_BLOCK_BYTES.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// On-disk block-file payload bytes for spilled (warm/cold tier) grid
+/// blocks across every live worker. Disk-resident, *not* part of any RAM
+/// gauge; a block faulted back into the cache stays counted here until its
+/// spill file is deleted.
+pub fn spilled_block_bytes() -> usize {
+    SPILLED_BLOCK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Accounts `n` payload bytes written to a spill file.
+pub fn spilled_block_add(n: usize) {
+    SPILLED_BLOCK_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Accounts `n` payload bytes of spill files deleted (promotion/eviction).
+pub fn spilled_block_sub(n: usize) {
+    SPILLED_BLOCK_BYTES.fetch_sub(n, Ordering::Relaxed);
+}
+
 /// Formats a byte count using binary units ("3.21 GiB").
 pub fn format_bytes(bytes: usize) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
@@ -273,6 +312,19 @@ mod tests {
         tombstone_sub(7);
         assert_eq!(delta_block_bytes(), d0);
         assert_eq!(tombstone_entries(), t0);
+    }
+
+    #[test]
+    fn tier_gauges_balance() {
+        let (c0, s0) = (cache_block_bytes(), spilled_block_bytes());
+        cache_block_add(8192);
+        spilled_block_add(65536);
+        assert_eq!(cache_block_bytes(), c0 + 8192);
+        assert_eq!(spilled_block_bytes(), s0 + 65536);
+        cache_block_sub(8192);
+        spilled_block_sub(65536);
+        assert_eq!(cache_block_bytes(), c0);
+        assert_eq!(spilled_block_bytes(), s0);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! ablates in Fig. 9 ("+Balanced load", "+Pipeline and asynchronous
 //! execution", "+Pruning").
 
+use std::path::PathBuf;
+
 use harmony_cluster::{DelayMode, NetworkModel, TransportKind};
 use harmony_index::{BlockRepr, Metric};
 
@@ -193,6 +195,19 @@ pub struct HarmonyConfig {
     /// IVF lists once this many upserts accumulate (0 = manual
     /// [`crate::HarmonyEngine::compact`] calls only).
     pub compact_after: usize,
+    /// Background maintenance interval in milliseconds. When > 0 the engine
+    /// runs a self-scheduling tick thread that compacts any namespace whose
+    /// pending deltas reached [`HarmonyConfig::compact_after`] and sweeps
+    /// auto-tiered namespaces between temperature tiers by access rate
+    /// (0 = no background thread; compaction stays query-path-driven).
+    pub compact_interval_ms: u64,
+    /// Per-worker byte budget of the warm/cold block cache. Faulted-in
+    /// blocks of non-pinned namespaces are retained up to this budget and
+    /// evicted least-recently-visited first.
+    pub cache_budget_bytes: usize,
+    /// Root directory for spilled block files of warm/cold namespaces.
+    /// `None` uses a per-process temp directory cleaned on worker drop.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl HarmonyConfig {
@@ -278,6 +293,9 @@ impl Default for HarmonyConfigBuilder {
                 repr: BlockRepr::F32,
                 rerank_scale: 4,
                 compact_after: 0,
+                compact_interval_ms: 0,
+                cache_budget_bytes: 64 << 20,
+                spill_dir: None,
             },
         }
     }
@@ -366,6 +384,20 @@ impl HarmonyConfigBuilder {
         /// Auto-compaction threshold in pending upserts (0 = manual).
         compact_after: usize
     );
+    builder_setter!(
+        /// Background maintenance tick interval in ms (0 = off).
+        compact_interval_ms: u64
+    );
+    builder_setter!(
+        /// Warm/cold block-cache byte budget per worker.
+        cache_budget_bytes: usize
+    );
+
+    /// Sets the root directory for spilled block files.
+    pub fn spill_dir(mut self, dir: PathBuf) -> Self {
+        self.config.spill_dir = Some(dir);
+        self
+    }
 
     /// Forces a specific partition plan (diagnostics / ablations).
     pub fn plan(mut self, plan: PartitionPlan) -> Self {
@@ -380,6 +412,138 @@ impl HarmonyConfigBuilder {
     pub fn build(self) -> Result<HarmonyConfig, CoreError> {
         self.config.validate()?;
         Ok(self.config)
+    }
+}
+
+/// Per-tenant index parameters for [`crate::HarmonyEngine::create_namespace`].
+///
+/// Each namespace is an isolated logical index: its own metric, block
+/// representation, clustering, and quota, multiplexed over the engine's
+/// existing worker set. Fields not present here (machine count, transport,
+/// network model, …) are cluster-level and inherited from the engine's
+/// [`HarmonyConfig`].
+#[derive(Debug, Clone)]
+pub struct NamespaceConfig {
+    /// Similarity metric of this tenant's index.
+    pub metric: Metric,
+    /// Block storage representation (f32 or SQ8 two-stage).
+    pub repr: BlockRepr,
+    /// Stage-1 survivor multiplier under SQ8 (ignored for f32); must be ≥ 1.
+    pub rerank_scale: usize,
+    /// Number of IVF lists for this tenant.
+    pub nlist: usize,
+    /// Dimension-level early-stop pruning on this tenant's queries.
+    pub pruning: bool,
+    /// Training/packing RNG seed.
+    pub seed: u64,
+    /// Per-query prewarm samples (0 disables prewarming).
+    pub prewarm: usize,
+    /// Quota: maximum live vectors this tenant may hold (0 = unlimited).
+    /// Upserts past the quota are rejected with [`CoreError::Config`].
+    pub max_vectors: usize,
+    /// Whether the background sweep may demote/promote this namespace
+    /// between temperature tiers by observed access rate.
+    pub auto_tier: bool,
+    /// Fixed partition plan, bypassing the cost model (diagnostics).
+    pub plan_override: Option<PartitionPlan>,
+}
+
+impl Default for NamespaceConfig {
+    fn default() -> Self {
+        Self {
+            metric: Metric::L2,
+            repr: BlockRepr::F32,
+            rerank_scale: 4,
+            nlist: 16,
+            pruning: true,
+            seed: 0x04A1_0D0E_u64 ^ 0x5EED,
+            prewarm: 8,
+            max_vectors: 0,
+            auto_tier: false,
+            plan_override: None,
+        }
+    }
+}
+
+impl NamespaceConfig {
+    /// Sets the metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the block representation.
+    pub fn with_repr(mut self, repr: BlockRepr) -> Self {
+        self.repr = repr;
+        self
+    }
+
+    /// Sets the SQ8 re-rank multiplier.
+    pub fn with_rerank_scale(mut self, rerank_scale: usize) -> Self {
+        self.rerank_scale = rerank_scale;
+        self
+    }
+
+    /// Sets the IVF list count.
+    pub fn with_nlist(mut self, nlist: usize) -> Self {
+        self.nlist = nlist;
+        self
+    }
+
+    /// Enables or disables pruning.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the vector quota (0 = unlimited).
+    pub fn with_max_vectors(mut self, max_vectors: usize) -> Self {
+        self.max_vectors = max_vectors;
+        self
+    }
+
+    /// Opts this namespace into automatic tier sweeps.
+    pub fn with_auto_tier(mut self, auto_tier: bool) -> Self {
+        self.auto_tier = auto_tier;
+        self
+    }
+
+    /// Forces a specific partition plan.
+    pub fn with_plan(mut self, plan: PartitionPlan) -> Self {
+        self.plan_override = Some(plan);
+        self
+    }
+
+    /// Validates per-tenant invariants against the owning engine.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] describing the first violated constraint.
+    pub fn validate(&self, n_machines: usize) -> Result<(), CoreError> {
+        if self.nlist == 0 {
+            return Err(CoreError::Config("namespace nlist must be > 0".into()));
+        }
+        if self.rerank_scale == 0 {
+            return Err(CoreError::Config(
+                "namespace rerank_scale must be >= 1".into(),
+            ));
+        }
+        if let Some(plan) = self.plan_override {
+            if plan.machines() != n_machines {
+                return Err(CoreError::Config(format!(
+                    "namespace plan override {} needs {} machines but engine has {}",
+                    plan.label(),
+                    plan.machines(),
+                    n_machines
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -524,6 +688,57 @@ mod tests {
             EngineMode::HarmonyDimension.to_string(),
             "Harmony-dimension"
         );
+    }
+
+    #[test]
+    fn tiering_knobs_default_off_and_are_settable() {
+        let c = HarmonyConfig::default();
+        assert_eq!(c.compact_interval_ms, 0);
+        assert_eq!(c.cache_budget_bytes, 64 << 20);
+        assert!(c.spill_dir.is_none());
+        let c = HarmonyConfig::builder()
+            .compact_interval_ms(25)
+            .cache_budget_bytes(1 << 20)
+            .spill_dir(PathBuf::from("/tmp/spill"))
+            .build()
+            .unwrap();
+        assert_eq!(c.compact_interval_ms, 25);
+        assert_eq!(c.cache_budget_bytes, 1 << 20);
+        assert_eq!(
+            c.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/spill"))
+        );
+    }
+
+    #[test]
+    fn namespace_config_validates_against_engine() {
+        let ns = NamespaceConfig::default();
+        ns.validate(4).unwrap();
+        assert!(NamespaceConfig::default()
+            .with_nlist(0)
+            .validate(4)
+            .is_err());
+        assert!(NamespaceConfig::default()
+            .with_rerank_scale(0)
+            .validate(4)
+            .is_err());
+        let plan = PartitionPlan::new(2, 2).unwrap();
+        assert!(NamespaceConfig::default()
+            .with_plan(plan)
+            .validate(4)
+            .is_ok());
+        assert!(NamespaceConfig::default()
+            .with_plan(plan)
+            .validate(5)
+            .is_err());
+        let ns = NamespaceConfig::default()
+            .with_metric(Metric::InnerProduct)
+            .with_max_vectors(100)
+            .with_auto_tier(true)
+            .with_seed(7);
+        assert_eq!(ns.metric, Metric::InnerProduct);
+        assert_eq!(ns.max_vectors, 100);
+        assert!(ns.auto_tier);
     }
 
     #[test]

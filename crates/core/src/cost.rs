@@ -44,6 +44,12 @@ pub struct WorkloadProfile {
     pub nprobe: usize,
     /// Results per query (controls result-message size).
     pub k: usize,
+    /// Upserted rows not yet folded into IVF lists. Delta rows force a
+    /// visit to every shard holding them regardless of probe proximity,
+    /// and each visit scans the full delta prefix — a real cost the
+    /// planner must see, or it will under-charge layouts with many
+    /// vector shards while an ingest burst is in flight.
+    pub pending_deltas: usize,
 }
 
 impl WorkloadProfile {
@@ -88,6 +94,7 @@ impl WorkloadProfile {
             queries: queries.max(1),
             nprobe: nprobe.max(1),
             k: k.max(1),
+            pending_deltas: 0,
         })
     }
 
@@ -101,6 +108,7 @@ impl WorkloadProfile {
             queries,
             nprobe,
             k: 10,
+            pending_deltas: 0,
         }
     }
 
@@ -120,6 +128,14 @@ impl WorkloadProfile {
     ) -> Result<Self, CoreError> {
         let freq = probe_counts.iter().map(|&c| c as f64).collect();
         Self::new(list_sizes, freq, dim, queries, nprobe, k)
+    }
+
+    /// Sets the number of unfolded delta rows the planner should charge
+    /// for (see [`WorkloadProfile::pending_deltas`]).
+    #[must_use]
+    pub fn with_pending_deltas(mut self, pending_deltas: usize) -> Self {
+        self.pending_deltas = pending_deltas;
+        self
     }
 
     /// Replaces the probe frequencies (e.g. observed from a query log).
@@ -327,8 +343,31 @@ impl CostModel {
         }
         let result_bytes = profile.k * 12;
         let in_per_visit = self.net.transfer_ns(result_bytes) as f64;
-        let comm_ns =
+        let mut comm_ns =
             profile.queries as f64 * visits_per_query * (out_per_visit + carry_ns + in_per_visit);
+
+        // --- Pending deltas. Unfolded rows are scanned full-width (no
+        // pruning, no quantization) by every query, and the shards holding
+        // them are visited even when no probe lands there. Charge both:
+        // the extra scan work, and the forced visits a probe-driven plan
+        // would not otherwise pay. More vector shards spread the deltas
+        // wider and force more visits — exactly the pressure that should
+        // steer the planner toward fewer shards during an ingest burst.
+        let mut comp_ns = comp_ns;
+        if profile.pending_deltas > 0 {
+            let delta_scan_ns = profile.queries as f64
+                * profile.pending_deltas as f64
+                * profile.dim as f64
+                * self.comp_ns_per_point_dim;
+            comp_ns += delta_scan_ns;
+            // Deltas land on at most one shard per pending row; assume the
+            // worst-case spread. A shard already visited by probes is not
+            // re-visited, so only the uncovered fraction is forced.
+            let delta_shards = profile.pending_deltas.min(plan.vec_shards) as f64;
+            let covered = (visits_per_query / plan.vec_shards as f64).min(1.0);
+            let forced_visits = delta_shards * (1.0 - covered);
+            comm_ns += profile.queries as f64 * forced_visits * (out_per_visit + in_per_visit);
+        }
 
         // --- Imbalance I(π): std-dev of machine compute loads.
         let imbalance_ns = std_dev(&machine_loads);
@@ -577,5 +616,49 @@ mod tests {
         assert!(big > small);
         let many = model.migration_ns(1_000, 100);
         assert!(many > small, "per-message latency must be charged");
+    }
+
+    #[test]
+    fn pending_deltas_raise_every_plan_cost() {
+        let model = CostModel::new(NetworkModel::default(), 4.0);
+        let calm = uniform_profile(64, 128);
+        let burst = uniform_profile(64, 128).with_pending_deltas(5_000);
+        for plan in PartitionPlan::enumerate(4) {
+            let a = model.plan_cost(plan, &calm).total_ns;
+            let b = model.plan_cost(plan, &burst).total_ns;
+            assert!(
+                b > a,
+                "plan {} must charge for 5k pending deltas ({a} vs {b})",
+                plan.label()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_burst_penalizes_wide_vector_sharding_more() {
+        let model = CostModel::new(NetworkModel::default(), 4.0);
+        // A narrowly-probed workload: most shards are not visited, so
+        // forced delta visits are pure overhead that scales with the
+        // shard count.
+        let mut profile = skewed_profile(64, 128, 2);
+        profile.nprobe = 1;
+        let burst = profile.clone().with_pending_deltas(10_000);
+        let wide = PartitionPlan::enumerate(4)
+            .into_iter()
+            .find(|p| p.vec_shards == 4)
+            .unwrap();
+        let narrow = PartitionPlan::enumerate(4)
+            .into_iter()
+            .find(|p| p.vec_shards == 1)
+            .unwrap();
+        let wide_extra =
+            model.plan_cost(wide, &burst).comm_ns - model.plan_cost(wide, &profile).comm_ns;
+        let narrow_extra =
+            model.plan_cost(narrow, &burst).comm_ns - model.plan_cost(narrow, &profile).comm_ns;
+        assert!(
+            wide_extra > narrow_extra,
+            "forced delta visits must cost more under wide sharding \
+             ({wide_extra} vs {narrow_extra})"
+        );
     }
 }

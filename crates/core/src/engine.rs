@@ -6,13 +6,13 @@
 //! query planner* (§4.2) lives in [`HarmonyEngine::build`]'s plan selection
 //! and in the per-visit dimension-order scheduling; the *flexible pipelined
 //! execution engine* (§4.3) is the dispatch loop of
-//! [`HarmonyEngine::search_batch`] plus the worker-side relay in
+//! [`EngineCore::search_batch`] plus the worker-side relay in
 //! [`crate::worker`].
 //!
 //! # Concurrent search sessions
 //!
 //! The engine multiplexes any number of caller threads over one worker
-//! pool. Each [`HarmonyEngine::search_batch`] call opens a *session*: it
+//! pool. Each [`EngineCore::search_batch`] call opens a *session*: it
 //! reserves a contiguous `query_id` range from a shared atomic counter,
 //! registers the range in a session table, and drives its own dispatch
 //! loop. A dedicated client-side **router thread** owns the cluster's
@@ -30,7 +30,7 @@
 //! [`RoutingEpoch`] behind an `RwLock<Arc<_>>`; every query captures the
 //! Arc at admission and keeps it for all its visits, so a layout switch
 //! can land *between* queries but never *inside* one. A **plan
-//! supervisor** ([`HarmonyEngine::supervisor_tick`], optionally auto-run
+//! supervisor** ([`EngineCore::supervisor_tick`], optionally auto-run
 //! every [`crate::config::ReplanConfig::check_every`] queries) folds the
 //! live per-cluster probe counters ([`ProbeTracker`]) into an observed
 //! [`WorkloadProfile`], re-scores every factorization with the cost model
@@ -40,9 +40,28 @@
 //! once assembled, the client swaps the routing Arc, and the old epoch is
 //! evicted only after its last in-flight query drains (tracked by the
 //! Arc's reference count).
+//!
+//! # Multi-tenant namespaces and temperature tiering
+//!
+//! The engine hosts any number of *namespaces* — isolated logical indexes
+//! with their own metric, block representation, re-rank scale, quota and
+//! routing epochs — multiplexed over the one shared worker pool
+//! ([`EngineCore::create_namespace`]). Every wire message carries the
+//! namespace id, so worker-side storage is keyed by `(ns, epoch)` and
+//! tenants can never observe each other's rows, even with overlapping
+//! external ids. Each namespace also has a storage *temperature*
+//! ([`Temperature`]): hot namespaces stay fully RAM-resident; warm and
+//! cold namespaces spill their grid blocks to length-checked disk files
+//! and fault them back through a per-worker byte-budgeted LRU cache on
+//! first visit ([`EngineCore::set_namespace_tier`]) — faulted bytes are
+//! bit-identical, so results never depend on residency. With
+//! [`HarmonyConfig::compact_interval_ms`] set, a background **compactor
+//! thread** folds any namespace's pending deltas once they cross
+//! `compact_after` and sweeps namespaces that opted into `auto_tier`
+//! between temperatures by their access-rate EWMA.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,18 +73,20 @@ use harmony_cluster::{
 use harmony_index::distance::ip;
 use harmony_index::kmeans::nearest_centroids;
 use harmony_index::{
-    BlockRepr, DimRange, KMeans, KMeansConfig, Metric, Neighbor, Sq8Segment, TopK, VectorStore,
+    AccessEwma, BlockRepr, DimRange, KMeans, KMeansConfig, Metric, Neighbor, Sq8Segment,
+    Temperature, TopK, VectorStore,
 };
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{EngineMode, HarmonyConfig, SearchOptions};
-use crate::cost::{weights_from, CostModel, WorkloadProfile};
+use crate::config::{EngineMode, HarmonyConfig, NamespaceConfig, SearchOptions};
+use crate::cost::{weights_from, CostModel, PlanCost, WorkloadProfile};
 use crate::error::CoreError;
 use crate::messages::{
     metric_tag, repr_tag, BeginEpoch, ClusterBlock, DeleteIds, DeltaUpsert, InstallLists,
-    ListPiece, LoadBlock, MigrateOut, QueryChunk, QueryResult, ToClient, ToWorker, TransferSpec,
+    ListPiece, LoadBlock, MigrateOut, QueryChunk, QueryResult, SetTier, ToClient, ToWorker,
+    TransferSpec,
 };
 use crate::partition::{PartitionPlan, ShardAssignment};
 use crate::pruning::SliceStats;
@@ -77,15 +98,74 @@ use crate::worker::HarmonyWorker;
 /// A built, running Harmony deployment.
 ///
 /// The engine owns a simulated cluster of `n_machines` workers plus one
-/// client-side session-router thread. All search entry points take `&self`
-/// and are safe to call from any number of threads concurrently; each call
-/// runs as an independent session against the shared worker pool (see the
-/// [module docs](self) for the session model). `max_inflight` bounds the
-/// in-flight queries *per session*.
+/// client-side session-router thread (and, with
+/// [`HarmonyConfig::compact_interval_ms`] set, a background compactor
+/// thread). All search entry points take `&self` and are safe to call from
+/// any number of threads concurrently; each call runs as an independent
+/// session against the shared worker pool (see the [module docs](self) for
+/// the session model). `max_inflight` bounds the in-flight queries *per
+/// session*.
+///
+/// The engine API lives on [`EngineCore`], reachable through `Deref`: the
+/// wrapper only adds thread lifecycle (router + compactor) so the core can
+/// be shared with the background threads.
 pub struct HarmonyEngine {
+    core: Arc<EngineCore>,
+    router_stop: Arc<AtomicBool>,
+    router: Option<JoinHandle<()>>,
+    compactor_stop: Arc<AtomicBool>,
+    compactor: Option<JoinHandle<()>>,
+}
+
+impl std::ops::Deref for HarmonyEngine {
+    type Target = EngineCore;
+
+    fn deref(&self) -> &EngineCore {
+        &self.core
+    }
+}
+
+/// The shared engine state and full public API (search, ingest,
+/// namespaces, tiering, replanning). [`HarmonyEngine`] derefs here;
+/// background threads hold it as an `Arc`.
+pub struct EngineCore {
     config: HarmonyConfig,
+    /// Build-time calibrated cost model; tenant namespaces clone it (the
+    /// calibration is machine-wide, only the pruning survival differs).
+    model: CostModel,
+    /// Tenant registry. Lock order: `namespaces` before any per-namespace
+    /// lock; only ever held as a temporary.
+    namespaces: RwLock<BTreeMap<u16, Arc<NamespaceState>>>,
+    /// Next namespace id to hand out (0 is the default namespace).
+    next_ns: Mutex<u16>,
+    /// The default namespace (always registered; kept separately so
+    /// borrowing accessors like [`EngineCore::centroids`] can return
+    /// references without going through the registry lock).
+    ns0: Arc<NamespaceState>,
+    build_stats: BuildStats,
+    shared: Arc<EngineShared>,
+    sessions: Arc<SessionTable>,
+    /// Control-plane replies (acks, stats) demultiplexed by the router.
+    /// Locking the receiver serializes concurrent stats collectors.
+    control: Mutex<Receiver<(NodeId, ToClient)>>,
+}
+
+/// One tenant's complete logical index: clustering, routing epochs,
+/// ingest state, probe counters, supervisor and storage temperature.
+/// Everything a query touches after namespace resolution lives here.
+pub struct NamespaceState {
+    /// Wire id of this namespace.
+    ns: u16,
     metric: Metric,
     dim: usize,
+    /// Whether blocks are SQ8-quantized (two-stage search with re-rank).
+    sq8: bool,
+    pruning: bool,
+    rerank_scale: usize,
+    /// Live-vector quota (0 = unlimited).
+    max_vectors: usize,
+    /// Whether the background sweep may retemper this namespace.
+    auto_tier: bool,
     centroids: VectorStore,
     /// Current list sizes per cluster; rewritten by compaction.
     list_sizes: RwLock<Vec<usize>>,
@@ -96,12 +176,8 @@ pub struct HarmonyEngine {
     /// Exact full-dimension copy of every live vector, `by_id` pointing at
     /// the newest row per external id. Source of truth for compaction
     /// (lists are recut from it) and, under SQ8, for the exact re-rank
-    /// stage: stage-1 quantized scans over-collect `k × rerank_scale`
-    /// survivors, then the client re-scores them here in full f32 before
-    /// trimming to `k`.
+    /// stage.
     base: RwLock<BaseStore>,
-    /// Whether blocks are SQ8-quantized (two-stage search with re-rank).
-    sq8: bool,
     /// Mutable-shard ingest bookkeeping (upserts, deletes, compaction).
     ingest: Mutex<IngestState>,
     /// Ingest watermark visible to searches: queries admitted with
@@ -112,16 +188,33 @@ pub struct HarmonyEngine {
     /// Lock-free snapshot of the ingest state consulted on the search path
     /// (dead-set filtering, forced delta visits, prewarm overrides).
     ingest_snap: RwLock<Arc<IngestSnapshot>>,
-    build_stats: BuildStats,
-    shared: Arc<EngineShared>,
-    sessions: Arc<SessionTable>,
-    /// Control-plane replies (acks, stats) demultiplexed by the router.
-    /// Locking the receiver serializes concurrent stats collectors.
-    control: Mutex<Receiver<(NodeId, ToClient)>>,
-    /// Serializes replanning ticks and migrations.
+    /// The routing generation this namespace's queries are admitted under.
+    routing: RwLock<Arc<RoutingEpoch>>,
+    /// Observed per-cluster probe counters (the supervisor's input).
+    probes: ProbeTracker,
+    /// Serializes replanning ticks, migrations and compactions.
     supervisor: Mutex<SupervisorState>,
-    router_stop: Arc<AtomicBool>,
-    router: Option<JoinHandle<()>>,
+    /// Storage temperature plus the access EWMA driving auto-tier sweeps.
+    tier: Mutex<TierState>,
+}
+
+impl NamespaceState {
+    /// Stage-1 collection size: `k × rerank_scale` under SQ8 (the extra
+    /// survivors feed the exact re-rank stage), plain `k` otherwise.
+    fn effective_k(&self, k: usize) -> usize {
+        if self.sq8 {
+            k.saturating_mul(self.rerank_scale.max(1))
+        } else {
+            k
+        }
+    }
+}
+
+/// Client-side temperature record of one namespace.
+struct TierState {
+    temperature: Temperature,
+    /// EWMA of per-sweep query arrivals (the auto-tier signal).
+    access: AccessEwma,
 }
 
 /// One immutable generation of routing state. Queries capture the Arc at
@@ -169,13 +262,9 @@ struct EngineShared {
     /// Client-side estimate of outstanding work per machine, driving the
     /// deferred-dimension scheduling of §4.3 "Load Balancing Strategies".
     outstanding: LoadTracker,
-    /// The routing generation new queries are admitted under.
-    routing: RwLock<Arc<RoutingEpoch>>,
-    /// Observed per-cluster probe counters (the supervisor's input).
-    probes: ProbeTracker,
 }
 
-/// Supervisor bookkeeping, serialized under one mutex.
+/// Supervisor bookkeeping of one namespace, serialized under one mutex.
 struct SupervisorState {
     /// Probe snapshot at the start of the current observation window.
     window_start: ProbeSnapshot,
@@ -333,6 +422,25 @@ const ROUTER_TICK: Duration = Duration::from_millis(25);
 /// (evicted everywhere) and the incumbent layout stays in force.
 const MIGRATION_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(120);
 
+/// Poll granularity of the background compactor thread: the thread sleeps
+/// in short slices so shutdown stays responsive even with long intervals.
+const COMPACTOR_POLL: Duration = Duration::from_millis(20);
+
+/// EWMA smoothing of per-namespace access rates (the auto-tier signal).
+const TIER_EWMA_ALPHA: f64 = 0.5;
+
+/// Smoothed queries-per-sweep at or above which an auto-tiered namespace
+/// is (kept) hot.
+const TIER_HOT_RATE: f64 = 1.0;
+
+/// Smoothed queries-per-sweep below which an auto-tiered namespace goes
+/// cold; between the two thresholds it sits warm.
+const TIER_COLD_RATE: f64 = 0.05;
+
+/// Monotonic engine counter keeping the spill directories of multiple
+/// engines in one process disjoint.
+static ENGINE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
 /// The client-side router loop: drains the cluster's receive path and
 /// demultiplexes results to sessions, everything else to the control
 /// channel. Exits on the stop flag or once the cluster is gone.
@@ -367,6 +475,24 @@ fn run_router(
     sessions.close();
 }
 
+/// The background compactor loop: every `interval`, fold due namespaces'
+/// pending deltas and sweep auto-tiered namespaces between temperatures.
+fn run_compactor(core: Arc<EngineCore>, interval: Duration, stop: Arc<AtomicBool>) {
+    let interval = interval.max(Duration::from_millis(1));
+    let mut last = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(COMPACTOR_POLL.min(interval));
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if last.elapsed() < interval {
+            continue;
+        }
+        last = Instant::now();
+        core.compactor_tick();
+    }
+}
+
 /// Per-query dispatch state held by the session loop.
 struct QueryState {
     topk: TopK,
@@ -382,6 +508,8 @@ struct QueryState {
     charged: Vec<VisitCharge>,
     /// Row of this query in the input batch.
     row: usize,
+    /// Namespace the query runs in, captured at admission.
+    ns_state: Arc<NamespaceState>,
     /// Routing generation captured at admission: every visit of this query
     /// executes against this layout, even if the engine switches mid-query.
     routing: Arc<RoutingEpoch>,
@@ -395,6 +523,13 @@ struct QueryState {
 struct VisitCharge {
     shard: u32,
     per_machine: Vec<(NodeId, f64)>,
+}
+
+/// The shared inputs of one batch session's dispatch loop.
+struct BatchCtx<'a> {
+    state: &'a Arc<NamespaceState>,
+    queries: &'a VectorStore,
+    opts: &'a SearchOptions,
 }
 
 /// Client-side exact vectors: compaction source and SQ8 re-rank store.
@@ -462,87 +597,298 @@ pub struct CompactionReport {
     pub noop: bool,
 }
 
+/// Build-time parameters of one namespace: the default namespace takes
+/// them from the engine config, tenants from a [`NamespaceConfig`].
+struct NsParams {
+    metric: Metric,
+    repr: BlockRepr,
+    rerank_scale: usize,
+    nlist: usize,
+    pruning: bool,
+    seed: u64,
+    prewarm: usize,
+    max_vectors: usize,
+    auto_tier: bool,
+    plan_override: Option<PartitionPlan>,
+    mode: EngineMode,
+}
+
+/// Output of [`prepare_namespace`]: the assembled state plus the grid
+/// blocks to ship (the caller owns the transport).
+struct PreparedNamespace {
+    state: NamespaceState,
+    /// `(machine, block)` pairs in send order.
+    loads: Vec<(usize, LoadBlock)>,
+    plan_cost: Option<PlanCost>,
+    train: Duration,
+    add: Duration,
+}
+
+/// Runs the Train / Add / plan-selection / Pre-assign pipeline for one
+/// namespace over `base`, producing its state and the grid blocks to ship.
+fn prepare_namespace(
+    ns: u16,
+    config: &HarmonyConfig,
+    params: &NsParams,
+    base: &VectorStore,
+    model: &CostModel,
+) -> Result<PreparedNamespace, CoreError> {
+    if base.is_empty() {
+        return Err(CoreError::Config("base vectors must be non-empty".into()));
+    }
+    let dim = base.dim();
+    let metric = params.metric;
+    let nlist = params.nlist.min(base.len());
+
+    // --- Train ---------------------------------------------------
+    let t0 = Instant::now();
+    let km = KMeans::train(
+        base,
+        &KMeansConfig {
+            k: nlist,
+            seed: params.seed,
+            ..KMeansConfig::default()
+        },
+    )?;
+    let train = t0.elapsed();
+
+    // --- Add -----------------------------------------------------
+    let t0 = Instant::now();
+    let assignments = km.assign(base);
+    let mut list_rows: Vec<Vec<usize>> = vec![Vec::new(); nlist];
+    for (row, &c) in assignments.iter().enumerate() {
+        list_rows[c as usize].push(row);
+    }
+    let list_sizes: Vec<usize> = list_rows.iter().map(Vec::len).collect();
+    let add = t0.elapsed();
+
+    // --- Plan selection -------------------------------------------
+    let profile = WorkloadProfile::uniform(list_sizes.clone(), dim, 1_000, 8);
+    let survival = if params.pruning { 0.55 } else { 1.0 };
+    // One calibration per engine: tenants reuse the measured rates and
+    // only adjust the survival their pruning setting implies.
+    let scoring = model.clone().with_pruning_survival(survival);
+    let (plan, plan_cost) = match (params.plan_override, params.mode) {
+        (Some(plan), _) => (plan, None),
+        (None, EngineMode::HarmonyVector) => (PartitionPlan::pure_vector(config.n_machines), None),
+        (None, EngineMode::HarmonyDimension) => {
+            let blocks = config.n_machines.min(dim);
+            (PartitionPlan::pure_dimension(blocks), None)
+        }
+        (None, EngineMode::Harmony) => {
+            let (plan, cost) = scoring.choose_plan(config.n_machines, &profile);
+            (plan, Some(cost))
+        }
+    };
+    if plan.dim_blocks > dim {
+        return Err(CoreError::Config(format!(
+            "plan {} needs more dimension blocks than dimensions ({dim})",
+            plan.label()
+        )));
+    }
+
+    // --- Pre-assign ------------------------------------------------
+    let weights: Vec<u64> = list_sizes.iter().map(|&s| s as u64 + 1).collect();
+    let assignment = if config.balanced_load {
+        ShardAssignment::balanced(&weights, plan.vec_shards)
+    } else {
+        ShardAssignment::round_robin(&weights, plan.vec_shards)
+    };
+    let routing = RoutingEpoch::new(0, plan, assignment, dim)?;
+
+    let is_ip = !matches!(metric, Metric::L2);
+    let sq8 = matches!(params.repr, BlockRepr::Sq8);
+    let mut loads = Vec::new();
+    for (s, clusters) in routing.shard_clusters.iter().enumerate() {
+        for (b, range) in routing.dim_ranges.iter().enumerate() {
+            let machine = plan.machine_of(s, b);
+            let lists: Vec<ClusterBlock> = clusters
+                .iter()
+                .map(|&c| {
+                    let rows = &list_rows[c as usize];
+                    let mut flat = Vec::with_capacity(rows.len() * range.len());
+                    let mut ids = Vec::with_capacity(rows.len());
+                    let mut block_norms_sq = Vec::new();
+                    let mut total_norms_sq = Vec::new();
+                    for &row in rows {
+                        ids.push(base.id(row));
+                        let slice = base.row_range(row, *range);
+                        flat.extend_from_slice(slice);
+                        if is_ip {
+                            block_norms_sq.push(ip(slice, slice));
+                            let full = base.row(row);
+                            total_norms_sq.push(ip(full, full));
+                        }
+                    }
+                    // Under SQ8 only codes travel and reside; norm
+                    // tables stay exact (they are computed from the
+                    // original slices above, before quantization).
+                    let segs = if sq8 && !flat.is_empty() {
+                        let seg = Sq8Segment::quantize(&flat, range.len(), range.start as u64);
+                        flat = Vec::new();
+                        vec![seg]
+                    } else {
+                        Vec::new()
+                    };
+                    ClusterBlock {
+                        cluster: c,
+                        ids,
+                        flat,
+                        segs,
+                        block_norms_sq,
+                        total_norms_sq,
+                    }
+                })
+                .collect();
+            let load = LoadBlock {
+                ns,
+                epoch: 0,
+                shard: s as u32,
+                dim_block: b as u32,
+                dim_start: range.start as u64,
+                dim_end: range.end as u64,
+                total_dim_blocks: plan.dim_blocks as u32,
+                metric: metric_tag::encode(metric),
+                pruning: params.pruning,
+                repr: repr_tag::encode(params.repr),
+                lists,
+            };
+            loads.push((machine, load));
+        }
+    }
+
+    // --- Prewarm samples -------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut prewarm_store = VectorStore::new(dim);
+    let mut prewarm_rows: Vec<Vec<usize>> = vec![Vec::new(); nlist];
+    if params.prewarm > 0 {
+        for (c, rows) in list_rows.iter().enumerate() {
+            let take = params.prewarm.min(rows.len());
+            for i in 0..take {
+                // Deterministic stratified pick.
+                let pick = rows[(rng.random_range(0..rows.len().max(1)) + i) % rows.len()];
+                prewarm_rows[c].push(prewarm_store.len());
+                prewarm_store
+                    .push(base.id(pick), base.row(pick))
+                    .map_err(CoreError::Index)?;
+            }
+        }
+    }
+
+    // Exact client-side copy of the base: compaction recuts IVF lists
+    // from it, and under SQ8 it doubles as the re-rank store.
+    let by_id = (0..base.len()).map(|r| (base.id(r), r)).collect();
+    let base_store = BaseStore {
+        store: base.clone(),
+        by_id,
+    };
+    let members: Vec<Vec<u64>> = list_rows
+        .iter()
+        .map(|rows| rows.iter().map(|&r| base.id(r)).collect())
+        .collect();
+
+    let state = NamespaceState {
+        ns,
+        metric,
+        dim,
+        sq8,
+        pruning: params.pruning,
+        rerank_scale: params.rerank_scale,
+        max_vectors: params.max_vectors,
+        auto_tier: params.auto_tier,
+        centroids: km.centroids,
+        list_sizes: RwLock::new(list_sizes),
+        prewarm_store,
+        prewarm_rows,
+        base: RwLock::new(base_store),
+        ingest: Mutex::new(IngestState {
+            next_seq: 1,
+            pending: Vec::new(),
+            tombstones: HashMap::new(),
+            deleted: HashMap::new(),
+            members,
+            overridden: HashSet::new(),
+        }),
+        published_seq: AtomicU64::new(0),
+        ingest_snap: RwLock::new(Arc::new(IngestSnapshot::default())),
+        routing: RwLock::new(Arc::new(routing)),
+        probes: ProbeTracker::new(nlist),
+        supervisor: Mutex::new(SupervisorState {
+            window_start: ProbeSnapshot::default(),
+            ewma: ProbeEwma::new(nlist, config.replan.ewma_alpha),
+            next_check: config.replan.check_every.max(1),
+            next_epoch: 1,
+            retired: Vec::new(),
+            tuned: scoring,
+        }),
+        tier: Mutex::new(TierState {
+            temperature: Temperature::Hot,
+            access: AccessEwma::new(TIER_EWMA_ALPHA),
+        }),
+    };
+    Ok(PreparedNamespace {
+        state,
+        loads,
+        plan_cost,
+        train,
+        add,
+    })
+}
+
 impl HarmonyEngine {
     /// Builds the distributed index over `base` and starts the workers.
     ///
     /// The three timed stages match Fig. 10: **Train** (k-means), **Add**
-    /// (list assignment), **Pre-assign** (shipping grid blocks).
+    /// (list assignment), **Pre-assign** (shipping grid blocks). The
+    /// resulting deployment hosts `base` as namespace 0; further tenants
+    /// attach through [`EngineCore::create_namespace`].
     ///
     /// # Errors
     /// Configuration, clustering, or transport failures.
     pub fn build(config: HarmonyConfig, base: &VectorStore) -> Result<Self, CoreError> {
         config.validate()?;
-        if base.is_empty() {
-            return Err(CoreError::Config("base vectors must be non-empty".into()));
-        }
-        let dim = base.dim();
-        let metric = config.metric;
-        let nlist = config.nlist.min(base.len());
-
-        // --- Train ---------------------------------------------------
-        let t0 = Instant::now();
-        let km = KMeans::train(
-            base,
-            &KMeansConfig {
-                k: nlist,
-                seed: config.seed,
-                ..KMeansConfig::default()
-            },
-        )?;
-        let train = t0.elapsed();
-
-        // --- Add -----------------------------------------------------
-        let t0 = Instant::now();
-        let assignments = km.assign(base);
-        let mut list_rows: Vec<Vec<usize>> = vec![Vec::new(); nlist];
-        for (row, &c) in assignments.iter().enumerate() {
-            list_rows[c as usize].push(row);
-        }
-        let list_sizes: Vec<usize> = list_rows.iter().map(Vec::len).collect();
-        let add = t0.elapsed();
-
-        // --- Plan selection -------------------------------------------
-        let profile = WorkloadProfile::uniform(list_sizes.clone(), dim, 1_000, 8);
         let survival = if config.pruning { 0.55 } else { 1.0 };
         let model = CostModel::new(config.net, config.alpha)
             .with_pruning_survival(survival)
             .calibrate();
-        let (plan, plan_cost) = match (config.plan_override, config.mode) {
-            (Some(plan), _) => (plan, None),
-            (None, EngineMode::HarmonyVector) => {
-                (PartitionPlan::pure_vector(config.n_machines), None)
-            }
-            (None, EngineMode::HarmonyDimension) => {
-                let blocks = config.n_machines.min(dim);
-                (PartitionPlan::pure_dimension(blocks), None)
-            }
-            (None, EngineMode::Harmony) => {
-                let (plan, cost) = model.choose_plan(config.n_machines, &profile);
-                (plan, Some(cost))
-            }
+        let params = NsParams {
+            metric: config.metric,
+            repr: config.repr,
+            rerank_scale: config.rerank_scale,
+            nlist: config.nlist,
+            pruning: config.pruning,
+            seed: config.seed,
+            prewarm: config.prewarm,
+            max_vectors: 0,
+            auto_tier: false,
+            plan_override: config.plan_override,
+            mode: config.mode,
         };
-        if plan.dim_blocks > dim {
-            return Err(CoreError::Config(format!(
-                "plan {} needs more dimension blocks than dimensions ({dim})",
-                plan.label()
-            )));
-        }
-
-        // --- Pre-assign ------------------------------------------------
-        let t0 = Instant::now();
-        let weights: Vec<u64> = list_sizes.iter().map(|&s| s as u64 + 1).collect();
-        let assignment = if config.balanced_load {
-            ShardAssignment::balanced(&weights, plan.vec_shards)
-        } else {
-            ShardAssignment::round_robin(&weights, plan.vec_shards)
-        };
-        let routing = RoutingEpoch::new(0, plan, assignment, dim)?;
+        let PreparedNamespace {
+            state,
+            loads,
+            plan_cost,
+            train,
+            add,
+        } = prepare_namespace(0, &config, &params, base, &model)?;
+        let plan = state.routing.read().plan;
 
         let comm_mode = if config.pipeline {
             CommMode::NonBlocking
         } else {
             CommMode::Blocking
         };
+        // Every engine gets its own spill subtree so concurrent engines
+        // (tests, benches) never collide on block file names.
+        let engine_seq = ENGINE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let spill_root = config
+            .spill_dir
+            .clone()
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("harmony-engine-{}", std::process::id()))
+            })
+            .join(format!("e{engine_seq}"));
+        let cache_budget = config.cache_budget_bytes;
         let mut cluster = Cluster::try_spawn(
             ClusterConfig {
                 workers: config.n_machines,
@@ -556,71 +902,20 @@ impl HarmonyEngine {
                 drop_every_nth: 0,
                 transport: config.transport.clone(),
             },
-            |_| HarmonyWorker::new(),
+            {
+                let spill_root = spill_root.clone();
+                move |m| HarmonyWorker::with_tiering(spill_root.join(format!("w{m}")), cache_budget)
+            },
         )
         .map_err(CoreError::Cluster)?;
 
-        let is_ip = !matches!(metric, Metric::L2);
-        let sq8 = matches!(config.repr, BlockRepr::Sq8);
+        // --- Pre-assign: ship namespace 0's grid blocks ----------------
+        let t0 = Instant::now();
         let mut expected_acks = 0usize;
-        for (s, clusters) in routing.shard_clusters.iter().enumerate() {
-            for (b, range) in routing.dim_ranges.iter().enumerate() {
-                let machine = plan.machine_of(s, b);
-                let lists: Vec<ClusterBlock> = clusters
-                    .iter()
-                    .map(|&c| {
-                        let rows = &list_rows[c as usize];
-                        let mut flat = Vec::with_capacity(rows.len() * range.len());
-                        let mut ids = Vec::with_capacity(rows.len());
-                        let mut block_norms_sq = Vec::new();
-                        let mut total_norms_sq = Vec::new();
-                        for &row in rows {
-                            ids.push(base.id(row));
-                            let slice = base.row_range(row, *range);
-                            flat.extend_from_slice(slice);
-                            if is_ip {
-                                block_norms_sq.push(ip(slice, slice));
-                                let full = base.row(row);
-                                total_norms_sq.push(ip(full, full));
-                            }
-                        }
-                        // Under SQ8 only codes travel and reside; norm
-                        // tables stay exact (they are computed from the
-                        // original slices above, before quantization).
-                        let segs = if sq8 && !flat.is_empty() {
-                            let seg = Sq8Segment::quantize(&flat, range.len(), range.start as u64);
-                            flat = Vec::new();
-                            vec![seg]
-                        } else {
-                            Vec::new()
-                        };
-                        ClusterBlock {
-                            cluster: c,
-                            ids,
-                            flat,
-                            segs,
-                            block_norms_sq,
-                            total_norms_sq,
-                        }
-                    })
-                    .collect();
-                let load = LoadBlock {
-                    epoch: 0,
-                    shard: s as u32,
-                    dim_block: b as u32,
-                    dim_start: range.start as u64,
-                    dim_end: range.end as u64,
-                    total_dim_blocks: plan.dim_blocks as u32,
-                    metric: metric_tag::encode(metric),
-                    pruning: config.pruning,
-                    repr: repr_tag::encode(config.repr),
-                    lists,
-                };
-                cluster.send(machine, ToWorker::Load(load).to_bytes())?;
-                expected_acks += 1;
-            }
+        for (machine, load) in loads {
+            cluster.send(machine, ToWorker::Load(load).to_bytes())?;
+            expected_acks += 1;
         }
-
         // Collect acknowledgments (the receive path is still attached to
         // the building thread here).
         let deadline = Duration::from_secs(120);
@@ -638,36 +933,6 @@ impl HarmonyEngine {
         let bytes_shipped = cluster.snapshot().client.bytes_tx;
         let preassign = t0.elapsed();
 
-        // --- Prewarm samples -------------------------------------------
-        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
-        let mut prewarm_store = VectorStore::new(dim);
-        let mut prewarm_rows: Vec<Vec<usize>> = vec![Vec::new(); nlist];
-        if config.prewarm > 0 {
-            for (c, rows) in list_rows.iter().enumerate() {
-                let take = config.prewarm.min(rows.len());
-                for i in 0..take {
-                    // Deterministic stratified pick.
-                    let pick = rows[(rng.random_range(0..rows.len().max(1)) + i) % rows.len()];
-                    prewarm_rows[c].push(prewarm_store.len());
-                    prewarm_store
-                        .push(base.id(pick), base.row(pick))
-                        .map_err(CoreError::Index)?;
-                }
-            }
-        }
-
-        // Exact client-side copy of the base: compaction recuts IVF lists
-        // from it, and under SQ8 it doubles as the re-rank store.
-        let by_id = (0..base.len()).map(|r| (base.id(r), r)).collect();
-        let base_store = BaseStore {
-            store: base.clone(),
-            by_id,
-        };
-        let members: Vec<Vec<u64>> = list_rows
-            .iter()
-            .map(|rows| rows.iter().map(|&r| base.id(r)).collect())
-            .collect();
-
         // Search metrics must not include the build traffic.
         cluster.reset_metrics();
 
@@ -678,8 +943,6 @@ impl HarmonyEngine {
             cluster,
             next_query_id: AtomicU64::new(0),
             outstanding: LoadTracker::new(config.n_machines),
-            routing: RwLock::new(Arc::new(routing)),
-            probes: ProbeTracker::new(nlist),
         });
         let sessions = Arc::new(SessionTable::default());
         let (control_tx, control_rx) = unbounded();
@@ -693,29 +956,16 @@ impl HarmonyEngine {
             })
             .map_err(|e| CoreError::Runtime(format!("spawn client router thread: {e}")))?;
 
-        let check_every = config.replan.check_every;
-        let ewma = ProbeEwma::new(nlist, config.replan.ewma_alpha);
-        let tuned = model.clone();
-        Ok(Self {
+        let ns0 = Arc::new(state);
+        let mut registry = BTreeMap::new();
+        registry.insert(0u16, Arc::clone(&ns0));
+        let compact_interval = config.compact_interval_ms;
+        let core = Arc::new(EngineCore {
             config,
-            metric,
-            dim,
-            centroids: km.centroids,
-            list_sizes: RwLock::new(list_sizes),
-            prewarm_store,
-            prewarm_rows,
-            base: RwLock::new(base_store),
-            sq8,
-            ingest: Mutex::new(IngestState {
-                next_seq: 1,
-                pending: Vec::new(),
-                tombstones: HashMap::new(),
-                deleted: HashMap::new(),
-                members,
-                overridden: HashSet::new(),
-            }),
-            published_seq: AtomicU64::new(0),
-            ingest_snap: RwLock::new(Arc::new(IngestSnapshot::default())),
+            model,
+            namespaces: RwLock::new(registry),
+            next_ns: Mutex::new(1),
+            ns0,
             build_stats: BuildStats {
                 train,
                 add,
@@ -727,38 +977,95 @@ impl HarmonyEngine {
             shared,
             sessions,
             control: Mutex::new(control_rx),
-            supervisor: Mutex::new(SupervisorState {
-                window_start: ProbeSnapshot::default(),
-                ewma,
-                next_check: check_every.max(1),
-                next_epoch: 1,
-                retired: Vec::new(),
-                tuned,
-            }),
+        });
+        let compactor_stop = Arc::new(AtomicBool::new(false));
+        let compactor = if compact_interval > 0 {
+            let handle = std::thread::Builder::new()
+                .name("harmony-compactor".into())
+                .spawn({
+                    let core = Arc::clone(&core);
+                    let stop = Arc::clone(&compactor_stop);
+                    let interval = Duration::from_millis(compact_interval);
+                    move || run_compactor(core, interval, stop)
+                })
+                .map_err(|e| CoreError::Runtime(format!("spawn compactor thread: {e}")))?;
+            Some(handle)
+        } else {
+            None
+        };
+        Ok(Self {
+            core,
             router_stop,
             router: Some(router),
+            compactor_stop,
+            compactor,
         })
     }
 
+    /// Signals and joins the background threads. Idempotent.
+    fn stop_threads(&mut self) {
+        self.router_stop.store(true, Ordering::Release);
+        self.compactor_stop.store(true, Ordering::Release);
+        // The compactor holds an Arc of the core: it must be gone before
+        // shutdown can unwrap the Arc chain.
+        if let Some(handle) = self.compactor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.router.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the background threads and all workers, releasing the cluster.
+    ///
+    /// # Errors
+    /// Reports the first worker that panicked, if any.
+    pub fn shutdown(mut self) -> Result<(), CoreError> {
+        self.stop_threads();
+        let core = Arc::clone(&self.core);
+        drop(self);
+        match Arc::try_unwrap(core) {
+            Ok(core) => match Arc::try_unwrap(core.shared) {
+                Ok(mut shared) => {
+                    shared.cluster.shutdown()?;
+                    Ok(())
+                }
+                // Unreachable in practice (the router holds no engine
+                // reference); the last Arc drop still stops the cluster.
+                Err(_) => Ok(()),
+            },
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+impl Drop for HarmonyEngine {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+impl EngineCore {
     /// The engine configuration.
     pub fn config(&self) -> &HarmonyConfig {
         &self.config
     }
 
-    /// The partition plan in force (the current routing epoch's plan).
+    /// The partition plan in force (the default namespace's current
+    /// routing epoch).
     pub fn plan(&self) -> PartitionPlan {
-        self.shared.routing.read().plan
+        self.ns0.routing.read().plan
     }
 
-    /// The current routing epoch (0 = the initial build; bumps on every
-    /// live migration).
+    /// The current routing epoch of the default namespace (0 = the
+    /// initial build; bumps on every live migration or compaction).
     pub fn current_epoch(&self) -> u64 {
-        self.shared.routing.read().epoch
+        self.ns0.routing.read().epoch
     }
 
-    /// The cluster → shard assignment in force.
+    /// The cluster → shard assignment in force (default namespace).
     pub fn assignment(&self) -> ShardAssignment {
-        self.shared.routing.read().assignment.clone()
+        self.ns0.routing.read().assignment.clone()
     }
 
     /// Build-stage timings (Fig. 10).
@@ -767,35 +1074,37 @@ impl HarmonyEngine {
     }
 
     /// Inverted-list sizes (cluster load profile; reflects the last
-    /// compaction).
+    /// compaction). Default namespace.
     pub fn list_sizes(&self) -> Vec<usize> {
-        self.list_sizes.read().clone()
+        self.ns0.list_sizes.read().clone()
     }
 
-    /// Upserted rows not yet folded into IVF lists.
+    /// Upserted rows not yet folded into IVF lists (default namespace).
     pub fn pending_deltas(&self) -> usize {
-        self.ingest.lock().pending.len()
+        self.ns0.ingest.lock().pending.len()
     }
 
-    /// Ids currently soft-deleted (tombstoned, awaiting compaction).
+    /// Ids currently soft-deleted in the default namespace (tombstoned,
+    /// awaiting compaction).
     pub fn tombstone_count(&self) -> usize {
-        self.ingest.lock().deleted.len()
+        self.ns0.ingest.lock().deleted.len()
     }
 
-    /// Trained centroids (client-side copy).
+    /// Trained centroids of the default namespace (client-side copy).
     pub fn centroids(&self) -> &VectorStore {
-        &self.centroids
+        &self.ns0.centroids
     }
 
-    /// Clusters owned by each vector shard (under the current epoch).
+    /// Clusters owned by each vector shard (default namespace, current
+    /// epoch).
     pub fn shard_clusters(&self) -> Vec<Vec<u32>> {
-        self.shared.routing.read().shard_clusters.clone()
+        self.ns0.routing.read().shard_clusters.clone()
     }
 
     /// Observed per-cluster probe counts since build (the supervisor's
-    /// workload signal).
+    /// workload signal; default namespace).
     pub fn probe_counts(&self) -> Vec<u64> {
-        self.shared.probes.snapshot().counts
+        self.ns0.probes.snapshot().counts
     }
 
     /// The current per-machine outstanding-work estimates (diagnostics).
@@ -806,20 +1115,263 @@ impl HarmonyEngine {
         self.shared.outstanding.snapshot()
     }
 
-    /// Top-`k` search for one query.
+    // --- Namespaces ----------------------------------------------------
+
+    /// Resolves a namespace id to its state.
+    fn namespace(&self, ns: u16) -> Result<Arc<NamespaceState>, CoreError> {
+        self.namespaces
+            .read()
+            .get(&ns)
+            .cloned()
+            .ok_or_else(|| CoreError::Config(format!("unknown namespace {ns}")))
+    }
+
+    /// Registered namespace ids, ascending (0 is always present).
+    pub fn namespace_ids(&self) -> Vec<u16> {
+        self.namespaces.read().keys().copied().collect()
+    }
+
+    /// Upserted rows not yet folded into IVF lists, for one namespace.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] for an unknown namespace.
+    pub fn pending_deltas_ns(&self, ns: u16) -> Result<usize, CoreError> {
+        Ok(self.namespace(ns)?.ingest.lock().pending.len())
+    }
+
+    /// Creates a tenant namespace over `base`: trains its own clustering,
+    /// picks its own plan with the engine's calibrated cost model, ships
+    /// its grid blocks to the shared workers, and registers it hot.
+    /// Returns the new namespace id.
+    ///
+    /// # Errors
+    /// Invalid tenant configuration, an over-quota base, clustering or
+    /// transport failures. A failed install evicts whatever blocks already
+    /// landed; the id is burned, never reused.
+    pub fn create_namespace(
+        &self,
+        cfg: &NamespaceConfig,
+        base: &VectorStore,
+    ) -> Result<u16, CoreError> {
+        cfg.validate(self.config.n_machines)?;
+        if base.is_empty() {
+            return Err(CoreError::Config(
+                "namespace base vectors must be non-empty".into(),
+            ));
+        }
+        if cfg.max_vectors > 0 && base.len() > cfg.max_vectors {
+            return Err(CoreError::Config(format!(
+                "namespace base has {} vectors, exceeding the quota of {}",
+                base.len(),
+                cfg.max_vectors
+            )));
+        }
+        let ns = {
+            let mut next = self.next_ns.lock();
+            let ns = *next;
+            *next = next.checked_add(1).ok_or_else(|| {
+                CoreError::Config("namespace ids exhausted (u16 overflow)".into())
+            })?;
+            ns
+        };
+        let params = NsParams {
+            metric: cfg.metric,
+            repr: cfg.repr,
+            rerank_scale: cfg.rerank_scale,
+            nlist: cfg.nlist,
+            pruning: cfg.pruning,
+            seed: cfg.seed,
+            prewarm: cfg.prewarm,
+            max_vectors: cfg.max_vectors,
+            auto_tier: cfg.auto_tier,
+            plan_override: cfg.plan_override,
+            mode: EngineMode::Harmony,
+        };
+        let PreparedNamespace { state, loads, .. } =
+            prepare_namespace(ns, &self.config, &params, base, &self.model)?;
+        if let Err(e) = self.install_loads(ns, loads) {
+            // Best-effort cleanup of whatever blocks already landed.
+            self.abort_epoch(ns, 0);
+            return Err(e);
+        }
+        self.namespaces.write().insert(ns, Arc::new(state));
+        Ok(ns)
+    }
+
+    /// Ships prepared grid blocks over the running cluster and awaits one
+    /// ack per block on the control channel (unlike the build path, the
+    /// router already owns the receive side here).
+    fn install_loads(&self, ns: u16, loads: Vec<(usize, LoadBlock)>) -> Result<(), CoreError> {
+        let expected = loads.len();
+        let control = self.control.lock();
+        for (machine, load) in loads {
+            self.shared
+                .cluster
+                .send(machine, ToWorker::Load(load).to_bytes())?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut acked: HashSet<(u32, u32)> = HashSet::new();
+        while acked.len() < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CoreError::Cluster(ClusterError::Timeout));
+            }
+            match control.recv_timeout(remaining) {
+                Ok((
+                    _,
+                    ToClient::LoadAck {
+                        ns: n,
+                        shard,
+                        dim_block,
+                    },
+                )) if n == ns => {
+                    acked.insert((shard, dim_block));
+                }
+                // Unrelated control traffic (stats, stale acks of other
+                // namespaces) is skipped, not an error.
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CoreError::Cluster(ClusterError::Timeout))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::Cluster(ClusterError::ShutDown))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves a namespace to a storage temperature on every worker: hot
+    /// namespaces are fully RAM-resident, warm/cold namespaces spill their
+    /// blocks to disk and fault them back through the worker block cache
+    /// on demand. Blocks round-trip bit-identically, so results are
+    /// unaffected. Returns once every worker acknowledged the transition.
+    ///
+    /// # Errors
+    /// Unknown namespace, transport failures, or an ack timeout.
+    pub fn set_namespace_tier(&self, ns: u16, temperature: Temperature) -> Result<(), CoreError> {
+        let state = self.namespace(ns)?;
+        self.set_tier_state(&state, temperature)
+    }
+
+    /// The namespace's current storage temperature.
+    ///
+    /// # Errors
+    /// [`CoreError::Config`] for an unknown namespace.
+    pub fn namespace_tier(&self, ns: u16) -> Result<Temperature, CoreError> {
+        Ok(self.namespace(ns)?.tier.lock().temperature)
+    }
+
+    fn set_tier_state(
+        &self,
+        state: &NamespaceState,
+        temperature: Temperature,
+    ) -> Result<(), CoreError> {
+        let machines = self.config.n_machines;
+        let control = self.control.lock();
+        for m in 0..machines {
+            let msg = SetTier {
+                ns: state.ns,
+                temperature: temperature.encode(),
+            };
+            self.shared
+                .cluster
+                .send(m, ToWorker::SetTier(msg).to_bytes())?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut ready = vec![false; machines];
+        let mut count = 0usize;
+        while count < machines {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CoreError::Cluster(ClusterError::Timeout));
+            }
+            match control.recv_timeout(remaining) {
+                Ok((from, ToClient::TierAck { ns })) if ns == state.ns => {
+                    if from < machines && !std::mem::replace(&mut ready[from], true) {
+                        count += 1;
+                    }
+                }
+                // Stale control traffic of other operations is skipped.
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CoreError::Cluster(ClusterError::Timeout))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::Cluster(ClusterError::ShutDown))
+                }
+            }
+        }
+        drop(control);
+        state.tier.lock().temperature = temperature;
+        Ok(())
+    }
+
+    /// One pass of the background compactor: fold every namespace whose
+    /// pending delta count crossed `compact_after`, then sweep auto-tiered
+    /// namespaces between temperatures by their access-rate EWMA.
+    fn compactor_tick(&self) {
+        let states: Vec<Arc<NamespaceState>> = self.namespaces.read().values().cloned().collect();
+        let after = self.config.compact_after;
+        for state in states {
+            if after > 0 && state.ingest.lock().pending.len() >= after {
+                // Best-effort: a failed handshake leaves the incumbent
+                // epoch in force; the next tick retries.
+                let _ = self.compact_state(&state);
+            }
+            if !state.auto_tier {
+                continue;
+            }
+            let (current, rate) = {
+                let mut tier = state.tier.lock();
+                tier.access.decay();
+                (tier.temperature, tier.access.rate())
+            };
+            let want = if rate >= TIER_HOT_RATE {
+                Temperature::Hot
+            } else if rate >= TIER_COLD_RATE {
+                Temperature::Warm
+            } else {
+                Temperature::Cold
+            };
+            if want != current {
+                let _ = self.set_tier_state(&state, want);
+            }
+        }
+    }
+
+    // --- Search --------------------------------------------------------
+
+    /// Top-`k` search for one query in the default namespace.
     ///
     /// # Errors
     /// Dimension mismatches or distributed-collection failures.
     pub fn search(&self, query: &[f32], opts: &SearchOptions) -> Result<SingleResult, CoreError> {
-        let mut store = VectorStore::new(self.dim);
+        self.search_ns(0, query, opts)
+    }
+
+    /// Top-`k` search for one query in namespace `ns`.
+    ///
+    /// # Errors
+    /// Unknown namespace, dimension mismatches or distributed-collection
+    /// failures.
+    pub fn search_ns(
+        &self,
+        ns: u16,
+        query: &[f32],
+        opts: &SearchOptions,
+    ) -> Result<SingleResult, CoreError> {
+        let state = self.namespace(ns)?;
+        let mut store = VectorStore::new(state.dim);
         store.push(0, query).map_err(CoreError::Index)?;
-        let batch = self.search_batch(&store, opts)?;
+        let batch = self.search_batch_ns(ns, &store, opts)?;
         Ok(SingleResult {
             neighbors: batch.results.into_iter().next().unwrap_or_default(),
         })
     }
 
-    /// Top-`k` search for a batch of queries with pipelined dispatch.
+    /// Top-`k` search for a batch of queries with pipelined dispatch, in
+    /// the default namespace.
     ///
     /// Safe to call from multiple threads at once: each call runs as its
     /// own session over the shared workers (see the [module docs](self)).
@@ -834,10 +1386,26 @@ impl HarmonyEngine {
         queries: &VectorStore,
         opts: &SearchOptions,
     ) -> Result<BatchResult, CoreError> {
-        if queries.dim() != self.dim {
+        self.search_batch_ns(0, queries, opts)
+    }
+
+    /// Top-`k` batch search in namespace `ns` (see
+    /// [`EngineCore::search_batch`]).
+    ///
+    /// # Errors
+    /// Unknown namespace, dimension mismatches or distributed-collection
+    /// failures.
+    pub fn search_batch_ns(
+        &self,
+        ns: u16,
+        queries: &VectorStore,
+        opts: &SearchOptions,
+    ) -> Result<BatchResult, CoreError> {
+        let state = self.namespace(ns)?;
+        if queries.dim() != state.dim {
             return Err(CoreError::Index(
                 harmony_index::IndexError::DimensionMismatch {
-                    expected: self.dim,
+                    expected: state.dim,
                     actual: queries.dim(),
                 },
             ));
@@ -856,6 +1424,8 @@ impl HarmonyEngine {
                 comm_mode,
             });
         }
+        // Feed the auto-tier signal: this namespace is being queried.
+        state.tier.lock().access.record(n as u64);
 
         // One deadline for the whole batch: every receive below gets only
         // the remaining budget, never a fresh full timeout.
@@ -871,13 +1441,17 @@ impl HarmonyEngine {
         };
 
         let mut active: HashMap<u64, QueryState> = HashMap::new();
-        let outcome =
-            self.drive_batch(queries, opts, &session, deadline, &mut results, &mut active);
+        let ctx = BatchCtx {
+            state: &state,
+            queries,
+            opts,
+        };
+        let outcome = self.drive_batch(&ctx, &session, deadline, &mut results, &mut active);
         if outcome.is_err() {
             // Queries abandoned mid-flight must not leave their load
             // estimates charged forever.
-            for state in active.values() {
-                self.discharge_state(state);
+            for qs in active.values() {
+                self.discharge_state(qs);
             }
         }
         outcome?;
@@ -891,8 +1465,8 @@ impl HarmonyEngine {
         // so a migration's one-time cost is not billed to this batch's
         // window: evict any drained retired epochs, then run the
         // replanning tick if this batch crossed the check threshold.
-        self.maybe_gc_retired();
-        self.maybe_auto_replan();
+        self.maybe_gc_retired(&state);
+        self.maybe_auto_replan(&state);
 
         Ok(BatchResult {
             results,
@@ -905,14 +1479,13 @@ impl HarmonyEngine {
     /// The admission/collection loop of one session.
     fn drive_batch(
         &self,
-        queries: &VectorStore,
-        opts: &SearchOptions,
+        ctx: &BatchCtx<'_>,
         session: &Session<'_>,
         deadline: Instant,
         results: &mut [Vec<Neighbor>],
         active: &mut HashMap<u64, QueryState>,
     ) -> Result<(), CoreError> {
-        let n = queries.len();
+        let n = ctx.queries.len();
         let mut next_row = 0usize;
         let mut completed = 0usize;
 
@@ -927,7 +1500,7 @@ impl HarmonyEngine {
                 let row = next_row;
                 next_row += 1;
                 let qid = session.base + row as u64;
-                match self.admit_query(qid, queries.row(row), row, opts)? {
+                match self.admit_query(ctx.state, qid, ctx.queries.row(row), row, ctx.opts)? {
                     Some(state) => {
                         active.insert(qid, state);
                     }
@@ -986,7 +1559,9 @@ impl HarmonyEngine {
                 let Some(mut state) = active.remove(&qid) else {
                     continue;
                 };
-                if let Err(e) = self.dispatch_next(qid, queries.row(state.row), opts, &mut state) {
+                if let Err(e) =
+                    self.dispatch_next(qid, ctx.queries.row(state.row), ctx.opts, &mut state)
+                {
                     // The state is outside `active` here: discharge its
                     // load estimates before surfacing the error.
                     self.discharge_state(&state);
@@ -998,21 +1573,12 @@ impl HarmonyEngine {
                     continue;
                 };
                 let row = state.row;
-                results[row] = self.finalize_results(queries.row(row), state.topk, opts.k);
+                results[row] =
+                    self.finalize_results(ctx.state, ctx.queries.row(row), state.topk, ctx.opts.k);
                 completed += 1;
             }
         }
         Ok(())
-    }
-
-    /// Stage-1 collection size: `k × rerank_scale` under SQ8 (the extra
-    /// survivors feed the exact re-rank stage), plain `k` otherwise.
-    fn effective_k(&self, k: usize) -> usize {
-        if self.sq8 {
-            k.saturating_mul(self.config.rerank_scale.max(1))
-        } else {
-            k
-        }
     }
 
     /// Finishes one query. Deleted ids are filtered against the current
@@ -1021,9 +1587,15 @@ impl HarmonyEngine {
     /// is then re-scored exactly against the retained base copy and the
     /// list is trimmed to `k` (prewarm entries re-score idempotently —
     /// they were exact already). Under f32 the heap is already exact.
-    fn finalize_results(&self, query: &[f32], topk: TopK, k: usize) -> Vec<Neighbor> {
-        let snap = Arc::clone(&self.ingest_snap.read());
-        if !self.sq8 {
+    fn finalize_results(
+        &self,
+        state: &NamespaceState,
+        query: &[f32],
+        topk: TopK,
+        k: usize,
+    ) -> Vec<Neighbor> {
+        let snap = Arc::clone(&state.ingest_snap.read());
+        if !state.sq8 {
             let sorted = topk.into_sorted();
             if snap.deleted.is_empty() {
                 return sorted;
@@ -1034,7 +1606,7 @@ impl HarmonyEngine {
                 .collect();
         }
         let survivors = topk.into_sorted();
-        let base = self.base.read();
+        let base = state.base.read();
         let mut exact = TopK::new(k);
         let mut reranked = 0usize;
         for n in &survivors {
@@ -1042,7 +1614,7 @@ impl HarmonyEngine {
                 continue;
             }
             let score = match base.by_id.get(&n.id) {
-                Some(&row) => self.metric.score(query, base.store.row(row)),
+                Some(&row) => state.metric.score(query, base.store.row(row)),
                 // Unknown id (defensive): keep the stage-1 score.
                 None => n.score,
             };
@@ -1053,7 +1625,7 @@ impl HarmonyEngine {
         // scan rates like the centroid and prewarm stages.
         self.shared
             .cluster
-            .charge_client_compute((reranked * self.dim) as u64, reranked as u64);
+            .charge_client_compute((reranked * state.dim) as u64, reranked as u64);
         exact.into_sorted()
     }
 
@@ -1075,6 +1647,7 @@ impl HarmonyEngine {
     /// stage(s). Returns `None` when the query has nothing to visit.
     fn admit_query(
         &self,
+        ns_state: &Arc<NamespaceState>,
         qid: u64,
         query: &[f32],
         row: usize,
@@ -1083,34 +1656,36 @@ impl HarmonyEngine {
         // Capture the routing generation for this query's whole lifetime:
         // a concurrent plan switch must never split one query across
         // layouts.
-        let routing = Arc::clone(&self.shared.routing.read());
+        let routing = Arc::clone(&ns_state.routing.read());
         // Ingest watermark and snapshot for this query: rows with
         // `seq < delta_seq` are visible, the dead-set is filtered out.
-        let delta_seq = self.published_seq.load(Ordering::Acquire);
-        let snap = Arc::clone(&self.ingest_snap.read());
-        let probes = nearest_centroids(query, &self.centroids, opts.nprobe);
+        let delta_seq = ns_state.published_seq.load(Ordering::Acquire);
+        let snap = Arc::clone(&ns_state.ingest_snap.read());
+        let probes = nearest_centroids(query, &ns_state.centroids, opts.nprobe);
         // Feed the observed-workload counters driving the plan supervisor.
-        self.shared.probes.record(&probes, opts.k);
+        ns_state.probes.record(&probes, opts.k);
 
         // Prewarm (Algorithm 1 lines 1-5): seed the heap from client-side
         // samples of the probed lists. The budget is capped so prewarming
         // stays a cheap threshold seed — nearest probes sampled first.
         // Under SQ8 the heap over-collects for the exact re-rank stage.
-        let mut topk = TopK::new(self.effective_k(opts.k));
+        let mut topk = TopK::new(ns_state.effective_k(opts.k));
         let mut prewarm_ids = HashSet::new();
         let budget = (4 * opts.k).max(16);
         'prewarm: for &c in &probes {
-            for &sample_row in &self.prewarm_rows[c as usize] {
+            for &sample_row in &ns_state.prewarm_rows[c as usize] {
                 if prewarm_ids.len() >= budget {
                     break 'prewarm;
                 }
-                let id = self.prewarm_store.id(sample_row);
+                let id = ns_state.prewarm_store.id(sample_row);
                 // Prewarm samples are build-time copies: skip any id that
                 // was upserted or deleted since (the sample is stale).
                 if snap.overridden.contains(&id) {
                     continue;
                 }
-                let score = self.metric.score(query, self.prewarm_store.row(sample_row));
+                let score = ns_state
+                    .metric
+                    .score(query, ns_state.prewarm_store.row(sample_row));
                 if prewarm_ids.insert(id) {
                     topk.push(id, score);
                 }
@@ -1118,11 +1693,11 @@ impl HarmonyEngine {
         }
         // Client-side computation (centroid scan + prewarm) is charged with
         // the same modeled rates as any node: the client is a real machine.
-        let centroid_pd = (self.centroids.len() * self.dim) as u64;
-        let prewarm_pd = (prewarm_ids.len() * self.dim) as u64;
+        let centroid_pd = (ns_state.centroids.len() * ns_state.dim) as u64;
+        let prewarm_pd = (prewarm_ids.len() * ns_state.dim) as u64;
         self.shared.cluster.charge_client_compute(
             centroid_pd + prewarm_pd,
-            (self.centroids.len() + prewarm_ids.len()) as u64,
+            (ns_state.centroids.len() + prewarm_ids.len()) as u64,
         );
 
         // Group probes by shard, preserving probe (= proximity) order.
@@ -1174,6 +1749,7 @@ impl HarmonyEngine {
             in_flight: 0,
             charged: Vec::new(),
             row,
+            ns_state: Arc::clone(ns_state),
             routing,
             delta_seq,
         };
@@ -1219,15 +1795,16 @@ impl HarmonyEngine {
         shard: u32,
         clusters: Vec<u32>,
     ) -> Result<(), CoreError> {
+        let ns = Arc::clone(&state.ns_state);
         let routing = Arc::clone(&state.routing);
         let plan = routing.plan;
         let threshold = state.topk.threshold();
-        let is_ip = !matches!(self.metric, Metric::L2);
+        let is_ip = !matches!(ns.metric, Metric::L2);
         let q_total_norm_sq = if is_ip { ip(query, query) } else { 0.0 };
 
         // Estimate the candidate volume of this visit for load accounting.
         let candidates: usize = {
-            let sizes = self.list_sizes.read();
+            let sizes = ns.list_sizes.read();
             clusters
                 .iter()
                 .map(|&c| sizes.get(c as usize).copied().unwrap_or(0))
@@ -1267,7 +1844,7 @@ impl HarmonyEngine {
         for (pos, &b) in blocks.iter().enumerate() {
             let machine = plan.machine_of(shard as usize, b);
             let width = routing.dim_ranges[b].len() as f64;
-            let survival = if self.config.pruning {
+            let survival = if ns.pruning {
                 0.55f64.powi(pos as i32)
             } else {
                 1.0
@@ -1282,10 +1859,11 @@ impl HarmonyEngine {
             let machine = plan.machine_of(shard as usize, b);
             let range = routing.dim_ranges[b];
             let chunk = QueryChunk {
+                ns: ns.ns,
                 query_id: qid,
                 epoch: routing.epoch,
                 shard,
-                k: self.effective_k(opts.k) as u32,
+                k: ns.effective_k(opts.k) as u32,
                 threshold,
                 clusters: clusters.clone(),
                 dims: query[range.start..range.end].to_vec(),
@@ -1302,42 +1880,69 @@ impl HarmonyEngine {
         Ok(())
     }
 
-    // --- Mutable-shard ingestion -------------------------------------
+    // --- Ingest --------------------------------------------------------
 
-    /// Inserts or replaces one vector. The row lands in the home shard's
-    /// in-memory delta list on every machine of that shard's row and is
-    /// scanned exactly (full f32, no quantization) by every subsequent
-    /// query, so recall on fresh data is 1.0 by construction. Replacing a
-    /// live id first tombstones its stale copies; the new row's higher
-    /// sequence keeps it visible.
+    /// Upserts (inserts or replaces) one vector by id in the default
+    /// namespace. Returns the row's publication sequence number.
     ///
-    /// Returns the row's ingest sequence number.
+    /// The row is immediately searchable: it lands in the delta list of
+    /// its nearest cluster's shard on every dimension block, and every
+    /// query admitted after this call carries a watermark covering it.
+    /// A replaced id is superseded everywhere by a tombstone below the
+    /// new row's sequence.
     ///
     /// # Errors
     /// Dimension mismatches or transport failures.
     pub fn upsert(&self, id: u64, vector: &[f32]) -> Result<u64, CoreError> {
-        if vector.len() != self.dim {
+        self.upsert_ns(0, id, vector)
+    }
+
+    /// Upserts one vector by id in namespace `ns` (see
+    /// [`EngineCore::upsert`]). Enforces the namespace's live-vector
+    /// quota when one is set.
+    ///
+    /// # Errors
+    /// Unknown namespace, dimension mismatches, an exhausted quota or
+    /// transport failures.
+    pub fn upsert_ns(&self, ns: u16, id: u64, vector: &[f32]) -> Result<u64, CoreError> {
+        let state = self.namespace(ns)?;
+        if vector.len() != state.dim {
             return Err(CoreError::Index(
                 harmony_index::IndexError::DimensionMismatch {
-                    expected: self.dim,
+                    expected: state.dim,
                     actual: vector.len(),
                 },
             ));
         }
         let seq;
         {
-            let mut ing = self.ingest.lock();
-            let routing = Arc::clone(&self.shared.routing.read());
+            let mut ing = state.ingest.lock();
+            let routing = Arc::clone(&state.routing.read());
             // Supersede any live copy first: a tombstone below the new
             // row's sequence suppresses stale list/delta rows everywhere
             // while the re-upsert itself stays visible.
-            let known = self.base.read().by_id.contains_key(&id)
-                || ing.tombstones.contains_key(&id)
-                || ing.pending.iter().any(|p| p.id == id);
+            let (known, id_live, live) = {
+                let base = state.base.read();
+                let in_base = base.by_id.contains_key(&id);
+                let in_pending = ing.pending.iter().any(|p| p.id == id);
+                let known = in_base || in_pending || ing.tombstones.contains_key(&id);
+                let id_live = (in_base || in_pending) && !ing.deleted.contains_key(&id);
+                let live = base.by_id.len().saturating_sub(ing.deleted.len());
+                (known, id_live, live)
+            };
+            // Quota check before any side effect: replacing a live id
+            // never grows the namespace, a new id must fit the budget.
+            if state.max_vectors > 0 && !id_live && live >= state.max_vectors {
+                return Err(CoreError::Config(format!(
+                    "namespace {ns} quota exceeded: {live} live vectors of {} allowed",
+                    state.max_vectors
+                )));
+            }
             if known {
                 let del_seq = ing.next_seq;
                 ing.next_seq += 1;
                 let del = DeleteIds {
+                    ns: state.ns,
                     epoch: u64::MAX,
                     ids: vec![id],
                     seq: del_seq,
@@ -1351,11 +1956,11 @@ impl HarmonyEngine {
             }
             seq = ing.next_seq;
             ing.next_seq += 1;
-            let cluster = *nearest_centroids(vector, &self.centroids, 1)
+            let cluster = *nearest_centroids(vector, &state.centroids, 1)
                 .first()
                 .ok_or_else(|| CoreError::Runtime("engine has no centroids".into()))?;
             {
-                let mut base = self.base.write();
+                let mut base = state.base.write();
                 let row = base.store.len();
                 base.store.push(id, vector).map_err(CoreError::Index)?;
                 base.by_id.insert(id, row);
@@ -1369,12 +1974,13 @@ impl HarmonyEngine {
                 .get(cluster as usize)
                 .copied()
                 .unwrap_or(0);
-            let is_ip = !matches!(self.metric, Metric::L2);
+            let is_ip = !matches!(state.metric, Metric::L2);
             let total_norm_sq = if is_ip { ip(vector, vector) } else { 0.0 };
             for (b, range) in routing.dim_ranges.iter().enumerate() {
                 let machine = routing.plan.machine_of(shard as usize, b);
                 let slice = &vector[range.start..range.end];
                 let msg = DeltaUpsert {
+                    ns: state.ns,
                     epoch: routing.epoch,
                     shard,
                     dim_start: range.start as u64,
@@ -1400,23 +2006,33 @@ impl HarmonyEngine {
             // Publish only after every send: FIFO transport ordering then
             // guarantees any chunk stamped with this watermark arrives
             // after the rows it selects.
-            self.published_seq.store(ing.next_seq, Ordering::Release);
-            self.refresh_ingest_snapshot(&ing);
+            state.published_seq.store(ing.next_seq, Ordering::Release);
+            refresh_ingest_snapshot(&state, &ing);
         }
-        self.maybe_auto_compact()?;
+        self.maybe_auto_compact(&state)?;
         Ok(seq)
     }
 
-    /// Soft-deletes one id. The stored rows stay in place; a tombstone
-    /// suppresses them at result emission on the workers, and the client
-    /// dead-set guarantees the id never appears in results even before the
-    /// tombstone broadcast lands. Returns `false` when the id was not live.
+    /// Soft-deletes one id in the default namespace. The stored rows stay
+    /// in place; a tombstone suppresses them at result emission on the
+    /// workers, and the client dead-set guarantees the id never appears in
+    /// results even before the tombstone broadcast lands. Returns `false`
+    /// when the id was not live.
     ///
     /// # Errors
     /// Transport failures.
     pub fn delete(&self, id: u64) -> Result<bool, CoreError> {
-        let mut ing = self.ingest.lock();
-        let live = (self.base.read().by_id.contains_key(&id)
+        self.delete_ns(0, id)
+    }
+
+    /// Soft-deletes one id in namespace `ns` (see [`EngineCore::delete`]).
+    ///
+    /// # Errors
+    /// Unknown namespace or transport failures.
+    pub fn delete_ns(&self, ns: u16, id: u64) -> Result<bool, CoreError> {
+        let state = self.namespace(ns)?;
+        let mut ing = state.ingest.lock();
+        let live = (state.base.read().by_id.contains_key(&id)
             || ing.pending.iter().any(|p| p.id == id))
             && !ing.deleted.contains_key(&id);
         if !live {
@@ -1425,6 +2041,7 @@ impl HarmonyEngine {
         let seq = ing.next_seq;
         ing.next_seq += 1;
         let msg = DeleteIds {
+            ns: state.ns,
             epoch: u64::MAX,
             ids: vec![id],
             seq,
@@ -1437,35 +2054,51 @@ impl HarmonyEngine {
         ing.tombstones.insert(id, seq);
         ing.deleted.insert(id, seq);
         ing.overridden.insert(id);
-        self.published_seq.store(ing.next_seq, Ordering::Release);
-        self.refresh_ingest_snapshot(&ing);
+        state.published_seq.store(ing.next_seq, Ordering::Release);
+        refresh_ingest_snapshot(&state, &ing);
         Ok(true)
     }
 
-    /// Folds every pending delta row into its home IVF list and drops
-    /// tombstoned rows, publishing the result as a new epoch through the
-    /// same `BeginEpoch → InstallLists → EpochReady → swap` handshake as
-    /// live migration — searches in flight keep their old epoch and stay
-    /// bit-consistent; new admissions see only the compacted lists. Under
-    /// SQ8 the recut lists are re-quantized client-side. A no-op (nothing
-    /// pending, nothing deleted) publishes no epoch.
+    /// Folds every pending delta row of the default namespace into its
+    /// home IVF list and drops tombstoned rows, publishing the result as a
+    /// new epoch through the same `BeginEpoch → InstallLists → EpochReady
+    /// → swap` handshake as live migration — searches in flight keep their
+    /// old epoch and stay bit-consistent; new admissions see only the
+    /// compacted lists. Under SQ8 the recut lists are re-quantized
+    /// client-side. A no-op (nothing pending, nothing deleted) publishes
+    /// no epoch.
     ///
     /// # Errors
     /// Transport failures or a handshake timeout (the incumbent epoch
     /// stays in force).
     pub fn compact(&self) -> Result<CompactionReport, CoreError> {
-        let mut sup = self.supervisor.lock();
-        self.gc_retired(&mut sup);
-        let mut ing = self.ingest.lock();
+        let state = Arc::clone(&self.ns0);
+        self.compact_state(&state)
+    }
+
+    /// Folds pending deltas of namespace `ns` (see
+    /// [`EngineCore::compact`]).
+    ///
+    /// # Errors
+    /// Unknown namespace, transport failures or a handshake timeout.
+    pub fn compact_ns(&self, ns: u16) -> Result<CompactionReport, CoreError> {
+        let state = self.namespace(ns)?;
+        self.compact_state(&state)
+    }
+
+    fn compact_state(&self, state: &NamespaceState) -> Result<CompactionReport, CoreError> {
+        let mut sup = state.supervisor.lock();
+        self.gc_retired(state, &mut sup);
+        let mut ing = state.ingest.lock();
         if ing.pending.is_empty() && ing.deleted.is_empty() && ing.tombstones.is_empty() {
             return Ok(CompactionReport {
-                epoch: self.shared.routing.read().epoch,
+                epoch: state.routing.read().epoch,
                 folded_rows: 0,
                 dropped_tombstones: 0,
                 noop: true,
             });
         }
-        let cur = Arc::clone(&self.shared.routing.read());
+        let cur = Arc::clone(&state.routing.read());
         // Epoch numbers are shared with migration and never reused.
         let epoch = sup.next_epoch;
         sup.next_epoch += 1;
@@ -1509,14 +2142,15 @@ impl HarmonyEngine {
         }
 
         let machines = self.config.n_machines;
-        let is_ip = !matches!(self.metric, Metric::L2);
-        let base = self.base.read();
+        let is_ip = !matches!(state.metric, Metric::L2);
+        let base = state.base.read();
         let control = self.control.lock();
         let sends = (|| -> Result<(), CoreError> {
             for (s, clusters) in cur.shard_clusters.iter().enumerate() {
                 for (b, range) in cur.dim_ranges.iter().enumerate() {
                     let machine = cur.plan.machine_of(s, b);
                     let begin = BeginEpoch {
+                        ns: state.ns,
                         epoch,
                         shard: s as u32,
                         dim_block: b as u32,
@@ -1547,7 +2181,7 @@ impl HarmonyEngine {
                             }
                             // Norm tables stay exact: computed from the f32
                             // slices above, before any re-quantization.
-                            let segs = if self.sq8 && !flat.is_empty() {
+                            let segs = if state.sq8 && !flat.is_empty() {
                                 let seg =
                                     Sq8Segment::quantize(&flat, range.len(), range.start as u64);
                                 flat = Vec::new();
@@ -1568,6 +2202,7 @@ impl HarmonyEngine {
                         })
                         .collect();
                     let msg = InstallLists {
+                        ns: state.ns,
                         epoch,
                         shard: s as u32,
                         dim_block: b as u32,
@@ -1583,7 +2218,7 @@ impl HarmonyEngine {
         drop(base);
         if let Err(e) = sends {
             drop(control);
-            self.abort_epoch(epoch);
+            self.abort_epoch(state.ns, epoch);
             return Err(e);
         }
 
@@ -1595,11 +2230,13 @@ impl HarmonyEngine {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 drop(control);
-                self.abort_epoch(epoch);
+                self.abort_epoch(state.ns, epoch);
                 return Err(CoreError::Cluster(ClusterError::Timeout));
             }
             match control.recv_timeout(remaining) {
-                Ok((from, ToClient::EpochReady { epoch: e })) if e == epoch => {
+                Ok((from, ToClient::EpochReady { ns, epoch: e }))
+                    if ns == state.ns && e == epoch =>
+                {
                     if from < machines && !std::mem::replace(&mut ready[from], true) {
                         count += 1;
                     }
@@ -1607,7 +2244,7 @@ impl HarmonyEngine {
                 Ok(_) => continue,
                 Err(RecvTimeoutError::Timeout) => {
                     drop(control);
-                    self.abort_epoch(epoch);
+                    self.abort_epoch(state.ns, epoch);
                     return Err(CoreError::Cluster(ClusterError::Timeout));
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -1623,20 +2260,20 @@ impl HarmonyEngine {
             epoch,
             cur.plan,
             cur.assignment.clone(),
-            self.dim,
+            state.dim,
         )?);
         drop(cur);
         {
-            let mut routing = self.shared.routing.write();
+            let mut routing = state.routing.write();
             sup.retired.push(Arc::clone(&routing));
             *routing = next;
         }
-        *self.list_sizes.write() = members.iter().map(Vec::len).collect();
+        *state.list_sizes.write() = members.iter().map(Vec::len).collect();
         ing.members = members;
         ing.pending.clear();
         ing.tombstones.clear();
         ing.deleted.clear();
-        self.refresh_ingest_snapshot(&ing);
+        refresh_ingest_snapshot(state, &ing);
         Ok(CompactionReport {
             epoch,
             folded_rows,
@@ -1646,37 +2283,28 @@ impl HarmonyEngine {
     }
 
     /// Auto-compaction hook: folds deltas once `compact_after` upserts are
-    /// pending (0 disables; manual [`HarmonyEngine::compact`] calls only).
-    fn maybe_auto_compact(&self) -> Result<(), CoreError> {
+    /// pending (0 disables; manual [`EngineCore::compact`] calls only).
+    /// When the background compactor is running it owns threshold-driven
+    /// folding, and the ingest path never blocks on a handshake.
+    fn maybe_auto_compact(&self, state: &NamespaceState) -> Result<(), CoreError> {
         let after = self.config.compact_after;
-        if after == 0 {
+        if after == 0 || self.config.compact_interval_ms > 0 {
             return Ok(());
         }
-        let due = self.ingest.lock().pending.len() >= after;
+        let due = state.ingest.lock().pending.len() >= after;
         if due {
-            self.compact()?;
+            self.compact_state(state)?;
         }
         Ok(())
     }
 
-    /// Publishes a fresh immutable snapshot of the ingest state for the
-    /// search path. Called with the ingest lock held.
-    fn refresh_ingest_snapshot(&self, ing: &IngestState) {
-        let snap = IngestSnapshot {
-            deleted: ing.deleted.clone(),
-            pending_clusters: ing.pending.iter().map(|p| p.cluster).collect(),
-            overridden: ing.overridden.clone(),
-        };
-        *self.ingest_snap.write() = Arc::new(snap);
-    }
-
     // --- Adaptive replanning -----------------------------------------
 
-    /// Runs one supervisor tick: fold the observation window's probe
-    /// counters into an observed [`WorkloadProfile`], re-score every
-    /// factorization with the cost model plus the amortized migration-cost
-    /// term, and live-migrate when a challenger beats the incumbent by the
-    /// configured hysteresis.
+    /// Runs one supervisor tick over the default namespace: fold the
+    /// observation window's probe counters into an observed
+    /// [`WorkloadProfile`], re-score every factorization with the cost
+    /// model plus the amortized migration-cost term, and live-migrate when
+    /// a challenger beats the incumbent by the configured hysteresis.
     ///
     /// Safe to call from any thread; ticks serialize on the supervisor
     /// lock. With [`crate::config::ReplanConfig::check_every`] set, the
@@ -1685,17 +2313,20 @@ impl HarmonyEngine {
     /// # Errors
     /// Transport failures or a migration handshake timeout.
     pub fn supervisor_tick(&self) -> Result<ReplanOutcome, CoreError> {
-        let mut sup = self.supervisor.lock();
-        self.tick_locked(&mut sup)
+        let state = Arc::clone(&self.ns0);
+        let mut sup = state.supervisor.lock();
+        self.tick_locked(&state, &mut sup)
     }
 
-    /// Forces a live migration to `plan` (diagnostics / benchmarks),
-    /// bypassing the cost model but using the same epoch handshake.
+    /// Forces a live migration of the default namespace to `plan`
+    /// (diagnostics / benchmarks), bypassing the cost model but using the
+    /// same epoch handshake.
     ///
     /// # Errors
     /// [`CoreError::Config`] when the plan does not fit the deployment;
     /// transport failures or a handshake timeout otherwise.
     pub fn migrate_to(&self, plan: PartitionPlan) -> Result<MigrationReport, CoreError> {
+        let state = Arc::clone(&self.ns0);
         if plan.machines() != self.config.n_machines {
             return Err(CoreError::Config(format!(
                 "plan {} needs {} machines but the deployment has {}",
@@ -1704,20 +2335,20 @@ impl HarmonyEngine {
                 self.config.n_machines
             )));
         }
-        if plan.dim_blocks > self.dim {
+        if plan.dim_blocks > state.dim {
             return Err(CoreError::Config(format!(
                 "plan {} needs more dimension blocks than dimensions ({})",
                 plan.label(),
-                self.dim
+                state.dim
             )));
         }
-        let weights: Vec<u64> = self
+        let weights: Vec<u64> = state
             .list_sizes
             .read()
             .iter()
             .map(|&s| s as u64 + 1)
             .collect();
-        let cur = Arc::clone(&self.shared.routing.read());
+        let cur = Arc::clone(&state.routing.read());
         let assignment = if plan == cur.plan {
             ShardAssignment::rebalance(&cur.assignment, &weights, plan.vec_shards, 1.0)
         } else if self.config.balanced_load {
@@ -1726,34 +2357,34 @@ impl HarmonyEngine {
             ShardAssignment::round_robin(&weights, plan.vec_shards)
         };
         drop(cur);
-        let mut sup = self.supervisor.lock();
-        self.gc_retired(&mut sup);
-        self.execute_migration(&mut sup, plan, assignment)
+        let mut sup = state.supervisor.lock();
+        self.gc_retired(&state, &mut sup);
+        self.execute_migration(&state, &mut sup, plan, assignment)
     }
 
     /// Drain-time eviction hook: retired epochs must not wait for the next
     /// supervisor tick (which may never come in manual mode) to release
     /// their worker-side storage. Non-blocking and O(1) when nothing is
     /// retired.
-    fn maybe_gc_retired(&self) {
-        let Some(mut sup) = self.supervisor.try_lock() else {
+    fn maybe_gc_retired(&self, state: &NamespaceState) {
+        let Some(mut sup) = state.supervisor.try_lock() else {
             return;
         };
         if !sup.retired.is_empty() {
-            self.gc_retired(&mut sup);
+            self.gc_retired(state, &mut sup);
         }
     }
 
     /// Auto-tick hook: runs a supervisor pass when enough queries completed
     /// since the last check. Non-blocking — if another thread is already
     /// ticking, this one skips.
-    fn maybe_auto_replan(&self) {
+    fn maybe_auto_replan(&self, state: &Arc<NamespaceState>) {
         let every = self.config.replan.check_every;
         if every == 0 {
             return;
         }
-        let done = self.shared.probes.queries();
-        let Some(mut sup) = self.supervisor.try_lock() else {
+        let done = state.probes.queries();
+        let Some(mut sup) = state.supervisor.try_lock() else {
             return;
         };
         if done < sup.next_check {
@@ -1762,32 +2393,38 @@ impl HarmonyEngine {
         sup.next_check = done + every;
         // Auto mode is best-effort: a failed tick (e.g. handshake timeout)
         // leaves the incumbent layout in force and retries next window.
-        let _ = self.tick_locked(&mut sup);
+        let _ = self.tick_locked(state, &mut sup);
     }
 
-    fn tick_locked(&self, sup: &mut SupervisorState) -> Result<ReplanOutcome, CoreError> {
-        self.gc_retired(sup);
+    fn tick_locked(
+        &self,
+        state: &NamespaceState,
+        sup: &mut SupervisorState,
+    ) -> Result<ReplanOutcome, CoreError> {
+        self.gc_retired(state, sup);
         let replan = self.config.replan;
-        let now = self.shared.probes.snapshot();
+        let now = state.probes.snapshot();
         let window = now.delta(&sup.window_start);
         if window.queries < replan.min_window_queries.max(1) {
             return Ok(ReplanOutcome::InsufficientData);
         }
         let nprobe = (window.total_probes() / window.queries.max(1)).max(1) as usize;
-        let k = self.shared.probes.last_k().max(1) as usize;
+        let k = state.probes.last_k().max(1) as usize;
         // Smooth the raw window through the EWMA so sustained drift drives
         // the decision while one noisy window cannot whipsaw the layout.
         sup.ewma.absorb(&window);
         let smoothed_counts = sup.ewma.counts();
         let smoothed_queries = sup.ewma.queries().max(1);
+        let pending = state.ingest.lock().pending.len();
         let profile = WorkloadProfile::observed(
-            self.list_sizes.read().clone(),
+            state.list_sizes.read().clone(),
             &smoothed_counts,
-            self.dim,
+            state.dim,
             smoothed_queries as usize,
             nprobe,
             k,
-        )?;
+        )?
+        .with_pending_deltas(pending);
         // Recalibrate the modeled compute rate from observed worker wall
         // time: the build-time microbenchmark drifts from the real scan
         // cost once quantized kernels and delta scans mix (PR-3 leftover).
@@ -1801,7 +2438,7 @@ impl HarmonyEngine {
             }
         }
         let weights = weights_from(&profile);
-        let cur = Arc::clone(&self.shared.routing.read());
+        let cur = Arc::clone(&state.routing.read());
         let stay_ns = sup
             .tuned
             .plan_cost_with_assignment(cur.plan, &profile, &cur.assignment)
@@ -1811,7 +2448,7 @@ impl HarmonyEngine {
         // challengers the amortized cost of moving to them.
         let mut best: Option<(PartitionPlan, ShardAssignment, f64, f64)> = None;
         for plan in PartitionPlan::enumerate(self.config.n_machines) {
-            if plan.dim_blocks > self.dim {
+            if plan.dim_blocks > state.dim {
                 continue;
             }
             let assignment = if plan == cur.plan {
@@ -1831,8 +2468,8 @@ impl HarmonyEngine {
                 .tuned
                 .plan_cost_with_assignment(plan, &profile, &assignment)
                 .total_ns;
-            let next = RoutingEpoch::new(cur.epoch + 1, plan, assignment, self.dim)?;
-            let (bytes, msgs, _) = self.migration_volume(&cur, &next);
+            let next = RoutingEpoch::new(cur.epoch + 1, plan, assignment, state.dim)?;
+            let (bytes, msgs, _) = self.migration_volume(state, &cur, &next);
             let migration_ns = sup.tuned.migration_ns(bytes, msgs);
             let score = cost + migration_ns / replan.amortize_windows;
             if best.as_ref().is_none_or(|b| score < b.2) {
@@ -1852,7 +2489,7 @@ impl HarmonyEngine {
         if best_ns >= stay_ns * (1.0 - replan.hysteresis) {
             return Ok(ReplanOutcome::Hold { stay_ns, best_ns });
         }
-        let mut report = self.execute_migration(sup, plan, assignment)?;
+        let mut report = self.execute_migration(state, sup, plan, assignment)?;
         report.stay_ns = stay_ns;
         report.projected_ns = cost;
         Ok(ReplanOutcome::Switched(report))
@@ -1860,16 +2497,20 @@ impl HarmonyEngine {
 
     /// Evicts retired epochs whose last in-flight query has drained (only
     /// the supervisor's own Arc remains).
-    fn gc_retired(&self, sup: &mut SupervisorState) {
+    fn gc_retired(&self, state: &NamespaceState, sup: &mut SupervisorState) {
         sup.retired.retain(|old| {
             if Arc::strong_count(old) > 1 {
                 return true;
             }
             for m in 0..self.config.n_machines {
-                let _ = self
-                    .shared
-                    .cluster
-                    .send(m, ToWorker::EvictEpoch { epoch: old.epoch }.to_bytes());
+                let _ = self.shared.cluster.send(
+                    m,
+                    ToWorker::EvictEpoch {
+                        ns: state.ns,
+                        epoch: old.epoch,
+                    }
+                    .to_bytes(),
+                );
             }
             false
         });
@@ -1884,11 +2525,12 @@ impl HarmonyEngine {
     /// only the one winning layout ever materializes its specs.
     fn visit_transfers(
         &self,
+        state: &NamespaceState,
         cur: &RoutingEpoch,
         next: &RoutingEpoch,
         mut visit: impl FnMut(NodeId, TransferSpec),
     ) {
-        for c in 0..self.list_sizes.read().len() {
+        for c in 0..state.list_sizes.read().len() {
             let s_old = cur.assignment.cluster_to_shard.get(c).copied().unwrap_or(0) as usize;
             let s_old = s_old.min(cur.plan.vec_shards - 1);
             let s_new = next
@@ -1929,25 +2571,31 @@ impl HarmonyEngine {
     /// layout).
     fn build_transfers(
         &self,
+        state: &NamespaceState,
         cur: &RoutingEpoch,
         next: &RoutingEpoch,
     ) -> Vec<(NodeId, TransferSpec)> {
         let mut out = Vec::new();
-        self.visit_transfers(cur, next, |src, t| out.push((src, t)));
+        self.visit_transfers(state, cur, next, |src, t| out.push((src, t)));
         out
     }
 
     /// Modeled `(payload bytes, network messages, network pieces)` of the
     /// migration from `cur` to `next`. Self-directed pieces install locally
     /// and cost nothing on the fabric.
-    fn migration_volume(&self, cur: &RoutingEpoch, next: &RoutingEpoch) -> (u64, u64, u64) {
-        let is_ip = !matches!(self.metric, Metric::L2);
-        let sq8 = self.sq8;
-        let sizes = self.list_sizes.read().clone();
+    fn migration_volume(
+        &self,
+        state: &NamespaceState,
+        cur: &RoutingEpoch,
+        next: &RoutingEpoch,
+    ) -> (u64, u64, u64) {
+        let is_ip = !matches!(state.metric, Metric::L2);
+        let sq8 = state.sq8;
+        let sizes = state.list_sizes.read().clone();
         let mut bytes = 0u64;
         let mut pieces = 0u64;
         let mut groups: HashSet<(NodeId, u64, u32, u32)> = HashSet::new();
-        self.visit_transfers(cur, next, |src, t| {
+        self.visit_transfers(state, cur, next, |src, t| {
             if src as u64 == t.dest {
                 return;
             }
@@ -1976,22 +2624,23 @@ impl HarmonyEngine {
     /// Executes a live layout switch: announce the next epoch to every
     /// machine, ship the pieces, await activation acks, then atomically
     /// swap the routing Arc. The old epoch stays on the workers until its
-    /// last in-flight query drains (see [`HarmonyEngine::gc_retired`]).
+    /// last in-flight query drains (see [`EngineCore::gc_retired`]).
     fn execute_migration(
         &self,
+        state: &NamespaceState,
         sup: &mut SupervisorState,
         plan: PartitionPlan,
         assignment: ShardAssignment,
     ) -> Result<MigrationReport, CoreError> {
-        let cur = Arc::clone(&self.shared.routing.read());
+        let cur = Arc::clone(&state.routing.read());
         // Epoch numbers are never reused, even across failed attempts: a
         // stale ack or piece from an aborted handshake must not be able to
         // impersonate a later one.
         let epoch = sup.next_epoch;
         sup.next_epoch += 1;
-        let next = Arc::new(RoutingEpoch::new(epoch, plan, assignment, self.dim)?);
-        let specs = self.build_transfers(&cur, &next);
-        let (modeled_bytes, msgs, network_pieces) = self.migration_volume(&cur, &next);
+        let next = Arc::new(RoutingEpoch::new(epoch, plan, assignment, state.dim)?);
+        let specs = self.build_transfers(state, &cur, &next);
+        let (modeled_bytes, msgs, network_pieces) = self.migration_volume(state, &cur, &next);
         let clusters_moved = cur.assignment.moved_clusters(&next.assignment).len();
         let machines = self.config.n_machines;
 
@@ -2008,6 +2657,7 @@ impl HarmonyEngine {
                 let (shard, dim_block) = next.plan.block_of(m);
                 let range = next.dim_ranges[dim_block];
                 let begin = BeginEpoch {
+                    ns: state.ns,
                     epoch,
                     shard: shard as u32,
                     dim_block: dim_block as u32,
@@ -2037,6 +2687,7 @@ impl HarmonyEngine {
                 };
                 for chunk in transfers.chunks(wave) {
                     let msg = MigrateOut {
+                        ns: state.ns,
                         epoch,
                         transfers: chunk.to_vec(),
                     };
@@ -2049,7 +2700,7 @@ impl HarmonyEngine {
         })();
         if let Err(e) = sends {
             drop(control);
-            self.abort_epoch(epoch);
+            self.abort_epoch(state.ns, epoch);
             return Err(e);
         }
 
@@ -2061,11 +2712,13 @@ impl HarmonyEngine {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 drop(control);
-                self.abort_epoch(epoch);
+                self.abort_epoch(state.ns, epoch);
                 return Err(CoreError::Cluster(ClusterError::Timeout));
             }
             match control.recv_timeout(remaining) {
-                Ok((from, ToClient::EpochReady { epoch: e })) if e == epoch => {
+                Ok((from, ToClient::EpochReady { ns, epoch: e }))
+                    if ns == state.ns && e == epoch =>
+                {
                     if from < machines && !std::mem::replace(&mut ready[from], true) {
                         count += 1;
                     }
@@ -2074,7 +2727,7 @@ impl HarmonyEngine {
                 Ok(_) => continue,
                 Err(RecvTimeoutError::Timeout) => {
                     drop(control);
-                    self.abort_epoch(epoch);
+                    self.abort_epoch(state.ns, epoch);
                     return Err(CoreError::Cluster(ClusterError::Timeout));
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -2089,10 +2742,10 @@ impl HarmonyEngine {
         // stale copies — live outside it. Re-home both onto the new epoch,
         // holding the ingest lock across the routing swap so no concurrent
         // ingest op can slip between re-ship and swap.
-        let ingest = self.ingest.lock();
-        if let Err(e) = self.reship_ingest(&ingest, &next) {
+        let ingest = state.ingest.lock();
+        if let Err(e) = self.reship_ingest(state, &ingest, &next) {
             drop(ingest);
-            self.abort_epoch(epoch);
+            self.abort_epoch(state.ns, epoch);
             return Err(e);
         }
 
@@ -2112,7 +2765,7 @@ impl HarmonyEngine {
         };
         drop(cur);
         {
-            let mut routing = self.shared.routing.write();
+            let mut routing = state.routing.write();
             sup.retired.push(Arc::clone(&routing));
             *routing = next;
         }
@@ -2125,7 +2778,12 @@ impl HarmonyEngine {
     /// destination so the worker-side delta lists stay seq-sorted; older
     /// pending copies of a re-upserted id are covered by its supersede
     /// tombstone and need not travel.
-    fn reship_ingest(&self, ing: &IngestState, next: &RoutingEpoch) -> Result<(), CoreError> {
+    fn reship_ingest(
+        &self,
+        state: &NamespaceState,
+        ing: &IngestState,
+        next: &RoutingEpoch,
+    ) -> Result<(), CoreError> {
         if ing.tombstones.is_empty() && ing.pending.is_empty() {
             return Ok(());
         }
@@ -2135,6 +2793,7 @@ impl HarmonyEngine {
         tombs.sort_unstable_by_key(|&(_, seq)| seq);
         for (id, seq) in tombs {
             let msg = DeleteIds {
+                ns: state.ns,
                 epoch,
                 ids: vec![id],
                 seq,
@@ -2157,8 +2816,8 @@ impl HarmonyEngine {
             .map(|(id, (cluster, seq))| (id, cluster, seq))
             .collect();
         rows.sort_unstable_by_key(|&(_, _, seq)| seq);
-        let base = self.base.read();
-        let is_ip = !matches!(self.metric, Metric::L2);
+        let base = state.base.read();
+        let is_ip = !matches!(state.metric, Metric::L2);
         for (id, cluster, seq) in rows {
             let Some(&row) = base.by_id.get(&id) else {
                 debug_assert!(false, "pending delta row missing from the base store");
@@ -2176,6 +2835,7 @@ impl HarmonyEngine {
                 let machine = next.plan.machine_of(shard as usize, b);
                 let slice = &vector[range.start..range.end];
                 let msg = DeltaUpsert {
+                    ns: state.ns,
                     epoch,
                     shard,
                     dim_start: range.start as u64,
@@ -2204,12 +2864,12 @@ impl HarmonyEngine {
 
     /// Best-effort cleanup of a half-installed epoch after a failed
     /// handshake, so a retry cannot meet leftover state.
-    fn abort_epoch(&self, epoch: u64) {
+    fn abort_epoch(&self, ns: u16, epoch: u64) {
         for m in 0..self.config.n_machines {
             let _ = self
                 .shared
                 .cluster
-                .send(m, ToWorker::EvictEpoch { epoch }.to_bytes());
+                .send(m, ToWorker::EvictEpoch { ns, epoch }.to_bytes());
         }
     }
 
@@ -2258,10 +2918,15 @@ impl HarmonyEngine {
                     stats.delta_block_bytes += r.delta_bytes;
                     stats.delta_rows += r.delta_rows;
                     stats.tombstone_entries += r.tombstone_entries;
+                    stats.cache_block_bytes += r.cache_block_bytes;
+                    stats.spilled_block_bytes += r.spilled_block_bytes;
                     received += 1;
                 }
-                // A late EpochReady from an aborted migration is harmless.
-                Ok((_, ToClient::EpochReady { .. })) => continue,
+                // Late acks from aborted handshakes / installs / tier
+                // transitions of other operations are harmless here.
+                Ok((_, ToClient::EpochReady { .. }))
+                | Ok((_, ToClient::LoadAck { .. }))
+                | Ok((_, ToClient::TierAck { .. })) => continue,
                 Ok((_, other)) => {
                     return Err(CoreError::Protocol(format!(
                         "unexpected message during stats collection: {other:?}"
@@ -2295,26 +2960,17 @@ impl HarmonyEngine {
     pub fn cluster_snapshot(&self) -> ClusterSnapshot {
         self.shared.cluster.snapshot()
     }
+}
 
-    /// Stops the session router and all workers, releasing the cluster.
-    ///
-    /// # Errors
-    /// Reports the first worker that panicked, if any.
-    pub fn shutdown(mut self) -> Result<(), CoreError> {
-        self.router_stop.store(true, Ordering::Release);
-        if let Some(handle) = self.router.take() {
-            let _ = handle.join();
-        }
-        match Arc::try_unwrap(self.shared) {
-            Ok(mut shared) => {
-                shared.cluster.shutdown()?;
-                Ok(())
-            }
-            // Unreachable in practice (the router holds no engine
-            // reference); the last Arc drop still stops the cluster.
-            Err(_) => Ok(()),
-        }
-    }
+/// Publishes a fresh immutable snapshot of a namespace's ingest state for
+/// the search path. Called with the ingest lock held.
+fn refresh_ingest_snapshot(state: &NamespaceState, ing: &IngestState) {
+    let snap = IngestSnapshot {
+        deleted: ing.deleted.clone(),
+        pending_clusters: ing.pending.iter().map(|p| p.cluster).collect(),
+        overridden: ing.overridden.clone(),
+    };
+    *state.ingest_snap.write() = Arc::new(snap);
 }
 
 /// Result of a single-query search.
@@ -2323,7 +2979,6 @@ pub struct SingleResult {
     /// Best-first neighbor list.
     pub neighbors: Vec<Neighbor>,
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2710,6 +3365,174 @@ mod tests {
                 }
             });
         });
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn namespaces_are_isolated_tenants() {
+        let data = dataset(1_200, 16);
+        let engine = engine_with(EngineMode::Harmony, &data.base);
+        let opts = SearchOptions::new(10).with_nprobe(4);
+        let baseline: Vec<Vec<Neighbor>> = (0..5)
+            .map(|i| engine.search(data.base.row(i), &opts).unwrap().neighbors)
+            .collect();
+
+        let tenant = SyntheticSpec::clustered(400, 16, 4)
+            .with_seed(99)
+            .generate();
+        let ns = engine
+            .create_namespace(&NamespaceConfig::default().with_nlist(8), &tenant.base)
+            .unwrap();
+        assert!(ns > 0, "tenant namespaces start above the default");
+        assert_eq!(engine.namespace_ids(), vec![0, ns]);
+
+        // Tenant self-queries resolve inside the tenant's own id space.
+        for row in [0usize, 100, 399] {
+            let got = engine
+                .search_ns(ns, tenant.base.row(row), &opts)
+                .unwrap()
+                .neighbors;
+            assert_eq!(
+                got.first().map(|n| n.id),
+                Some(tenant.base.id(row)),
+                "tenant row {row} must find itself in its own namespace"
+            );
+        }
+
+        // The default namespace is unaffected by the tenant's existence.
+        for (i, want) in baseline.iter().enumerate() {
+            let got = engine.search(data.base.row(i), &opts).unwrap().neighbors;
+            assert_eq!(
+                ids(&got),
+                ids(want),
+                "ns0 results must not change when a tenant is added"
+            );
+        }
+
+        // Unknown namespaces are a configuration error, not a panic.
+        assert!(matches!(
+            engine.search_ns(42, data.base.row(0), &opts),
+            Err(CoreError::Config(_))
+        ));
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn namespace_tier_roundtrip_is_bit_identical() {
+        let data = dataset(1_000, 16);
+        let engine = engine_with(EngineMode::Harmony, &data.base);
+        let opts = SearchOptions::new(10).with_nprobe(4);
+        let hot: Vec<Vec<Neighbor>> = (0..5)
+            .map(|i| engine.search(data.base.row(i), &opts).unwrap().neighbors)
+            .collect();
+        assert_eq!(engine.namespace_tier(0).unwrap(), Temperature::Hot);
+
+        // Demote to cold: blocks spill to disk and fault back on demand.
+        engine.set_namespace_tier(0, Temperature::Cold).unwrap();
+        assert_eq!(engine.namespace_tier(0).unwrap(), Temperature::Cold);
+        let stats = engine.collect_stats().unwrap();
+        assert!(
+            stats.spilled_block_bytes > 0,
+            "cold namespace must have disk-resident blocks"
+        );
+        for (i, want) in hot.iter().enumerate() {
+            let got = engine.search(data.base.row(i), &opts).unwrap().neighbors;
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.id, w.id, "cold results must match hot results");
+                assert_eq!(
+                    g.score.to_bits(),
+                    w.score.to_bits(),
+                    "spilled blocks must round-trip bit-identically"
+                );
+            }
+        }
+
+        // Re-promote: everything resident again, still identical.
+        engine.set_namespace_tier(0, Temperature::Hot).unwrap();
+        let stats = engine.collect_stats().unwrap();
+        assert_eq!(stats.spilled_block_bytes, 0, "hot means no spilled blocks");
+        assert_eq!(stats.cache_block_bytes, 0, "hot bypasses the block cache");
+        for (i, want) in hot.iter().enumerate() {
+            let got = engine.search(data.base.row(i), &opts).unwrap().neighbors;
+            assert_eq!(ids(&got), ids(want));
+        }
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn background_compactor_folds_pending_deltas() {
+        let data = dataset(600, 16);
+        let config = HarmonyConfig::builder()
+            .n_machines(2)
+            .nlist(8)
+            .seed(7)
+            .compact_after(4)
+            .compact_interval_ms(10)
+            .build();
+        let engine = HarmonyEngine::build(config.unwrap(), &data.base).unwrap();
+        for i in 0..5u64 {
+            let mut v = data.base.row(i as usize).to_vec();
+            v[0] += 0.25;
+            engine.upsert(10_000 + i, &v).unwrap();
+        }
+        // The background thread owns folding: wait for it to fire.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.pending_deltas() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "compactor did not fold {} pending deltas in time",
+                engine.pending_deltas()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(engine.current_epoch() > 0, "folding publishes a new epoch");
+        // The folded rows are still searchable, now from the IVF lists.
+        let mut q = data.base.row(0).to_vec();
+        q[0] += 0.25;
+        let opts = SearchOptions::new(1).with_nprobe(8);
+        let got = engine.search(&q, &opts).unwrap().neighbors;
+        assert_eq!(got.first().map(|n| n.id), Some(10_000));
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn namespace_quota_rejects_over_ingest() {
+        let data = dataset(500, 16);
+        let engine = engine_with(EngineMode::Harmony, &data.base);
+        let tenant = SyntheticSpec::clustered(100, 16, 4).with_seed(5).generate();
+        let ns = engine
+            .create_namespace(
+                &NamespaceConfig::default()
+                    .with_nlist(4)
+                    .with_max_vectors(100),
+                &tenant.base,
+            )
+            .unwrap();
+
+        // The namespace is full: a new id is rejected...
+        assert!(matches!(
+            engine.upsert_ns(ns, 5_000, &[0.25; 16]),
+            Err(CoreError::Config(_))
+        ));
+        // ...but replacing a live id never grows the namespace.
+        engine.upsert_ns(ns, 3, &[0.25; 16]).unwrap();
+        // Deleting frees quota for a new id.
+        assert!(engine.delete_ns(ns, 7).unwrap());
+        engine.upsert_ns(ns, 5_000, &[0.5; 16]).unwrap();
+        // The default namespace has no quota and is unaffected.
+        engine.upsert(9_999, &[0.75; 16]).unwrap();
+
+        // A base already over quota is rejected at creation.
+        assert!(matches!(
+            engine.create_namespace(
+                &NamespaceConfig::default()
+                    .with_nlist(4)
+                    .with_max_vectors(10),
+                &tenant.base,
+            ),
+            Err(CoreError::Config(_))
+        ));
         engine.shutdown().unwrap();
     }
 }

@@ -32,12 +32,16 @@ pub mod pruning;
 pub mod stats;
 pub mod worker;
 
-pub use config::{EngineMode, HarmonyConfig, HarmonyConfigBuilder, ReplanConfig, SearchOptions};
+pub use config::{
+    EngineMode, HarmonyConfig, HarmonyConfigBuilder, NamespaceConfig, ReplanConfig, SearchOptions,
+};
 pub use cost::{CostModel, PlanCost, WorkloadProfile};
 pub use engine::{
-    CompactionReport, HarmonyEngine, MigrationReport, ReplanOutcome, RoutingEpoch, SingleResult,
+    CompactionReport, EngineCore, HarmonyEngine, MigrationReport, ReplanOutcome, RoutingEpoch,
+    SingleResult,
 };
 pub use error::CoreError;
+pub use harmony_index::Temperature;
 pub use partition::{PartitionPlan, ShardAssignment};
 pub use pruning::{PruneRule, SliceStats};
 pub use stats::{

@@ -104,6 +104,9 @@ impl Wire for ClusterBlock {
 /// Build-phase shipment of one grid block to its machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadBlock {
+    /// Namespace (tenant) this block belongs to. Workers key all epoch
+    /// storage by `(ns, epoch)`, so id-spaces never collide across tenants.
+    pub ns: u16,
     /// Routing epoch this block belongs to (the initial build is epoch 0).
     pub epoch: u64,
     /// Vector shard index `s` of the block.
@@ -128,6 +131,7 @@ pub struct LoadBlock {
 
 impl Wire for LoadBlock {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.epoch.encode(buf);
         self.shard.encode(buf);
         self.dim_block.encode(buf);
@@ -142,6 +146,7 @@ impl Wire for LoadBlock {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
             dim_block: u32::decode(buf)?,
@@ -160,6 +165,9 @@ impl Wire for LoadBlock {
 /// `Q_i D_j`), plus the pipeline itinerary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryChunk {
+    /// Namespace the query targets; workers resolve block storage by
+    /// `(ns, epoch)`.
+    pub ns: u16,
     /// Query identifier, unique within a batch.
     pub query_id: u64,
     /// Routing epoch the query was admitted under: workers resolve block
@@ -194,6 +202,7 @@ pub struct QueryChunk {
 
 impl Wire for QueryChunk {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.query_id.encode(buf);
         self.epoch.encode(buf);
         self.shard.encode(buf);
@@ -209,6 +218,7 @@ impl Wire for QueryChunk {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             query_id: u64::decode(buf)?,
             epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
@@ -235,6 +245,8 @@ impl Wire for QueryChunk {
 /// hash lookups — and halves the carry width.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Carry {
+    /// Namespace of the originating chunk.
+    pub ns: u16,
     /// Query this carry belongs to.
     pub query_id: u64,
     /// Routing epoch of the originating chunk (see [`QueryChunk::epoch`]).
@@ -266,6 +278,7 @@ pub struct Carry {
 
 impl Wire for Carry {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.query_id.encode(buf);
         self.epoch.encode(buf);
         self.shard.encode(buf);
@@ -280,6 +293,7 @@ impl Wire for Carry {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             query_id: u64::decode(buf)?,
             epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
@@ -445,6 +459,9 @@ impl Wire for TransferSpec {
 /// the network.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MigrateOut {
+    /// Namespace being migrated; sources slice from and destinations
+    /// install into this namespace's storage only.
+    pub ns: u16,
     /// Epoch the shipped pieces install into.
     pub epoch: u64,
     /// Transfers this source must perform.
@@ -453,12 +470,14 @@ pub struct MigrateOut {
 
 impl Wire for MigrateOut {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.epoch.encode(buf);
         self.transfers.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             epoch: u64::decode(buf)?,
             transfers: Vec::decode(buf)?,
         })
@@ -471,6 +490,8 @@ impl Wire for MigrateOut {
 /// [`ToClient::EpochReady`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BeginEpoch {
+    /// Namespace whose routing advances to the new epoch.
+    pub ns: u16,
     /// The new epoch.
     pub epoch: u64,
     /// Shard of this machine's grid block under the new plan.
@@ -489,6 +510,7 @@ pub struct BeginEpoch {
 
 impl Wire for BeginEpoch {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.epoch.encode(buf);
         self.shard.encode(buf);
         self.dim_block.encode(buf);
@@ -500,6 +522,7 @@ impl Wire for BeginEpoch {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
             dim_block: u32::decode(buf)?,
@@ -515,6 +538,8 @@ impl Wire for BeginEpoch {
 /// block of `epoch`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstallLists {
+    /// Namespace the pieces install into.
+    pub ns: u16,
     /// Epoch the pieces install into.
     pub epoch: u64,
     /// Destination shard (sanity-checked against the announced block).
@@ -527,6 +552,7 @@ pub struct InstallLists {
 
 impl Wire for InstallLists {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.epoch.encode(buf);
         self.shard.encode(buf);
         self.dim_block.encode(buf);
@@ -535,6 +561,7 @@ impl Wire for InstallLists {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
             dim_block: u32::decode(buf)?,
@@ -552,6 +579,8 @@ impl Wire for InstallLists {
 /// below their admission watermark ([`QueryChunk::delta_seq`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeltaUpsert {
+    /// Namespace whose delta storage the rows append to.
+    pub ns: u16,
     /// Epoch whose delta storage the rows append to.
     pub epoch: u64,
     /// Home shard of the upserted vectors.
@@ -575,6 +604,7 @@ pub struct DeltaUpsert {
 
 impl Wire for DeltaUpsert {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.epoch.encode(buf);
         self.shard.encode(buf);
         self.dim_start.encode(buf);
@@ -588,6 +618,7 @@ impl Wire for DeltaUpsert {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             epoch: u64::decode(buf)?,
             shard: u32::decode(buf)?,
             dim_start: u64::decode(buf)?,
@@ -610,8 +641,11 @@ impl Wire for DeltaUpsert {
 /// best-effort early filter rather than the correctness mechanism.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeleteIds {
+    /// Namespace whose tombstone sets record the delete; the wildcard
+    /// epoch never crosses namespaces.
+    pub ns: u16,
     /// Epoch whose tombstone set records the delete, or [`u64::MAX`] to
-    /// apply to every live epoch on the machine.
+    /// apply to every live epoch of the namespace on the machine.
     pub epoch: u64,
     /// Ids to tombstone.
     pub ids: Vec<u64>,
@@ -622,6 +656,7 @@ pub struct DeleteIds {
 
 impl Wire for DeleteIds {
     fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
         self.epoch.encode(buf);
         self.ids.encode(buf);
         self.seq.encode(buf);
@@ -629,9 +664,39 @@ impl Wire for DeleteIds {
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         Ok(Self {
+            ns: u16::decode(buf)?,
             epoch: u64::decode(buf)?,
             ids: Vec::decode(buf)?,
             seq: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Client → all machines: move a namespace to a new residency tier.
+///
+/// Workers spill or fault the namespace's grid blocks accordingly (see
+/// `harmony_index::tier`) and ack with [`ToClient::TierAck`] once the
+/// transition is durable. Tier changes never alter stored bytes — a
+/// spilled block faults back bit-identical — so search results are
+/// unaffected by when the ack races with in-flight queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetTier {
+    /// Namespace whose tier changes.
+    pub ns: u16,
+    /// Target tier tag ([`harmony_index::Temperature::encode`]).
+    pub temperature: u8,
+}
+
+impl Wire for SetTier {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.ns.encode(buf);
+        self.temperature.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        Ok(Self {
+            ns: u16::decode(buf)?,
+            temperature: u8::decode(buf)?,
         })
     }
 }
@@ -664,6 +729,12 @@ pub struct StatsReport {
     pub delta_rows: u64,
     /// Tombstoned ids currently held across live epochs.
     pub tombstone_entries: u64,
+    /// Evictable block payload bytes resident in the warm-tier cache (a
+    /// subset of `f32_block_bytes` + `sq8_block_bytes`).
+    pub cache_block_bytes: u64,
+    /// Block payload bytes spilled to disk (warm/cold namespaces); not
+    /// counted in any RAM gauge.
+    pub spilled_block_bytes: u64,
 }
 
 impl Wire for StatsReport {
@@ -678,6 +749,8 @@ impl Wire for StatsReport {
         self.delta_bytes.encode(buf);
         self.delta_rows.encode(buf);
         self.tombstone_entries.encode(buf);
+        self.cache_block_bytes.encode(buf);
+        self.spilled_block_bytes.encode(buf);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
@@ -692,6 +765,8 @@ impl Wire for StatsReport {
             delta_bytes: u64::decode(buf)?,
             delta_rows: u64::decode(buf)?,
             tombstone_entries: u64::decode(buf)?,
+            cache_block_bytes: u64::decode(buf)?,
+            spilled_block_bytes: u64::decode(buf)?,
         })
     }
 }
@@ -717,6 +792,8 @@ pub enum ToWorker {
     InstallLists(InstallLists),
     /// Drop all storage of a retired epoch.
     EvictEpoch {
+        /// Namespace whose epoch retires.
+        ns: u16,
         /// The retired epoch.
         epoch: u64,
     },
@@ -724,6 +801,8 @@ pub enum ToWorker {
     UpsertDelta(DeltaUpsert),
     /// Tombstone ids for soft deletion.
     DeleteIds(DeleteIds),
+    /// Move a namespace between residency tiers.
+    SetTier(SetTier),
 }
 
 impl Wire for ToWorker {
@@ -755,8 +834,9 @@ impl Wire for ToWorker {
                 7u8.encode(buf);
                 m.encode(buf);
             }
-            ToWorker::EvictEpoch { epoch } => {
+            ToWorker::EvictEpoch { ns, epoch } => {
                 8u8.encode(buf);
+                ns.encode(buf);
                 epoch.encode(buf);
             }
             ToWorker::UpsertDelta(m) => {
@@ -765,6 +845,10 @@ impl Wire for ToWorker {
             }
             ToWorker::DeleteIds(m) => {
                 10u8.encode(buf);
+                m.encode(buf);
+            }
+            ToWorker::SetTier(m) => {
+                11u8.encode(buf);
                 m.encode(buf);
             }
         }
@@ -781,10 +865,12 @@ impl Wire for ToWorker {
             6 => Ok(ToWorker::MigrateOut(MigrateOut::decode(buf)?)),
             7 => Ok(ToWorker::InstallLists(InstallLists::decode(buf)?)),
             8 => Ok(ToWorker::EvictEpoch {
+                ns: u16::decode(buf)?,
                 epoch: u64::decode(buf)?,
             }),
             9 => Ok(ToWorker::UpsertDelta(DeltaUpsert::decode(buf)?)),
             10 => Ok(ToWorker::DeleteIds(DeleteIds::decode(buf)?)),
+            11 => Ok(ToWorker::SetTier(SetTier::decode(buf)?)),
             t => Err(CodecError::Invalid(format!("bad ToWorker tag {t}"))),
         }
     }
@@ -795,6 +881,8 @@ impl Wire for ToWorker {
 pub enum ToClient {
     /// Acknowledges a [`LoadBlock`].
     LoadAck {
+        /// Namespace of the acknowledged block.
+        ns: u16,
         /// Shard of the acknowledged block.
         shard: u32,
         /// Dimension block of the acknowledged block.
@@ -807,16 +895,29 @@ pub enum ToClient {
     /// A destination machine received every migrated piece of `epoch` and
     /// activated the new storage.
     EpochReady {
+        /// Namespace of the activated epoch.
+        ns: u16,
         /// The activated epoch.
         epoch: u64,
+    },
+    /// Acknowledges a [`SetTier`]: the namespace's blocks on this machine
+    /// now sit in the requested tier.
+    TierAck {
+        /// Namespace whose transition completed.
+        ns: u16,
     },
 }
 
 impl Wire for ToClient {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            ToClient::LoadAck { shard, dim_block } => {
+            ToClient::LoadAck {
+                ns,
+                shard,
+                dim_block,
+            } => {
                 0u8.encode(buf);
+                ns.encode(buf);
                 shard.encode(buf);
                 dim_block.encode(buf);
             }
@@ -828,9 +929,14 @@ impl Wire for ToClient {
                 2u8.encode(buf);
                 m.encode(buf);
             }
-            ToClient::EpochReady { epoch } => {
+            ToClient::EpochReady { ns, epoch } => {
                 3u8.encode(buf);
+                ns.encode(buf);
                 epoch.encode(buf);
+            }
+            ToClient::TierAck { ns } => {
+                4u8.encode(buf);
+                ns.encode(buf);
             }
         }
     }
@@ -838,13 +944,18 @@ impl Wire for ToClient {
     fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
         match u8::decode(buf)? {
             0 => Ok(ToClient::LoadAck {
+                ns: u16::decode(buf)?,
                 shard: u32::decode(buf)?,
                 dim_block: u32::decode(buf)?,
             }),
             1 => Ok(ToClient::Result(QueryResult::decode(buf)?)),
             2 => Ok(ToClient::Stats(StatsReport::decode(buf)?)),
             3 => Ok(ToClient::EpochReady {
+                ns: u16::decode(buf)?,
                 epoch: u64::decode(buf)?,
+            }),
+            4 => Ok(ToClient::TierAck {
+                ns: u16::decode(buf)?,
             }),
             t => Err(CodecError::Invalid(format!("bad ToClient tag {t}"))),
         }
@@ -918,6 +1029,7 @@ mod tests {
 
     fn sample_chunk() -> QueryChunk {
         QueryChunk {
+            ns: 2,
             query_id: 42,
             epoch: 3,
             shard: 1,
@@ -943,6 +1055,7 @@ mod tests {
             total_norms_sq: vec![4.0, 5.0, 6.0],
         });
         roundtrip(LoadBlock {
+            ns: 1,
             epoch: 0,
             shard: 1,
             dim_block: 2,
@@ -956,6 +1069,7 @@ mod tests {
         });
         roundtrip(sample_chunk());
         roundtrip(Carry {
+            ns: 2,
             query_id: 42,
             epoch: 3,
             shard: 1,
@@ -985,12 +1099,15 @@ mod tests {
             delta_bytes: 4096,
             delta_rows: 32,
             tombstone_entries: 5,
+            cache_block_bytes: 1 << 16,
+            spilled_block_bytes: 1 << 21,
         });
     }
 
     #[test]
     fn ingest_messages_roundtrip() {
         roundtrip(DeltaUpsert {
+            ns: 3,
             epoch: 4,
             shard: 2,
             dim_start: 8,
@@ -1002,6 +1119,7 @@ mod tests {
             total_norms_sq: vec![3.0, 4.0],
         });
         roundtrip(ToWorker::UpsertDelta(DeltaUpsert {
+            ns: 0,
             epoch: 0,
             shard: 0,
             dim_start: 0,
@@ -1013,15 +1131,30 @@ mod tests {
             total_norms_sq: vec![],
         }));
         roundtrip(DeleteIds {
+            ns: 7,
             epoch: u64::MAX,
             ids: vec![7, 8, 9],
             seq: 42,
         });
         roundtrip(ToWorker::DeleteIds(DeleteIds {
+            ns: 0,
             epoch: 3,
             ids: vec![],
             seq: 0,
         }));
+    }
+
+    #[test]
+    fn tier_messages_roundtrip() {
+        roundtrip(SetTier {
+            ns: 9,
+            temperature: 2,
+        });
+        roundtrip(ToWorker::SetTier(SetTier {
+            ns: 0,
+            temperature: 0,
+        }));
+        roundtrip(ToClient::TierAck { ns: 9 });
     }
 
     #[test]
@@ -1038,6 +1171,7 @@ mod tests {
             total_norms_sq: vec![],
         });
         roundtrip(ToWorker::Load(LoadBlock {
+            ns: 4,
             epoch: 2,
             shard: 0,
             dim_block: 1,
@@ -1058,6 +1192,7 @@ mod tests {
         }));
         let half = seg.slice_dims(8, 10);
         roundtrip(ToWorker::InstallLists(InstallLists {
+            ns: 4,
             epoch: 2,
             shard: 0,
             dim_block: 0,
@@ -1073,6 +1208,7 @@ mod tests {
             }],
         }));
         let mut c = Carry {
+            ns: 4,
             query_id: 9,
             epoch: 2,
             shard: 0,
@@ -1122,10 +1258,12 @@ mod tests {
             dest_dim_block: 1,
         });
         roundtrip(ToWorker::MigrateOut(MigrateOut {
+            ns: 1,
             epoch: 1,
             transfers: vec![],
         }));
         roundtrip(ToWorker::BeginEpoch(BeginEpoch {
+            ns: 1,
             epoch: 1,
             shard: 0,
             dim_block: 1,
@@ -1135,13 +1273,14 @@ mod tests {
             expected_pieces: 12,
         }));
         roundtrip(ToWorker::InstallLists(InstallLists {
+            ns: 1,
             epoch: 1,
             shard: 0,
             dim_block: 1,
             pieces: vec![piece],
         }));
-        roundtrip(ToWorker::EvictEpoch { epoch: 0 });
-        roundtrip(ToClient::EpochReady { epoch: 1 });
+        roundtrip(ToWorker::EvictEpoch { ns: 1, epoch: 0 });
+        roundtrip(ToClient::EpochReady { ns: 1, epoch: 1 });
     }
 
     #[test]
@@ -1150,6 +1289,7 @@ mod tests {
         roundtrip(ToWorker::GetStats);
         roundtrip(ToWorker::ResetStats);
         roundtrip(ToClient::LoadAck {
+            ns: 2,
             shard: 3,
             dim_block: 1,
         });

@@ -279,6 +279,10 @@ pub struct EngineStats {
     pub delta_rows: u64,
     /// Tombstoned ids held across worker epochs.
     pub tombstone_entries: u64,
+    /// Bytes of faulted-in warm/cold blocks resident in worker LRU caches.
+    pub cache_block_bytes: u64,
+    /// Bytes of spilled block files on disk across workers.
+    pub spilled_block_bytes: u64,
 }
 
 impl EngineStats {

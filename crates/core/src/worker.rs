@@ -36,19 +36,35 @@
 //! the last in-flight query of that epoch has drained.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use harmony_cluster::{mem, NodeCtx, NodeHandler, NodeId, Wire, CLIENT};
 use harmony_index::distance::{ip, l2_sq};
+use harmony_index::persist::{load_block_file, save_block_file};
 use harmony_index::quant::{self, Sq8BlockQuery};
-use harmony_index::{BlockRepr, DeltaList, Metric, Sq8Segment, TombstoneSet, TopK};
+use harmony_index::{
+    BlockCache, BlockRepr, DeltaList, Metric, Sq8Segment, Temperature, TombstoneSet, TopK,
+};
 
 use crate::messages::{
-    metric_tag, repr_tag, BeginEpoch, Carry, DeleteIds, DeltaUpsert, InstallLists, ListPiece,
-    LoadBlock, MigrateOut, QueryChunk, QueryResult, StatsReport, ToClient, ToWorker,
+    metric_tag, repr_tag, BeginEpoch, Carry, ClusterBlock, DeleteIds, DeltaUpsert, InstallLists,
+    ListPiece, LoadBlock, MigrateOut, QueryChunk, QueryResult, SetTier, StatsReport, ToClient,
+    ToWorker,
 };
 use crate::pruning::PruneRule;
+
+/// Addresses one grid block in the tier machinery: `(ns, epoch, shard)`.
+/// A worker hosts at most one block per shard per `(ns, epoch)`, so the key
+/// is unique within a worker (and spill files live in a per-worker
+/// directory, so it is unique on disk too).
+type SpillKey = (u16, u64, u32);
+
+/// Distinguishes concurrently-constructed workers' default spill
+/// directories within one process.
+static SPILL_DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// The vector payload of one list block, in its resident representation.
 enum BlockData {
@@ -137,12 +153,124 @@ fn gauge_sub(store: &BlockStore) {
     mem::sq8_block_sub(s);
 }
 
-/// All grid blocks this machine hosts under one routing epoch.
+/// The disk backing of a spilled grid block.
+struct SpillFile {
+    path: PathBuf,
+    /// Serialized payload bytes on disk (the spilled-byte gauge's unit).
+    payload_bytes: usize,
+}
+
+/// One shard's grid block under the tier machinery: RAM payload, disk
+/// backing, or both (warm blocks faulted into the cache keep their file —
+/// spill files are immutable for the life of the block, so demoting again
+/// is free).
+struct BlockSlot {
+    /// RAM-resident payload; `None` while spilled out.
+    resident: Option<BlockStore>,
+    /// Disk backing; `None` for hot (pinned) blocks.
+    spill: Option<SpillFile>,
+}
+
+impl BlockSlot {
+    fn pinned(store: BlockStore) -> Self {
+        Self {
+            resident: Some(store),
+            spill: None,
+        }
+    }
+}
+
+/// Serializes a block store for spilling. The list payload reuses the wire
+/// codec's [`ClusterBlock`] encoding (sorted by cluster id), so a faulted
+/// block rebuilds through the exact path a [`LoadBlock`] takes — faulting
+/// is a pure byte round-trip and search results stay bit-identical.
+fn encode_block_store(store: &BlockStore) -> Vec<u8> {
+    let mut clusters: Vec<ClusterBlock> = store
+        .lists
+        .iter()
+        .map(|(&cluster, l)| ClusterBlock {
+            cluster,
+            ids: l.ids.clone(),
+            flat: match &l.data {
+                BlockData::F32 { flat } => flat.clone(),
+                BlockData::Sq8 { .. } => Vec::new(),
+            },
+            segs: match &l.data {
+                BlockData::F32 { .. } => Vec::new(),
+                BlockData::Sq8 { segs } => segs.clone(),
+            },
+            block_norms_sq: l.block_norms_sq.clone(),
+            total_norms_sq: l.total_norms_sq.clone(),
+        })
+        .collect();
+    clusters.sort_by_key(|c| c.cluster);
+    let mut buf = BytesMut::new();
+    store.dim_start.encode(&mut buf);
+    store.dim_end.encode(&mut buf);
+    clusters.encode(&mut buf);
+    buf.to_vec()
+}
+
+/// Rebuilds a block store from a spill payload. Returns `None` on any
+/// decode mismatch (a corrupt file already failed the checksum in
+/// [`load_block_file`]; this guards logic errors).
+fn decode_block_store(payload: &[u8]) -> Option<BlockStore> {
+    let mut buf = Bytes::copy_from_slice(payload);
+    let dim_start = u64::decode(&mut buf).ok()?;
+    let dim_end = u64::decode(&mut buf).ok()?;
+    let clusters = Vec::<ClusterBlock>::decode(&mut buf).ok()?;
+    let width = (dim_end - dim_start) as usize;
+    let mut lists = HashMap::with_capacity(clusters.len());
+    for cb in clusters {
+        let data = if cb.segs.is_empty() {
+            BlockData::F32 { flat: cb.flat }
+        } else {
+            BlockData::Sq8 { segs: cb.segs }
+        };
+        let max_block_norm_sq = max_norm(&cb.block_norms_sq);
+        lists.insert(
+            cb.cluster,
+            ListBlock {
+                ids: cb.ids,
+                data,
+                block_norms_sq: cb.block_norms_sq,
+                total_norms_sq: cb.total_norms_sq,
+                max_block_norm_sq,
+                width,
+            },
+        );
+    }
+    Some(BlockStore {
+        dim_start,
+        dim_end,
+        lists,
+    })
+}
+
+/// Per-namespace query configuration, set by the namespace's first
+/// [`LoadBlock`] and inherited by every later epoch (migrations never
+/// change a namespace's metric or pruning rule).
+#[derive(Clone, Copy)]
+struct NsMeta {
+    metric: Metric,
+    rule: PruneRule,
+}
+
+impl Default for NsMeta {
+    fn default() -> Self {
+        Self {
+            metric: Metric::L2,
+            rule: PruneRule::new(Metric::L2, true),
+        }
+    }
+}
+
+/// All grid blocks this machine hosts under one `(ns, epoch)`.
 struct EpochStore {
     /// Pipeline length of the epoch's plan.
     total_dim_blocks: usize,
-    /// shard → block storage.
-    blocks: HashMap<u32, BlockStore>,
+    /// shard → block slot (resident, spilled, or both).
+    blocks: HashMap<u32, BlockSlot>,
     /// shard → freshly upserted rows (this machine's dimension slice),
     /// appended in ingest-sequence order and scanned exactly after the
     /// probed lists. Folded away when a compaction publishes the next
@@ -317,23 +445,32 @@ impl<'a> PreparedQuery<'a> {
 
 /// The Harmony worker node handler.
 pub struct HarmonyWorker {
-    /// epoch → grid-block storage. Queries resolve their storage by the
-    /// epoch stamped on the chunk, so in-flight traffic survives a live
-    /// migration untouched.
-    epochs: HashMap<u64, EpochStore>,
+    /// `(ns, epoch)` → grid-block storage. Queries resolve their storage by
+    /// the namespace and epoch stamped on the chunk, so in-flight traffic
+    /// survives a live migration untouched and tenants never see each
+    /// other's blocks. Epoch numbers are per-namespace sequences.
+    epochs: HashMap<(u16, u64), EpochStore>,
     /// Epochs whose pieces are still streaming in.
-    installs: HashMap<u64, InstallAssembly>,
+    installs: HashMap<(u16, u64), InstallAssembly>,
     /// Pieces that raced ahead of their [`BeginEpoch`] announcement.
-    orphan_pieces: HashMap<u64, Vec<InstallLists>>,
-    /// Highest epoch ever evicted. Epoch numbers are never reused, so any
-    /// announcement or piece at or below this watermark is a straggler of
-    /// an aborted/retired epoch and is dropped instead of being stashed
-    /// forever in `orphan_pieces` (peer [`InstallLists`] can outrun the
-    /// client's [`ToWorker::EvictEpoch`] — different senders, no FIFO).
-    evicted_watermark: Option<u64>,
+    orphan_pieces: HashMap<(u16, u64), Vec<InstallLists>>,
+    /// Per-namespace highest epoch ever evicted. Epoch numbers are never
+    /// reused within a namespace, so any announcement or piece at or below
+    /// the watermark is a straggler of an aborted/retired epoch and is
+    /// dropped instead of being stashed forever in `orphan_pieces` (peer
+    /// [`InstallLists`] can outrun the client's [`ToWorker::EvictEpoch`] —
+    /// different senders, no FIFO).
+    evicted_watermark: HashMap<u16, u64>,
     pending: PendingTables,
-    metric: Metric,
-    rule: PruneRule,
+    /// Per-namespace metric and pruning rule.
+    ns_meta: HashMap<u16, NsMeta>,
+    /// Per-namespace residency tier (absent = hot).
+    tiers: HashMap<u16, Temperature>,
+    /// LRU over faulted warm/cold blocks; payloads live in the slots.
+    cache: BlockCache<SpillKey>,
+    /// Directory for this worker's spill files (created lazily).
+    spill_dir: PathBuf,
+    spill_dir_ready: bool,
     /// Longest pipeline across live epochs (sizes the slice counters).
     slice_positions: usize,
     // --- statistics ---
@@ -351,24 +488,258 @@ impl Default for HarmonyWorker {
     }
 }
 
+/// Default warm-cache byte budget when the engine does not configure one.
+const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
 impl HarmonyWorker {
     /// Creates an empty worker; configuration arrives with the first
-    /// [`LoadBlock`].
+    /// [`LoadBlock`]. Spill files land in a per-instance temp directory.
     pub fn new() -> Self {
+        let seq = SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("harmony-spill-{}", std::process::id()))
+            .join(format!("w{seq}"));
+        Self::with_tiering(dir, DEFAULT_CACHE_BUDGET)
+    }
+
+    /// Creates an empty worker that spills warm/cold blocks under
+    /// `spill_dir` and caches faulted payloads up to `cache_budget` bytes.
+    pub fn with_tiering(spill_dir: PathBuf, cache_budget: usize) -> Self {
         Self {
             epochs: HashMap::new(),
             installs: HashMap::new(),
             orphan_pieces: HashMap::new(),
-            evicted_watermark: None,
+            evicted_watermark: HashMap::new(),
             pending: PendingTables::default(),
-            metric: Metric::L2,
-            rule: PruneRule::new(Metric::L2, true),
+            ns_meta: HashMap::new(),
+            tiers: HashMap::new(),
+            cache: BlockCache::new(cache_budget),
+            spill_dir,
+            spill_dir_ready: false,
             slice_positions: 1,
             slice_in: vec![0],
             slice_pruned: vec![0],
             scanned_point_dims: 0,
             compute_ns: 0,
         }
+    }
+
+    /// Per-namespace metric and pruning rule (default before any load).
+    fn meta(&self, ns: u16) -> NsMeta {
+        self.ns_meta.get(&ns).copied().unwrap_or_default()
+    }
+
+    fn tier(&self, ns: u16) -> Temperature {
+        self.tiers.get(&ns).copied().unwrap_or_default()
+    }
+
+    fn watermarked(&self, ns: u16, epoch: u64) -> bool {
+        self.evicted_watermark.get(&ns).is_some_and(|&w| epoch <= w)
+    }
+
+    fn spill_path(&self, key: SpillKey) -> PathBuf {
+        let (ns, epoch, shard) = key;
+        self.spill_dir.join(format!("ns{ns}-e{epoch}-s{shard}.blk"))
+    }
+
+    /// Drops a slot's resident payload (cache eviction / cold demotion).
+    /// Only slots with a disk backing may be evicted, so the data is never
+    /// lost. The caller keeps the cache (and its gauge) in sync.
+    fn evict_resident(slot: &mut BlockSlot) {
+        debug_assert!(slot.spill.is_some(), "evicting a block with no backing");
+        if let Some(store) = slot.resident.take() {
+            gauge_sub(&store);
+        }
+    }
+
+    /// Mirrors the process-wide cache gauge onto the cache's tracked bytes
+    /// after a mutation; `before` is `cache.resident_bytes()` prior to it.
+    fn sync_cache_gauge(&self, before: usize) {
+        let after = self.cache.resident_bytes();
+        if after > before {
+            mem::cache_block_add(after - before);
+        } else {
+            mem::cache_block_sub(before - after);
+        }
+    }
+
+    /// Evicts the slots named by a batch of cache-evicted keys.
+    fn apply_cache_evictions(&mut self, evicted: Vec<SpillKey>) {
+        for key in evicted {
+            if let Some(slot) = self
+                .epochs
+                .get_mut(&(key.0, key.1))
+                .and_then(|e| e.blocks.get_mut(&key.2))
+            {
+                Self::evict_resident(slot);
+            }
+        }
+    }
+
+    /// Ensures a spill file exists for the slot, writing one if needed.
+    /// On I/O failure the slot simply keeps no backing — it then behaves
+    /// as pinned (never cache-evicted), trading memory for safety.
+    fn ensure_spilled(&mut self, key: SpillKey) {
+        let path = self.spill_path(key);
+        if !self.spill_dir_ready {
+            if std::fs::create_dir_all(&self.spill_dir).is_err() {
+                return;
+            }
+            self.spill_dir_ready = true;
+        }
+        let Some(slot) = self
+            .epochs
+            .get_mut(&(key.0, key.1))
+            .and_then(|e| e.blocks.get_mut(&key.2))
+        else {
+            return;
+        };
+        if slot.spill.is_some() {
+            return;
+        }
+        let Some(store) = slot.resident.as_ref() else {
+            return;
+        };
+        let payload = encode_block_store(store);
+        if save_block_file(&path, &payload).is_ok() {
+            mem::spilled_block_add(payload.len());
+            slot.spill = Some(SpillFile {
+                path,
+                payload_bytes: payload.len(),
+            });
+        }
+    }
+
+    /// Deletes a slot's spill file and releases its gauge bytes.
+    fn drop_spill(slot: &mut BlockSlot) {
+        if let Some(spill) = slot.spill.take() {
+            mem::spilled_block_sub(spill.payload_bytes);
+            let _ = std::fs::remove_file(&spill.path);
+        }
+    }
+
+    /// Makes the block for `key` RAM-resident, faulting it from disk if the
+    /// namespace is demoted, and refreshes its cache recency. Faulting may
+    /// evict colder blocks past the cache budget.
+    fn ensure_resident(&mut self, key: SpillKey) {
+        let Some(slot) = self
+            .epochs
+            .get_mut(&(key.0, key.1))
+            .and_then(|e| e.blocks.get_mut(&key.2))
+        else {
+            return;
+        };
+        if slot.resident.is_some() {
+            if slot.spill.is_some() {
+                self.cache.touch(&key);
+            }
+            return;
+        }
+        let Some(spill) = slot.spill.as_ref() else {
+            return;
+        };
+        let Ok(payload) = load_block_file(&spill.path) else {
+            return; // unreadable backing: degrade to an empty answer
+        };
+        let Some(store) = decode_block_store(&payload) else {
+            return;
+        };
+        let (f, s) = store.payload_bytes();
+        gauge_add(&store);
+        slot.resident = Some(store);
+        let before = self.cache.resident_bytes();
+        let evicted = self.cache.insert(key, f + s);
+        self.sync_cache_gauge(before);
+        self.apply_cache_evictions(evicted);
+    }
+
+    /// Applies the namespace's current tier to a freshly installed block:
+    /// hot blocks stay pinned, warm blocks gain a backing and enter the
+    /// cache, cold blocks spill and drop their payload immediately.
+    fn apply_tier(&mut self, key: SpillKey) {
+        match self.tier(key.0) {
+            Temperature::Hot => {}
+            Temperature::Warm => {
+                if self.cache.touch(&key) {
+                    return; // already demoted and cached
+                }
+                self.ensure_spilled(key);
+                let Some(slot) = self
+                    .epochs
+                    .get_mut(&(key.0, key.1))
+                    .and_then(|e| e.blocks.get_mut(&key.2))
+                else {
+                    return;
+                };
+                if slot.spill.is_none() {
+                    return; // spill failed: stay pinned
+                }
+                if let Some(store) = slot.resident.as_ref() {
+                    let (f, s) = store.payload_bytes();
+                    let before = self.cache.resident_bytes();
+                    let evicted = self.cache.insert(key, f + s);
+                    self.sync_cache_gauge(before);
+                    self.apply_cache_evictions(evicted);
+                }
+            }
+            Temperature::Cold => {
+                self.ensure_spilled(key);
+                let Some(slot) = self
+                    .epochs
+                    .get_mut(&(key.0, key.1))
+                    .and_then(|e| e.blocks.get_mut(&key.2))
+                else {
+                    return;
+                };
+                if slot.spill.is_none() {
+                    return;
+                }
+                Self::evict_resident(slot);
+                let before = self.cache.resident_bytes();
+                self.cache.remove(&key);
+                self.sync_cache_gauge(before);
+            }
+        }
+    }
+
+    /// Every block key currently stored for a namespace.
+    fn ns_keys(&self, ns: u16) -> Vec<SpillKey> {
+        let mut keys: Vec<SpillKey> = self
+            .epochs
+            .iter()
+            .filter(|((n, _), _)| *n == ns)
+            .flat_map(|(&(n, e), store)| store.blocks.keys().map(move |&s| (n, e, s)))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Moves a namespace between residency tiers and acks the client.
+    fn handle_set_tier(&mut self, ctx: &NodeCtx, msg: SetTier) {
+        if let Some(tier) = Temperature::decode(msg.temperature) {
+            self.tiers.insert(msg.ns, tier);
+            for key in self.ns_keys(msg.ns) {
+                match tier {
+                    Temperature::Hot => {
+                        // Promote: fault everything back, pin it, release
+                        // the disk backing.
+                        self.ensure_resident(key);
+                        let before = self.cache.resident_bytes();
+                        self.cache.remove(&key);
+                        self.sync_cache_gauge(before);
+                        if let Some(slot) = self
+                            .epochs
+                            .get_mut(&(key.0, key.1))
+                            .and_then(|e| e.blocks.get_mut(&key.2))
+                        {
+                            Self::drop_spill(slot);
+                        }
+                    }
+                    Temperature::Warm | Temperature::Cold => self.apply_tier(key),
+                }
+            }
+        }
+        let _ = ctx.send(CLIENT, ToClient::TierAck { ns: msg.ns }.to_bytes());
     }
 
     /// Grows the per-position pruning counters to cover `positions` slices
@@ -386,8 +757,13 @@ impl HarmonyWorker {
     fn handle_load(&mut self, ctx: &NodeCtx, load: LoadBlock) {
         let metric = metric_tag::decode(load.metric).unwrap_or(Metric::L2);
         let repr = repr_tag::decode(load.repr).unwrap_or(BlockRepr::F32);
-        self.metric = metric;
-        self.rule = PruneRule::new(metric, load.pruning);
+        self.ns_meta.insert(
+            load.ns,
+            NsMeta {
+                metric,
+                rule: PruneRule::new(metric, load.pruning),
+            },
+        );
         let total_dim_blocks = load.total_dim_blocks.max(1) as usize;
         self.ensure_slice_positions(total_dim_blocks);
 
@@ -411,11 +787,12 @@ impl HarmonyWorker {
                 },
             );
         }
+        let ns = load.ns;
         let shard = load.shard;
         let dim_block = load.dim_block;
         let store = self
             .epochs
-            .entry(load.epoch)
+            .entry((ns, load.epoch))
             .or_insert_with(|| EpochStore::new(total_dim_blocks));
         store.total_dim_blocks = total_dim_blocks;
         let block = BlockStore {
@@ -424,10 +801,25 @@ impl HarmonyWorker {
             lists,
         };
         gauge_add(&block);
-        if let Some(old) = store.blocks.insert(shard, block) {
-            gauge_sub(&old);
+        let key: SpillKey = (ns, load.epoch, shard);
+        if let Some(mut old) = store.blocks.insert(shard, BlockSlot::pinned(block)) {
+            // Replaced block: its spill file (if any) describes stale data.
+            if let Some(old_store) = old.resident.take() {
+                gauge_sub(&old_store);
+            }
+            Self::drop_spill(&mut old);
+            let before = self.cache.resident_bytes();
+            self.cache.remove(&key);
+            self.sync_cache_gauge(before);
         }
-        let ack = ToClient::LoadAck { shard, dim_block }.to_bytes();
+        // A demoted namespace keeps its tier across reloads.
+        self.apply_tier(key);
+        let ack = ToClient::LoadAck {
+            ns,
+            shard,
+            dim_block,
+        }
+        .to_bytes();
         let _ = ctx.send(CLIENT, ack);
     }
 
@@ -436,20 +828,20 @@ impl HarmonyWorker {
     /// the client), so the list stays sorted by `seq` and a query's
     /// watermark selects a stable prefix on every machine of the row.
     fn handle_upsert_delta(&mut self, msg: DeltaUpsert) {
-        if self.evicted_watermark.is_some_and(|w| msg.epoch <= w) {
+        if self.watermarked(msg.ns, msg.epoch) {
             return; // straggler for an evicted epoch
         }
+        let is_ip = !matches!(self.meta(msg.ns).metric, Metric::L2);
         let width = (msg.dim_end - msg.dim_start) as usize;
         let store = self
             .epochs
-            .entry(msg.epoch)
+            .entry((msg.ns, msg.epoch))
             .or_insert_with(|| EpochStore::new(1));
         let delta = store
             .deltas
             .entry(msg.shard)
             .or_insert_with(|| DeltaList::new(width));
         debug_assert_eq!(delta.width(), width, "delta slice width changed mid-epoch");
-        let is_ip = !matches!(self.metric, Metric::L2);
         let before = delta.memory_bytes();
         for (i, (&id, &seq)) in msg.ids.iter().zip(&msg.seqs).enumerate() {
             let row = &msg.flat[i * width..(i + 1) * width];
@@ -475,10 +867,10 @@ impl HarmonyWorker {
             mem::tombstone_add(store.tombstones.len() - before);
         };
         if msg.epoch == u64::MAX {
-            for store in self.epochs.values_mut() {
+            for (_, store) in self.epochs.iter_mut().filter(|((n, _), _)| *n == msg.ns) {
                 apply(store);
             }
-        } else if let Some(store) = self.epochs.get_mut(&msg.epoch) {
+        } else if let Some(store) = self.epochs.get_mut(&(msg.ns, msg.epoch)) {
             apply(store);
         }
     }
@@ -509,13 +901,21 @@ impl HarmonyWorker {
     /// shard's delta rows below the watermark) and compute the first
     /// partials.
     fn start_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk) {
-        let Some(store) = self.epochs.get(&chunk.epoch) else {
+        // Fault a demoted block back in (and refresh its cache recency)
+        // before taking the immutable storage borrow.
+        self.ensure_resident((chunk.ns, chunk.epoch, chunk.shard));
+        let meta = self.meta(chunk.ns);
+        let metric = meta.metric;
+        let Some(store) = self.epochs.get(&(chunk.ns, chunk.epoch)) else {
             // Epoch never loaded (or already evicted): answer emptily so
             // the client can finish.
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         };
-        let block = store.blocks.get(&chunk.shard);
+        let block = store
+            .blocks
+            .get(&chunk.shard)
+            .and_then(|s| s.resident.as_ref());
         let delta = store
             .deltas
             .get(&chunk.shard)
@@ -525,15 +925,15 @@ impl HarmonyWorker {
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         }
-        let is_ip = !matches!(self.metric, Metric::L2);
-        let is_cos = matches!(self.metric, Metric::Cosine);
+        let is_ip = !matches!(metric, Metric::L2);
+        let is_cos = matches!(metric, Metric::Cosine);
         let q_block_norm_sq = if is_ip {
             ip(&chunk.dims, &chunk.dims)
         } else {
             0.0
         };
         let threshold = chunk.threshold;
-        let rule = self.rule;
+        let rule = meta.rule;
 
         let single_hop = chunk.order.len() <= 1;
         let mut indices = Vec::new();
@@ -555,7 +955,7 @@ impl HarmonyWorker {
                     continue;
                 };
                 let (pq, eps_list) = PreparedQuery::prepare(
-                    self.metric,
+                    metric,
                     list,
                     &chunk.dims,
                     block.dim_start,
@@ -643,7 +1043,7 @@ impl HarmonyWorker {
         // indices stay canonical across the shard row. Delta partials are
         // exact f32, so their prune slack is zero even under SQ8.
         if let Some(delta) = delta {
-            let scorer = scorer_for(self.metric);
+            let scorer = scorer_for(metric);
             let width = delta.width();
             for i in 0..delta.len() {
                 if delta.seq(i) >= chunk.delta_seq {
@@ -733,6 +1133,7 @@ impl HarmonyWorker {
             self.finalize(ctx, &chunk, out_ids, scores, seen);
         } else {
             let carry = Carry {
+                ns: chunk.ns,
                 query_id: chunk.query_id,
                 epoch: chunk.epoch,
                 shard: chunk.shard,
@@ -753,11 +1154,17 @@ impl HarmonyWorker {
     fn continue_pipeline(&mut self, ctx: &NodeCtx, chunk: QueryChunk, carry: Carry) {
         let position = chunk.position as usize;
         let is_last = position + 1 >= chunk.order.len();
-        let Some(store) = self.epochs.get(&chunk.epoch) else {
+        self.ensure_resident((chunk.ns, chunk.epoch, chunk.shard));
+        let meta = self.meta(chunk.ns);
+        let metric = meta.metric;
+        let Some(store) = self.epochs.get(&(chunk.ns, chunk.epoch)) else {
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         };
-        let block = store.blocks.get(&chunk.shard);
+        let block = store
+            .blocks
+            .get(&chunk.shard)
+            .and_then(|s| s.resident.as_ref());
         let delta = store
             .deltas
             .get(&chunk.shard)
@@ -767,8 +1174,8 @@ impl HarmonyWorker {
             self.finalize(ctx, &chunk, Vec::new(), Vec::new(), 0);
             return;
         }
-        let is_ip = !matches!(self.metric, Metric::L2);
-        let is_cos = matches!(self.metric, Metric::Cosine);
+        let is_ip = !matches!(metric, Metric::L2);
+        let is_cos = matches!(metric, Metric::Cosine);
         let q_block_norm_sq = if is_ip {
             ip(&chunk.dims, &chunk.dims)
         } else {
@@ -777,7 +1184,7 @@ impl HarmonyWorker {
         let q_visited = carry.q_visited_norm_sq + q_block_norm_sq;
         // Tightest threshold wins (lower-is-better scores).
         let threshold = chunk.threshold.min(carry.threshold);
-        let rule = self.rule;
+        let rule = meta.rule;
 
         let seen = carry.indices.len() as u64;
         let mut pruned = 0u64;
@@ -815,7 +1222,7 @@ impl HarmonyWorker {
                         scanned += list.width as u64;
                         let (pq, eps_list) = prepared.get_or_insert_with(|| {
                             PreparedQuery::prepare(
-                                self.metric,
+                                metric,
                                 list,
                                 &chunk.dims,
                                 block.dim_start,
@@ -912,7 +1319,7 @@ impl HarmonyWorker {
             // append order is identical on every machine of the row.
             if cursor < carry.indices.len() {
                 if let Some(delta) = delta {
-                    let scorer = scorer_for(self.metric);
+                    let scorer = scorer_for(metric);
                     let width = delta.width();
                     while cursor < carry.indices.len() {
                         let index = carry.indices[cursor];
@@ -1023,6 +1430,7 @@ impl HarmonyWorker {
             let next_position = position as u32 + 1;
             let next = chunk.order[position + 1] as NodeId;
             let out = Carry {
+                ns: chunk.ns,
                 query_id: chunk.query_id,
                 epoch: chunk.epoch,
                 shard: chunk.shard,
@@ -1077,7 +1485,7 @@ impl HarmonyWorker {
     /// fold in any pieces that raced ahead of the announcement.
     fn handle_begin_epoch(&mut self, ctx: &NodeCtx, begin: BeginEpoch) {
         let epoch = begin.epoch;
-        if self.evicted_watermark.is_some_and(|w| epoch <= w) {
+        if self.watermarked(begin.ns, epoch) {
             return; // straggler of an already-evicted epoch
         }
         let assembly = InstallAssembly {
@@ -1090,25 +1498,28 @@ impl HarmonyWorker {
             received: 0,
             clusters: HashMap::new(),
         };
-        self.installs.insert(epoch, assembly);
-        if let Some(orphans) = self.orphan_pieces.remove(&epoch) {
+        self.installs.insert((begin.ns, epoch), assembly);
+        if let Some(orphans) = self.orphan_pieces.remove(&(begin.ns, epoch)) {
             for msg in orphans {
                 self.handle_install(ctx, msg);
             }
         }
-        self.try_activate_epoch(ctx, epoch);
+        self.try_activate_epoch(ctx, begin.ns, epoch);
     }
 
     /// Migrated pieces for one of this machine's new-epoch blocks.
     fn handle_install(&mut self, ctx: &NodeCtx, msg: InstallLists) {
         let epoch = msg.epoch;
-        if self.evicted_watermark.is_some_and(|w| epoch <= w) {
+        if self.watermarked(msg.ns, epoch) {
             return; // straggler of an already-evicted epoch
         }
-        let Some(assembly) = self.installs.get_mut(&epoch) else {
+        let Some(assembly) = self.installs.get_mut(&(msg.ns, epoch)) else {
             // BeginEpoch not seen yet (possible only under reordering):
             // stash until the announcement arrives.
-            self.orphan_pieces.entry(epoch).or_default().push(msg);
+            self.orphan_pieces
+                .entry((msg.ns, epoch))
+                .or_default()
+                .push(msg);
             return;
         };
         debug_assert_eq!(assembly.shard, msg.shard, "piece routed to wrong block");
@@ -1181,19 +1592,19 @@ impl HarmonyWorker {
             }
             assembly.received += 1;
         }
-        self.try_activate_epoch(ctx, epoch);
+        self.try_activate_epoch(ctx, msg.ns, epoch);
     }
 
     /// Activates an epoch whose assembly is complete and acks the client.
-    fn try_activate_epoch(&mut self, ctx: &NodeCtx, epoch: u64) {
+    fn try_activate_epoch(&mut self, ctx: &NodeCtx, ns: u16, epoch: u64) {
         let complete = self
             .installs
-            .get(&epoch)
+            .get(&(ns, epoch))
             .is_some_and(|a| a.received >= a.expected_pieces);
         if !complete {
             return;
         }
-        let Some(assembly) = self.installs.remove(&epoch) else {
+        let Some(assembly) = self.installs.remove(&(ns, epoch)) else {
             return;
         };
         let total_dim_blocks = assembly.total_dim_blocks.max(1) as usize;
@@ -1227,7 +1638,7 @@ impl HarmonyWorker {
             .collect();
         let store = self
             .epochs
-            .entry(epoch)
+            .entry((ns, epoch))
             .or_insert_with(|| EpochStore::new(total_dim_blocks));
         store.total_dim_blocks = total_dim_blocks;
         let block = BlockStore {
@@ -1236,15 +1647,29 @@ impl HarmonyWorker {
             lists,
         };
         gauge_add(&block);
-        if let Some(old) = store.blocks.insert(assembly.shard, block) {
-            gauge_sub(&old);
+        let key = (ns, epoch, assembly.shard);
+        if let Some(mut old) = store
+            .blocks
+            .insert(assembly.shard, BlockSlot::pinned(block))
+        {
+            if let Some(old_block) = &old.resident {
+                gauge_sub(old_block);
+            }
+            Self::drop_spill(&mut old);
+            let before = self.cache.resident_bytes();
+            self.cache.remove(&key);
+            self.sync_cache_gauge(before);
         }
-        // Migrations are serialized and epoch numbers never reused, so any
-        // assembly or orphan pieces of an *older* epoch belong to an
-        // aborted attempt and can never activate — drop them.
-        self.installs.retain(|&e, _| e > epoch);
-        self.orphan_pieces.retain(|&e, _| e > epoch);
-        let _ = ctx.send(CLIENT, ToClient::EpochReady { epoch }.to_bytes());
+        // Migrations are serialized and epoch numbers are per-namespace
+        // sequences that never repeat, so any assembly or orphan pieces of
+        // an *older* epoch of this namespace belong to an aborted attempt
+        // and can never activate — drop them.
+        self.installs.retain(|&(n, e), _| n != ns || e > epoch);
+        self.orphan_pieces.retain(|&(n, e), _| n != ns || e > epoch);
+        // A demoted namespace keeps its tier across migrations: spill the
+        // freshly-assembled block right away.
+        self.apply_tier(key);
+        let _ = ctx.send(CLIENT, ToClient::EpochReady { ns, epoch }.to_bytes());
     }
 
     /// Executes migration transfers: slice the requested dimension
@@ -1252,7 +1677,12 @@ impl HarmonyWorker {
     /// Self-directed transfers install locally without touching the fabric
     /// (a real machine would memcpy, not loop through its NIC).
     fn handle_migrate_out(&mut self, ctx: &NodeCtx, msg: MigrateOut) {
-        let is_ip = !matches!(self.metric, Metric::L2);
+        let is_ip = !matches!(self.meta(msg.ns).metric, Metric::L2);
+        // Spilled source blocks must be faulted back before slicing; do it
+        // up front so the transfer loop can borrow the stores immutably.
+        for t in &msg.transfers {
+            self.ensure_resident((msg.ns, t.src_epoch, t.src_shard));
+        }
         // Group pieces per destination block so each destination receives
         // one message per source (fewer, larger transfers).
         let mut outbound: HashMap<(u64, u32, u32), Vec<ListPiece>> = HashMap::new();
@@ -1260,8 +1690,9 @@ impl HarmonyWorker {
             let piece_width = (t.dim_end - t.dim_start) as usize;
             let list = self
                 .epochs
-                .get(&t.src_epoch)
+                .get(&(msg.ns, t.src_epoch))
                 .and_then(|e| e.blocks.get(&t.src_shard))
+                .and_then(|s| s.resident.as_ref())
                 .filter(|b| t.dim_start >= b.dim_start && t.dim_end <= b.dim_end)
                 .and_then(|b| {
                     b.lists
@@ -1352,6 +1783,7 @@ impl HarmonyWorker {
         groups.sort_by_key(|((dest, shard, block), _)| (*dest, *shard, *block));
         for ((dest, shard, dim_block), pieces) in groups {
             let install = InstallLists {
+                ns: msg.ns,
                 epoch: msg.epoch,
                 shard,
                 dim_block,
@@ -1366,28 +1798,46 @@ impl HarmonyWorker {
     }
 
     /// Drops a retired epoch's storage (and any half-finished assembly),
-    /// and raises the watermark so stragglers for it are never re-stashed.
-    fn handle_evict(&mut self, epoch: u64) {
-        if let Some(store) = self.epochs.remove(&epoch) {
-            for block in store.blocks.values() {
-                gauge_sub(block);
+    /// and raises the namespace's watermark so stragglers for it are never
+    /// re-stashed. Spill files and cache entries of the epoch go with it.
+    fn handle_evict(&mut self, ns: u16, epoch: u64) {
+        if let Some(mut store) = self.epochs.remove(&(ns, epoch)) {
+            for slot in store.blocks.values_mut() {
+                if let Some(block) = &slot.resident {
+                    gauge_sub(block);
+                }
+                Self::drop_spill(slot);
             }
             mem::delta_block_sub(store.delta_bytes());
             mem::tombstone_sub(store.tombstones.len());
         }
-        self.installs.remove(&epoch);
-        self.orphan_pieces.remove(&epoch);
-        self.evicted_watermark = Some(self.evicted_watermark.map_or(epoch, |w| w.max(epoch)));
+        let before = self.cache.resident_bytes();
+        self.cache
+            .remove_matching(|&(n, e, _)| n == ns && e == epoch);
+        self.sync_cache_gauge(before);
+        self.installs.remove(&(ns, epoch));
+        self.orphan_pieces.remove(&(ns, epoch));
+        let w = self.evicted_watermark.entry(ns).or_insert(epoch);
+        *w = (*w).max(epoch);
     }
 
     fn stats_report(&self) -> StatsReport {
-        let (f32_bytes, sq8_bytes) = self.epochs.values().flat_map(|e| e.blocks.values()).fold(
-            (0usize, 0usize),
-            |(f, s), b| {
+        let (f32_bytes, sq8_bytes) = self
+            .epochs
+            .values()
+            .flat_map(|e| e.blocks.values())
+            .filter_map(|s| s.resident.as_ref())
+            .fold((0usize, 0usize), |(f, s), b| {
                 let (bf, bs) = b.payload_bytes();
                 (f + bf, s + bs)
-            },
-        );
+            });
+        let spilled_bytes: usize = self
+            .epochs
+            .values()
+            .flat_map(|e| e.blocks.values())
+            .filter_map(|s| s.spill.as_ref())
+            .map(|f| f.payload_bytes)
+            .sum();
         let delta_bytes: usize = self.epochs.values().map(EpochStore::delta_bytes).sum();
         let delta_rows: usize = self
             .epochs
@@ -1404,6 +1854,7 @@ impl HarmonyWorker {
                 .epochs
                 .values()
                 .flat_map(|e| e.blocks.values())
+                .filter_map(|s| s.resident.as_ref())
                 .map(BlockStore::memory_bytes)
                 .sum::<usize>() as u64
                 + delta_bytes as u64,
@@ -1413,6 +1864,8 @@ impl HarmonyWorker {
             delta_bytes: delta_bytes as u64,
             delta_rows: delta_rows as u64,
             tombstone_entries: tombstone_entries as u64,
+            cache_block_bytes: self.cache.resident_bytes() as u64,
+            spilled_block_bytes: spilled_bytes as u64,
         }
     }
 
@@ -1429,13 +1882,21 @@ impl Drop for HarmonyWorker {
     /// byte gauges, so short-lived clusters (tests, benches) don't leak
     /// resident-byte accounting into later measurements.
     fn drop(&mut self) {
-        for store in self.epochs.values() {
-            for block in store.blocks.values() {
-                gauge_sub(block);
+        for store in self.epochs.values_mut() {
+            for slot in store.blocks.values_mut() {
+                if let Some(block) = &slot.resident {
+                    gauge_sub(block);
+                }
+                Self::drop_spill(slot);
             }
             mem::delta_block_sub(store.delta_bytes());
             mem::tombstone_sub(store.tombstones.len());
         }
+        mem::cache_block_sub(self.cache.resident_bytes());
+        // Best-effort: the dir only disappears once all spill files are
+        // gone; leftovers from a crashed worker are bounded by temp-dir
+        // hygiene, not correctness.
+        let _ = std::fs::remove_dir(&self.spill_dir);
     }
 }
 
@@ -1459,9 +1920,10 @@ impl NodeHandler for HarmonyWorker {
             ToWorker::BeginEpoch(begin) => self.handle_begin_epoch(ctx, begin),
             ToWorker::MigrateOut(m) => self.handle_migrate_out(ctx, m),
             ToWorker::InstallLists(m) => self.handle_install(ctx, m),
-            ToWorker::EvictEpoch { epoch } => self.handle_evict(epoch),
+            ToWorker::EvictEpoch { ns, epoch } => self.handle_evict(ns, epoch),
             ToWorker::UpsertDelta(m) => self.handle_upsert_delta(m),
             ToWorker::DeleteIds(m) => self.handle_delete_ids(m),
+            ToWorker::SetTier(m) => self.handle_set_tier(ctx, m),
         }
     }
 }
@@ -1479,6 +1941,7 @@ mod tests {
 
     fn load_block(pruning: bool) -> LoadBlock {
         LoadBlock {
+            ns: 0,
             epoch: 0,
             shard: 0,
             dim_block: 0,
@@ -1534,6 +1997,7 @@ mod tests {
         drain_ack(&mut cluster);
 
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 1,
             epoch: 0,
             shard: 0,
@@ -1564,6 +2028,7 @@ mod tests {
 
         // τ = 1.0: only id 100 (distance 0) survives.
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 2,
             epoch: 0,
             shard: 0,
@@ -1606,6 +2071,7 @@ mod tests {
                 .flat_map(|v| v[range.clone()].to_vec())
                 .collect();
             let load = LoadBlock {
+                ns: 0,
                 epoch: 0,
                 shard: 0,
                 dim_block: w as u32,
@@ -1632,6 +2098,7 @@ mod tests {
         let query = [1.0f32, 0.0, 0.0, 0.0];
         for (w, range, position) in [(0usize, 0..2, 0u32), (1usize, 2..4, 1u32)] {
             let chunk = QueryChunk {
+                ns: 0,
                 query_id: 7,
                 epoch: 0,
                 shard: 0,
@@ -1659,6 +2126,7 @@ mod tests {
         // still complete.
         let mut cluster = Cluster::spawn(ClusterConfig::new(1), |_| HarmonyWorker::new());
         let load = LoadBlock {
+            ns: 0,
             epoch: 0,
             shard: 0,
             dim_block: 1,
@@ -1681,6 +2149,7 @@ mod tests {
         drain_ack(&mut cluster);
 
         let carry = Carry {
+            ns: 0,
             query_id: 9,
             epoch: 0,
             shard: 0,
@@ -1695,6 +2164,7 @@ mod tests {
         cluster.send(0, ToWorker::Carry(carry).to_bytes()).unwrap();
         // Now the chunk (position 1 of a 2-hop order [9, 0] — final hop).
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 9,
             epoch: 0,
             shard: 0,
@@ -1721,6 +2191,7 @@ mod tests {
         let mut cluster = one_worker_cluster();
         let base: Vec<[f32; 2]> = vec![[1.0, 0.0], [0.0, 1.0], [5.0, 5.0]];
         let load = LoadBlock {
+            ns: 0,
             epoch: 0,
             shard: 0,
             dim_block: 0,
@@ -1744,6 +2215,7 @@ mod tests {
 
         let query = [2.0f32, 0.5]; // unnormalized on purpose
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 11,
             epoch: 0,
             shard: 0,
@@ -1785,6 +2257,7 @@ mod tests {
                 .flat_map(|v| v[range.clone()].to_vec())
                 .collect();
             let load = LoadBlock {
+                ns: 0,
                 epoch: 0,
                 shard: 0,
                 dim_block: w as u32,
@@ -1813,6 +2286,7 @@ mod tests {
         let query = [1.0f32, 2.0, 0.0, 1.0]; // unnormalized
         for (w, range, position) in [(0usize, 0..2, 0u32), (1usize, 2..4, 1u32)] {
             let chunk = QueryChunk {
+                ns: 0,
                 query_id: 12,
                 epoch: 0,
                 shard: 0,
@@ -1848,6 +2322,7 @@ mod tests {
             .unwrap();
         drain_ack(&mut cluster);
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 3,
             epoch: 0,
             shard: 0,
@@ -1871,6 +2346,7 @@ mod tests {
         let mut cluster = one_worker_cluster();
         // No Load at all.
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 4,
             epoch: 0,
             shard: 5,
@@ -1897,6 +2373,7 @@ mod tests {
         let mut cluster = one_worker_cluster();
         let flat = vec![1.0f32, 0.0, 0.0, 1.0, 5.0, 5.0];
         let load = LoadBlock {
+            ns: 0,
             epoch: 0,
             shard: 0,
             dim_block: 0,
@@ -1929,6 +2406,7 @@ mod tests {
         }
 
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 21,
             epoch: 0,
             shard: 0,
@@ -1950,7 +2428,7 @@ mod tests {
         assert!((r.scores[1] - 2.0).abs() < 0.2, "got {}", r.scores[1]);
 
         cluster
-            .send(0, ToWorker::EvictEpoch { epoch: 0 }.to_bytes())
+            .send(0, ToWorker::EvictEpoch { ns: 0, epoch: 0 }.to_bytes())
             .unwrap();
         cluster.send(0, ToWorker::GetStats.to_bytes()).unwrap();
         let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -1968,6 +2446,7 @@ mod tests {
         let mut cluster = one_worker_cluster();
         let flat = vec![1.0f32, 0.0, 0.0, 1.0, 5.0, 5.0];
         let load = LoadBlock {
+            ns: 0,
             epoch: 0,
             shard: 0,
             dim_block: 0,
@@ -1990,6 +2469,7 @@ mod tests {
         drain_ack(&mut cluster);
 
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 22,
             epoch: 0,
             shard: 0,
@@ -2009,6 +2489,106 @@ mod tests {
         cluster.shutdown().unwrap();
     }
 
+    fn drain_tier_ack(cluster: &mut Cluster) {
+        let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            ToClient::from_bytes(payload).unwrap(),
+            ToClient::TierAck { .. }
+        ));
+    }
+
+    fn get_stats(cluster: &mut Cluster) -> StatsReport {
+        cluster.send(0, ToWorker::GetStats.to_bytes()).unwrap();
+        let (_, payload) = cluster.recv_timeout(Duration::from_secs(5)).unwrap();
+        match ToClient::from_bytes(payload).unwrap() {
+            ToClient::Stats(s) => s,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Demote → fault → promote must be invisible to queries: results stay
+    /// bit-identical while the residency gauges move between RAM and disk.
+    #[test]
+    fn tier_demote_fault_promote_is_bit_identical() {
+        let mut cluster = one_worker_cluster();
+        cluster
+            .send(0, ToWorker::Load(load_block(true)).to_bytes())
+            .unwrap();
+        drain_ack(&mut cluster);
+
+        let chunk = |qid: u64| QueryChunk {
+            ns: 0,
+            query_id: qid,
+            epoch: 0,
+            shard: 0,
+            k: 3,
+            threshold: f32::INFINITY,
+            clusters: vec![0],
+            dims: vec![1.0, 0.0],
+            q_total_norm_sq: 0.0,
+            order: vec![0],
+            position: 0,
+            delta_seq: 0,
+        };
+        cluster
+            .send(0, ToWorker::Chunk(chunk(40)).to_bytes())
+            .unwrap();
+        let hot = recv_result(&mut cluster);
+        let hot_stats = get_stats(&mut cluster);
+        assert!(hot_stats.f32_block_bytes > 0);
+        assert_eq!(hot_stats.spilled_block_bytes, 0);
+
+        // Demote to cold: payload leaves RAM, a spill file appears.
+        cluster
+            .send(
+                0,
+                ToWorker::SetTier(SetTier {
+                    ns: 0,
+                    temperature: Temperature::Cold.encode(),
+                })
+                .to_bytes(),
+            )
+            .unwrap();
+        drain_tier_ack(&mut cluster);
+        let cold_stats = get_stats(&mut cluster);
+        assert_eq!(cold_stats.f32_block_bytes, 0, "cold drops the payload");
+        assert!(cold_stats.spilled_block_bytes > 0, "cold keeps a backing");
+
+        // A query faults the block back and matches the hot answer exactly.
+        cluster
+            .send(0, ToWorker::Chunk(chunk(41)).to_bytes())
+            .unwrap();
+        let faulted = recv_result(&mut cluster);
+        assert_eq!(faulted.ids, hot.ids);
+        assert_eq!(faulted.scores, hot.scores);
+        let warm_stats = get_stats(&mut cluster);
+        assert!(warm_stats.cache_block_bytes > 0, "fault lands in the cache");
+
+        // Promote back to hot: spill file released, payload pinned again.
+        cluster
+            .send(
+                0,
+                ToWorker::SetTier(SetTier {
+                    ns: 0,
+                    temperature: Temperature::Hot.encode(),
+                })
+                .to_bytes(),
+            )
+            .unwrap();
+        drain_tier_ack(&mut cluster);
+        let promoted_stats = get_stats(&mut cluster);
+        assert!(promoted_stats.f32_block_bytes > 0);
+        assert_eq!(promoted_stats.spilled_block_bytes, 0);
+        assert_eq!(promoted_stats.cache_block_bytes, 0);
+        cluster
+            .send(0, ToWorker::Chunk(chunk(42)).to_bytes())
+            .unwrap();
+        let promoted = recv_result(&mut cluster);
+        assert_eq!(promoted.ids, hot.ids);
+        assert_eq!(promoted.scores, hot.scores);
+        cluster.shutdown().unwrap();
+    }
+
     #[test]
     fn reset_stats_zeroes_counters() {
         let mut cluster = one_worker_cluster();
@@ -2017,6 +2597,7 @@ mod tests {
             .unwrap();
         drain_ack(&mut cluster);
         let chunk = QueryChunk {
+            ns: 0,
             query_id: 5,
             epoch: 0,
             shard: 0,

@@ -36,6 +36,7 @@ pub mod ivf;
 pub mod kmeans;
 pub mod persist;
 pub mod quant;
+pub mod tier;
 pub mod topk;
 pub mod vector;
 
@@ -46,5 +47,6 @@ pub use flat::FlatIndex;
 pub use ivf::{IvfIndex, IvfParams};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use quant::{BlockRepr, Sq8BlockQuery, Sq8Query, Sq8Segment};
+pub use tier::{AccessEwma, BlockCache, Temperature};
 pub use topk::{Neighbor, TopK};
 pub use vector::{VectorId, VectorStore};

@@ -411,6 +411,114 @@ pub fn load_delta_log(path: impl AsRef<Path>) -> Result<DeltaLog, PersistError> 
     })
 }
 
+const BLOCK_MAGIC: &[u8; 4] = b"HBLK";
+const BLOCK_VERSION: u32 = 1;
+
+/// Header + trailer overhead of a block file, in bytes:
+/// magic (4) + version (4) + payload length (8) + checksum trailer (8).
+const BLOCK_OVERHEAD: u64 = 24;
+
+/// Upper bound on a single block file's payload (1 TiB). Anything larger
+/// is a corrupted header, not a real spilled block.
+const BLOCK_MAX_PAYLOAD: u64 = 1 << 40;
+
+/// Writes an opaque `payload` to `path` as a length-checked block file,
+/// atomically (tmp file + rename):
+///
+/// ```text
+/// magic "HBLK" | version u32 | payload_len u64 | payload | fnv1a-64 trailer
+/// ```
+///
+/// Block files carry spilled (warm/cold tier) grid-block payloads; the
+/// format is deliberately opaque so the tier layer needs no knowledge of
+/// the block representation — callers serialize, this layer guarantees
+/// integrity and torn-write detection.
+///
+/// # Errors
+/// [`PersistError::Io`] on filesystem failure.
+pub fn save_block_file(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = HashingWriter {
+            inner: BufWriter::new(File::create(&tmp)?),
+            hash: Fnv1a::new(),
+        };
+        w.write_bytes(BLOCK_MAGIC)?;
+        w.write_u32(BLOCK_VERSION)?;
+        w.write_u64(payload.len() as u64)?;
+        w.write_bytes(payload)?;
+        let checksum = w.hash.0;
+        w.inner.write_all(&checksum.to_le_bytes())?;
+        w.inner.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a block file written by [`save_block_file`], returning the payload.
+///
+/// The declared payload length is validated against the actual file size
+/// *before* any payload buffer is allocated: a header whose length field
+/// disagrees with the bytes on disk (torn write, truncation, or a
+/// corrupted length that would demand an absurd allocation) is rejected
+/// up front instead of attempting a huge `Vec` reservation or a long read
+/// that ends in `UnexpectedEof`.
+///
+/// # Errors
+/// [`PersistError`] on IO failure, malformed structure, length/size
+/// disagreement, version mismatch, or checksum mismatch.
+pub fn load_block_file(path: impl AsRef<Path>) -> Result<Vec<u8>, PersistError> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = HashingReader {
+        inner: BufReader::new(file),
+        hash: Fnv1a::new(),
+    };
+    let mut magic = [0u8; 4];
+    r.read_exact_hashed(&mut magic)?;
+    if &magic != BLOCK_MAGIC {
+        return Err(PersistError::Format(
+            "bad magic; not a Harmony block file".into(),
+        ));
+    }
+    let version = r.read_u32()?;
+    if version != BLOCK_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported block-file version {version} (expected {BLOCK_VERSION})"
+        )));
+    }
+    let payload_len = r.read_u64()?;
+    if payload_len > BLOCK_MAX_PAYLOAD {
+        return Err(PersistError::Format(format!(
+            "implausible block payload length {payload_len}"
+        )));
+    }
+    // Length check before allocation: the file must hold exactly the
+    // declared payload plus the fixed header/trailer overhead. This also
+    // subsumes the trailing-garbage check — any extra byte fails here.
+    let expected = BLOCK_OVERHEAD + payload_len;
+    if file_len != expected {
+        return Err(PersistError::Format(format!(
+            "block file length {file_len} disagrees with header (expected {expected})"
+        )));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact_hashed(&mut payload)?;
+    let computed = r.hash.0;
+    let mut trailer = [0u8; 8];
+    r.inner
+        .read_exact(&mut trailer)
+        .map_err(|_| PersistError::Format("missing checksum trailer".into()))?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != computed {
+        return Err(PersistError::Format(format!(
+            "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +713,95 @@ mod tests {
         let path = temp_path("delta-magic");
         std::fs::write(&path, b"HIVF0000000000000000").unwrap();
         match load_delta_log(&path) {
+            Err(PersistError::Format(msg)) => assert!(msg.contains("magic")),
+            other => panic!("bad magic not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_file_roundtrips() {
+        let path = temp_path("block-roundtrip");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        save_block_file(&path, &payload).unwrap();
+        assert_eq!(load_block_file(&path).unwrap(), payload);
+        // Empty payloads are legal (an empty grid block spills to nothing).
+        save_block_file(&path, &[]).unwrap();
+        assert_eq!(load_block_file(&path).unwrap(), Vec::<u8>::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_file_length_mismatch_rejected_before_allocation() {
+        let path = temp_path("block-lenlie");
+        save_block_file(&path, &[7u8; 64]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Lie in the header: claim a payload far larger than the file. A
+        // loader that allocated from the header alone would reserve ~1 GiB
+        // here; the size check must reject it first.
+        bytes[8..16].copy_from_slice(&(1u64 << 30).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match load_block_file(&path) {
+            Err(PersistError::Format(msg)) => {
+                assert!(msg.contains("disagrees"), "unexpected message: {msg}")
+            }
+            other => panic!("length lie not caught: {other:?}"),
+        }
+        // An implausibly huge declared length is rejected even if a
+        // matching file size could be fabricated.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match load_block_file(&path) {
+            Err(PersistError::Format(msg)) => {
+                assert!(msg.contains("implausible"), "unexpected message: {msg}")
+            }
+            other => panic!("huge length not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_file_truncation_and_garbage_rejected() {
+        let path = temp_path("block-trunc");
+        save_block_file(&path, &[42u8; 256]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            load_block_file(&path),
+            Err(PersistError::Format(_))
+        ));
+        let mut padded = bytes.clone();
+        padded.push(0xCD);
+        std::fs::write(&path, &padded).unwrap();
+        assert!(matches!(
+            load_block_file(&path),
+            Err(PersistError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_file_corruption_detected() {
+        let path = temp_path("block-corrupt");
+        save_block_file(&path, &[9u8; 512]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match load_block_file(&path) {
+            Err(PersistError::Format(msg)) => {
+                assert!(msg.contains("checksum"), "unexpected message: {msg}")
+            }
+            other => panic!("corruption not caught: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn block_file_wrong_magic_rejected() {
+        let path = temp_path("block-magic");
+        std::fs::write(&path, b"HIVF000000000000000000000000").unwrap();
+        match load_block_file(&path) {
             Err(PersistError::Format(msg)) => assert!(msg.contains("magic")),
             other => panic!("bad magic not caught: {other:?}"),
         }

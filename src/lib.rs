@@ -54,11 +54,12 @@ pub mod prelude {
         ClusterConfig, CommMode, DelayMode, NetworkModel, TcpOptions, TransportKind,
     };
     pub use harmony_core::{
-        CompactionReport, EngineMode, HarmonyConfig, HarmonyEngine, MigrationReport, PartitionPlan,
-        ReplanConfig, ReplanOutcome, SearchOptions,
+        CompactionReport, EngineMode, HarmonyConfig, HarmonyEngine, MigrationReport,
+        NamespaceConfig, PartitionPlan, ReplanConfig, ReplanOutcome, SearchOptions,
     };
     pub use harmony_data::{DatasetAnalog, SyntheticSpec, Workload, WorkloadSpec};
     pub use harmony_index::{
-        BlockRepr, DimRange, FlatIndex, IvfIndex, IvfParams, Metric, Neighbor, TopK, VectorStore,
+        BlockRepr, DimRange, FlatIndex, IvfIndex, IvfParams, Metric, Neighbor, Temperature, TopK,
+        VectorStore,
     };
 }

@@ -10,7 +10,7 @@ use harmony::cluster::codec::Wire;
 use harmony::cluster::{decode_frame, encode_frame, Frame, MAX_FRAME_BYTES};
 use harmony::core::messages::{
     BeginEpoch, Carry, ClusterBlock, DeleteIds, DeltaUpsert, InstallLists, ListPiece, LoadBlock,
-    MigrateOut, QueryChunk, QueryResult, StatsReport, ToClient, ToWorker, TransferSpec,
+    MigrateOut, QueryChunk, QueryResult, SetTier, StatsReport, ToClient, ToWorker, TransferSpec,
 };
 use harmony::index::Sq8Segment;
 use proptest::prelude::*;
@@ -107,7 +107,8 @@ proptest! {
     /// Every `ToWorker` variant survives the full frame path.
     #[test]
     fn to_worker_variants_roundtrip_through_frames(
-        tag in 0usize..11,
+        tag in 0usize..12,
+        ns in 0u16..8,
         epoch in 0u64..1_000,
         shard in 0u32..64,
         n in 0usize..12,
@@ -120,6 +121,7 @@ proptest! {
     ) {
         let msg = match tag {
             0 => ToWorker::Load(LoadBlock {
+                ns,
                 epoch,
                 shard,
                 dim_block: shard % 4,
@@ -132,6 +134,7 @@ proptest! {
                 lists: vec![sample_block(shard, n, width, ip, sq8)],
             }),
             1 => ToWorker::Chunk(QueryChunk {
+                ns,
                 query_id: seed,
                 epoch,
                 shard,
@@ -145,6 +148,7 @@ proptest! {
                 delta_seq: seed % 1_000,
             }),
             2 => ToWorker::Carry(Carry {
+                ns,
                 query_id: seed,
                 epoch,
                 shard,
@@ -159,6 +163,7 @@ proptest! {
             3 => ToWorker::GetStats,
             4 => ToWorker::ResetStats,
             5 => ToWorker::BeginEpoch(BeginEpoch {
+                ns,
                 epoch,
                 shard,
                 dim_block: 1,
@@ -168,6 +173,7 @@ proptest! {
                 expected_pieces: n as u64,
             }),
             6 => ToWorker::MigrateOut(MigrateOut {
+                ns,
                 epoch,
                 transfers: (0..n as u32).map(|c| TransferSpec {
                     cluster: c,
@@ -181,13 +187,15 @@ proptest! {
                 }).collect(),
             }),
             7 => ToWorker::InstallLists(InstallLists {
+                ns,
                 epoch,
                 shard,
                 dim_block: 0,
                 pieces: vec![sample_piece(shard, n, width, ip, sq8)],
             }),
-            8 => ToWorker::EvictEpoch { epoch },
+            8 => ToWorker::EvictEpoch { ns, epoch },
             9 => ToWorker::UpsertDelta(DeltaUpsert {
+                ns,
                 epoch,
                 shard,
                 dim_start: 0,
@@ -198,10 +206,15 @@ proptest! {
                 block_norms_sq: if ip { vec![0.5; n] } else { Vec::new() },
                 total_norms_sq: if ip { vec![1.75; n] } else { Vec::new() },
             }),
-            _ => ToWorker::DeleteIds(DeleteIds {
+            10 => ToWorker::DeleteIds(DeleteIds {
+                ns,
                 epoch: if ip { u64::MAX } else { epoch },
                 ids: (0..n as u64).map(|i| i * 11).collect(),
                 seq: seed % 10_000,
+            }),
+            _ => ToWorker::SetTier(SetTier {
+                ns,
+                temperature: (seed % 3) as u8,
             }),
         };
         roundtrip_msg(msg, from, delay)?;
@@ -210,7 +223,8 @@ proptest! {
     /// Every `ToClient` variant survives the full frame path.
     #[test]
     fn to_client_variants_roundtrip_through_frames(
-        tag in 0usize..4,
+        tag in 0usize..5,
+        ns in 0u16..8,
         epoch in 0u64..1_000,
         shard in 0u32..64,
         n in 0usize..16,
@@ -219,7 +233,7 @@ proptest! {
         seed in proptest::num::u64::ANY,
     ) {
         let msg = match tag {
-            0 => ToClient::LoadAck { shard, dim_block: shard % 4 },
+            0 => ToClient::LoadAck { ns, shard, dim_block: shard % 4 },
             1 => ToClient::Result(QueryResult {
                 query_id: seed,
                 shard,
@@ -238,8 +252,11 @@ proptest! {
                 delta_bytes: seed / 13,
                 delta_rows: seed % 100,
                 tombstone_entries: seed % 50,
+                cache_block_bytes: seed / 17,
+                spilled_block_bytes: seed / 19,
             }),
-            _ => ToClient::EpochReady { epoch },
+            3 => ToClient::EpochReady { ns, epoch },
+            _ => ToClient::TierAck { ns },
         };
         roundtrip_msg(msg, from, delay)?;
     }
